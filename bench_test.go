@@ -1,0 +1,332 @@
+package fourqasic
+
+// Root-level benchmark harness: one benchmark (plus a checking test) per
+// table and figure of the paper's evaluation. See DESIGN.md, section
+// "Per-experiment index", for the mapping.
+
+import (
+	"math/big"
+	mrand "math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/c25519"
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/fp2"
+	"repro/internal/p256"
+	"repro/internal/power"
+	"repro/internal/scalar"
+	"repro/internal/sched"
+)
+
+var (
+	procOnce sync.Once
+	proc     *core.Processor
+	procErr  error
+)
+
+func processor(tb testing.TB) *core.Processor {
+	tb.Helper()
+	procOnce.Do(func() {
+		proc, procErr = core.New(core.Config{})
+	})
+	if procErr != nil {
+		tb.Fatal(procErr)
+	}
+	return proc
+}
+
+func randScalar(r *mrand.Rand) scalar.Scalar {
+	var s scalar.Scalar
+	for i := range s {
+		s[i] = r.Uint64()
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------- E1
+
+// BenchmarkProfileOpMix regenerates the profiling claim behind the
+// datapath design: GF(p^2) multiplications dominate the SM op mix.
+func BenchmarkProfileOpMix(b *testing.B) {
+	p := processor(b)
+	var share float64
+	for i := 0; i < b.N; i++ {
+		share = p.TraceStats().MulShare
+	}
+	b.ReportMetric(100*share, "%mults")
+}
+
+// ---------------------------------------------------------------------- E2
+
+// BenchmarkTableISchedule runs the exact solver on the double-and-add
+// block (Table I) and reports the optimal makespan.
+func BenchmarkTableISchedule(b *testing.B) {
+	var mk int
+	for i := 0; i < b.N; i++ {
+		r, err := core.TableI(sched.DefaultResources())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mk = r.Makespan
+	}
+	b.ReportMetric(float64(mk), "cycles")
+}
+
+func TestTableISchedule(t *testing.T) {
+	r, err := core.TableI(sched.DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Muls != 15 || r.Adds != 13 {
+		t.Fatalf("block is %d mult + %d add, paper says 15 + 13", r.Muls, r.Adds)
+	}
+	if r.Makespan < 18 || r.Makespan > 28 {
+		t.Fatalf("scheduled block takes %d cycles, paper's Table I shows 25", r.Makespan)
+	}
+}
+
+// ---------------------------------------------------------------------- E3
+
+// BenchmarkScalarMultASIC executes full scalar multiplications on the
+// cycle-accurate RTL model and reports the cycle count and the modelled
+// silicon latency at 1.2 V.
+func BenchmarkScalarMultASIC(b *testing.B) {
+	p := processor(b)
+	rng := mrand.New(mrand.NewSource(3))
+	k := randScalar(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.ScalarMult(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	m, err := p.PowerModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(p.CyclesEndoModeled()), "cycles/SM")
+	b.ReportMetric(m.Latency(1.2)*1e6, "us@1.2V")
+}
+
+// ---------------------------------------------------------------------- E4
+
+// BenchmarkFigure4Sweep evaluates the calibrated VDD sweep.
+func BenchmarkFigure4Sweep(b *testing.B) {
+	p := processor(b)
+	var minE float64
+	for i := 0; i < b.N; i++ {
+		r, err := p.Figure4(23)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minE = r.MinEnergyJ
+	}
+	b.ReportMetric(minE*1e6, "uJ/SM(min)")
+}
+
+func TestFigure4Sweep(t *testing.T) {
+	p := processor(t)
+	r, err := p.Figure4(23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := r.Points[0], r.Points[len(r.Points)-1]
+	if !within(lo.LatencyS, power.AnchorLowLatency, 1e-6) ||
+		!within(hi.LatencyS, power.AnchorHighLatency, 1e-6) ||
+		!within(lo.EnergyJ, power.AnchorLowEnergy, 1e-6) ||
+		!within(hi.EnergyJ, power.AnchorHighEnergy, 1e-6) {
+		t.Fatal("sweep does not pass through the paper's measured anchors")
+	}
+	// On the measured grid the minimum energy is at 0.32 V.
+	min := lo.EnergyJ
+	for _, pt := range r.Points[1:] {
+		if pt.EnergyJ < min {
+			t.Fatalf("energy at %.2f V below the 0.32 V point: figure shape broken", pt.V)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------- E5
+
+// BenchmarkTableIIRatios recomputes the comparison table and reports the
+// three headline ratios.
+func BenchmarkTableIIRatios(b *testing.B) {
+	p := processor(b)
+	var r *core.TableIIResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = p.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.SpeedupVsP256ASIC, "x-vs-P256")
+	b.ReportMetric(r.SpeedupVsFourQFPGA, "x-vs-FPGA")
+	b.ReportMetric(r.EnergyGainVsECDSA, "x-energy")
+}
+
+func TestTableIIRatios(t *testing.T) {
+	p := processor(t)
+	r, err := p.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name       string
+		got, want  float64
+		tolPercent float64
+	}{
+		{"speedup vs P-256 ASIC [5]", r.SpeedupVsP256ASIC, 3.66, 2},
+		{"speedup vs FourQ FPGA [10]", r.SpeedupVsFourQFPGA, 15.5, 3},
+		{"energy vs ECDSA ASIC [17]", r.EnergyGainVsECDSA, 5.14, 2},
+		{"latency-area product @1.2V", r.OursHighV.LatencyAreaProduct, 14.1, 3},
+		{"latency-area product @0.32V", r.OursLowV.LatencyAreaProduct, 1200, 3},
+	}
+	for _, c := range checks {
+		if !within(c.got, c.want, c.tolPercent/100) {
+			t.Errorf("%s: got %.2f, paper reports %.2f", c.name, c.got, c.want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------- E6
+
+// BenchmarkFigure3Area recomputes the area breakdown.
+func BenchmarkFigure3Area(b *testing.B) {
+	p := processor(b)
+	var total float64
+	for i := 0; i < b.N; i++ {
+		total = p.Figure3().TotalKGE
+	}
+	b.ReportMetric(total, "kGE")
+}
+
+func TestFigure3Area(t *testing.T) {
+	p := processor(t)
+	br := p.Figure3()
+	if !within(br.TotalKGE, 1400, 1e-9) {
+		t.Errorf("total area %.1f kGE, paper reports 1400", br.TotalKGE)
+	}
+	if !within(br.AreaMM2, 1.76*3.56, 1e-9) {
+		t.Errorf("die area %.2f mm2, paper reports %.2f", br.AreaMM2, 1.76*3.56)
+	}
+}
+
+// ---------------------------------------------------------------------- E7
+
+// BenchmarkSchedulerAblation compares list / anneal / exact / blocked
+// scheduling on the double-and-add block.
+func BenchmarkSchedulerAblation(b *testing.B) {
+	var rows []core.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = core.SchedulerAblation(sched.DefaultResources(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Makespan), r.Method+"-cycles")
+	}
+}
+
+// ---------------------------------------------------------------------- E8
+
+// BenchmarkFp2MulKaratsubaVsSchoolbook is the datapath ablation: 3 vs 4
+// GF(p) multiplications per GF(p^2) multiplication.
+func BenchmarkFp2MulKaratsubaVsSchoolbook(b *testing.B) {
+	x := fp2.FromUint64(0xABCDEF, 0x123456)
+	y := fp2.FromUint64(0x777777, 0x999999)
+	b.Run("karatsuba", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x = fp2.Mul(x, y)
+		}
+	})
+	b.Run("schoolbook", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x = fp2.MulSchoolbook(x, y)
+		}
+	})
+	b.Run("alg2-bit-exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x = fp2.MulAlg2(x, y)
+		}
+	})
+	sinkFp2 = x
+}
+
+var sinkFp2 fp2.Element
+
+// ---------------------------------------------------------------------- E9
+
+// BenchmarkCurveComparison benchmarks the three functional scalar
+// multiplications (the paper's "5x faster than P-256, ~2x faster than
+// Curve25519" framing, reproduced at matched implementation effort via
+// the same-silicon cycle models printed as metrics).
+func BenchmarkCurveComparison(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(4))
+	k := randScalar(rng)
+	g := curve.Generator()
+	b.Run("fourq-alg1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ptSink = curve.ScalarMult(k, g)
+		}
+	})
+	kBig := k.Big()
+	kP := new(big.Int).Mod(kBig, p256.N)
+	b.Run("p256-wnaf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p256.ScalarMultWNAF(kP, p256.Gx, p256.Gy); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	var sb [32]byte
+	copy(sb[:], kBig.Bytes())
+	ck := c25519.ClampScalar(sb)
+	b.Run("curve25519-ladder", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c25519.ScalarMult(ck, c25519.BasePointU); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+var ptSink curve.Point
+
+func TestCurveComparisonCycleModels(t *testing.T) {
+	p := processor(t)
+	r, err := p.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ModelSpeedupP256 < 2.5 || r.ModelSpeedupP256 > 6 {
+		t.Errorf("same-silicon P-256 speedup %.2fx not in the paper's 3-5x vicinity", r.ModelSpeedupP256)
+	}
+	if r.ModelSpeedupC25519 < 1.5 || r.ModelSpeedupC25519 >= r.ModelSpeedupP256 {
+		t.Errorf("Curve25519 speedup %.2fx should sit between FourQ and P-256", r.ModelSpeedupC25519)
+	}
+}
+
+// ----------------------------------------------------------------- helpers
+
+func within(got, want, tol float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*want
+}
+
+// TestEndToEndPipeline is the headline integration test: trace ->
+// schedule -> ROM -> RTL -> bit-exact result, across several scalars.
+func TestEndToEndPipeline(t *testing.T) {
+	p := processor(t)
+	if err := p.Verify(3, 998877); err != nil {
+		t.Fatal(err)
+	}
+}

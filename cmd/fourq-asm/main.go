@@ -1,0 +1,159 @@
+// Command fourq-asm is the microprogram toolchain: it parses the textual
+// assembly format (see fourq-sched -dump-asm), validates the program
+// against the datapath's structural rules, reports statistics, and
+// converts between assembly and the 64-bit control-word ROM image.
+//
+//	fourq-asm -in prog.s                 # validate + stats
+//	fourq-asm -in prog.s -rom prog.hex   # assemble to ROM image (hex)
+//	fourq-asm -disasm prog.hex -out prog.s  # disassemble a ROM image
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+func main() {
+	in := flag.String("in", "", "assembly file to parse and validate")
+	rom := flag.String("rom", "", "write the ROM image (one hex word per line) here")
+	disasm := flag.String("disasm", "", "ROM image to disassemble instead of -in")
+	out := flag.String("out", "", "output file for -disasm (default stdout)")
+	flag.Parse()
+
+	if err := run(*in, *rom, *disasm, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "fourq-asm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, rom, disasm, out string) error {
+	switch {
+	case disasm != "":
+		return runDisasm(disasm, out)
+	case in != "":
+		return runAssemble(in, rom)
+	}
+	return fmt.Errorf("need -in or -disasm (see -h)")
+}
+
+func runAssemble(in, rom string) error {
+	src, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	p, err := isa.ParseProgram(string(src))
+	if err != nil {
+		return err
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("validation failed: %w", err)
+	}
+	muls, adds, elided := 0, 0, 0
+	for _, i := range p.Instrs {
+		if i.Unit == isa.UnitMul {
+			muls++
+		} else {
+			adds++
+		}
+		if i.NoWB {
+			elided++
+		}
+	}
+	fmt.Printf("%s: OK\n", in)
+	fmt.Printf("  %d instructions (%d mul, %d add; %d elided write-backs)\n", len(p.Instrs), muls, adds, elided)
+	fmt.Printf("  makespan %d cycles, %d registers, latencies mul=%d add=%d ii=%d\n",
+		p.Makespan, p.NumRegs, p.MulLatency, p.AddLatency, p.MulII)
+	if rom == "" {
+		return nil
+	}
+	words, err := p.ROMImage()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(rom)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	// Header comment carries the metadata the control words don't.
+	fmt.Fprintf(w, "# fourq ROM: makespan=%d regs=%d mul=%d add=%d ii=%d\n",
+		p.Makespan, p.NumRegs, p.MulLatency, p.AddLatency, p.MulII)
+	for _, word := range words {
+		fmt.Fprintf(w, "%016x\n", word)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %d control words (%d valid) to %s\n", len(words), len(p.Instrs), rom)
+	return nil
+}
+
+func runDisasm(path, out string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var words []uint64
+	meta := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			for _, field := range strings.Fields(line[1:]) {
+				kv := strings.SplitN(field, "=", 2)
+				if len(kv) == 2 {
+					if v, err := strconv.Atoi(kv[1]); err == nil {
+						meta[kv[0]] = v
+					}
+				}
+			}
+			continue
+		}
+		w, err := strconv.ParseUint(line, 16, 64)
+		if err != nil {
+			return fmt.Errorf("bad ROM word %q: %v", line, err)
+		}
+		words = append(words, w)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	instrs, err := isa.FromROMImage(words)
+	if err != nil {
+		return err
+	}
+	p := &isa.Program{
+		Instrs:     instrs,
+		NumRegs:    metaOr(meta, "regs", isa.MaxRegs),
+		Makespan:   metaOr(meta, "makespan", len(words)/2),
+		MulLatency: metaOr(meta, "mul", 3),
+		AddLatency: metaOr(meta, "add", 1),
+		MulII:      metaOr(meta, "ii", 1),
+		InputRegs:  map[string]uint16{},
+		OutputRegs: map[string]uint16{},
+	}
+	text := isa.FormatProgram(p)
+	if out == "" {
+		fmt.Print(text)
+		return nil
+	}
+	return os.WriteFile(out, []byte(text), 0o644)
+}
+
+func metaOr(m map[string]int, key string, def int) int {
+	if v, ok := m[key]; ok {
+		return v
+	}
+	return def
+}

@@ -1,0 +1,228 @@
+// Command fourq-bench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index):
+//
+//	fourq-bench -exp profile   # E1: op-mix profile (the "57%" claim)
+//	fourq-bench -exp table1    # E2: scheduled double-and-add block
+//	fourq-bench -exp latency   # E3: cycles / latency @1.2V
+//	fourq-bench -exp fig4      # E4: VDD sweep (Fmax, latency, energy)
+//	fourq-bench -exp table2    # E5: comparison to prior art
+//	fourq-bench -exp fig3      # E6: area breakdown
+//	fourq-bench -exp ablation  # E7: scheduler ablation
+//	fourq-bench -exp all       # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: profile|table1|latency|fig4|table2|fig3|ablation|pareto|all")
+	full := flag.Bool("full", false, "include full-trace scheduler ablation (slow)")
+	flag.Parse()
+
+	if err := run(*exp, *full); err != nil {
+		fmt.Fprintln(os.Stderr, "fourq-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, full bool) error {
+	needProcessor := exp != "table1" && exp != "ablation"
+	var p *core.Processor
+	if needProcessor || exp == "all" {
+		var err error
+		fmt.Println("building processor (trace -> schedule -> program)...")
+		p, err = core.New(core.Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  functional program: %s\n", core.ProgramSummary(p.Program()))
+		fmt.Printf("  endo-workload program: %s\n\n", core.ProgramSummary(p.EndoProgram()))
+	}
+
+	do := func(name string, f func() error) error {
+		if exp != "all" && exp != name {
+			return nil
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	if err := do("profile", func() error { return profile(p) }); err != nil {
+		return err
+	}
+	if err := do("table1", table1); err != nil {
+		return err
+	}
+	if err := do("latency", func() error { return latency(p) }); err != nil {
+		return err
+	}
+	if err := do("fig4", func() error { return fig4(p) }); err != nil {
+		return err
+	}
+	if err := do("table2", func() error { return table2(p) }); err != nil {
+		return err
+	}
+	if err := do("fig3", func() error { return fig3(p) }); err != nil {
+		return err
+	}
+	if err := do("ablation", func() error { return ablation(full) }); err != nil {
+		return err
+	}
+	if err := do("pareto", pareto); err != nil {
+		return err
+	}
+	return nil
+}
+
+func pareto() error {
+	pts, err := core.ParetoSweep()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %-8s %-10s %-10s %-10s %s\n", "design point", "cycles", "area[kGE]", "lat[us]", "LAP", "RTL verified")
+	for _, p := range pts {
+		fmt.Printf("%-28s %-8d %-10.0f %-10.1f %-10.1f %v\n",
+			p.Name, p.Cycles, p.AreaKGE, p.LatencyUS, p.LatencyAreaProduct, p.Verified)
+	}
+	fmt.Println("\nfinding: with a per-cycle control ROM, narrower multipliers lose on both axes;")
+	fmt.Println("the paper's full-throughput 3-core Karatsuba datapath is Pareto-optimal.")
+	return nil
+}
+
+func profile(p *core.Processor) error {
+	st := p.TraceStats()
+	fmt.Printf("full SM trace: %d GF(p^2) operations\n", st.Total)
+	fmt.Printf("  multiplications: %d (%.1f%%)   [paper: ~57%%]\n", st.Muls, 100*st.MulShare)
+	fmt.Printf("  add/subs:        %d (%.1f%%)\n", st.Adds, 100*(1-st.MulShare))
+	return nil
+}
+
+func table1() error {
+	fmt.Println("scheduling the double-and-add block with the exact solver...")
+	r, err := core.TableI(sched.DefaultResources())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("block: %d Fp2 mults + %d Fp2 add/subs [paper: 15 + 13]\n", r.Muls, r.Adds)
+	fmt.Printf("makespan: %d cycles (optimal proven: %v, lower bound %d) [paper's Table I: 25]\n\n",
+		r.Makespan, r.Optimal, r.LowerBound)
+	fmt.Println(r.Listing)
+	return nil
+}
+
+func latency(p *core.Processor) error {
+	m, err := p.PowerModel()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cycles/SM: functional (with substitution doublings) %d, paper-comparable %d\n",
+		p.CyclesFunctional(), p.CyclesEndoModeled())
+	fmt.Printf("derived clock @1.20V: %.1f MHz\n", m.Fmax(1.2)/1e6)
+	fmt.Printf("latency @1.20V: %.2f us  [paper: 10.1 us]\n", m.Latency(1.2)*1e6)
+	fmt.Printf("latency @0.32V: %.0f us  [paper: 857 us]\n", m.Latency(0.32)*1e6)
+	if err := p.Verify(2, 7); err != nil {
+		return err
+	}
+	fmt.Println("RTL-vs-library verification: 2/2 scalar multiplications bit-exact")
+	return nil
+}
+
+func fig4(p *core.Processor) error {
+	r, err := p.Figure4(12)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-12s %-14s %-12s %s\n", "VDD [V]", "Fmax [MHz]", "Latency [us]", "Energy [uJ]", "SM/s")
+	for _, pt := range r.Points {
+		fmt.Printf("%-8.2f %-12.2f %-14.1f %-12.3f %.0f\n",
+			pt.V, pt.FmaxHz/1e6, pt.LatencyS*1e6, pt.EnergyJ*1e6, pt.Throughput)
+	}
+	fmt.Printf("model minimum energy: %.3f uJ at %.2f V [paper: 0.327 uJ at 0.32 V]\n",
+		r.MinEnergyJ*1e6, r.MinEnergyV)
+	return nil
+}
+
+func table2(p *core.Processor) error {
+	r, err := p.TableII()
+	if err != nil {
+		return err
+	}
+	hdr := fmt.Sprintf("%-22s %-16s %-11s %-5s %-24s %-6s %-12s %-12s %-10s %s",
+		"Design", "Platform", "Curve", "Core", "Area", "VDD", "Latency[ms]", "Ops/s", "E/op[uJ]", "LatxArea")
+	fmt.Println(hdr)
+	printRow := func(c core.CompRow) {
+		v := "-"
+		if c.VDD > 0 {
+			v = fmt.Sprintf("%.2f", c.VDD)
+		}
+		lat := "-"
+		if c.LatencyMS > 0 {
+			lat = fmt.Sprintf("%.4f", c.LatencyMS)
+		}
+		e := "-"
+		if c.EnergyUJ > 0 {
+			e = fmt.Sprintf("%.3f", c.EnergyUJ)
+		}
+		lap := "-"
+		if c.LatencyAreaProduct > 0 {
+			lap = fmt.Sprintf("%.1f", c.LatencyAreaProduct)
+		}
+		fmt.Printf("%-22s %-16s %-11s %-5d %-24s %-6s %-12s %-12.3g %-10s %s\n",
+			c.Design, c.Platform, c.Curve, c.Cores, c.Area, v, lat, c.OpsPerSec, e, lap)
+	}
+	printRow(r.OursLowV)
+	printRow(r.OursHighV)
+	if mc, err := p.MultiCore(11, 1.20); err == nil {
+		printRow(mc)
+	}
+	for _, c := range r.Prior {
+		printRow(c)
+	}
+	fmt.Println()
+	fmt.Printf("headline ratios: %.2fx vs P-256 ASIC [paper 3.66x], %.1fx vs FourQ FPGA [paper 15.5x], %.2fx energy vs ECDSA ASIC [paper 5.14x]\n",
+		r.SpeedupVsP256ASIC, r.SpeedupVsFourQFPGA, r.EnergyGainVsECDSA)
+	fmt.Printf("same-silicon cross-check: FourQ %d cycles vs P-256 model %d (%.2fx) vs Curve25519 model %d (%.2fx)\n",
+		r.FourQCycles, r.P256ModelCycles, r.ModelSpeedupP256, r.C25519ModelCycles, r.ModelSpeedupC25519)
+	return nil
+}
+
+func fig3(p *core.Processor) error {
+	b := p.Figure3()
+	fmt.Println("area breakdown (calibrated to the published 1400 kGE):")
+	fmt.Println(b)
+	fmt.Printf("\n  [paper: 1400 kGE, %.2f mm x %.2f mm]\n", 1.76, 3.56)
+	return nil
+}
+
+func ablation(full bool) error {
+	rows, err := core.SchedulerAblation(sched.DefaultResources(), full)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %-10s %-12s %s\n", "trace/method", "makespan", "lower bound", "optimal")
+	for _, r := range rows {
+		fmt.Printf("%-18s %-10d %-12d %v\n", r.Method, r.Makespan, r.LowerBound, r.Optimal)
+	}
+	withF, withoutF, err := core.ForwardingAblation(sched.DefaultResources())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npipeline-depth sensitivity (DBLADD block): %d cycles at default latency, %d with +1 stage\n", withF, withoutF)
+	el, err := core.ElisionAblation(sched.DefaultResources())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("write-back elision (full SM): %d of %d register-file writes removed (%.0f%%)\n",
+		el.ElidedWrites, el.TotalOps, 100*el.SavedShare)
+	return nil
+}

@@ -1,0 +1,139 @@
+// Command fourq-sched runs the automated instruction-scheduling flow of
+// Section III-C on its own: record the GF(p^2) operation trace of the
+// scalar-multiplication algorithm, convert it to a job-shop instance,
+// solve with the selected method, and emit flow statistics plus an
+// optional Table I-style schedule listing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/hdl"
+	"repro/internal/isa"
+	"repro/internal/scalar"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func main() {
+	block := flag.Bool("block", false, "schedule only the double-and-add block (Table I workload)")
+	method := flag.String("method", "list", "scheduler: list|bnb|anneal|blocked")
+	listing := flag.Bool("listing", false, "print the per-cycle schedule listing")
+	mulLat := flag.Int("mul-latency", 3, "multiplier pipeline depth")
+	addLat := flag.Int("add-latency", 1, "adder latency")
+	blockSize := flag.Int("block-size", 32, "block size for -method blocked")
+	dumpAsm := flag.String("dump-asm", "", "write the scheduled microprogram as assembly text to this file")
+	dumpDot := flag.String("dump-dot", "", "write the trace dataflow graph in Graphviz DOT format to this file")
+	verilogDir := flag.String("verilog", "", "export the scheduled design as Verilog into this directory")
+	flag.Parse()
+
+	if err := run(*block, *method, *listing, *mulLat, *addLat, *blockSize, *dumpAsm, *dumpDot, *verilogDir); err != nil {
+		fmt.Fprintln(os.Stderr, "fourq-sched:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMethod(s string) (sched.Method, error) {
+	switch s {
+	case "list":
+		return sched.MethodList, nil
+	case "bnb":
+		return sched.MethodBnB, nil
+	case "anneal":
+		return sched.MethodAnneal, nil
+	case "blocked":
+		return sched.MethodBlocked, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
+func run(block bool, methodName string, listing bool, mulLat, addLat, blockSize int, dumpAsm, dumpDot, verilogDir string) error {
+	method, err := parseMethod(methodName)
+	if err != nil {
+		return err
+	}
+	res := sched.DefaultResources()
+	res.MulLatency = mulLat
+	res.AddLatency = addLat
+
+	k := scalar.Scalar{0xDEADBEEFCAFEF00D, 0x0123456789ABCDEF, 0xFEDCBA9876543210, 0x0F1E2D3C4B5A6978}
+	var tr *trace.ScalarMultTrace
+	fmt.Println("step 1-2: recording the execution trace of the SM algorithm...")
+	if block {
+		g := curve.Generator()
+		table := curve.BuildTable(curve.NewMultiBase(g))
+		tr, err = trace.BuildDblAdd(k, g, table)
+	} else {
+		tr, err = trace.BuildScalarMult(k, curve.GeneratorAffine())
+	}
+	if err != nil {
+		return err
+	}
+	st := tr.Graph.Stats()
+	fmt.Printf("  recorded %d micro-operations (%d mult, %d add/sub; %.1f%% multiplications)\n",
+		st.Total, st.Muls, st.Adds, 100*st.MulShare)
+
+	fmt.Printf("step 3: job-shop scheduling (method=%s, Lm=%d, La=%d)...\n", methodName, mulLat, addLat)
+	lb, err := core.LowerBoundOfInstance(tr.Graph, res)
+	if err != nil {
+		return err
+	}
+	r, err := sched.Schedule(tr.Graph, res, sched.Options{Method: method, BlockSize: blockSize, BnBBudget: 10_000_000})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  makespan: %d cycles (lower bound %d, optimal proven: %v)\n", r.Makespan, lb, r.Optimal)
+	fmt.Printf("  multiplier utilization: %.1f%% of cycles issue a multiplication\n",
+		100*float64(st.Muls)/float64(r.Makespan))
+
+	fmt.Println("step 4: control-signal generation...")
+	fmt.Printf("  %s\n", core.ProgramSummary(r.Program))
+	rom, err := r.Program.ROMImage()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  program ROM: %d words x 64 bit = %.1f kbit; peak live values %d\n",
+		len(rom), float64(len(rom)*64)/1000, r.MaxLive)
+
+	if dumpDot != "" {
+		if err := os.WriteFile(dumpDot, []byte(tr.Graph.DOT("fourq_sm")), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote dataflow graph to %s\n", dumpDot)
+	}
+
+	if dumpAsm != "" {
+		if err := os.WriteFile(dumpAsm, []byte(isa.FormatProgram(r.Program)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote assembly listing to %s\n", dumpAsm)
+	}
+
+	if verilogDir != "" {
+		design, err := hdl.Generate(r.Program)
+		if err != nil {
+			return err
+		}
+		if err := os.MkdirAll(verilogDir, 0o755); err != nil {
+			return err
+		}
+		for name, contents := range design {
+			if err := os.WriteFile(filepath.Join(verilogDir, name), []byte(contents), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("  exported %d Verilog/ROM files to %s\n", len(design), verilogDir)
+	}
+
+	if listing {
+		fmt.Println()
+		fmt.Println(core.FormatScheduleTable(tr.Graph, r))
+	}
+	return nil
+}

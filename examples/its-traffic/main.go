@@ -1,0 +1,115 @@
+// ITS traffic scenario from the paper's introduction: a roadside unit in
+// dense traffic must verify a flood of signed vehicle messages (the paper
+// cites ~1000 messages/s at 6 Mb/s channel bandwidth, growing with 5G).
+// This example sizes the modelled FourQ ASIC against that load across
+// supply voltages and finds the lowest-power operating point that still
+// meets the deadline.
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ecdsa"
+	"repro/internal/its"
+)
+
+// message is a signed vehicle-to-infrastructure report.
+type message struct {
+	payload []byte
+	sig     ecdsa.Signature
+	pub     *ecdsa.PublicKey
+}
+
+func main() {
+	// A small fleet of vehicles, each with its own key.
+	const vehicles = 5
+	const msgsPerVehicle = 4
+	var msgs []message
+	for v := 0; v < vehicles; v++ {
+		priv, err := ecdsa.GenerateKey(rand.Reader)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < msgsPerVehicle; i++ {
+			payload := []byte(fmt.Sprintf("vehicle %d: pos=(%d,%d) speed=%d", v, 100*v+i, 200-v, 40+i))
+			sig, err := ecdsa.Sign(rand.Reader, priv, payload)
+			if err != nil {
+				log.Fatal(err)
+			}
+			msgs = append(msgs, message{payload, sig, &priv.Public})
+		}
+	}
+
+	// Functional verification of the whole flood.
+	okCount := 0
+	for _, m := range msgs {
+		if ecdsa.Verify(m.pub, m.payload, m.sig) {
+			okCount++
+		}
+	}
+	fmt.Printf("verified %d/%d vehicle messages functionally\n\n", okCount, len(msgs))
+
+	// Size the ASIC against the load. One verification needs a
+	// double-scalar multiplication, which we charge as 2 SMs.
+	proc, err := core.New(core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm, err := proc.PowerModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	loads := []float64{1000, 10000, 40000} // verifications per second
+	fmt.Printf("%-8s %-14s %-18s %s\n", "VDD [V]", "verify/s", "power budget", "meets 1000/s? 10k/s? 40k/s?")
+	for v := 1.20; v >= 0.319; v -= 0.08 {
+		rate := pm.Throughput(v) / 2
+		// Average power at full utilization: energy per verify x rate.
+		watts := 2 * pm.EnergyPerSM(v) * rate
+		marks := ""
+		for _, l := range loads {
+			if rate >= l {
+				marks += " yes"
+			} else {
+				marks += "  no"
+			}
+		}
+		fmt.Printf("%-8.2f %-14.0f %8.1f uW     %s\n", v, rate, watts*1e6, marks)
+	}
+
+	// Lowest voltage meeting the paper's 1000 msg/s scenario.
+	lo, hi := 0.32, 1.20
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if pm.Throughput(mid)/2 >= 1000 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	fmt.Printf("\nlowest supply meeting 1000 verifications/s: %.3f V (%.3f uJ per verification)\n",
+		hi, 2*pm.EnergyPerSM(hi)*1e6)
+
+	// Queueing view: Poisson arrivals at the paper's 1000 msg/s against
+	// the deterministic verification latency -- what do waiting times
+	// look like near the minimum viable voltage?
+	fmt.Println("\nqueueing simulation (M/D/1, 1000 msg/s, 60 s horizon):")
+	fmt.Printf("%-8s %-8s %-14s %-14s %-12s %s\n", "VDD [V]", "util", "mean lat [us]", "p99 lat [us]", "max [us]", "theory wait [us]")
+	for _, v := range []float64{1.20, 0.80, hi * 1.10, hi * 1.02} {
+		service := 2 * pm.Latency(v)
+		r, err := its.Simulate(its.Config{
+			ArrivalRate: 1000, ServiceTime: service, Horizon: 60, Seed: 42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tw, _ := its.TheoreticalMeanWait(1000, service)
+		fmt.Printf("%-8.3f %-8.2f %-14.1f %-14.1f %-12.1f %.1f\n",
+			v, r.Utilization, r.MeanSojourn*1e6, r.P99Sojourn*1e6, r.MaxSojourn*1e6, tw*1e6)
+	}
+	fmt.Println("(the latency distribution collapses once utilization leaves the knee,")
+	fmt.Println(" so the chip can run far below 1.2 V and still serve dense traffic)")
+}

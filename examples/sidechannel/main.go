@@ -1,0 +1,154 @@
+// Sidechannel: a toy differential-power-analysis experiment on the RTL
+// model. The FSM executes the identical instruction schedule for every
+// scalar (no timing leakage -- verified), but the switching activity of
+// the datapath is data-dependent: grouping power traces by a recoded
+// scalar digit shows measurably different mean activity per group, the
+// signal a DPA attacker would exploit and the reason real deployments add
+// masking or re-randomization on top of constant-time schedules.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	mrand "math/rand"
+
+	"repro/internal/curve"
+	"repro/internal/fp2"
+	"repro/internal/rtl"
+	"repro/internal/scalar"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func main() {
+	rng := mrand.New(mrand.NewSource(1234))
+	randScalar := func() scalar.Scalar {
+		var s scalar.Scalar
+		for i := range s {
+			s[i] = rng.Uint64()
+		}
+		return s
+	}
+
+	// Build and schedule the double-and-add block once.
+	base := curve.Generator()
+	table := curve.BuildTable(curve.NewMultiBase(base))
+	acc := curve.ScalarMultBinary(randScalar(), base)
+	tr, err := trace.BuildDblAdd(randScalar(), acc, table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := sched.Schedule(tr.Graph, sched.DefaultResources(), sched.Options{Method: sched.MethodList})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inputs := map[string]fp2.Element{
+		"Q.x": acc.X, "Q.y": acc.Y, "Q.z": acc.Z, "Q.ta": acc.Ta, "Q.tb": acc.Tb,
+	}
+	names := [4]string{"x+y", "y-x", "2z", "2dt"}
+	for u := 0; u < 8; u++ {
+		vals := [4]fp2.Element{table[u].XplusY, table[u].YminusX, table[u].Z2, table[u].T2d}
+		for ci, n := range names {
+			inputs[fmt.Sprintf("T%d.%s", u, n)] = vals[ci]
+		}
+	}
+
+	// Countermeasure variant: re-randomize the table's projective
+	// representation per trace (randomized projective coordinates).
+	randomizedInputs := func() map[string]fp2.Element {
+		lambda := curve.ScalarMultBinary(randScalar(), base).Z // random nonzero
+		in := map[string]fp2.Element{
+			"Q.x": acc.X, "Q.y": acc.Y, "Q.z": acc.Z, "Q.ta": acc.Ta, "Q.tb": acc.Tb,
+		}
+		for u := 0; u < 8; u++ {
+			rc := table[u].Rerandomize(lambda)
+			vals := [4]fp2.Element{rc.XplusY, rc.YminusX, rc.Z2, rc.T2d}
+			for ci, n := range names {
+				in[fmt.Sprintf("T%d.%s", u, n)] = vals[ci]
+			}
+		}
+		return in
+	}
+
+	const traces = 400
+	var (
+		cyclesSeen = map[int]bool{}
+		groupSum   [2][8]float64
+		groupSqSum [8]float64
+		groupCount [2][8]int
+	)
+	for i := 0; i < traces; i++ {
+		k := randScalar()
+		dec := scalar.Decompose(k)
+		rec := scalar.Recode(dec)
+		idx := int(rec.Index[0])
+		for variant := 0; variant < 2; variant++ {
+			in := inputs
+			if variant == 1 {
+				in = randomizedInputs()
+			}
+			act := rtl.NewActivity(r.Program.Makespan)
+			out, st, err := rtl.Run(r.Program, rtl.RunInput{
+				Inputs: in, Rec: rec, Corrected: dec.Corrected, Observer: act.Observe,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			_ = out
+			cyclesSeen[st.Cycles] = true
+			groupSum[variant][idx] += float64(act.Toggles)
+			groupCount[variant][idx]++
+			if variant == 0 {
+				groupSqSum[idx] += float64(act.Toggles) * float64(act.Toggles)
+			}
+		}
+	}
+
+	fmt.Printf("collected %d power traces of the DBLADD block\n\n", traces)
+	fmt.Printf("timing side channel: %d distinct cycle counts observed", len(cyclesSeen))
+	if len(cyclesSeen) == 1 {
+		fmt.Println("  -> constant-time schedule, no timing leakage")
+	} else {
+		fmt.Println("  -> TIMING LEAKS!")
+	}
+
+	fmt.Println("\npower side channel: mean output-bus toggles grouped by table index v_0:")
+	spreads := [2]float64{}
+	for variant := 0; variant < 2; variant++ {
+		grand, count := 0.0, 0
+		for i := 0; i < 8; i++ {
+			grand += groupSum[variant][i]
+			count += groupCount[variant][i]
+		}
+		grandMean := grand / float64(count)
+		spread := 0.0
+		if variant == 0 {
+			fmt.Println("  baseline (fixed table representation):")
+		} else {
+			fmt.Println("  with randomized projective coordinates (countermeasure):")
+		}
+		for i := 0; i < 8; i++ {
+			if groupCount[variant][i] == 0 {
+				continue
+			}
+			mean := groupSum[variant][i] / float64(groupCount[variant][i])
+			dev := mean - grandMean
+			if variant == 0 {
+				sd := math.Sqrt(groupSqSum[i]/float64(groupCount[variant][i]) - mean*mean)
+				fmt.Printf("    v0=%d: n=%3d  mean=%8.1f  sd=%7.1f  vs grand mean %+7.1f\n",
+					i, groupCount[variant][i], mean, sd, dev)
+			} else {
+				fmt.Printf("    v0=%d: n=%3d  mean=%8.1f  vs grand mean %+7.1f\n",
+					i, groupCount[variant][i], mean, dev)
+			}
+			spread += math.Abs(dev)
+		}
+		spreads[variant] = spread / 8
+		fmt.Printf("  mean |group deviation| = %.1f toggles (grand mean %.1f)\n\n", spread/8, grandMean)
+	}
+	fmt.Println("-> the schedule leaks nothing through time; the fixed table leaks its")
+	fmt.Printf("   selected entry through data switching (|dev| %.1f), and per-trace\n", spreads[0])
+	fmt.Printf("   projective re-randomization flattens the groups (|dev| %.1f).\n", spreads[1])
+}

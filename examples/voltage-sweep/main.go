@@ -1,0 +1,46 @@
+// Voltage sweep: Fig. 4 of the paper as a programmatic experiment.
+// Sweeps the supply voltage, prints frequency / latency / energy, renders
+// a small ASCII plot of the energy curve and locates the minimum-energy
+// operating point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	proc, err := core.New(core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig, err := proc.Figure4(23)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Fig. 4 reproduction (%d cycles per scalar multiplication)\n\n", fig.Cycles)
+	fmt.Printf("%-8s %-12s %-14s %s\n", "VDD [V]", "Fmax [MHz]", "Latency [us]", "Energy [uJ]")
+	for _, p := range fig.Points {
+		fmt.Printf("%-8.2f %-12.2f %-14.1f %.3f\n", p.V, p.FmaxHz/1e6, p.LatencyS*1e6, p.EnergyJ*1e6)
+	}
+
+	// ASCII plot of energy vs voltage (log-ish scale not needed; the
+	// curve is gentle on the measured range).
+	fmt.Println("\nenergy per SM vs supply voltage:")
+	maxE := 0.0
+	for _, p := range fig.Points {
+		maxE = math.Max(maxE, p.EnergyJ)
+	}
+	for _, p := range fig.Points {
+		bar := int(48 * p.EnergyJ / maxE)
+		fmt.Printf("%5.2f V |%s %.3f uJ\n", p.V, strings.Repeat("#", bar), p.EnergyJ*1e6)
+	}
+
+	fmt.Printf("\nminimum-energy operating point: %.3f uJ/SM at %.2f V\n", fig.MinEnergyJ*1e6, fig.MinEnergyV)
+	fmt.Println("paper's measured minimum:       0.327 uJ/SM at 0.32 V")
+}

@@ -1,0 +1,213 @@
+// Package c25519 implements Curve25519 (X25519) scalar multiplication by
+// the Montgomery ladder: the second prior-art baseline of the paper's
+// Table II (row [22]) and of the intro's "FourQ is ~2x faster than
+// Curve25519" comparison.
+//
+// Field arithmetic runs on 4x64-bit limbs in Montgomery form (package
+// mont); as with the P-256 baseline, hardware comparisons use the
+// operation-count cycle model.
+package c25519
+
+import (
+	"errors"
+	"math/big"
+
+	"repro/internal/mont"
+)
+
+// P is the field prime 2^255 - 19.
+var P = func() *big.Int {
+	p := new(big.Int).Lsh(big.NewInt(1), 255)
+	return p.Sub(p, big.NewInt(19))
+}()
+
+// pMod is the Montgomery context for the field prime.
+var pMod = func() *mont.Modulus {
+	var limbs mont.Elem
+	v := new(big.Int).Set(P)
+	for i := 0; i < 4; i++ {
+		limbs[i] = new(big.Int).Rsh(v, uint(64*i)).Uint64()
+	}
+	m, err := mont.NewModulus(limbs)
+	if err != nil {
+		panic("c25519: " + err.Error())
+	}
+	return m
+}()
+
+// felem is a field element in Montgomery form.
+type felem = mont.Elem
+
+func feFromBig(v *big.Int) felem {
+	var e mont.Elem
+	red := new(big.Int).Mod(v, P)
+	for i := 0; i < 4; i++ {
+		e[i] = new(big.Int).Rsh(red, uint(64*i)).Uint64()
+	}
+	return pMod.ToMont(e)
+}
+
+func feToBig(e felem) *big.Int {
+	v := new(big.Int)
+	p := pMod.FromMont(e)
+	for i := 3; i >= 0; i-- {
+		v.Lsh(v, 64)
+		v.Add(v, new(big.Int).SetUint64(p[i]))
+	}
+	return v
+}
+
+// a24 = (486662 - 2) / 4, the ladder constant (Montgomery form).
+var a24 = feFromBig(big.NewInt(121665))
+
+var feOneM = pMod.One
+var feZeroM = mont.Elem{}
+
+// BasePointU is the standard base point u = 9.
+var BasePointU = big.NewInt(9)
+
+// OpCount tallies field operations.
+type OpCount struct {
+	Mul, Sqr, Mul121665, Add, Inv int
+}
+
+// Mults returns multiplier-class operations (the a24 scaling is small
+// enough to fold into an addition tree, so it is not counted here).
+func (c OpCount) Mults() int { return c.Mul + c.Sqr }
+
+type fieldCtx struct{ ops OpCount }
+
+func (f *fieldCtx) mul(a, b felem) felem {
+	f.ops.Mul++
+	return pMod.Mul(a, b)
+}
+
+func (f *fieldCtx) sqr(a felem) felem {
+	f.ops.Sqr++
+	return pMod.Mul(a, a)
+}
+
+func (f *fieldCtx) mul121665(a felem) felem {
+	f.ops.Mul121665++
+	return pMod.Mul(a, a24)
+}
+
+func (f *fieldCtx) add(a, b felem) felem {
+	f.ops.Add++
+	return pMod.Add(a, b)
+}
+
+func (f *fieldCtx) sub(a, b felem) felem {
+	f.ops.Add++
+	return pMod.Sub(a, b)
+}
+
+// ClampScalar applies the X25519 clamping to a 32-byte little-endian
+// scalar, returning the effective integer.
+func ClampScalar(k [32]byte) *big.Int {
+	k[0] &= 248
+	k[31] &= 127
+	k[31] |= 64
+	// little-endian decode
+	v := new(big.Int)
+	for i := 31; i >= 0; i-- {
+		v.Lsh(v, 8)
+		v.Add(v, big.NewInt(int64(k[i])))
+	}
+	return v
+}
+
+// Result carries the shared-secret u coordinate and the op tally.
+type Result struct {
+	U   *big.Int
+	Ops OpCount
+}
+
+// errZero reports the all-zero output (low-order input point).
+var errZero = errors.New("c25519: low-order point")
+
+// ScalarMult computes the X25519 function: the u coordinate of [k]P for
+// a clamped scalar k, by the constant-structure Montgomery ladder
+// (255 steps of 5M + 4S + 1 small-constant multiply).
+func ScalarMult(k *big.Int, u *big.Int) (*Result, error) {
+	f := &fieldCtx{}
+	x1 := feFromBig(u)
+	x2, z2 := feOneM, feZeroM
+	x3, z3 := x1, feOneM
+	swap := uint(0)
+	for t := 254; t >= 0; t-- {
+		kt := k.Bit(t)
+		swap ^= kt
+		if swap == 1 {
+			x2, x3 = x3, x2
+			z2, z3 = z3, z2
+		}
+		swap = kt
+
+		a := f.add(x2, z2)
+		aa := f.sqr(a)
+		b := f.sub(x2, z2)
+		bb := f.sqr(b)
+		e := f.sub(aa, bb)
+		c := f.add(x3, z3)
+		d := f.sub(x3, z3)
+		da := f.mul(d, a)
+		cb := f.mul(c, b)
+		x3 = f.sqr(f.add(da, cb))
+		z3 = f.mul(x1, f.sqr(f.sub(da, cb)))
+		x2 = f.mul(aa, bb)
+		z2 = f.mul(e, f.add(aa, f.mul121665(e)))
+	}
+	if swap == 1 {
+		x2, x3 = x3, x2
+		z2, z3 = z3, z2
+	}
+	_ = x3
+	_ = z3
+	f.ops.Inv++
+	if mont.IsZero(pMod.FromMont(z2)) {
+		return nil, errZero
+	}
+	out := feToBig(pMod.Mul(x2, pMod.InvFermat(z2)))
+	return &Result{U: out, Ops: f.ops}, nil
+}
+
+// X25519 is the byte-oriented RFC 7748 function.
+func X25519(scalar, point [32]byte) ([32]byte, error) {
+	k := ClampScalar(scalar)
+	// decode u little-endian with the top bit masked.
+	point[31] &= 127
+	u := new(big.Int)
+	for i := 31; i >= 0; i-- {
+		u.Lsh(u, 8)
+		u.Add(u, big.NewInt(int64(point[i])))
+	}
+	res, err := ScalarMult(k, u)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	var out [32]byte
+	b := res.U.Bytes()
+	for i := 0; i < len(b); i++ {
+		out[i] = b[len(b)-1-i]
+	}
+	return out, nil
+}
+
+// CycleModel mirrors the same-silicon model used for P-256: each 255-bit
+// modular multiplication composes from the 127-bit multiplier cores in
+// MulIssueSlots issue cycles.
+type CycleModel struct {
+	MulIssueSlots int
+	InvCycles     int
+}
+
+// DefaultCycleModel returns the comparison model.
+func DefaultCycleModel() CycleModel {
+	return CycleModel{MulIssueSlots: 3, InvCycles: 265 * 3}
+}
+
+// Cycles estimates the ladder's cycle count.
+func (m CycleModel) Cycles(ops OpCount) int {
+	return ops.Mults()*m.MulIssueSlots + ops.Inv*m.InvCycles
+}

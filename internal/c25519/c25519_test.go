@@ -1,0 +1,121 @@
+package c25519
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/rand"
+	"encoding/hex"
+	"testing"
+)
+
+// RFC 7748 Section 5.2 test vector 1.
+func TestRFC7748Vector(t *testing.T) {
+	scalar, _ := hex.DecodeString("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4")
+	point, _ := hex.DecodeString("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c")
+	want, _ := hex.DecodeString("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552")
+	var s, p [32]byte
+	copy(s[:], scalar)
+	copy(p[:], point)
+	got, err := X25519(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:], want) {
+		t.Fatalf("X25519 = %x, want %x", got, want)
+	}
+}
+
+func TestAgainstStdlibECDH(t *testing.T) {
+	curve := ecdh.X25519()
+	for i := 0; i < 6; i++ {
+		priv, err := curve.GenerateKey(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s, base [32]byte
+		copy(s[:], priv.Bytes())
+		base[0] = 9
+		got, err := X25519(s, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := priv.PublicKey().Bytes()
+		if !bytes.Equal(got[:], want) {
+			t.Fatalf("trial %d: public key mismatch", i)
+		}
+	}
+}
+
+func TestDiffieHellmanAgreement(t *testing.T) {
+	var a, b, base [32]byte
+	rand.Read(a[:])
+	rand.Read(b[:])
+	base[0] = 9
+	pa, err := X25519(a, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := X25519(b, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sab, err := X25519(a, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sba, err := X25519(b, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sab[:], sba[:]) {
+		t.Fatal("DH shared secrets disagree")
+	}
+}
+
+func TestOpCountsAndCycleModel(t *testing.T) {
+	var s, base [32]byte
+	rand.Read(s[:])
+	base[0] = 9
+	k := ClampScalar(s)
+	res, err := ScalarMult(k, BasePointU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 255 ladder steps x (5M + 4S) = 2295 mult-class ops.
+	if res.Ops.Mults() != 255*9 {
+		t.Errorf("mult count %d, want %d", res.Ops.Mults(), 255*9)
+	}
+	if res.Ops.Mul121665 != 255 {
+		t.Errorf("a24 scalings %d, want 255", res.Ops.Mul121665)
+	}
+	cycles := DefaultCycleModel().Cycles(res.Ops)
+	if cycles < 5000 || cycles > 12000 {
+		t.Errorf("cycle estimate %d outside plausible band", cycles)
+	}
+}
+
+func TestClamping(t *testing.T) {
+	var s [32]byte
+	for i := range s {
+		s[i] = 0xFF
+	}
+	k := ClampScalar(s)
+	if k.Bit(0) != 0 || k.Bit(1) != 0 || k.Bit(2) != 0 {
+		t.Error("low bits not cleared")
+	}
+	if k.Bit(255) != 0 || k.Bit(254) != 1 {
+		t.Error("high bits not clamped")
+	}
+}
+
+func BenchmarkX25519(b *testing.B) {
+	var s, base [32]byte
+	rand.Read(s[:])
+	base[0] = 9
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := X25519(s, base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

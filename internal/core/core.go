@@ -1,0 +1,253 @@
+// Package core assembles the paper's cryptoprocessor end to end: it runs
+// the automated flow (trace recording, job-shop scheduling, control-signal
+// generation), executes scalar multiplications on the cycle-accurate
+// datapath model, and attaches the calibrated power and area models. The
+// cmd tools, benchmarks and examples drive everything through this
+// package.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/curve"
+	"repro/internal/fp2"
+	"repro/internal/gates"
+	"repro/internal/isa"
+	"repro/internal/power"
+	"repro/internal/rtl"
+	"repro/internal/scalar"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// EndoStepCycles models the cycle cost of Algorithm 1's step 1 when the
+// Costello-Longa endomorphisms phi, psi are implemented in hardware
+// instead of our doubling-chain substitution (see DESIGN.md): computing
+// phi(P), psi(P) and psi(phi(P)) with the published explicit formulas
+// costs on the order of 100 GF(p^2) multiplier operations; on the
+// one-multiplication-per-cycle datapath that is ~100 issue cycles plus
+// pipeline drain and the latency of the short dependent chains.
+const EndoStepCycles = 112
+
+// Config parametrizes processor construction.
+type Config struct {
+	// Resources of the datapath (DefaultResources if zero).
+	Resources sched.Resources
+	// Scheduling options (MethodList by default).
+	Sched sched.Options
+	// TraceScalar seeds trace recording; any scalar produces an
+	// equivalent schedule (the program is scalar-independent). A fixed
+	// default keeps builds deterministic.
+	TraceScalar scalar.Scalar
+}
+
+// Processor is a scheduled instance of the FourQ ASIC model.
+type Processor struct {
+	cfg Config
+	// Functional program: full Algorithm 1 including the doubling-chain
+	// step 1 (what the RTL actually executes bit-true).
+	funcProg   *isa.Program
+	funcResult *sched.Result
+	// Endo-workload program: step 1 outputs supplied as inputs, matching
+	// the paper's workload shape; its makespan + EndoStepCycles is the
+	// paper-comparable cycle count.
+	endoProg   *isa.Program
+	endoResult *sched.Result
+	stats      trace.Stats
+	sections   []SectionSpan
+}
+
+// SectionSpan reports where a trace section landed in the schedule.
+type SectionSpan struct {
+	Name       string
+	Ops        int
+	FirstIssue int
+	LastDone   int
+}
+
+// SectionTiming breaks the functional schedule down by algorithm phase
+// (multibase, table build, main loop, finalize), showing how the global
+// scheduler overlaps them.
+func (p *Processor) SectionTiming() []SectionSpan {
+	return p.sections
+}
+
+// New builds, schedules and verifies a processor instance.
+func New(cfg Config) (*Processor, error) {
+	if cfg.Resources == (sched.Resources{}) {
+		cfg.Resources = sched.DefaultResources()
+	}
+	if cfg.TraceScalar.IsZero() {
+		// Any fixed scalar with all four sub-scalars active.
+		cfg.TraceScalar = scalar.Scalar{
+			0x243F6A8885A308D3, 0x13198A2E03707344,
+			0xA4093822299F31D0, 0x082EFA98EC4E6C89,
+		}
+	}
+	p := &Processor{cfg: cfg}
+
+	g := curve.GeneratorAffine()
+	funcTr, err := trace.BuildScalarMult(cfg.TraceScalar, g)
+	if err != nil {
+		return nil, fmt.Errorf("core: trace: %w", err)
+	}
+	p.stats = funcTr.Graph.Stats()
+	fr, err := sched.Schedule(funcTr.Graph, cfg.Resources, cfg.Sched)
+	if err != nil {
+		return nil, fmt.Errorf("core: schedule: %w", err)
+	}
+	p.funcProg, p.funcResult = fr.Program, fr
+	p.sections = sectionSpans(funcTr, fr, cfg.Resources)
+
+	mb := curve.NewMultiBase(curve.Generator())
+	var bases [4]curve.Affine
+	for j := 0; j < 4; j++ {
+		bases[j] = mb.P[j].Affine()
+	}
+	endoTr, err := trace.BuildScalarMultWithBases(cfg.TraceScalar, bases)
+	if err != nil {
+		return nil, fmt.Errorf("core: endo trace: %w", err)
+	}
+	er, err := sched.Schedule(endoTr.Graph, cfg.Resources, cfg.Sched)
+	if err != nil {
+		return nil, fmt.Errorf("core: endo schedule: %w", err)
+	}
+	p.endoProg, p.endoResult = er.Program, er
+	return p, nil
+}
+
+// sectionSpans computes the schedule footprint of each trace section.
+func sectionSpans(tr *trace.ScalarMultTrace, r *sched.Result, res sched.Resources) []SectionSpan {
+	names := []string{"multibase", "tablebuild", "mainloop", "finalize"}
+	var out []SectionSpan
+	for _, name := range names {
+		rng, ok := tr.Sections[name]
+		if !ok {
+			continue
+		}
+		span := SectionSpan{Name: name, Ops: rng[1] - rng[0], FirstIssue: 1 << 30}
+		for op := rng[0]; op < rng[1]; op++ {
+			st := r.Starts[op]
+			if st < span.FirstIssue {
+				span.FirstIssue = st
+			}
+			lat := res.AddLatency
+			if tr.Graph.Ops[op].Unit == trace.UnitMul {
+				lat = res.MulLatency
+			}
+			if st+lat > span.LastDone {
+				span.LastDone = st + lat
+			}
+		}
+		out = append(out, span)
+	}
+	return out
+}
+
+// CyclesFunctional is the cycle count of the bit-true program (includes
+// the 192 substitution doublings of step 1).
+func (p *Processor) CyclesFunctional() int { return p.funcProg.Makespan }
+
+// CyclesEndoModeled is the paper-comparable cycle count: the scheduled
+// makespan of Algorithm 1 with step 1's endomorphism cost modelled.
+func (p *Processor) CyclesEndoModeled() int { return p.endoProg.Makespan + EndoStepCycles }
+
+// Program returns the functional microprogram.
+func (p *Processor) Program() *isa.Program { return p.funcProg }
+
+// EndoProgram returns the endo-workload microprogram.
+func (p *Processor) EndoProgram() *isa.Program { return p.endoProg }
+
+// ScheduleResult returns the functional scheduling result.
+func (p *Processor) ScheduleResult() *sched.Result { return p.funcResult }
+
+// TraceStats returns the op-mix statistics of the functional trace.
+func (p *Processor) TraceStats() trace.Stats { return p.stats }
+
+// ScalarMult executes [k]G bit-true on the RTL model and returns the
+// affine result plus execution statistics.
+func (p *Processor) ScalarMult(k scalar.Scalar) (curve.Affine, rtl.Stats, error) {
+	g := curve.GeneratorAffine()
+	return p.ScalarMultPoint(k, g)
+}
+
+// ScalarMultPoint executes [k]P on the RTL model for an arbitrary base
+// point (the program is generic: the base point is an input).
+func (p *Processor) ScalarMultPoint(k scalar.Scalar, base curve.Affine) (curve.Affine, rtl.Stats, error) {
+	dec := scalar.Decompose(k)
+	rec := scalar.Recode(dec)
+	out, st, err := rtl.Run(p.funcProg, rtl.RunInput{
+		Inputs:    map[string]fp2.Element{"P.x": base.X, "P.y": base.Y},
+		Rec:       rec,
+		Corrected: dec.Corrected,
+	})
+	if err != nil {
+		return curve.Affine{}, st, err
+	}
+	return curve.Affine{X: out["x"], Y: out["y"]}, st, nil
+}
+
+// ScalarMultEndo executes the endo-workload program: the caller-visible
+// result is identical, but step 1's points are computed by the library
+// (standing in for the endomorphism unit) and loaded as inputs.
+func (p *Processor) ScalarMultEndo(k scalar.Scalar, base curve.Affine) (curve.Affine, rtl.Stats, error) {
+	dec := scalar.Decompose(k)
+	rec := scalar.Recode(dec)
+	mb := curve.NewMultiBase(curve.FromAffine(base))
+	inputs := map[string]fp2.Element{}
+	for j := 0; j < 4; j++ {
+		a := mb.P[j].Affine()
+		inputs[fmt.Sprintf("P%d.x", j)] = a.X
+		inputs[fmt.Sprintf("P%d.y", j)] = a.Y
+	}
+	out, st, err := rtl.Run(p.endoProg, rtl.RunInput{Inputs: inputs, Rec: rec, Corrected: dec.Corrected})
+	if err != nil {
+		return curve.Affine{}, st, err
+	}
+	return curve.Affine{X: out["x"], Y: out["y"]}, st, nil
+}
+
+// Verify runs nTrials random scalar multiplications on the RTL model and
+// cross-checks each against the functional library. It returns the first
+// mismatch as an error.
+func (p *Processor) Verify(nTrials int, seed int64) error {
+	s := uint64(seed)
+	next := func() uint64 { // splitmix64
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+		z = (z ^ z>>27) * 0x94D049BB133111EB
+		return z ^ z>>31
+	}
+	for i := 0; i < nTrials; i++ {
+		k := scalar.Scalar{next(), next(), next(), next()}
+		got, _, err := p.ScalarMult(k)
+		if err != nil {
+			return fmt.Errorf("core: trial %d: %w", i, err)
+		}
+		want := curve.ScalarMult(k, curve.Generator()).Affine()
+		if !got.X.Equal(want.X) || !got.Y.Equal(want.Y) {
+			return fmt.Errorf("core: trial %d: RTL result differs from library for k=%v", i, k)
+		}
+	}
+	return nil
+}
+
+// PowerModel calibrates the Fig. 4 voltage model for this processor's
+// paper-comparable cycle count.
+func (p *Processor) PowerModel() (*power.Model, error) {
+	return power.Calibrate(float64(p.CyclesEndoModeled()))
+}
+
+// AreaConfig returns the gates.Config describing this instance.
+func (p *Processor) AreaConfig() gates.Config {
+	rom, _ := p.funcProg.ROMImage()
+	return gates.DefaultConfig(p.funcProg.NumRegs, len(rom))
+}
+
+// Area returns the Fig. 3 breakdown, calibrated so this configuration
+// reproduces the published 1400 kGE.
+func (p *Processor) Area() gates.Breakdown {
+	cfg := p.AreaConfig()
+	return gates.EstimateCalibrated(cfg, cfg)
+}

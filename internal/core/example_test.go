@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/scalar"
+)
+
+// Example runs the full flow: build the processor (trace -> schedule ->
+// microprogram), execute a scalar multiplication on the cycle-accurate
+// model, and read off the calibrated silicon figures.
+func Example() {
+	p, err := core.New(core.Config{})
+	if err != nil {
+		panic(err)
+	}
+	if err := p.Verify(1, 7); err != nil {
+		panic(err)
+	}
+	fmt.Println("RTL verified against the functional library")
+
+	_, stats, err := p.ScalarMult(scalar.FromUint64(1000003))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("one SM executes in", stats.Cycles, "cycles (functional program)")
+
+	m, err := p.PowerModel()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("modelled silicon @1.2V: %.1f us, %.2f uJ per SM\n",
+		m.Latency(1.2)*1e6, m.EnergyPerSM(1.2)*1e6)
+	// Output:
+	// RTL verified against the functional library
+	// one SM executes in 3940 cycles (functional program)
+	// modelled silicon @1.2V: 10.1 us, 3.98 uJ per SM
+}

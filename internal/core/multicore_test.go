@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestMultiCoreScaling(t *testing.T) {
+	p := getProcessor(t)
+	one, err := p.MultiCore(1, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eleven, err := p.MultiCore(11, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput scales linearly.
+	if !approx(eleven.OpsPerSec/one.OpsPerSec, 11, 1e-9) {
+		t.Errorf("throughput scaling %.2f, want 11", eleven.OpsPerSec/one.OpsPerSec)
+	}
+	// Area scales sub-linearly (shared ROM + controller).
+	if eleven.AreaKGE >= 11*one.AreaKGE {
+		t.Errorf("area should scale sub-linearly: %f vs %f", eleven.AreaKGE, 11*one.AreaKGE)
+	}
+	if eleven.AreaKGE <= one.AreaKGE {
+		t.Error("multi-core should still cost area")
+	}
+	// Latency per SM unchanged.
+	if !approx(eleven.LatencyMS, one.LatencyMS, 1e-9) {
+		t.Error("per-SM latency should not change with cores")
+	}
+	// An 11-core version should beat the 11-core FPGA [10] (6.47e4 SM/s)
+	// by a wide margin, as the single-core already does.
+	if eleven.OpsPerSec < 6.47e4*10 {
+		t.Errorf("11-core throughput %.3g implausibly low", eleven.OpsPerSec)
+	}
+	if _, err := p.MultiCore(0, 1.2); err == nil {
+		t.Error("0 cores accepted")
+	}
+}

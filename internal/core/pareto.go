@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/curve"
+	"repro/internal/fp2"
+	"repro/internal/gates"
+	"repro/internal/power"
+	"repro/internal/rtl"
+	"repro/internal/scalar"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Design-space exploration around the paper's datapath choice: the
+// GF(p^2) Karatsuba multiplier needs three GF(p) limb products, so the
+// number of physical 127-bit multiplier cores trades area against the
+// multiplier's initiation interval (II). The paper builds the
+// full-throughput 3-core/II=1 unit; this sweep quantifies what the
+// cheaper 2-core/II=2 and 1-core/II=3 variants (and the 4-core
+// schoolbook datapath) would have delivered.
+
+// ParetoPoint is one evaluated configuration.
+type ParetoPoint struct {
+	Name       string
+	FpCores    int
+	MulII      int
+	MulLatency int
+	// Cycles is the full-SM makespan under list scheduling.
+	Cycles int
+	// AreaKGE from the gates model, calibrated against the paper config.
+	AreaKGE float64
+	// MultiplierKGE is the multiplier block alone (the quantity the
+	// core-count trade directly shrinks; the total is dominated by the
+	// per-cycle control ROM, which grows with the makespan).
+	MultiplierKGE float64
+	// LatencyUS at the reference design's 1.2 V clock (the narrower
+	// multipliers have shorter critical paths, so this is conservative
+	// for them).
+	LatencyUS float64
+	// LatencyAreaProduct is Table II's figure of merit (kGE * ms).
+	LatencyAreaProduct float64
+	// Verified is true when the scheduled program was executed on the
+	// RTL model (with its II constraint enforced) and matched the
+	// functional library.
+	Verified bool
+}
+
+// paretoConfigs are the explored design points.
+var paretoConfigs = []struct {
+	name    string
+	cores   int
+	ii      int
+	latency int
+}{
+	{"3 cores, II=1 (paper)", 3, 1, 3},
+	{"2 cores, II=2", 2, 2, 4},
+	{"1 core, II=3", 1, 3, 5},
+	{"4 cores schoolbook, II=1", 4, 1, 3},
+}
+
+// ParetoSweep schedules the full scalar multiplication for every
+// datapath variant, verifies each program on the RTL model, and returns
+// the area/latency trade-off points.
+func ParetoSweep() ([]ParetoPoint, error) {
+	k := scalar.Scalar{21, 22, 23, 24}
+	tr, err := trace.BuildScalarMult(k, curve.GeneratorAffine())
+	if err != nil {
+		return nil, err
+	}
+	refArea := gates.DefaultConfig(0, 0) // registers/ROM filled per variant below
+
+	var out []ParetoPoint
+	var refClock float64
+	for i, cfg := range paretoConfigs {
+		res := sched.DefaultResources()
+		res.MulII = cfg.ii
+		res.MulLatency = cfg.latency
+		r, err := sched.Schedule(tr.Graph, res, sched.Options{Method: sched.MethodList})
+		if err != nil {
+			return nil, fmt.Errorf("pareto %q: %w", cfg.name, err)
+		}
+		rom, err := r.Program.ROMImage()
+		if err != nil {
+			return nil, err
+		}
+		areaCfg := gates.DefaultConfig(r.Program.NumRegs, len(rom))
+		areaCfg.FpMultipliers = cfg.cores
+		areaCfg.PipelineStages = cfg.latency
+		if i == 0 {
+			refArea = areaCfg
+		}
+		area := gates.EstimateCalibrated(areaCfg, refArea)
+		multKGE := area.Blocks[0].KGE
+
+		// RTL verification under the variant's II constraint.
+		verified := false
+		g := curve.GeneratorAffine()
+		dec := scalar.Decompose(k)
+		outv, _, err := rtl.Run(r.Program, rtl.RunInput{
+			Inputs:    map[string]fp2.Element{"P.x": g.X, "P.y": g.Y},
+			Rec:       scalar.Recode(dec),
+			Corrected: dec.Corrected,
+		})
+		if err == nil {
+			want := curve.ScalarMult(k, curve.Generator()).Affine()
+			verified = outv["x"].Equal(want.X) && outv["y"].Equal(want.Y)
+		}
+
+		pt := ParetoPoint{
+			Name:          cfg.name,
+			FpCores:       cfg.cores,
+			MulII:         cfg.ii,
+			MulLatency:    cfg.latency,
+			Cycles:        r.Makespan,
+			AreaKGE:       area.TotalKGE,
+			MultiplierKGE: multKGE,
+			Verified:      verified,
+		}
+		if i == 0 {
+			m, err := power.Calibrate(float64(r.Makespan))
+			if err != nil {
+				return nil, err
+			}
+			refClock = m.Fmax(power.AnchorHighV)
+		}
+		latency := float64(pt.Cycles) / refClock
+		pt.LatencyUS = latency * 1e6
+		pt.LatencyAreaProduct = gates.LatencyAreaProduct(pt.AreaKGE, latency)
+		out = append(out, pt)
+	}
+	return out, nil
+}

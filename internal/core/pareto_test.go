@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestParetoSweep(t *testing.T) {
+	pts, err := ParetoSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("expected 4 design points, got %d", len(pts))
+	}
+	byII := map[int]ParetoPoint{}
+	for _, p := range pts {
+		if !p.Verified {
+			t.Errorf("%s: RTL verification failed", p.Name)
+		}
+		if p.Cycles <= 0 || p.AreaKGE <= 0 {
+			t.Errorf("%s: degenerate point %+v", p.Name, p)
+		}
+		if p.FpCores != 4 {
+			byII[p.MulII] = p
+		}
+	}
+	// Narrower multipliers shrink the multiplier block itself...
+	if !(byII[1].MultiplierKGE > byII[2].MultiplierKGE && byII[2].MultiplierKGE > byII[3].MultiplierKGE) {
+		t.Errorf("multiplier block should shrink with fewer cores: %v %v %v",
+			byII[1].MultiplierKGE, byII[2].MultiplierKGE, byII[3].MultiplierKGE)
+	}
+	// ...but are slower,...
+	if !(byII[1].Cycles < byII[2].Cycles && byII[2].Cycles < byII[3].Cycles) {
+		t.Errorf("cycles should grow with II: %d %d %d",
+			byII[1].Cycles, byII[2].Cycles, byII[3].Cycles)
+	}
+	// ...and under a per-cycle control store the longer program grows the
+	// ROM faster than the cores shrink -- the paper's full-throughput
+	// design is Pareto-optimal on the latency-area product.
+	for ii := 2; ii <= 3; ii++ {
+		if byII[ii].LatencyAreaProduct <= byII[1].LatencyAreaProduct {
+			t.Errorf("II=%d should have a worse latency-area product than the paper design", ii)
+		}
+	}
+	// The schoolbook variant pays area for no cycle benefit over Karatsuba.
+	var school ParetoPoint
+	for _, p := range pts {
+		if p.FpCores == 4 {
+			school = p
+		}
+	}
+	if school.AreaKGE <= byII[1].AreaKGE {
+		t.Error("schoolbook should cost more area than the paper design")
+	}
+	if school.Cycles < byII[1].Cycles {
+		t.Error("schoolbook should not be faster at equal II")
+	}
+	t.Logf("pareto:")
+	for _, p := range pts {
+		t.Logf("  %-26s %5d cycles  %7.0f kGE  %6.1f us  LAP %.1f",
+			p.Name, p.Cycles, p.AreaKGE, p.LatencyUS, p.LatencyAreaProduct)
+	}
+}

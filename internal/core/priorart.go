@@ -1,0 +1,71 @@
+package core
+
+// Prior-art rows of the paper's Table II, as published. These are cited
+// measurement results used as the fixed comparison points; our own rows
+// are regenerated from the simulator and models.
+
+// CompRow is one line of the Table II comparison.
+type CompRow struct {
+	Design    string
+	Platform  string
+	Curve     string
+	Cores     int
+	Area      string  // published area description
+	AreaKGE   float64 // kGE when reported, else 0
+	VDD       float64 // volts, 0 when not reported
+	LatencyMS float64 // per-operation latency, 0 when not reported
+	OpsPerSec float64
+	EnergyUJ  float64 // per operation, 0 when not reported
+	// LatencyAreaProduct is the paper's (A)x(B) column, kGE*ms.
+	LatencyAreaProduct float64
+	Note               string
+}
+
+// PriorArt lists the published comparison rows of Table II.
+var PriorArt = []CompRow{
+	{Design: "[5] Knezevic et al.", Platform: "NANGATE 45nm", Curve: "NIST P-256", Cores: 1,
+		Area: "1030 kGE", AreaKGE: 1030, LatencyMS: 0.0370, OpsPerSec: 2.70e4, LatencyAreaProduct: 38.1,
+		Note: "signature verification, post-synthesis"},
+	{Design: "[5] Knezevic et al.", Platform: "NANGATE 45nm", Curve: "NIST P-256", Cores: 1,
+		Area: "373 kGE", AreaKGE: 373, LatencyMS: 0.0750, OpsPerSec: 1.33e4, LatencyAreaProduct: 28.0},
+	{Design: "[5] Knezevic et al.", Platform: "NANGATE 45nm", Curve: "NIST P-256", Cores: 1,
+		Area: "322 kGE", AreaKGE: 322, LatencyMS: 0.0760, OpsPerSec: 1.32e4, LatencyAreaProduct: 24.5},
+	{Design: "[5] Knezevic et al.", Platform: "NANGATE 45nm", Curve: "NIST P-256", Cores: 1,
+		Area: "253 kGE", AreaKGE: 253, LatencyMS: 0.115, OpsPerSec: 8700, LatencyAreaProduct: 29.1},
+	{Design: "[5] Knezevic et al.", Platform: "NANGATE 45nm", Curve: "NIST P-256", Cores: 1,
+		Area: "223 kGE", AreaKGE: 223, LatencyMS: 0.212, OpsPerSec: 4720, LatencyAreaProduct: 47.3},
+	{Design: "[18] Tamura-Ikeda", Platform: "ASIC 65nm SOTB", Curve: "Any", Cores: 1,
+		Area: "2490 kGE", AreaKGE: 2490, LatencyMS: 0.0600, OpsPerSec: 1.67e4, EnergyUJ: 10.7,
+		LatencyAreaProduct: 149, Note: "post-layout"},
+	{Design: "[17] Tamura-Ikeda", Platform: "ASIC 65nm SOTB", Curve: "Any", Cores: 1,
+		Area: "1.92 mm2", VDD: 1.10, LatencyMS: 0.325, OpsPerSec: 3080, EnergyUJ: 13.9,
+		Note: "signature generation"},
+	{Design: "[17] Tamura-Ikeda", Platform: "ASIC 65nm SOTB", Curve: "Any", Cores: 1,
+		Area: "1.92 mm2", VDD: 0.300, LatencyMS: 2.30, OpsPerSec: 435, EnergyUJ: 1.68},
+	{Design: "[19] Guneysu-Paar", Platform: "Virtex-4", Curve: "NIST P-256", Cores: 1,
+		Area: "1715 LS, 32 DSPs", LatencyMS: 0.495, OpsPerSec: 2020},
+	{Design: "[19] Guneysu-Paar", Platform: "Virtex-4", Curve: "NIST P-256", Cores: 16,
+		Area: "24574 LS, 512 DSPs", OpsPerSec: 2.47e4},
+	{Design: "[20] Loi-Ko", Platform: "Virtex-5", Curve: "NIST P-256", Cores: 1,
+		Area: "1980 LS, 7 DSPs, 2 BRAMs", LatencyMS: 3.95, OpsPerSec: 253},
+	{Design: "[21] Roy et al.", Platform: "Virtex-5", Curve: "NIST P-256", Cores: 1,
+		Area: "4505 LS, 16 DSPs", LatencyMS: 0.570, OpsPerSec: 1750},
+	{Design: "[22] Sasdrich-Guneysu", Platform: "Zynq-7020", Curve: "Curve25519", Cores: 1,
+		Area: "1029 LS, 20 DSPs", LatencyMS: 0.397, OpsPerSec: 2520},
+	{Design: "[22] Sasdrich-Guneysu", Platform: "Zynq-7020", Curve: "Curve25519", Cores: 11,
+		Area: "11277 LS, 220 DSPs", LatencyMS: 0.341, OpsPerSec: 3.23e4},
+	{Design: "[10] Jarvinen et al.", Platform: "Zynq-7020", Curve: "FourQ", Cores: 1,
+		Area: "1691 LS, 27 DSPs, 10 BRAMs", LatencyMS: 0.157, OpsPerSec: 6390},
+	{Design: "[10] Jarvinen et al.", Platform: "Zynq-7020", Curve: "FourQ", Cores: 11,
+		Area: "5967 LS, 187 DSPs, 110 BRAMs", LatencyMS: 0.170, OpsPerSec: 6.47e4},
+}
+
+// Key published reference values used in the paper's headline claims.
+const (
+	// P256ASICLatencyMS is [5]'s fastest latency (the 3.66x reference).
+	P256ASICLatencyMS = 0.0370
+	// FourQFPGALatencyMS is [10]'s single-core latency (the 15.5x reference).
+	FourQFPGALatencyMS = 0.157
+	// ECDSAASICEnergyUJ is [17]'s low-voltage energy (the 5.14x reference).
+	ECDSAASICEnergyUJ = 1.68
+)

@@ -1,0 +1,113 @@
+package curve
+
+import (
+	"repro/internal/fp2"
+	"repro/internal/scalar"
+)
+
+// Affine-normalized precomputed tables: batch-inverting the table's Z
+// coordinates (Montgomery's trick, one inversion total) turns every
+// main-loop addition into a mixed addition with 7 instead of 8
+// multiplications -- the classic table-normalization trade a software
+// implementation or a latency-tuned ASIC variant would use. Provided as
+// the library-level alternative to the projective tables of Algorithm 1.
+
+// CachedAffine is a normalized table entry (x+y, y-x, 2dt) with z == 1.
+type CachedAffine struct {
+	XplusY, YminusX, T2d fp2.Element
+}
+
+// ToCachedAffine converts an affine point to the table representation.
+func (a Affine) ToCachedAffine() CachedAffine {
+	t := fp2.Mul(a.X, a.Y)
+	return CachedAffine{
+		XplusY:  fp2.Add(a.X, a.Y),
+		YminusX: fp2.Sub(a.Y, a.X),
+		T2d:     fp2.Mul(t, d2),
+	}
+}
+
+// CondNeg returns the negated entry when sign < 0.
+func (c CachedAffine) CondNeg(sign int8) CachedAffine {
+	if sign < 0 {
+		return CachedAffine{XplusY: c.YminusX, YminusX: c.XplusY, T2d: fp2.Neg(c.T2d)}
+	}
+	return c
+}
+
+// AddCachedAffine returns p + q for a normalized q: a mixed addition
+// with 7 multiplications (2*Z1*Z2 degenerates into a doubling on the
+// adder since Z2 == 1).
+func AddCachedAffine(p Point, q CachedAffine) Point {
+	t1 := fp2.Mul(fp2.Mul(p.Ta, p.Tb), q.T2d) // 2d*T1*T2
+	t2 := fp2.Double(p.Z)                     // 2*Z1*Z2 with Z2 = 1
+	t3 := fp2.Mul(fp2.Add(p.X, p.Y), q.XplusY)
+	t4 := fp2.Mul(fp2.Sub(p.Y, p.X), q.YminusX)
+	ta := fp2.Sub(t3, t4)
+	tb := fp2.Add(t3, t4)
+	f := fp2.Sub(t2, t1)
+	g := fp2.Add(t2, t1)
+	return Point{
+		X:  fp2.Mul(ta, f),
+		Y:  fp2.Mul(g, tb),
+		Z:  fp2.Mul(f, g),
+		Ta: ta,
+		Tb: tb,
+	}
+}
+
+// NormalizeBatch converts points to affine coordinates with a single
+// shared inversion (Montgomery's trick over the Z coordinates).
+func NormalizeBatch(ps []Point) []Affine {
+	zs := make([]fp2.Element, len(ps))
+	for i, p := range ps {
+		zs[i] = p.Z
+	}
+	fp2.BatchInv(zs)
+	out := make([]Affine, len(ps))
+	for i, p := range ps {
+		out[i] = Affine{X: fp2.Mul(p.X, zs[i]), Y: fp2.Mul(p.Y, zs[i])}
+	}
+	return out
+}
+
+// BuildTableAffine computes the 8-entry table of Algorithm 1 step 2 and
+// normalizes it with one batch inversion.
+func BuildTableAffine(mb MultiBase) [8]CachedAffine {
+	pts := make([]Point, 8)
+	pts[0] = mb.P[0]
+	q1 := mb.P[1].ToCached()
+	q2 := mb.P[2].ToCached()
+	q3 := mb.P[3].ToCached()
+	pts[1] = AddCached(pts[0], q1)
+	pts[2] = AddCached(pts[0], q2)
+	pts[3] = AddCached(pts[1], q2)
+	pts[4] = AddCached(pts[0], q3)
+	pts[5] = AddCached(pts[1], q3)
+	pts[6] = AddCached(pts[2], q3)
+	pts[7] = AddCached(pts[3], q3)
+	affs := NormalizeBatch(pts)
+	var t [8]CachedAffine
+	for i, a := range affs {
+		t[i] = a.ToCachedAffine()
+	}
+	return t
+}
+
+// ScalarMultAffine is Algorithm 1 with a normalized table: identical
+// structure, one multiplication fewer per main-loop addition.
+func ScalarMultAffine(k scalar.Scalar, p Point) Point {
+	dec := scalar.Decompose(k)
+	rec := scalar.Recode(dec)
+	table := BuildTableAffine(NewMultiBase(p))
+
+	q := AddCachedAffine(Identity(), table[rec.Index[scalar.Digits-1]].CondNeg(rec.Sign[scalar.Digits-1]))
+	for i := scalar.Digits - 2; i >= 0; i-- {
+		q = Double(q)
+		q = AddCachedAffine(q, table[rec.Index[i]].CondNeg(rec.Sign[i]))
+	}
+	if dec.Corrected {
+		q = AddCached(q, p.ToCached().Neg())
+	}
+	return q
+}

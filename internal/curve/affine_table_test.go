@@ -1,0 +1,114 @@
+package curve
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"repro/internal/fp2"
+	"repro/internal/scalar"
+)
+
+func TestBatchInvMatchesInv(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(111))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(9)
+		xs := make([]fp2.Element, n)
+		want := make([]fp2.Element, n)
+		for i := range xs {
+			p := randPoint(rng)
+			xs[i] = p.Z
+			want[i] = fp2.Inv(p.Z)
+		}
+		if trial%3 == 0 && n > 2 {
+			xs[1] = fp2.Zero()
+			want[1] = fp2.Zero()
+		}
+		fp2.BatchInv(xs)
+		for i := range xs {
+			if !xs[i].Equal(want[i]) {
+				t.Fatalf("trial %d entry %d: batch inverse differs", trial, i)
+			}
+		}
+	}
+	// Empty batch is a no-op.
+	fp2.BatchInv(nil)
+}
+
+func TestNormalizeBatch(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(112))
+	pts := make([]Point, 6)
+	for i := range pts {
+		pts[i] = randPoint(rng)
+	}
+	affs := NormalizeBatch(pts)
+	for i := range pts {
+		want := pts[i].Affine()
+		if !affs[i].X.Equal(want.X) || !affs[i].Y.Equal(want.Y) {
+			t.Fatalf("entry %d: batch normalization differs from Affine()", i)
+		}
+	}
+}
+
+func TestAddCachedAffineMatchesProjective(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(113))
+	for trial := 0; trial < 8; trial++ {
+		p := randPoint(rng)
+		q := randPoint(rng)
+		want := Add(p, q)
+		got := AddCachedAffine(p, q.Affine().ToCachedAffine())
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: mixed addition differs", trial)
+		}
+	}
+	// Completeness: p + p and p + (-p).
+	p := randPoint(rng)
+	if !AddCachedAffine(p, p.Affine().ToCachedAffine()).Equal(Double(p)) {
+		t.Fatal("mixed addition not complete for doubling")
+	}
+	if !AddCachedAffine(p, p.Neg().Affine().ToCachedAffine()).IsIdentity() {
+		t.Fatal("mixed addition not complete for inverse")
+	}
+}
+
+func TestScalarMultAffineAgrees(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(114))
+	g := Generator()
+	for trial := 0; trial < 4; trial++ {
+		k := randScalar(rng)
+		if !ScalarMultAffine(k, g).Equal(ScalarMultBinary(k, g)) {
+			t.Fatalf("trial %d: affine-table SM differs", trial)
+		}
+	}
+	// Edge scalars including the corrected (even) path.
+	for _, k := range []scalar.Scalar{{}, {1}, {2}, {0, 1}, scalar.FromBig(scalar.Order())} {
+		if !ScalarMultAffine(k, g).Equal(ScalarMultBinary(k, g)) {
+			t.Fatalf("affine-table SM differs for k=%v", k)
+		}
+	}
+}
+
+func TestCachedAffineCondNeg(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(115))
+	p := randPoint(rng)
+	c := p.Affine().ToCachedAffine()
+	neg := c.CondNeg(-1)
+	// Adding the negated entry equals adding -p.
+	q := randPoint(rng)
+	want := Add(q, p.Neg())
+	if !AddCachedAffine(q, neg).Equal(want) {
+		t.Fatal("CondNeg(-1) wrong")
+	}
+	if AddCachedAffine(q, c.CondNeg(1)).Equal(want) {
+		t.Fatal("CondNeg(+1) should not negate")
+	}
+}
+
+func BenchmarkScalarMultAffineTable(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(1))
+	k := randScalar(rng)
+	g := Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ptSink = ScalarMultAffine(k, g)
+	}
+}

@@ -1,0 +1,337 @@
+// Package curve implements the FourQ elliptic curve (Costello-Longa,
+// ASIACRYPT 2015): the complete twisted Edwards curve
+//
+//	E/GF(p^2): -x^2 + y^2 = 1 + d*x^2*y^2,  p = 2^127 - 1,
+//
+// with the curve constant d given in the reproduced paper. The package
+// provides complete point arithmetic in extended twisted Edwards
+// coordinates, the cached-point representation (X+Y, Y-X, 2Z, 2dT) used by
+// the ASIC's register file, reference scalar multiplication (binary
+// double-and-add, Section II of the paper), and the four-way decomposed
+// scalar multiplication of the paper's Algorithm 1.
+package curve
+
+import (
+	"errors"
+
+	"repro/internal/fp"
+	"repro/internal/fp2"
+)
+
+// d is the FourQ curve constant
+// d = 4205857648805777768770 + 125317048443780598345676279555970305165*i.
+var d = fp2.New(
+	fp.SetLimbs(0x0000000000000142, 0x00000000000000E4),
+	fp.SetLimbs(0xB3821488F1FC0C8D, 0x5E472F846657E0FC),
+)
+
+// d2 is 2d, the constant the cached representation absorbs.
+var d2 = fp2.Double(d)
+
+// Generator coordinates (the standard FourQ base point of order N).
+var (
+	genX = fp2.New(
+		fp.SetLimbs(0x286592AD7B3833AA, 0x1A3472237C2FB305),
+		fp.SetLimbs(0x96869FB360AC77F6, 0x1E1F553F2878AA9C),
+	)
+	genY = fp2.New(
+		fp.SetLimbs(0xB924A2462BCBB287, 0x0E3FEE9BA120785A),
+		fp.SetLimbs(0x49A7C344844C8B5C, 0x6E1C4AF8630E0242),
+	)
+)
+
+// D returns the curve constant d.
+func D() fp2.Element { return d }
+
+// D2 returns 2d.
+func D2() fp2.Element { return d2 }
+
+// Affine is a point in affine coordinates (x, y).
+type Affine struct {
+	X, Y fp2.Element
+}
+
+// Point is a point in extended twisted Edwards coordinates
+// (X : Y : Z : Ta : Tb) with x = X/Z, y = Y/Z and T = Ta*Tb = X*Y/Z
+// (the R1 representation of FourQlib). The zero Point value is invalid;
+// use Identity.
+type Point struct {
+	X, Y, Z, Ta, Tb fp2.Element
+}
+
+// Cached is a point prepared for repeated additions, holding
+// (X+Y, Y-X, 2Z, 2dT) -- the coordinate tuple the paper's Algorithm 1
+// stores in the precomputed table T[u] (the R2 representation).
+type Cached struct {
+	XplusY, YminusX, Z2, T2d fp2.Element
+}
+
+// Identity returns the neutral element O = (0, 1).
+func Identity() Point {
+	return Point{
+		X:  fp2.Zero(),
+		Y:  fp2.One(),
+		Z:  fp2.One(),
+		Ta: fp2.Zero(),
+		Tb: fp2.One(),
+	}
+}
+
+// IdentityCached returns O in cached form: (1, 1, 2, 0).
+func IdentityCached() Cached {
+	return Cached{
+		XplusY:  fp2.One(),
+		YminusX: fp2.One(),
+		Z2:      fp2.FromUint64(2, 0),
+		T2d:     fp2.Zero(),
+	}
+}
+
+// Generator returns the FourQ base point G of prime order N.
+func Generator() Point { return FromAffine(Affine{X: genX, Y: genY}) }
+
+// GeneratorAffine returns G in affine coordinates.
+func GeneratorAffine() Affine { return Affine{X: genX, Y: genY} }
+
+// FromAffine lifts an affine point into extended coordinates.
+func FromAffine(a Affine) Point {
+	return Point{X: a.X, Y: a.Y, Z: fp2.One(), Ta: a.X, Tb: a.Y}
+}
+
+// Affine normalizes a projective point (one field inversion).
+func (p Point) Affine() Affine {
+	zi := fp2.Inv(p.Z)
+	return Affine{X: fp2.Mul(p.X, zi), Y: fp2.Mul(p.Y, zi)}
+}
+
+// IsIdentity reports whether p is the neutral element.
+func (p Point) IsIdentity() bool {
+	// O = (0 : Z : Z): X == 0 and Y == Z.
+	return p.X.IsZero() && p.Y.Equal(p.Z)
+}
+
+// Equal reports whether p and q represent the same point
+// (projective cross-multiplication, no inversion).
+func (p Point) Equal(q Point) bool {
+	return fp2.Mul(p.X, q.Z).Equal(fp2.Mul(q.X, p.Z)) &&
+		fp2.Mul(p.Y, q.Z).Equal(fp2.Mul(q.Y, p.Z))
+}
+
+// Neg returns -p = (-x, y).
+func (p Point) Neg() Point {
+	return Point{X: fp2.Neg(p.X), Y: p.Y, Z: p.Z, Ta: fp2.Neg(p.Ta), Tb: p.Tb}
+}
+
+// IsOnCurve verifies the projective curve equation
+// -X^2 + Y^2 = Z^2 + d*T^2 together with the extended-coordinate
+// consistency X*Y = T*Z, where T = Ta*Tb.
+func (p Point) IsOnCurve() bool {
+	if p.Z.IsZero() {
+		return false
+	}
+	t := fp2.Mul(p.Ta, p.Tb)
+	lhs := fp2.Sub(fp2.Sqr(p.Y), fp2.Sqr(p.X))
+	rhs := fp2.Add(fp2.Sqr(p.Z), fp2.Mul(d, fp2.Sqr(t)))
+	if !lhs.Equal(rhs) {
+		return false
+	}
+	return fp2.Mul(p.X, p.Y).Equal(fp2.Mul(t, p.Z))
+}
+
+// IsOnCurveAffine verifies -x^2 + y^2 == 1 + d x^2 y^2.
+func (a Affine) IsOnCurveAffine() bool {
+	x2 := fp2.Sqr(a.X)
+	y2 := fp2.Sqr(a.Y)
+	lhs := fp2.Sub(y2, x2)
+	rhs := fp2.Add(fp2.One(), fp2.Mul(d, fp2.Mul(x2, y2)))
+	return lhs.Equal(rhs)
+}
+
+// ToCached converts p into the (X+Y, Y-X, 2Z, 2dT) table representation.
+func (p Point) ToCached() Cached {
+	t := fp2.Mul(p.Ta, p.Tb)
+	return Cached{
+		XplusY:  fp2.Add(p.X, p.Y),
+		YminusX: fp2.Sub(p.Y, p.X),
+		Z2:      fp2.Double(p.Z),
+		T2d:     fp2.Mul(t, d2),
+	}
+}
+
+// Neg returns the cached form of the negated point: swap the first two
+// coordinates and negate 2dT.
+func (c Cached) Neg() Cached {
+	return Cached{
+		XplusY:  c.YminusX,
+		YminusX: c.XplusY,
+		Z2:      c.Z2,
+		T2d:     fp2.Neg(c.T2d),
+	}
+}
+
+// CondNeg returns c negated when sign < 0, else c unchanged.
+func (c Cached) CondNeg(sign int8) Cached {
+	if sign < 0 {
+		return c.Neg()
+	}
+	return c
+}
+
+// Rerandomize scales the cached projective representation by a nonzero
+// field element: the represented point is unchanged but every stored
+// coordinate differs, the classic DPA countermeasure (randomized
+// projective coordinates). All four cached coordinates are homogeneous
+// of degree one in the projective scaling.
+func (c Cached) Rerandomize(lambda fp2.Element) Cached {
+	return Cached{
+		XplusY:  fp2.Mul(c.XplusY, lambda),
+		YminusX: fp2.Mul(c.YminusX, lambda),
+		Z2:      fp2.Mul(c.Z2, lambda),
+		T2d:     fp2.Mul(c.T2d, lambda),
+	}
+}
+
+// RerandomizeRepresentation scales a point's extended coordinates by a
+// nonzero lambda, leaving the represented point unchanged.
+func RerandomizeRepresentation(p Point, lambda fp2.Element) Point {
+	return Point{
+		X:  fp2.Mul(p.X, lambda),
+		Y:  fp2.Mul(p.Y, lambda),
+		Z:  fp2.Mul(p.Z, lambda),
+		Ta: fp2.Mul(p.Ta, lambda),
+		Tb: p.Tb,
+	}
+}
+
+// Double returns 2p using the a=-1 extended twisted Edwards doubling
+// (4 squarings + 3 multiplications + 6 additions; 7 multiplier-unit ops,
+// matching the op mix of the paper's DBL block).
+func Double(p Point) Point {
+	t1 := fp2.Sqr(p.X) // X^2
+	t2 := fp2.Sqr(p.Y) // Y^2
+	t3 := fp2.Sqr(fp2.Add(p.X, p.Y))
+	ta := fp2.Sub(t3, fp2.Add(t1, t2)) // 2XY
+	tb := fp2.Add(t1, t2)              // X^2+Y^2
+	g := fp2.Sub(t2, t1)               // Y^2-X^2
+	zz := fp2.Double(fp2.Sqr(p.Z))     // 2Z^2
+	f := fp2.Sub(zz, g)                // 2Z^2-(Y^2-X^2)
+	return Point{
+		X:  fp2.Mul(ta, f),
+		Y:  fp2.Mul(g, tb),
+		Z:  fp2.Mul(f, g),
+		Ta: ta,
+		Tb: tb,
+	}
+}
+
+// AddCached returns p + q with q in cached form, using the complete
+// a=-1 addition (8 multiplications + 6 additions; the op mix of the
+// paper's ADD block). Completeness holds because d is non-square in
+// GF(p^2), so this is safe for q == p, q == -p and q == O.
+func AddCached(p Point, q Cached) Point {
+	t1 := fp2.Mul(fp2.Mul(p.Ta, p.Tb), q.T2d) // 2d*T1*T2
+	t2 := fp2.Mul(p.Z, q.Z2)                  // 2*Z1*Z2
+	t3 := fp2.Mul(fp2.Add(p.X, p.Y), q.XplusY)
+	t4 := fp2.Mul(fp2.Sub(p.Y, p.X), q.YminusX)
+	ta := fp2.Sub(t3, t4) // E
+	tb := fp2.Add(t3, t4) // H
+	f := fp2.Sub(t2, t1)  // F
+	g := fp2.Add(t2, t1)  // G
+	return Point{
+		X:  fp2.Mul(ta, f),
+		Y:  fp2.Mul(g, tb),
+		Z:  fp2.Mul(f, g),
+		Ta: ta,
+		Tb: tb,
+	}
+}
+
+// Add returns p + q.
+func Add(p, q Point) Point { return AddCached(p, q.ToCached()) }
+
+// Sub returns p - q.
+func Sub(p, q Point) Point { return AddCached(p, q.ToCached().Neg()) }
+
+// ClearCofactor returns [392]p, mapping any curve point into the
+// prime-order subgroup (392 = 2^3 * 7^2 is the FourQ cofactor).
+func ClearCofactor(p Point) Point {
+	// 392 = 0b110001000, double-and-add MSB first.
+	q := Double(p)   // 2
+	q = Add(q, p)    // 3
+	q = Double(q)    // 6
+	q = Double(q)    // 12
+	q = Double(q)    // 24
+	q = Double(q)    // 48
+	q = Add(q, p)    // 49
+	q = Double(q)    // 98
+	q = Double(q)    // 196
+	return Double(q) // 392
+}
+
+// Size is the byte length of a compressed point encoding.
+const Size = 32
+
+// errDecode reports a malformed or off-curve encoding.
+var errDecode = errors.New("curve: invalid point encoding")
+
+// Bytes returns the 32-byte compressed encoding: the y coordinate with a
+// sign bit for x packed into the top bit of the final byte (free because
+// both GF(p) coordinates of y are < 2^127).
+func (p Point) Bytes() [Size]byte {
+	a := p.Affine()
+	out := a.Y.Bytes()
+	if signOfX(a.X) {
+		out[Size-1] |= 0x80
+	}
+	return out
+}
+
+// signOfX is an injective sign convention distinguishing x from -x:
+// the low bit of the real part (of the imaginary part when the real part
+// is zero).
+func signOfX(x fp2.Element) bool {
+	if !x.A.IsZero() {
+		lo, _ := x.A.Limbs()
+		return lo&1 == 1
+	}
+	lo, _ := x.B.Limbs()
+	return lo&1 == 1
+}
+
+// FromBytes decodes a compressed point, solving the curve equation for x
+// and selecting the root matching the sign bit. The decoded point is
+// validated to be on the curve but not checked for subgroup membership
+// (use InSubgroup).
+func FromBytes(b []byte) (Point, error) {
+	if len(b) != Size {
+		return Point{}, errDecode
+	}
+	var yb [Size]byte
+	copy(yb[:], b)
+	sign := yb[Size-1]&0x80 != 0
+	yb[Size-1] &^= 0x80
+	y, err := fp2.FromBytes(yb[:])
+	if err != nil {
+		return Point{}, errDecode
+	}
+	// x^2 = (y^2 - 1) / (d*y^2 + 1).
+	y2 := fp2.Sqr(y)
+	num := fp2.Sub(y2, fp2.One())
+	den := fp2.Add(fp2.Mul(d, y2), fp2.One())
+	if den.IsZero() {
+		return Point{}, errDecode
+	}
+	x2 := fp2.Mul(num, fp2.Inv(den))
+	x, ok := fp2.Sqrt(x2)
+	if !ok {
+		return Point{}, errDecode
+	}
+	if signOfX(x) != sign {
+		x = fp2.Neg(x)
+	}
+	a := Affine{X: x, Y: y}
+	if !a.IsOnCurveAffine() {
+		return Point{}, errDecode
+	}
+	return FromAffine(a), nil
+}

@@ -1,0 +1,56 @@
+package curve_test
+
+import (
+	"fmt"
+
+	"repro/internal/curve"
+	"repro/internal/scalar"
+)
+
+// Example demonstrates basic scalar multiplication and the group law.
+func Example() {
+	g := curve.Generator()
+	k := scalar.FromUint64(42)
+	p := curve.ScalarMult(k, g)
+	fmt.Println("on curve:", p.IsOnCurve())
+
+	// [40]G + [2]G == [42]G
+	sum := curve.Add(
+		curve.ScalarMult(scalar.FromUint64(40), g),
+		curve.ScalarMult(scalar.FromUint64(2), g),
+	)
+	fmt.Println("group law:", sum.Equal(p))
+	// Output:
+	// on curve: true
+	// group law: true
+}
+
+// ExamplePoint_Bytes shows compressed point serialization.
+func ExamplePoint_Bytes() {
+	p := curve.ScalarMult(scalar.FromUint64(7), curve.Generator())
+	enc := p.Bytes()
+	back, err := curve.FromBytes(enc[:])
+	fmt.Println(err, back.Equal(p), len(enc))
+	// Output: <nil> true 32
+}
+
+// ExampleFixedBaseTable shows the precomputed fixed-base path.
+func ExampleFixedBaseTable() {
+	table := curve.NewFixedBaseTable(curve.Generator())
+	k := scalar.FromUint64(123456789)
+	fast := table.ScalarMult(k)
+	slow := curve.ScalarMultBinary(k, curve.Generator())
+	fmt.Println(fast.Equal(slow))
+	// Output: true
+}
+
+// ExampleDoubleScalarMult shows the verification workload.
+func ExampleDoubleScalarMult() {
+	g := curve.Generator()
+	q := curve.ScalarMult(scalar.FromUint64(99), g)
+	// [3]G + [5]Q = [3+5*99]G
+	r := curve.DoubleScalarMult(scalar.FromUint64(3), g, scalar.FromUint64(5), q)
+	want := curve.ScalarMult(scalar.FromUint64(3+5*99), g)
+	fmt.Println(r.Equal(want))
+	// Output: true
+}

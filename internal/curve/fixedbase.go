@@ -1,0 +1,60 @@
+package curve
+
+import (
+	"repro/internal/scalar"
+)
+
+// Fixed-base scalar multiplication: when the base point is known in
+// advance (the generator, for signing), a windowed precomputed table
+// turns the whole multiplication into ~63 cached additions with no
+// doublings. This is the classic fixed-base optimization FourQ
+// deployments use on the signing side; it is exposed here as the
+// library-level counterpart (the modelled ASIC keeps the variable-base
+// datapath of the paper).
+
+// FixedBaseWindow is the window width in bits.
+const FixedBaseWindow = 4
+
+// fixedBaseWindows is the number of 4-bit windows in a 256-bit scalar.
+const fixedBaseWindows = 256 / FixedBaseWindow
+
+// FixedBaseTable holds [j * 2^(4i)]P for every window i and digit j.
+type FixedBaseTable struct {
+	// win[i][j-1] = [j * 2^(4i)]P in cached form, j in [1,15].
+	win [fixedBaseWindows][15]Cached
+}
+
+// NewFixedBaseTable precomputes the table for base point p
+// (one-time cost: 252 doublings + 64*14 additions).
+func NewFixedBaseTable(p Point) *FixedBaseTable {
+	t := &FixedBaseTable{}
+	base := p
+	for i := 0; i < fixedBaseWindows; i++ {
+		c := base.ToCached()
+		acc := base
+		t.win[i][0] = c
+		for j := 2; j <= 15; j++ {
+			acc = AddCached(acc, c)
+			t.win[i][j-1] = acc.ToCached()
+		}
+		if i+1 < fixedBaseWindows {
+			for b := 0; b < FixedBaseWindow; b++ {
+				base = Double(base)
+			}
+		}
+	}
+	return t
+}
+
+// ScalarMult computes [k]P using the precomputed table: one cached
+// addition per non-zero window digit, no doublings.
+func (t *FixedBaseTable) ScalarMult(k scalar.Scalar) Point {
+	acc := Identity()
+	for i := 0; i < fixedBaseWindows; i++ {
+		d := k[i/16] >> (uint(i%16) * 4) & 0xF
+		if d != 0 {
+			acc = AddCached(acc, t.win[i][d-1])
+		}
+	}
+	return acc
+}

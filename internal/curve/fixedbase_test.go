@@ -1,0 +1,74 @@
+package curve
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"repro/internal/scalar"
+)
+
+var genTable = NewFixedBaseTable(Generator())
+
+func TestFixedBaseMatchesBinary(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(77))
+	g := Generator()
+	for i := 0; i < 8; i++ {
+		k := randScalar(rng)
+		want := ScalarMultBinary(k, g)
+		got := genTable.ScalarMult(k)
+		if !got.Equal(want) {
+			t.Fatalf("fixed-base SM disagrees for k=%v", k)
+		}
+	}
+}
+
+func TestFixedBaseEdgeScalars(t *testing.T) {
+	g := Generator()
+	cases := []scalar.Scalar{
+		{},                            // 0 -> identity
+		{1},                           // 1 -> G
+		{16},                          // single window, digit beyond first
+		{0, 0, 0, 0xF000000000000000}, // top window only
+		{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)},
+		scalar.FromBig(scalar.Order()),
+	}
+	for _, k := range cases {
+		want := ScalarMultBinary(k, g)
+		got := genTable.ScalarMult(k)
+		if !got.Equal(want) {
+			t.Fatalf("fixed-base SM disagrees for k=%v", k)
+		}
+	}
+	if !genTable.ScalarMult(scalar.Scalar{}).IsIdentity() {
+		t.Fatal("[0]G != O")
+	}
+}
+
+func TestFixedBaseOnNonGenerator(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(78))
+	p := randPoint(rng)
+	tab := NewFixedBaseTable(p)
+	k := randScalar(rng)
+	if !tab.ScalarMult(k).Equal(ScalarMultBinary(k, p)) {
+		t.Fatal("fixed-base SM disagrees on non-generator base")
+	}
+}
+
+func BenchmarkScalarMultFixedBase(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(1))
+	k := randScalar(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ptSink = genTable.ScalarMult(k)
+	}
+}
+
+func BenchmarkNewFixedBaseTable(b *testing.B) {
+	g := Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tableSink = NewFixedBaseTable(g)
+	}
+}
+
+var tableSink *FixedBaseTable

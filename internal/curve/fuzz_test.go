@@ -1,0 +1,66 @@
+package curve
+
+import (
+	"testing"
+
+	"repro/internal/scalar"
+)
+
+// FuzzFromBytes exercises point decompression on arbitrary encodings:
+// it must never panic, and everything it accepts must re-encode to the
+// same bytes and lie on the curve.
+func FuzzFromBytes(f *testing.F) {
+	g := Generator().Bytes()
+	f.Add(g[:])
+	id := Identity().Bytes()
+	f.Add(id[:])
+	f.Add(make([]byte, 32))
+	bad := make([]byte, 32)
+	for i := range bad {
+		bad[i] = 0xFF
+	}
+	f.Add(bad)
+	f.Add([]byte{1, 2, 3}) // wrong length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := FromBytes(data)
+		if err != nil {
+			return
+		}
+		if !p.IsOnCurve() {
+			t.Fatalf("accepted off-curve point from %x", data)
+		}
+		re := p.Bytes()
+		back, err := FromBytes(re[:])
+		if err != nil {
+			t.Fatalf("re-encoding of accepted point rejected: %x", re)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("re-encode round trip changed the point")
+		}
+	})
+}
+
+// FuzzScalarMultAgreement cross-checks the decomposed Algorithm 1
+// against binary double-and-add on fuzz-chosen scalars.
+func FuzzScalarMultAgreement(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(0), uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0))
+	f.Add(uint64(0x123456789ABCDEF0), uint64(42), uint64(7), uint64(1)<<63)
+
+	g := Generator()
+	f.Fuzz(func(t *testing.T, a, b, c, d uint64) {
+		k := scalarFromLimbs(a, b, c, d)
+		ref := ScalarMultBinary(k, g)
+		got := ScalarMult(k, g)
+		if !got.Equal(ref) {
+			t.Fatalf("Algorithm 1 disagrees for k=%v", k)
+		}
+	})
+}
+
+func scalarFromLimbs(a, b, c, d uint64) (s scalar.Scalar) {
+	s[0], s[1], s[2], s[3] = a, b, c, d
+	return
+}

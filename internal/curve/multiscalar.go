@@ -1,0 +1,38 @@
+package curve
+
+import (
+	"repro/internal/scalar"
+)
+
+// MultiScalarMult computes sum_i [k_i]P_i by Strauss interleaving: one
+// shared doubling chain over the maximal scalar length with one cached
+// addition per set bit per point. For batches (signature batch
+// verification) this amortizes the 256 doublings over all terms.
+func MultiScalarMult(ks []scalar.Scalar, ps []Point) Point {
+	if len(ks) != len(ps) {
+		panic("curve: MultiScalarMult length mismatch")
+	}
+	if len(ks) == 0 {
+		return Identity()
+	}
+	cached := make([]Cached, len(ps))
+	for i, p := range ps {
+		cached[i] = p.ToCached()
+	}
+	bits := 0
+	for _, k := range ks {
+		if b := k.BitLen(); b > bits {
+			bits = b
+		}
+	}
+	acc := Identity()
+	for i := bits - 1; i >= 0; i-- {
+		acc = Double(acc)
+		for j, k := range ks {
+			if k.Bit(i) == 1 {
+				acc = AddCached(acc, cached[j])
+			}
+		}
+	}
+	return acc
+}

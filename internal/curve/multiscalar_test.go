@@ -1,0 +1,75 @@
+package curve
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"repro/internal/scalar"
+)
+
+func TestMultiScalarMultAgainstNaive(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(91))
+	for n := 0; n <= 5; n++ {
+		ks := make([]scalar.Scalar, n)
+		ps := make([]Point, n)
+		want := Identity()
+		for i := 0; i < n; i++ {
+			ks[i] = randScalar(rng)
+			ps[i] = randPoint(rng)
+			want = Add(want, ScalarMultBinary(ks[i], ps[i]))
+		}
+		got := MultiScalarMult(ks, ps)
+		if !got.Equal(want) {
+			t.Fatalf("n=%d: multi-scalar result differs from naive sum", n)
+		}
+	}
+}
+
+func TestMultiScalarMultEdges(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(92))
+	g := Generator()
+	p := randPoint(rng)
+	// Zero scalars contribute nothing.
+	got := MultiScalarMult(
+		[]scalar.Scalar{{}, {5}},
+		[]Point{p, g},
+	)
+	if !got.Equal(ScalarMultBinary(scalar.Scalar{5}, g)) {
+		t.Fatal("zero scalar contributed")
+	}
+	// Repeated points accumulate.
+	k := scalar.ModN(randScalar(rng))
+	got = MultiScalarMult([]scalar.Scalar{k, k}, []Point{g, g})
+	want := ScalarMultBinary(scalar.AddModN(k, k), g)
+	if !got.Equal(want) {
+		t.Fatal("repeated point accumulation wrong")
+	}
+	// Point negation cancels.
+	got = MultiScalarMult([]scalar.Scalar{k, k}, []Point{g, g.Neg()})
+	if !got.IsIdentity() {
+		t.Fatal("P + (-P) terms did not cancel")
+	}
+}
+
+func TestMultiScalarMultPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch not caught")
+		}
+	}()
+	MultiScalarMult([]scalar.Scalar{{1}}, nil)
+}
+
+func BenchmarkMultiScalarMult8(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(1))
+	ks := make([]scalar.Scalar, 8)
+	ps := make([]Point, 8)
+	for i := range ks {
+		ks[i] = randScalar(rng)
+		ps[i] = ScalarMultBinary(randScalar(rng), Generator())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ptSink = MultiScalarMult(ks, ps)
+	}
+}

@@ -1,0 +1,166 @@
+package curve
+
+import (
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"repro/internal/scalar"
+)
+
+// Deeper group-theoretic properties, complementing curve_test.go.
+
+func TestScalarMultIsHomomorphism(t *testing.T) {
+	// [a]([b]G) == [ab mod N]G.
+	rng := mrand.New(mrand.NewSource(301))
+	g := Generator()
+	for trial := 0; trial < 3; trial++ {
+		a := scalar.ModN(randScalar(rng))
+		b := scalar.ModN(randScalar(rng))
+		ab := scalar.MulModN(a, b)
+		lhs := ScalarMult(a, ScalarMult(b, g))
+		rhs := ScalarMult(ab, g)
+		if !lhs.Equal(rhs) {
+			t.Fatalf("[a][b]G != [ab]G (trial %d)", trial)
+		}
+	}
+}
+
+func TestNegationCommutesWithScalarMult(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(302))
+	g := Generator()
+	k := scalar.ModN(randScalar(rng))
+	// [-k]G == -[k]G where -k = N - k.
+	negK := scalar.SubModN(scalar.Scalar{}, k)
+	if !ScalarMult(negK, g).Equal(ScalarMult(k, g).Neg()) {
+		t.Fatal("[-k]G != -([k]G)")
+	}
+}
+
+func TestScalarPeriodicity(t *testing.T) {
+	// [k]G == [k mod N]G for G in the prime-order subgroup.
+	rng := mrand.New(mrand.NewSource(303))
+	g := Generator()
+	k := randScalar(rng)
+	if !ScalarMult(k, g).Equal(ScalarMult(scalar.ModN(k), g)) {
+		t.Fatal("[k]G != [k mod N]G")
+	}
+	// Adding N to a reduced scalar changes nothing.
+	small := scalar.FromUint64(777)
+	plusN := scalar.FromBig(new(big.Int).Add(small.Big(), scalar.Order()))
+	if !ScalarMult(plusN, g).Equal(ScalarMult(small, g)) {
+		t.Fatal("[k+N]G != [k]G")
+	}
+}
+
+func TestCofactorKillsSmallComponent(t *testing.T) {
+	// ClearCofactor(P) lands in the prime-order subgroup for points
+	// decompressed from arbitrary y (which may carry 2- or 7-torsion).
+	rng := mrand.New(mrand.NewSource(304))
+	found := 0
+	for i := 0; i < 80 && found < 3; i++ {
+		var b [32]byte
+		rng.Read(b[:])
+		b[15] &= 0x7F
+		b[31] &= 0x7F
+		p, err := FromBytes(b[:])
+		if err != nil {
+			continue
+		}
+		found++
+		q := ClearCofactor(p)
+		if !q.IsOnCurve() {
+			t.Fatal("cofactor-cleared point off curve")
+		}
+		if !InSubgroup(q) {
+			t.Fatal("cofactor clearing did not reach the prime-order subgroup")
+		}
+	}
+	if found == 0 {
+		t.Skip("no decompressible random encodings found")
+	}
+}
+
+func TestDoubleChainMatchesScalar(t *testing.T) {
+	// 2^i G via repeated Double equals [2^i]G via scalar mult.
+	g := Generator()
+	q := g
+	for i := 1; i <= 66; i++ {
+		q = Double(q)
+		if i == 64 {
+			if !q.Equal(ScalarMultBinary(scalar.Scalar{0, 1}, g)) {
+				t.Fatal("2^64 doubling chain mismatch")
+			}
+		}
+	}
+	want := ScalarMultBinary(scalar.Scalar{0, 4}, g) // 2^66
+	if !q.Equal(want) {
+		t.Fatal("doubling chain mismatch at 2^66")
+	}
+}
+
+func TestEqualIsProjectiveInvariant(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(305))
+	p := randPoint(rng)
+	// Scale the projective coordinates by a random nonzero factor.
+	k := randScalar(rng)
+	doubled := Double(p)
+	alt := Add(doubled, p.Neg()) // same point, different representation
+	if !alt.Equal(p) {
+		t.Fatal("Equal not invariant under representation change")
+	}
+	_ = k
+}
+
+func TestCurveOrderStructure(t *testing.T) {
+	// #E = 392 * N (cofactor 2^3 * 7^2): every decompressed point is
+	// killed by [392*N], and cofactor-cleared points by [N] alone.
+	rng := mrand.New(mrand.NewSource(306))
+	fullOrder := new(big.Int).Mul(scalar.Order(), big.NewInt(392))
+	kFull := scalar.FromBig(fullOrder)
+	checked := 0
+	for i := 0; i < 60 && checked < 3; i++ {
+		var b [32]byte
+		rng.Read(b[:])
+		b[15] &= 0x7F
+		b[31] &= 0x7F
+		p, err := FromBytes(b[:])
+		if err != nil {
+			continue
+		}
+		checked++
+		if !ScalarMultBinary(kFull, p).IsIdentity() {
+			t.Fatalf("[392N]P != O: curve order violated for %x", b)
+		}
+		// Small-torsion component: T = [49*8*...]: [N]P has order dividing 392.
+		torsion := ScalarMultBinary(scalar.FromBig(scalar.Order()), p)
+		if !ScalarMultBinary(scalar.FromUint64(392), torsion).IsIdentity() {
+			t.Fatal("[N]P does not have order dividing 392")
+		}
+	}
+	if checked == 0 {
+		t.Skip("no decompressible encodings found")
+	}
+}
+
+func TestRerandomization(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(307))
+	p := randPoint(rng)
+	q := randPoint(rng)
+	lambda := randPoint(rng).Z // an essentially random nonzero element
+	// Point representation rerandomization preserves the point.
+	rp := RerandomizeRepresentation(p, lambda)
+	if !rp.Equal(p) || !rp.IsOnCurve() {
+		t.Fatal("representation rerandomization changed the point")
+	}
+	// Cached rerandomization preserves addition results.
+	c := q.ToCached()
+	rc := c.Rerandomize(lambda)
+	if !AddCached(p, rc).Equal(AddCached(p, c)) {
+		t.Fatal("cached rerandomization changed the sum")
+	}
+	// But the stored coordinates differ (the countermeasure's point).
+	if rc.XplusY.Equal(c.XplusY) || rc.T2d.Equal(c.T2d) {
+		t.Fatal("rerandomization left coordinates unchanged")
+	}
+}

@@ -1,0 +1,148 @@
+// Package ecdsa implements the ECDSA signature scheme over the FourQ
+// curve, following the workflow in Section II-A of the reproduced paper
+// (the intelligent-transportation-systems use case that motivates the
+// ASIC: high-throughput signature generation and verification).
+//
+// Conventions specific to FourQ: the x coordinate of a curve point is an
+// element of GF(p^2); "r = x1 mod n" interprets the 32-byte little-endian
+// encoding of x1 as an integer. The hash is SHA-256 and z takes its
+// leftmost 246 bits (the bit length of the subgroup order N).
+package ecdsa
+
+import (
+	"crypto/sha256"
+	"errors"
+	"io"
+	"math/big"
+
+	"repro/internal/curve"
+	"repro/internal/scalar"
+)
+
+// PrivateKey is an ECDSA private key: a scalar d_A in [1, N-1].
+type PrivateKey struct {
+	D      scalar.Scalar
+	Public PublicKey
+}
+
+// PublicKey is the point Q_A = [d_A]G.
+type PublicKey struct {
+	Q curve.Point
+}
+
+// Signature is the pair (r, s).
+type Signature struct {
+	R, S scalar.Scalar
+}
+
+// Size is the byte length of an encoded signature.
+const Size = 2 * scalar.Size
+
+// Bytes encodes the signature as r || s (little-endian scalars).
+func (sig Signature) Bytes() [Size]byte {
+	var out [Size]byte
+	r := sig.R.Bytes()
+	s := sig.S.Bytes()
+	copy(out[:scalar.Size], r[:])
+	copy(out[scalar.Size:], s[:])
+	return out
+}
+
+// SignatureFromBytes decodes r || s.
+func SignatureFromBytes(b []byte) (Signature, error) {
+	if len(b) != Size {
+		return Signature{}, errors.New("ecdsa: bad signature length")
+	}
+	r, err := scalar.FromBytes(b[:scalar.Size])
+	if err != nil {
+		return Signature{}, err
+	}
+	s, err := scalar.FromBytes(b[scalar.Size:])
+	if err != nil {
+		return Signature{}, err
+	}
+	return Signature{R: r, S: s}, nil
+}
+
+// GenerateKey creates a key pair using randomness from rand.
+func GenerateKey(rand io.Reader) (*PrivateKey, error) {
+	d, err := scalar.Random(rand)
+	if err != nil {
+		return nil, err
+	}
+	return &PrivateKey{
+		D:      d,
+		Public: PublicKey{Q: curve.ScalarMult(d, curve.Generator())},
+	}, nil
+}
+
+// hashToZ computes z, the leftmost L_n bits of SHA-256(msg), reduced into
+// a scalar (L_n = 246, so the 256-bit digest is shifted right by 10).
+func hashToZ(msg []byte) scalar.Scalar {
+	e := sha256.Sum256(msg)
+	v := new(big.Int).SetBytes(e[:])
+	v.Rsh(v, uint(256-scalar.Order().BitLen()))
+	return scalar.FromBig(v)
+}
+
+// rFromPoint computes r = x1 mod N from the affine x coordinate.
+func rFromPoint(p curve.Point) scalar.Scalar {
+	a := p.Affine()
+	xb := a.X.Bytes()
+	s, _ := scalar.FromBytes(xb[:])
+	return scalar.ModN(s)
+}
+
+// Sign produces an ECDSA signature of msg, drawing the nonce from rand.
+// It retries (per the standard algorithm) in the negligible-probability
+// cases r == 0 or s == 0.
+func Sign(rand io.Reader, priv *PrivateKey, msg []byte) (Signature, error) {
+	z := hashToZ(msg)
+	for {
+		k, err := scalar.Random(rand)
+		if err != nil {
+			return Signature{}, err
+		}
+		r := rFromPoint(curve.ScalarMult(k, curve.Generator()))
+		if r.IsZero() {
+			continue
+		}
+		kinv, err := scalar.InvModN(k)
+		if err != nil {
+			continue
+		}
+		s := scalar.MulModN(kinv, scalar.AddModN(z, scalar.MulModN(r, priv.D)))
+		if s.IsZero() {
+			continue
+		}
+		return Signature{R: r, S: s}, nil
+	}
+}
+
+// Verify checks the signature of msg against the public key, following
+// the five verification steps of Section II-A.
+func Verify(pub *PublicKey, msg []byte, sig Signature) bool {
+	// Step 1: r, s in [1, N-1].
+	n := scalar.Order()
+	if sig.R.IsZero() || sig.S.IsZero() {
+		return false
+	}
+	if sig.R.Big().Cmp(n) >= 0 || sig.S.Big().Cmp(n) >= 0 {
+		return false
+	}
+	// Step 2-3.
+	z := hashToZ(msg)
+	w, err := scalar.InvModN(sig.S)
+	if err != nil {
+		return false
+	}
+	u1 := scalar.MulModN(z, w)
+	u2 := scalar.MulModN(sig.R, w)
+	// Step 4: (x1, y1) = [u1]G + [u2]Q.
+	p := curve.DoubleScalarMult(u1, curve.Generator(), u2, pub.Q)
+	if p.IsIdentity() {
+		return false
+	}
+	// Step 5.
+	return rFromPoint(p).Equal(sig.R)
+}

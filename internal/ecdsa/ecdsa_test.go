@@ -1,0 +1,142 @@
+package ecdsa
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/scalar"
+)
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	priv, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("priority vehicle approaching intersection 12, clear lane 3")
+	sig, err := Sign(rand.Reader, priv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(&priv.Public, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	msg := []byte("speed limit 50")
+	sig, _ := Sign(rand.Reader, priv, msg)
+	if Verify(&priv.Public, []byte("speed limit 90"), sig) {
+		t.Fatal("tampered message accepted")
+	}
+}
+
+func TestVerifyRejectsTamperedSignature(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	msg := []byte("traffic light interval update")
+	sig, _ := Sign(rand.Reader, priv, msg)
+	bad := sig
+	bad.R[0] ^= 1
+	if Verify(&priv.Public, msg, bad) {
+		t.Fatal("tampered r accepted")
+	}
+	bad = sig
+	bad.S[2] ^= 1 << 17
+	if Verify(&priv.Public, msg, bad) {
+		t.Fatal("tampered s accepted")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	priv1, _ := GenerateKey(rand.Reader)
+	priv2, _ := GenerateKey(rand.Reader)
+	msg := []byte("emergency broadcast")
+	sig, _ := Sign(rand.Reader, priv1, msg)
+	if Verify(&priv2.Public, msg, sig) {
+		t.Fatal("signature accepted under wrong key")
+	}
+}
+
+func TestVerifyRejectsOutOfRange(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	msg := []byte("m")
+	sig, _ := Sign(rand.Reader, priv, msg)
+	if Verify(&priv.Public, msg, Signature{R: scalar.Scalar{}, S: sig.S}) {
+		t.Fatal("r = 0 accepted")
+	}
+	if Verify(&priv.Public, msg, Signature{R: sig.R, S: scalar.Scalar{}}) {
+		t.Fatal("s = 0 accepted")
+	}
+	big := scalar.Scalar{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+	if Verify(&priv.Public, msg, Signature{R: big, S: sig.S}) {
+		t.Fatal("r >= N accepted")
+	}
+}
+
+func TestSignatureBytesRoundTrip(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	sig, _ := Sign(rand.Reader, priv, []byte("x"))
+	b := sig.Bytes()
+	got, err := SignatureFromBytes(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.R.Equal(sig.R) || !got.S.Equal(sig.S) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := SignatureFromBytes(b[:10]); err == nil {
+		t.Fatal("short signature accepted")
+	}
+}
+
+func TestPublicKeyConsistency(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	want := curve.ScalarMult(priv.D, curve.Generator())
+	if !priv.Public.Q.Equal(want) {
+		t.Fatal("public key != [d]G")
+	}
+	if !priv.Public.Q.IsOnCurve() {
+		t.Fatal("public key off curve")
+	}
+}
+
+func TestManySignatures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	priv, _ := GenerateKey(rand.Reader)
+	for i := 0; i < 8; i++ {
+		msg := []byte{byte(i), byte(i * 7)}
+		sig, err := Sign(rand.Reader, priv, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Verify(&priv.Public, msg, sig) {
+			t.Fatalf("signature %d rejected", i)
+		}
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	priv, _ := GenerateKey(rand.Reader)
+	msg := []byte("benchmark message for ITS throughput evaluation")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sign(rand.Reader, priv, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	priv, _ := GenerateKey(rand.Reader)
+	msg := []byte("benchmark message for ITS throughput evaluation")
+	sig, _ := Sign(rand.Reader, priv, msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(&priv.Public, msg, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package ecdsa
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"math/big"
+
+	"repro/internal/curve"
+	"repro/internal/scalar"
+)
+
+// Deterministic ECDSA nonces per RFC 6979: the per-message secret k is
+// derived from the private key and message hash with an HMAC-SHA256
+// DRBG, removing the catastrophic failure mode of a biased or repeated
+// random nonce (the attack that broke several fielded ECDSA systems).
+// The resulting signatures are plain ECDSA signatures and verify with
+// the ordinary Verify.
+
+// qlen is the bit length of the FourQ subgroup order.
+var qlen = scalar.Order().BitLen()
+
+// rolen is the octet length of the order.
+var rolen = (qlen + 7) / 8
+
+// bits2int converts a bit string to an integer, keeping the leftmost
+// qlen bits (RFC 6979 section 2.3.2).
+func bits2int(b []byte) *big.Int {
+	v := new(big.Int).SetBytes(b)
+	if excess := 8*len(b) - qlen; excess > 0 {
+		v.Rsh(v, uint(excess))
+	}
+	return v
+}
+
+// int2octets encodes x (reduced mod q) as exactly rolen bytes
+// (RFC 6979 section 2.3.3).
+func int2octets(x *big.Int) []byte {
+	out := make([]byte, rolen)
+	b := x.Bytes()
+	copy(out[rolen-len(b):], b)
+	return out
+}
+
+// bits2octets is bits2int reduced mod q, then int2octets
+// (RFC 6979 section 2.3.4).
+func bits2octets(b []byte) []byte {
+	z := bits2int(b)
+	z.Mod(z, scalar.Order())
+	return int2octets(z)
+}
+
+// deriveNonce runs the RFC 6979 HMAC-SHA256 DRBG until it produces a
+// candidate in [1, q-1].
+func deriveNonce(priv scalar.Scalar, h1 []byte) scalar.Scalar {
+	// Private key as an integer mod q, big-endian octets.
+	x := new(big.Int).Mod(priv.Big(), scalar.Order())
+
+	V := make([]byte, sha256.Size)
+	for i := range V {
+		V[i] = 0x01
+	}
+	K := make([]byte, sha256.Size)
+
+	mac := func(key []byte, parts ...[]byte) []byte {
+		m := hmac.New(sha256.New, key)
+		for _, p := range parts {
+			m.Write(p)
+		}
+		return m.Sum(nil)
+	}
+
+	K = mac(K, V, []byte{0x00}, int2octets(x), bits2octets(h1))
+	V = mac(K, V)
+	K = mac(K, V, []byte{0x01}, int2octets(x), bits2octets(h1))
+	V = mac(K, V)
+
+	q := scalar.Order()
+	for {
+		var t []byte
+		for len(t)*8 < qlen {
+			V = mac(K, V)
+			t = append(t, V...)
+		}
+		k := bits2int(t)
+		if k.Sign() > 0 && k.Cmp(q) < 0 {
+			return scalar.FromBig(k)
+		}
+		K = mac(K, V, []byte{0x00})
+		V = mac(K, V)
+	}
+}
+
+// SignDeterministic produces an RFC 6979 deterministic ECDSA signature:
+// identical (priv, msg) pairs always produce identical signatures, and
+// no randomness source is consumed.
+func SignDeterministic(priv *PrivateKey, msg []byte) (Signature, error) {
+	e := sha256.Sum256(msg)
+	z := hashToZ(msg)
+	extra := []byte(nil)
+	for attempt := 0; ; attempt++ {
+		h1 := e[:]
+		if attempt > 0 {
+			// Retry ("case r == 0 or s == 0"): fold a counter into the
+			// DRBG input, per the RFC's additional-data mechanism.
+			h1 = append(append([]byte{}, e[:]...), extra...)
+		}
+		k := deriveNonce(priv.D, h1)
+		r := rFromPoint(curve.ScalarMult(k, curve.Generator()))
+		if r.IsZero() {
+			extra = append(extra, 0x00)
+			continue
+		}
+		kinv, err := scalar.InvModN(k)
+		if err != nil {
+			extra = append(extra, 0x00)
+			continue
+		}
+		s := scalar.MulModN(kinv, scalar.AddModN(z, scalar.MulModN(r, priv.D)))
+		if s.IsZero() {
+			extra = append(extra, 0x00)
+			continue
+		}
+		return Signature{R: r, S: s}, nil
+	}
+}

@@ -1,0 +1,113 @@
+package ecdsa
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"repro/internal/scalar"
+)
+
+func TestDeterministicSignVerify(t *testing.T) {
+	priv, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("deterministic nonces prevent the PlayStation 3 failure")
+	sig, err := SignDeterministic(priv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(&priv.Public, msg, sig) {
+		t.Fatal("deterministic signature rejected")
+	}
+}
+
+func TestDeterministicIsDeterministic(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	msg := []byte("same input, same output")
+	a, err := SignDeterministic(priv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SignDeterministic(priv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.R.Equal(b.R) || !a.S.Equal(b.S) {
+		t.Fatal("two deterministic signatures of the same message differ")
+	}
+	c, err := SignDeterministic(priv, []byte("different message"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.R.Equal(c.R) {
+		t.Fatal("nonce reused across messages")
+	}
+}
+
+func TestDeterministicDiffersAcrossKeys(t *testing.T) {
+	p1, _ := GenerateKey(rand.Reader)
+	p2, _ := GenerateKey(rand.Reader)
+	msg := []byte("m")
+	s1, _ := SignDeterministic(p1, msg)
+	s2, _ := SignDeterministic(p2, msg)
+	if s1.R.Equal(s2.R) {
+		t.Fatal("same nonce for different keys")
+	}
+}
+
+func TestBits2IntOctetsRoundTrip(t *testing.T) {
+	q := scalar.Order()
+	for _, v := range []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Sub(q, big.NewInt(1)),
+	} {
+		oct := int2octets(v)
+		if len(oct) != rolen {
+			t.Fatalf("int2octets length %d, want %d", len(oct), rolen)
+		}
+		// Decoding the octets (full width) recovers v since v < q < 2^qlen.
+		got := new(big.Int).SetBytes(oct)
+		if got.Cmp(v) != 0 {
+			t.Fatalf("int2octets round trip: %v != %v", got, v)
+		}
+	}
+	// bits2int keeps the leftmost qlen bits of longer strings.
+	long := make([]byte, 40)
+	for i := range long {
+		long[i] = 0xFF
+	}
+	v := bits2int(long)
+	if v.BitLen() != qlen {
+		t.Fatalf("bits2int kept %d bits, want %d", v.BitLen(), qlen)
+	}
+	// bits2octets output is always reduced.
+	if new(big.Int).SetBytes(bits2octets(long)).Cmp(q) >= 0 {
+		t.Fatal("bits2octets not reduced")
+	}
+}
+
+func TestDeriveNonceInRange(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	q := scalar.Order()
+	for i := 0; i < 16; i++ {
+		h := []byte{byte(i), 0xAB, 0xCD}
+		k := deriveNonce(priv.D, h)
+		if k.IsZero() || k.Big().Cmp(q) >= 0 {
+			t.Fatalf("nonce out of range: %v", k)
+		}
+	}
+}
+
+func BenchmarkSignDeterministic(b *testing.B) {
+	priv, _ := GenerateKey(rand.Reader)
+	msg := []byte("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SignDeterministic(priv, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package fp
+
+// Constant-time helpers. These never branch on their arguments; all
+// selection happens through AND masks. (Go's compiler gives no hard
+// constant-time guarantee, but the code contains no secret-dependent
+// branches or memory indices, the practical bar for software CT.)
+
+// CSelect returns a when flag == 1 and b when flag == 0, without
+// branching. flag must be 0 or 1.
+func CSelect(flag uint64, a, b Element) Element {
+	mask := -flag
+	return Element{
+		l0: (a.l0 & mask) | (b.l0 &^ mask),
+		l1: (a.l1 & mask) | (b.l1 &^ mask),
+	}
+}
+
+// CSwap conditionally swaps a and b in place when flag == 1.
+func CSwap(flag uint64, a, b *Element) {
+	mask := -flag
+	t0 := (a.l0 ^ b.l0) & mask
+	t1 := (a.l1 ^ b.l1) & mask
+	a.l0 ^= t0
+	b.l0 ^= t0
+	a.l1 ^= t1
+	b.l1 ^= t1
+}
+
+// CTEq returns 1 when a == b and 0 otherwise, without branching.
+func CTEq(a, b Element) uint64 {
+	x := (a.l0 ^ b.l0) | (a.l1 ^ b.l1)
+	return 1 ^ ((x | -x) >> 63)
+}

@@ -1,0 +1,362 @@
+// Package fp implements arithmetic in the finite field GF(p) with
+// p = 2^127 - 1, the Mersenne prime underlying the FourQ curve.
+//
+// Elements are kept in canonical reduced form (0 <= value < p) as two
+// 64-bit limbs. All arithmetic uses the Mersenne folding identity
+// 2^127 == 1 (mod p), so no integer division is ever performed; this
+// mirrors the hardware datapath of the reproduced ASIC, where the modular
+// reduction is a 127-bit addition.
+package fp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// Size is the byte length of an encoded field element.
+const Size = 16
+
+// p = 2^127 - 1 as two 64-bit limbs.
+const (
+	p0 = 0xFFFFFFFFFFFFFFFF
+	p1 = 0x7FFFFFFFFFFFFFFF
+)
+
+// mask127 clears bit 63 of the high limb, keeping the low 127 bits.
+const mask127 = 0x7FFFFFFFFFFFFFFF
+
+// Element is an integer modulo p = 2^127 - 1, in canonical form.
+// The value is l0 + l1*2^64 and is always < p. The zero value is 0.
+type Element struct {
+	l0, l1 uint64
+}
+
+// P returns the field modulus 2^127 - 1 as an (invalid) Element-shaped
+// pair of limbs. It is exported for tests and for the wide arithmetic
+// helpers; P itself is not a canonical element.
+func P() (lo, hi uint64) { return p0, p1 }
+
+// New returns an element set to the small integer v.
+func New(v uint64) Element { return Element{l0: v} }
+
+// Zero returns the additive identity.
+func Zero() Element { return Element{} }
+
+// One returns the multiplicative identity.
+func One() Element { return Element{l0: 1} }
+
+// Limbs returns the two 64-bit little-endian limbs of e.
+func (e Element) Limbs() (lo, hi uint64) { return e.l0, e.l1 }
+
+// SetLimbs sets e from two limbs, reducing modulo p. Any 128-bit input is
+// accepted; bit 127 is folded and the result normalized to canonical form.
+func SetLimbs(lo, hi uint64) Element {
+	var e Element
+	// Fold bit 127.
+	t := hi >> 63
+	hi &= mask127
+	lo, c := bits.Add64(lo, t, 0)
+	hi += c
+	// hi may now have bit 63 set again only if lo+carry overflowed into it,
+	// impossible since hi <= 2^63-1 and c <= 1 gives hi <= 2^63-1+1; fold once more.
+	t = hi >> 63
+	hi &= mask127
+	lo, c = bits.Add64(lo, t, 0)
+	hi += c
+	e.l0, e.l1 = lo, hi
+	e.normalize()
+	return e
+}
+
+// normalize subtracts p once if the value equals p, keeping bits < 2^127.
+// Callers must ensure the value is at most p (i.e. already folded).
+// Branchless: the comparison result becomes an AND mask.
+func (e *Element) normalize() {
+	// isP == all-ones iff e == p.
+	x := (e.l0 ^ p0) | (e.l1 ^ p1)
+	// x == 0 -> mask = ^0; else mask = 0.
+	isZero := uint64(1) ^ ((x | -x) >> 63)
+	mask := -isZero
+	e.l0 &^= mask
+	e.l1 &^= mask
+}
+
+// IsZero reports whether e is the additive identity.
+func (e Element) IsZero() bool { return e.l0 == 0 && e.l1 == 0 }
+
+// IsOne reports whether e is the multiplicative identity.
+func (e Element) IsOne() bool { return e.l0 == 1 && e.l1 == 0 }
+
+// Equal reports whether e and x represent the same field element.
+func (e Element) Equal(x Element) bool { return e.l0 == x.l0 && e.l1 == x.l1 }
+
+// Add returns a + b mod p.
+func Add(a, b Element) Element {
+	lo, c := bits.Add64(a.l0, b.l0, 0)
+	hi, _ := bits.Add64(a.l1, b.l1, c)
+	// Sum < 2^128; fold bit 127 (and the impossible-to-survive second carry).
+	t := hi >> 63
+	hi &= mask127
+	lo, c = bits.Add64(lo, t, 0)
+	hi += c
+	var e Element
+	e.l0, e.l1 = lo, hi
+	// After fold the value is at most 2^127; a set bit 127 means exactly
+	// 2^127 == 1 mod p. Branchless fix-up.
+	top := e.l1 >> 63
+	e.l0 |= top // value was exactly 2^127 (l0 == 0), so this sets it to 1
+	e.l1 &= mask127
+	e.normalize()
+	return e
+}
+
+// Sub returns a - b mod p.
+func Sub(a, b Element) Element {
+	lo, borrow := bits.Sub64(a.l0, b.l0, 0)
+	hi, borrow := bits.Sub64(a.l1, b.l1, borrow)
+	// Add p back exactly when the subtraction borrowed (branchless).
+	mask := -borrow
+	lo, c := bits.Add64(lo, p0&mask, 0)
+	hi, _ = bits.Add64(hi, p1&mask, c)
+	e := Element{l0: lo, l1: hi}
+	e.normalize()
+	return e
+}
+
+// Neg returns -a mod p.
+func Neg(a Element) Element { return Sub(Element{}, a) }
+
+// Double returns 2a mod p.
+func Double(a Element) Element { return Add(a, a) }
+
+// Mul returns a * b mod p using a 128x128 -> 256-bit product followed by
+// two Mersenne foldings (the datapath's "reduction by 127-bit addition").
+func Mul(a, b Element) Element {
+	r0, r1, r2, r3 := mul128(a.l0, a.l1, b.l0, b.l1)
+	return reduce256(r0, r1, r2, r3)
+}
+
+// Sqr returns a^2 mod p.
+func Sqr(a Element) Element {
+	// A dedicated squaring saves one 64x64 multiply (the cross product is
+	// computed once and doubled).
+	lo, hi := a.l0, a.l1
+	hi1, lo0 := bits.Mul64(lo, lo) // lo^2
+	hi2, lo2 := bits.Mul64(lo, hi) // lo*hi (to be doubled)
+	hi3, lo3 := bits.Mul64(hi, hi) // hi^2
+	// Double the cross term.
+	c2top := hi2 >> 63
+	hi2 = hi2<<1 | lo2>>63
+	lo2 <<= 1
+	// Assemble r = lo0 + (hi1+lo2)*2^64 + (hi2+lo3)*2^128 + (hi3+c2top)*2^192.
+	r0 := lo0
+	r1, c := bits.Add64(hi1, lo2, 0)
+	r2, c := bits.Add64(hi2, lo3, c)
+	r3, _ := bits.Add64(hi3, c2top, c)
+	return reduce256(r0, r1, r2, r3)
+}
+
+// mul128 computes the 256-bit product of two 128-bit integers.
+func mul128(a0, a1, b0, b1 uint64) (r0, r1, r2, r3 uint64) {
+	h00, l00 := bits.Mul64(a0, b0)
+	h01, l01 := bits.Mul64(a0, b1)
+	h10, l10 := bits.Mul64(a1, b0)
+	h11, l11 := bits.Mul64(a1, b1)
+
+	r0 = l00
+	r1, c := bits.Add64(h00, l01, 0)
+	r2, c2 := bits.Add64(h01, l11, c)
+	r3 = h11 + c2
+
+	r1, c = bits.Add64(r1, l10, 0)
+	r2, c2 = bits.Add64(r2, h10, c)
+	r3 += c2
+	return
+}
+
+// reduce256 reduces a 256-bit integer r modulo p = 2^127 - 1.
+// Since inputs come from products of values < 2^127, r < 2^254.
+func reduce256(r0, r1, r2, r3 uint64) Element {
+	// Split r = u*2^127 + v with u, v < 2^127.
+	v0 := r0
+	v1 := r1 & mask127
+	u0 := r1>>63 | r2<<1
+	u1 := r2>>63 | r3<<1 // r3 < 2^62 so no bits lost
+
+	// s = u + v  (< 2^128)
+	s0, c := bits.Add64(u0, v0, 0)
+	s1, _ := bits.Add64(u1, v1, c)
+
+	// Fold bit 127 of s, then fix up the exact-2^127 case branchlessly.
+	t := s1 >> 63
+	s1 &= mask127
+	s0, c = bits.Add64(s0, t, 0)
+	s1 += c
+	top := s1 >> 63
+	s0 |= top
+	s1 &= mask127
+	e := Element{l0: s0, l1: s1}
+	e.normalize()
+	return e
+}
+
+// MulSmall returns a * v mod p for a small scalar v.
+func MulSmall(a Element, v uint64) Element {
+	h0, l0 := bits.Mul64(a.l0, v)
+	h1, l1 := bits.Mul64(a.l1, v)
+	r1, c := bits.Add64(h0, l1, 0)
+	r2 := h1 + c
+	return reduce256(l0, r1, r2, 0)
+}
+
+// Exp returns a^e mod p where the exponent is given as little-endian
+// 64-bit limbs. Uses left-to-right binary exponentiation.
+func Exp(a Element, e []uint64) Element {
+	r := One()
+	started := false
+	for i := len(e) - 1; i >= 0; i-- {
+		for b := 63; b >= 0; b-- {
+			if started {
+				r = Sqr(r)
+			}
+			if e[i]>>uint(b)&1 == 1 {
+				if started {
+					r = Mul(r, a)
+				} else {
+					r = a
+					started = true
+				}
+			}
+		}
+	}
+	if !started {
+		return One()
+	}
+	return r
+}
+
+// Inv returns a^-1 mod p (and zero for a == 0). Uses Fermat's little
+// theorem with the fixed exponent p-2 = 2^127 - 3 evaluated by an
+// addition chain (10 multiplications, 126 squarings), matching the
+// inversion routine a hardware sequencer would run.
+func Inv(a Element) Element {
+	// t_k denotes a^(2^k - 1).
+	t1 := Sqr(a)        // a^2
+	t1 = Mul(t1, a)     // a^3           = a^(2^2-1)
+	t2 := sqrN(t1, 2)   // a^(2^2(2^2-1))
+	t2 = Mul(t2, t1)    // a^(2^4-1)
+	t3 := sqrN(t2, 4)   //
+	t3 = Mul(t3, t2)    // a^(2^8-1)
+	t4 := sqrN(t3, 8)   //
+	t4 = Mul(t4, t3)    // a^(2^16-1)
+	t5 := sqrN(t4, 16)  //
+	t5 = Mul(t5, t4)    // a^(2^32-1)
+	t6 := sqrN(t5, 32)  //
+	t6 = Mul(t6, t5)    // a^(2^64-1)
+	t7 := sqrN(t6, 61)  // a^(2^125-2^61)
+	t5b := sqrN(t5, 29) // a^(2^61-2^29)
+	t7 = Mul(t7, t5b)
+	t4b := sqrN(t4, 13) // a^(2^29-2^13)
+	t7 = Mul(t7, t4b)
+	t3b := sqrN(t3, 5)
+	t7 = Mul(t7, t3b)
+	t2b := sqrN(t2, 1)
+	t7 = Mul(t7, t2b)
+	// t7 = a^(2^125 - 2^61 + 2^61 - 2^29 + 2^29 - 2^13 + 2^13 - 2^5 + 2^5 - 2)
+	//    = a^(2^125 - 2)
+	// We need a^(2^127 - 3) = a^(4*(2^125 - 2) + 5).
+	r := sqrN(t7, 2) // a^(2^127-8)
+	r = Mul(r, t1)   // * a^3 -> a^(2^127-5)
+	r = Mul(r, Sqr(a))
+	// a^(2^127-5) * a^2 = a^(2^127-3)
+	return r
+}
+
+func sqrN(a Element, n int) Element {
+	for i := 0; i < n; i++ {
+		a = Sqr(a)
+	}
+	return a
+}
+
+// IsSquare reports whether a is a quadratic residue mod p (0 counts as a
+// square). Computes the Legendre symbol a^((p-1)/2).
+func IsSquare(a Element) bool {
+	if a.IsZero() {
+		return true
+	}
+	// (p-1)/2 = 2^126 - 1.
+	e := []uint64{0xFFFFFFFFFFFFFFFF, 0x3FFFFFFFFFFFFFFF}
+	return Exp(a, e).IsOne()
+}
+
+// Sqrt returns a square root of a if one exists. Since p == 3 (mod 4),
+// sqrt(a) = a^((p+1)/4) = a^(2^125).
+func Sqrt(a Element) (Element, bool) {
+	r := sqrN(a, 125)
+	if !Sqr(r).Equal(a) {
+		return Element{}, false
+	}
+	return r, true
+}
+
+// Bytes returns the 16-byte little-endian canonical encoding of e.
+func (e Element) Bytes() [Size]byte {
+	var out [Size]byte
+	putUint64LE(out[0:8], e.l0)
+	putUint64LE(out[8:16], e.l1)
+	return out
+}
+
+// FromBytes decodes a little-endian 16-byte encoding. It returns an error
+// if the encoding is non-canonical (value >= p).
+func FromBytes(b []byte) (Element, error) {
+	if len(b) != Size {
+		return Element{}, fmt.Errorf("fp: encoding must be %d bytes, got %d", Size, len(b))
+	}
+	lo := getUint64LE(b[0:8])
+	hi := getUint64LE(b[8:16])
+	if hi>>63 != 0 || (hi == p1 && lo == p0) {
+		return Element{}, errors.New("fp: non-canonical encoding")
+	}
+	return Element{l0: lo, l1: hi}, nil
+}
+
+// Random returns a uniformly random field element read from r.
+func Random(r io.Reader) (Element, error) {
+	var buf [Size]byte
+	for {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return Element{}, err
+		}
+		lo := getUint64LE(buf[0:8])
+		hi := getUint64LE(buf[8:16]) & mask127
+		if hi == p1 && lo == p0 {
+			continue // rejection sample the single invalid pattern
+		}
+		return Element{l0: lo, l1: hi}, nil
+	}
+}
+
+// String formats the element as 0x-prefixed big-endian hex.
+func (e Element) String() string {
+	return fmt.Sprintf("0x%016x%016x", e.l1, e.l0)
+}
+
+func putUint64LE(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getUint64LE(b []byte) uint64 {
+	_ = b[7]
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,374 @@
+package fp
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// bigP is the modulus as a big.Int for reference computations.
+var bigP = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 127), big.NewInt(1))
+
+func toBig(e Element) *big.Int {
+	lo, hi := e.Limbs()
+	v := new(big.Int).SetUint64(hi)
+	v.Lsh(v, 64)
+	return v.Add(v, new(big.Int).SetUint64(lo))
+}
+
+func fromBig(v *big.Int) Element {
+	m := new(big.Int).Mod(v, bigP)
+	lo := new(big.Int).And(m, new(big.Int).SetUint64(^uint64(0))).Uint64()
+	hi := new(big.Int).Rsh(m, 64).Uint64()
+	return SetLimbs(lo, hi)
+}
+
+// randElement returns a uniformly random element using the given source.
+func randElement(r *mrand.Rand) Element {
+	for {
+		lo := r.Uint64()
+		hi := r.Uint64() & mask127
+		if hi == p1 && lo == p0 {
+			continue
+		}
+		return Element{l0: lo, l1: hi}
+	}
+}
+
+// Generate implements quick.Generator so Element can be used directly in
+// property-based tests.
+func (Element) Generate(r *mrand.Rand, _ int) reflect.Value {
+	// Bias toward boundary values occasionally.
+	var e Element
+	switch r.Intn(8) {
+	case 0:
+		e = Element{}
+	case 1:
+		e = One()
+	case 2:
+		e = Element{l0: p0 - 1, l1: p1} // p-1
+	default:
+		e = randElement(r)
+	}
+	return reflect.ValueOf(e)
+}
+
+func TestConstants(t *testing.T) {
+	if !Zero().IsZero() {
+		t.Fatal("Zero is not zero")
+	}
+	if !One().IsOne() {
+		t.Fatal("One is not one")
+	}
+	if One().IsZero() || Zero().IsOne() {
+		t.Fatal("identity confusion")
+	}
+}
+
+func TestSetLimbsFolding(t *testing.T) {
+	cases := []struct {
+		lo, hi uint64
+		want   *big.Int
+	}{
+		{0, 0, big.NewInt(0)},
+		{1, 0, big.NewInt(1)},
+		{p0, p1, big.NewInt(0)},                       // p == 0
+		{0, 1 << 63, big.NewInt(1)},                   // 2^127 == 1
+		{p0, ^uint64(0), big.NewInt(0).SetUint64(p0)}, // fold check
+		{^uint64(0), ^uint64(0), big.NewInt(1)},       // 2^128-1 == 2*(2^127-1)+1 == 1
+	}
+	for i, c := range cases {
+		e := SetLimbs(c.lo, c.hi)
+		in := new(big.Int).SetUint64(c.hi)
+		in.Lsh(in, 64).Add(in, new(big.Int).SetUint64(c.lo))
+		want := new(big.Int).Mod(in, bigP)
+		if toBig(e).Cmp(want) != 0 {
+			t.Errorf("case %d: SetLimbs(%#x,%#x) = %v, want %v", i, c.lo, c.hi, toBig(e), want)
+		}
+	}
+}
+
+func TestAddMatchesBigInt(t *testing.T) {
+	f := func(a, b Element) bool {
+		got := toBig(Add(a, b))
+		want := new(big.Int).Add(toBig(a), toBig(b))
+		want.Mod(want, bigP)
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubMatchesBigInt(t *testing.T) {
+	f := func(a, b Element) bool {
+		got := toBig(Sub(a, b))
+		want := new(big.Int).Sub(toBig(a), toBig(b))
+		want.Mod(want, bigP)
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulMatchesBigInt(t *testing.T) {
+	f := func(a, b Element) bool {
+		got := toBig(Mul(a, b))
+		want := new(big.Int).Mul(toBig(a), toBig(b))
+		want.Mod(want, bigP)
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSqrMatchesMul(t *testing.T) {
+	f := func(a Element) bool {
+		return Sqr(a).Equal(Mul(a, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulSmallMatchesMul(t *testing.T) {
+	f := func(a Element, v uint64) bool {
+		return MulSmall(a, v).Equal(Mul(a, New(v)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	assoc := func(a, b, c Element) bool {
+		return Mul(Mul(a, b), c).Equal(Mul(a, Mul(b, c))) &&
+			Add(Add(a, b), c).Equal(Add(a, Add(b, c)))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error("associativity:", err)
+	}
+	comm := func(a, b Element) bool {
+		return Mul(a, b).Equal(Mul(b, a)) && Add(a, b).Equal(Add(b, a))
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error("commutativity:", err)
+	}
+	distrib := func(a, b, c Element) bool {
+		return Mul(a, Add(b, c)).Equal(Add(Mul(a, b), Mul(a, c)))
+	}
+	if err := quick.Check(distrib, nil); err != nil {
+		t.Error("distributivity:", err)
+	}
+	ident := func(a Element) bool {
+		return Mul(a, One()).Equal(a) && Add(a, Zero()).Equal(a)
+	}
+	if err := quick.Check(ident, nil); err != nil {
+		t.Error("identity:", err)
+	}
+	inverse := func(a Element) bool {
+		return Add(a, Neg(a)).IsZero() && Sub(a, a).IsZero()
+	}
+	if err := quick.Check(inverse, nil); err != nil {
+		t.Error("additive inverse:", err)
+	}
+}
+
+func TestInv(t *testing.T) {
+	if !Inv(Zero()).IsZero() {
+		t.Error("Inv(0) should be 0 by convention")
+	}
+	if !Inv(One()).IsOne() {
+		t.Error("Inv(1) != 1")
+	}
+	f := func(a Element) bool {
+		if a.IsZero() {
+			return true
+		}
+		return Mul(a, Inv(a)).IsOne()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	// Cross-check against big.Int ModInverse.
+	rng := mrand.New(mrand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		a := randElement(rng)
+		if a.IsZero() {
+			continue
+		}
+		want := new(big.Int).ModInverse(toBig(a), bigP)
+		if toBig(Inv(a)).Cmp(want) != 0 {
+			t.Fatalf("Inv mismatch for %v", a)
+		}
+	}
+}
+
+func TestExp(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		a := randElement(rng)
+		e := []uint64{rng.Uint64(), rng.Uint64() & mask127}
+		be := new(big.Int).SetUint64(e[1])
+		be.Lsh(be, 64).Add(be, new(big.Int).SetUint64(e[0]))
+		want := new(big.Int).Exp(toBig(a), be, bigP)
+		if toBig(Exp(a, e)).Cmp(want) != 0 {
+			t.Fatalf("Exp mismatch: a=%v e=%v", a, be)
+		}
+	}
+	if !Exp(New(5), []uint64{0}).IsOne() {
+		t.Error("a^0 != 1")
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(13))
+	squares, nonSquares := 0, 0
+	for i := 0; i < 100; i++ {
+		a := randElement(rng)
+		s := Sqr(a)
+		r, ok := Sqrt(s)
+		if !ok {
+			t.Fatalf("Sqrt failed on a known square %v", s)
+		}
+		if !Sqr(r).Equal(s) {
+			t.Fatalf("Sqrt returned a non-root")
+		}
+		if IsSquare(s) {
+			squares++
+		}
+		b := randElement(rng)
+		if !IsSquare(b) {
+			nonSquares++
+			if _, ok := Sqrt(b); ok {
+				t.Fatalf("Sqrt succeeded on a non-square")
+			}
+		}
+	}
+	if squares != 100 {
+		t.Errorf("IsSquare failed on %d known squares", 100-squares)
+	}
+	if nonSquares == 0 {
+		t.Error("suspicious: no non-squares among random elements")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(a Element) bool {
+		b := a.Bytes()
+		got, err := FromBytes(b[:])
+		return err == nil && got.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromBytesRejectsNonCanonical(t *testing.T) {
+	// Encoding of p itself.
+	enc := Element{l0: p0, l1: p1}
+	b := enc.Bytes()
+	if _, err := FromBytes(b[:]); err == nil {
+		t.Error("FromBytes accepted encoding of p")
+	}
+	// Bit 127 set.
+	var hi [Size]byte
+	hi[15] = 0x80
+	if _, err := FromBytes(hi[:]); err == nil {
+		t.Error("FromBytes accepted encoding with bit 127 set")
+	}
+	if _, err := FromBytes(make([]byte, 5)); err == nil {
+		t.Error("FromBytes accepted short encoding")
+	}
+}
+
+func TestRandom(t *testing.T) {
+	seen := map[Element]bool{}
+	for i := 0; i < 32; i++ {
+		e, err := Random(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[e] = true
+	}
+	if len(seen) < 32 {
+		t.Error("Random produced duplicates; extremely unlikely")
+	}
+}
+
+func TestFermat(t *testing.T) {
+	// a^(p-1) == 1 for a != 0.
+	pm1 := []uint64{p0 - 1, p1}
+	rng := mrand.New(mrand.NewSource(17))
+	for i := 0; i < 10; i++ {
+		a := randElement(rng)
+		if a.IsZero() {
+			continue
+		}
+		if !Exp(a, pm1).IsOne() {
+			t.Fatalf("Fermat violated for %v", a)
+		}
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(1))
+	x, y := randElement(rng), randElement(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	sink = x
+}
+
+func BenchmarkSqr(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(2))
+	x := randElement(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = Sqr(x)
+	}
+	sink = x
+}
+
+func BenchmarkInv(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(3))
+	x := randElement(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = Inv(x)
+	}
+	sink = x
+}
+
+var sink Element
+
+func TestLegendreMultiplicative(t *testing.T) {
+	f := func(a, b Element) bool {
+		if a.IsZero() || b.IsZero() {
+			return true
+		}
+		return IsSquare(Mul(a, b)) == (IsSquare(a) == IsSquare(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCTHelpersMatchBranches(t *testing.T) {
+	f := func(a, b Element) bool {
+		if !CSelect(1, a, b).Equal(a) || !CSelect(0, a, b).Equal(b) {
+			return false
+		}
+		eq := CTEq(a, b)
+		return (eq == 1) == a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

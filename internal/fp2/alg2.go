@@ -1,0 +1,199 @@
+package fp2
+
+import (
+	"math/bits"
+
+	"repro/internal/fp"
+)
+
+// This file is a bit-exact software model of the paper's Algorithm 2: the
+// pipelined Karatsuba GF(p^2) multiplier with lazy reduction. The hardware
+// keeps unreduced 254..256-bit intermediates in pipeline registers and
+// performs the Mersenne reduction only at the very end of the accumulation
+// (the "lazy reduction" of Scott / Aranha et al.). The RTL simulator in
+// internal/rtl executes exactly these stages, one per pipeline cycle.
+
+// u256 is an unsigned 256-bit integer in four little-endian 64-bit limbs.
+type u256 [4]uint64
+
+func u256FromFp(e fp.Element) u256 {
+	lo, hi := e.Limbs()
+	return u256{lo, hi, 0, 0}
+}
+
+// mulWide computes the full 256-bit product of two canonical GF(p)
+// elements (each < 2^127), i.e. Algorithm 2's t0, t1.
+func mulWide(a, b fp.Element) u256 {
+	a0, a1 := a.Limbs()
+	b0, b1 := b.Limbs()
+	h00, l00 := bits.Mul64(a0, b0)
+	h01, l01 := bits.Mul64(a0, b1)
+	h10, l10 := bits.Mul64(a1, b0)
+	h11, l11 := bits.Mul64(a1, b1)
+
+	var r u256
+	r[0] = l00
+	var c, c2 uint64
+	r[1], c = bits.Add64(h00, l01, 0)
+	r[2], c2 = bits.Add64(h01, l11, c)
+	r[3] = h11 + c2
+	r[1], c = bits.Add64(r[1], l10, 0)
+	r[2], c2 = bits.Add64(r[2], h10, c)
+	r[3] += c2
+	return r
+}
+
+// mulWide128 multiplies two 128-bit values given as limb pairs (used for
+// t6 = t2*t3 where the factors may reach 2^128-2).
+func mulWide128(a0, a1, b0, b1 uint64) u256 {
+	h00, l00 := bits.Mul64(a0, b0)
+	h01, l01 := bits.Mul64(a0, b1)
+	h10, l10 := bits.Mul64(a1, b0)
+	h11, l11 := bits.Mul64(a1, b1)
+
+	var r u256
+	r[0] = l00
+	var c, c2 uint64
+	r[1], c = bits.Add64(h00, l01, 0)
+	r[2], c2 = bits.Add64(h01, l11, c)
+	r[3] = h11 + c2
+	r[1], c = bits.Add64(r[1], l10, 0)
+	r[2], c2 = bits.Add64(r[2], h10, c)
+	r[3] += c2
+	return r
+}
+
+func addU256(a, b u256) (r u256, carry uint64) {
+	var c uint64
+	r[0], c = bits.Add64(a[0], b[0], 0)
+	r[1], c = bits.Add64(a[1], b[1], c)
+	r[2], c = bits.Add64(a[2], b[2], c)
+	r[3], c = bits.Add64(a[3], b[3], c)
+	return r, c
+}
+
+func subU256(a, b u256) (r u256, borrow uint64) {
+	var bw uint64
+	r[0], bw = bits.Sub64(a[0], b[0], 0)
+	r[1], bw = bits.Sub64(a[1], b[1], bw)
+	r[2], bw = bits.Sub64(a[2], b[2], bw)
+	r[3], bw = bits.Sub64(a[3], b[3], bw)
+	return r, bw
+}
+
+// pRepresentative254 is 2^254 - 1 = p * (2^127 + 1), the multiple of p the
+// datapath adds to make a negative 254-bit lazy value non-negative. The
+// paper writes this step as "t7 <- t4 + p if t4 < 0": in the folded 254-bit
+// domain the constant that plays the role of p is p*(2^127+1).
+var pRepresentative254 = u256{^uint64(0), ^uint64(0), ^uint64(0), 0x3FFFFFFFFFFFFFFF}
+
+// fold254 computes v[126:0] + v[253:127] for a 254-bit value (Algorithm 2's
+// t9 computation), returning a 128-bit result as two limbs.
+func fold254(v u256) (lo, hi uint64) {
+	low0 := v[0]
+	low1 := v[1] & 0x7FFFFFFFFFFFFFFF
+	hi0 := v[1]>>63 | v[2]<<1
+	hi1 := v[2]>>63 | v[3]<<1 // bits up to 253 only; caller guarantees v < 2^254
+	var c uint64
+	lo, c = bits.Add64(low0, hi0, 0)
+	hi, _ = bits.Add64(low1, hi1, c)
+	return lo, hi
+}
+
+// fold256 computes v[126:0] + v[253:127] + v[255:254] (Algorithm 2's t10
+// computation), valid for the full 256-bit register.
+func fold256(v u256) (lo, hi uint64) {
+	top2 := v[3] >> 62 // bits 255:254, weight 2^254 == 1 (mod p)
+	masked := v
+	masked[3] &= 0x3FFFFFFFFFFFFFFF
+	lo, hi = fold254(masked)
+	var c uint64
+	lo, c = bits.Add64(lo, top2, 0)
+	hi += c
+	return lo, hi
+}
+
+// condSubP reduces a 128-bit folded value into [0, p) with up to two
+// conditional subtractions, the datapath's final correction stage.
+func condSubP(lo, hi uint64) fp.Element {
+	p0, p1 := fp.P()
+	for i := 0; i < 2; i++ {
+		if hi > p1 || (hi == p1 && lo >= p0) {
+			var bw uint64
+			lo, bw = bits.Sub64(lo, p0, 0)
+			hi, _ = bits.Sub64(hi, p1, bw)
+		}
+	}
+	return fp.SetLimbs(lo, hi)
+}
+
+// Alg2Trace records every named intermediate of Algorithm 2 so tests and
+// the RTL model can check stage values, not just the final product.
+type Alg2Trace struct {
+	T0, T1, T6     u256   // wide products
+	T2Lo, T2Hi     uint64 // x0+x1 (128-bit)
+	T3Lo, T3Hi     uint64 // y0+y1
+	T4Neg          bool   // sign of t0-t1
+	T4, T5, T7, T8 u256
+	T9Lo, T9Hi     uint64
+	T10Lo, T10Hi   uint64
+	Z0, Z1         fp.Element
+}
+
+// MulAlg2 multiplies a*b following Algorithm 2 of the paper stage by
+// stage and returns the product. It is functionally identical to Mul; the
+// point is that every intermediate matches the hardware pipeline register
+// contents. Use MulAlg2Trace to observe the stages.
+func MulAlg2(a, b Element) Element {
+	tr := MulAlg2Trace(a, b)
+	return Element{A: tr.Z0, B: tr.Z1}
+}
+
+// MulAlg2Trace is MulAlg2 with full visibility into the pipeline stages.
+func MulAlg2Trace(x, y Element) Alg2Trace {
+	var tr Alg2Trace
+
+	// Stage 1: two wide multiplications and the two Karatsuba pre-additions.
+	tr.T0 = mulWide(x.A, y.A)
+	tr.T1 = mulWide(x.B, y.B)
+	x0lo, x0hi := x.A.Limbs()
+	x1lo, x1hi := x.B.Limbs()
+	y0lo, y0hi := y.A.Limbs()
+	y1lo, y1hi := y.B.Limbs()
+	var c uint64
+	tr.T2Lo, c = bits.Add64(x0lo, x1lo, 0)
+	tr.T2Hi, _ = bits.Add64(x0hi, x1hi, c)
+	tr.T3Lo, c = bits.Add64(y0lo, y1lo, 0)
+	tr.T3Hi, _ = bits.Add64(y0hi, y1hi, c)
+
+	// Stage 2: t4 = t0 - t1 (signed), t5 = t0 + t1, t6 = t2 * t3.
+	var borrow uint64
+	tr.T4, borrow = subU256(tr.T0, tr.T1)
+	tr.T4Neg = borrow != 0
+	tr.T5, _ = addU256(tr.T0, tr.T1)
+	tr.T6 = mulWide128(tr.T2Lo, tr.T2Hi, tr.T3Lo, tr.T3Hi)
+
+	// Stage 3: make t4 non-negative by adding p*(2^127+1) = 2^254-1;
+	// t8 = t6 - t5 (always non-negative: it is the cross term).
+	tr.T7 = tr.T4
+	if tr.T4Neg {
+		tr.T7, _ = addU256(tr.T4, pRepresentative254)
+	}
+	tr.T8, _ = subU256(tr.T6, tr.T5)
+
+	// Stage 4: Mersenne folds.
+	tr.T9Lo, tr.T9Hi = fold254(tr.T7)
+	tr.T10Lo, tr.T10Hi = fold256(tr.T8)
+
+	// Stage 5: final conditional subtractions.
+	tr.Z0 = condSubP(tr.T9Lo, tr.T9Hi)
+	tr.Z1 = condSubP(tr.T10Lo, tr.T10Hi)
+	return tr
+}
+
+// FpMulCount reports the number of GF(p) multiplier instances Algorithm 2
+// uses (3, versus 4 for the schoolbook datapath); used by the area model.
+const FpMulCount = 3
+
+// SchoolbookFpMulCount is the GF(p) multiplier count of the naive design.
+const SchoolbookFpMulCount = 4

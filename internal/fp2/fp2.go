@@ -1,0 +1,249 @@
+// Package fp2 implements arithmetic in the quadratic extension field
+// GF(p^2) = GF(p)[i]/(i^2+1) with p = 2^127 - 1, the field over which the
+// FourQ curve is defined.
+//
+// Besides the ordinary software routines (Karatsuba and schoolbook
+// multiplication, inversion, square roots) the package contains a bit-exact
+// model of the pipelined multiplier datapath from the reproduced paper
+// (Algorithm 2: Karatsuba multiplication with lazy reduction on 256-bit
+// intermediate registers), used by the cycle-accurate RTL simulator.
+package fp2
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fp"
+)
+
+// Size is the byte length of an encoded field element (two GF(p) elements).
+const Size = 2 * fp.Size
+
+// Element is an element a + b*i of GF(p^2) with a, b in GF(p) and i^2 = -1.
+// The zero value is the additive identity.
+type Element struct {
+	A fp.Element // real part
+	B fp.Element // imaginary part
+}
+
+// New builds an element from its real and imaginary GF(p) parts.
+func New(a, b fp.Element) Element { return Element{A: a, B: b} }
+
+// FromUint64 returns the element a + b*i for small integers a, b.
+func FromUint64(a, b uint64) Element { return Element{A: fp.New(a), B: fp.New(b)} }
+
+// Zero returns the additive identity.
+func Zero() Element { return Element{} }
+
+// One returns the multiplicative identity.
+func One() Element { return Element{A: fp.One()} }
+
+// I returns the square root of -1, the element i.
+func I() Element { return Element{B: fp.One()} }
+
+// IsZero reports whether e == 0.
+func (e Element) IsZero() bool { return e.A.IsZero() && e.B.IsZero() }
+
+// IsOne reports whether e == 1.
+func (e Element) IsOne() bool { return e.A.IsOne() && e.B.IsZero() }
+
+// Equal reports whether e == x.
+func (e Element) Equal(x Element) bool { return e.A.Equal(x.A) && e.B.Equal(x.B) }
+
+// Add returns a + b.
+func Add(a, b Element) Element {
+	return Element{A: fp.Add(a.A, b.A), B: fp.Add(a.B, b.B)}
+}
+
+// Sub returns a - b.
+func Sub(a, b Element) Element {
+	return Element{A: fp.Sub(a.A, b.A), B: fp.Sub(a.B, b.B)}
+}
+
+// Neg returns -a.
+func Neg(a Element) Element {
+	return Element{A: fp.Neg(a.A), B: fp.Neg(a.B)}
+}
+
+// Conj returns the conjugate a - b*i. Conjugation is the p-power Frobenius
+// map of GF(p^2)/GF(p).
+func Conj(a Element) Element {
+	return Element{A: a.A, B: fp.Neg(a.B)}
+}
+
+// Double returns 2a.
+func Double(a Element) Element {
+	return Element{A: fp.Double(a.A), B: fp.Double(a.B)}
+}
+
+// MulI returns a * i, a free rotation in hardware (swap + negate).
+func MulI(a Element) Element {
+	return Element{A: fp.Neg(a.B), B: a.A}
+}
+
+// MulFp scales a by the GF(p) element s.
+func MulFp(a Element, s fp.Element) Element {
+	return Element{A: fp.Mul(a.A, s), B: fp.Mul(a.B, s)}
+}
+
+// MulSmall scales a by a small integer.
+func MulSmall(a Element, v uint64) Element {
+	return Element{A: fp.MulSmall(a.A, v), B: fp.MulSmall(a.B, v)}
+}
+
+// Mul returns a * b using Karatsuba multiplication: three GF(p)
+// multiplications and five additions/subtractions, the decomposition the
+// paper's multiplier implements. See also MulSchoolbook and MulAlg2.
+func Mul(a, b Element) Element {
+	t0 := fp.Mul(a.A, b.A)           // a0*b0
+	t1 := fp.Mul(a.B, b.B)           // a1*b1
+	t2 := fp.Add(a.A, a.B)           // a0+a1
+	t3 := fp.Add(b.A, b.B)           // b0+b1
+	t6 := fp.Mul(t2, t3)             // (a0+a1)(b0+b1)
+	c0 := fp.Sub(t0, t1)             // a0b0 - a1b1
+	c1 := fp.Sub(t6, fp.Add(t0, t1)) // cross term
+	return Element{A: c0, B: c1}
+}
+
+// MulSchoolbook returns a * b using the traditional four-multiplication
+// formula. Kept as the ablation baseline for the Karatsuba datapath (the
+// paper's Section III-B compares against a four-multiplier design).
+func MulSchoolbook(a, b Element) Element {
+	c0 := fp.Sub(fp.Mul(a.A, b.A), fp.Mul(a.B, b.B))
+	c1 := fp.Add(fp.Mul(a.A, b.B), fp.Mul(a.B, b.A))
+	return Element{A: c0, B: c1}
+}
+
+// Sqr returns a^2 using the complex squaring shortcut:
+// (a0+a1*i)^2 = (a0+a1)(a0-a1) + 2*a0*a1*i  -- two GF(p) multiplications.
+func Sqr(a Element) Element {
+	t0 := fp.Add(a.A, a.B)
+	t1 := fp.Sub(a.A, a.B)
+	t2 := fp.Double(a.A)
+	return Element{A: fp.Mul(t0, t1), B: fp.Mul(t2, a.B)}
+}
+
+// Norm returns the field norm a0^2 + a1^2 in GF(p).
+func Norm(a Element) fp.Element {
+	return fp.Add(fp.Sqr(a.A), fp.Sqr(a.B))
+}
+
+// Inv returns a^-1 (and zero for a == 0), via conjugate over norm:
+// (a0 + a1*i)^-1 = (a0 - a1*i) / (a0^2 + a1^2).
+func Inv(a Element) Element {
+	n := fp.Inv(Norm(a))
+	return Element{A: fp.Mul(a.A, n), B: fp.Mul(fp.Neg(a.B), n)}
+}
+
+// IsSquare reports whether a is a quadratic residue in GF(p^2).
+// a is a square iff its norm is a square in GF(p).
+func IsSquare(a Element) bool {
+	return fp.IsSquare(Norm(a))
+}
+
+// BatchInv inverts every element of xs in place using Montgomery's trick:
+// one field inversion plus 3(n-1) multiplications. Zero entries stay
+// zero (matching Inv's convention) and do not disturb the others.
+func BatchInv(xs []Element) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	// Prefix products, skipping zeros.
+	prefix := make([]Element, n)
+	acc := One()
+	for i, x := range xs {
+		prefix[i] = acc
+		if !x.IsZero() {
+			acc = Mul(acc, x)
+		}
+	}
+	inv := Inv(acc)
+	for i := n - 1; i >= 0; i-- {
+		if xs[i].IsZero() {
+			continue
+		}
+		orig := xs[i]
+		xs[i] = Mul(inv, prefix[i])
+		inv = Mul(inv, orig)
+	}
+}
+
+// Sqrt returns x with x^2 == a, if a is a square. The second return value
+// reports success. Uses the standard complex method for p == 3 (mod 4).
+func Sqrt(a Element) (Element, bool) {
+	if a.B.IsZero() {
+		// a is in GF(p): either sqrt(a0) or sqrt(-a0)*i exists.
+		if r, ok := fp.Sqrt(a.A); ok {
+			return Element{A: r}, true
+		}
+		if r, ok := fp.Sqrt(fp.Neg(a.A)); ok {
+			return Element{B: r}, true
+		}
+		return Element{}, false
+	}
+	n, ok := fp.Sqrt(Norm(a))
+	if !ok {
+		return Element{}, false
+	}
+	inv2 := fp.Inv(fp.New(2))
+	v := fp.Mul(fp.Add(a.A, n), inv2)
+	if !fp.IsSquare(v) {
+		v = fp.Mul(fp.Sub(a.A, n), inv2)
+	}
+	x0, ok := fp.Sqrt(v)
+	if !ok {
+		return Element{}, false
+	}
+	x1 := fp.Mul(a.B, fp.Inv(fp.Double(x0)))
+	r := Element{A: x0, B: x1}
+	if !Sqr(r).Equal(a) {
+		return Element{}, false
+	}
+	return r, true
+}
+
+// Bytes returns the 32-byte encoding: real part little-endian, then
+// imaginary part little-endian (FourQ convention).
+func (e Element) Bytes() [Size]byte {
+	var out [Size]byte
+	a := e.A.Bytes()
+	b := e.B.Bytes()
+	copy(out[:fp.Size], a[:])
+	copy(out[fp.Size:], b[:])
+	return out
+}
+
+// FromBytes decodes a 32-byte encoding, rejecting non-canonical parts.
+func FromBytes(b []byte) (Element, error) {
+	if len(b) != Size {
+		return Element{}, fmt.Errorf("fp2: encoding must be %d bytes, got %d", Size, len(b))
+	}
+	a, err := fp.FromBytes(b[:fp.Size])
+	if err != nil {
+		return Element{}, err
+	}
+	bb, err := fp.FromBytes(b[fp.Size:])
+	if err != nil {
+		return Element{}, err
+	}
+	return Element{A: a, B: bb}, nil
+}
+
+// Random returns a uniformly random element read from r.
+func Random(r io.Reader) (Element, error) {
+	a, err := fp.Random(r)
+	if err != nil {
+		return Element{}, err
+	}
+	b, err := fp.Random(r)
+	if err != nil {
+		return Element{}, err
+	}
+	return Element{A: a, B: b}, nil
+}
+
+// String formats the element as "a + b*i" in hex.
+func (e Element) String() string {
+	return fmt.Sprintf("%v + %v*i", e.A, e.B)
+}

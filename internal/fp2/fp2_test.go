@@ -1,0 +1,322 @@
+package fp2
+
+import (
+	"math/big"
+	mrand "math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fp"
+)
+
+var bigP = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 127), big.NewInt(1))
+
+func randFp(r *mrand.Rand) fp.Element {
+	for {
+		lo := r.Uint64()
+		hi := r.Uint64() & 0x7FFFFFFFFFFFFFFF
+		e := fp.SetLimbs(lo, hi)
+		elo, ehi := e.Limbs()
+		if elo == lo && ehi == hi {
+			return e
+		}
+	}
+}
+
+func randElement(r *mrand.Rand) Element {
+	return Element{A: randFp(r), B: randFp(r)}
+}
+
+// Generate implements quick.Generator.
+func (Element) Generate(r *mrand.Rand, _ int) reflect.Value {
+	var e Element
+	switch r.Intn(10) {
+	case 0:
+		e = Zero()
+	case 1:
+		e = One()
+	case 2:
+		e = I()
+	case 3:
+		// p-1 in both coordinates: maximal canonical values.
+		pm1 := fp.Sub(fp.Zero(), fp.One())
+		e = Element{A: pm1, B: pm1}
+	default:
+		e = randElement(r)
+	}
+	return reflect.ValueOf(e)
+}
+
+func fpToBig(e fp.Element) *big.Int {
+	lo, hi := e.Limbs()
+	v := new(big.Int).SetUint64(hi)
+	v.Lsh(v, 64)
+	return v.Add(v, new(big.Int).SetUint64(lo))
+}
+
+// refMul multiplies via big.Int complex arithmetic.
+func refMul(a, b Element) (re, im *big.Int) {
+	a0, a1 := fpToBig(a.A), fpToBig(a.B)
+	b0, b1 := fpToBig(b.A), fpToBig(b.B)
+	re = new(big.Int).Mul(a0, b0)
+	re.Sub(re, new(big.Int).Mul(a1, b1))
+	re.Mod(re, bigP)
+	im = new(big.Int).Mul(a0, b1)
+	im.Add(im, new(big.Int).Mul(a1, b0))
+	im.Mod(im, bigP)
+	return
+}
+
+func TestIIsSqrtMinusOne(t *testing.T) {
+	minusOne := Neg(One())
+	if !Mul(I(), I()).Equal(minusOne) {
+		t.Fatal("i^2 != -1")
+	}
+	if !MulI(One()).Equal(I()) {
+		t.Fatal("MulI(1) != i")
+	}
+}
+
+func TestMulAgainstBigInt(t *testing.T) {
+	f := func(a, b Element) bool {
+		got := Mul(a, b)
+		re, im := refMul(a, b)
+		return fpToBig(got.A).Cmp(re) == 0 && fpToBig(got.B).Cmp(im) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVariantsAgree(t *testing.T) {
+	f := func(a, b Element) bool {
+		m := Mul(a, b)
+		return m.Equal(MulSchoolbook(a, b)) && m.Equal(MulAlg2(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlg2StageInvariants(t *testing.T) {
+	// The lazy-reduction pipeline keeps all intermediates inside the widths
+	// of the hardware registers; check the documented bounds.
+	rng := mrand.New(mrand.NewSource(21))
+	pm1 := fp.Sub(fp.Zero(), fp.One())
+	cases := []struct{ x, y Element }{
+		{Zero(), Zero()},
+		{One(), One()},
+		{Element{A: pm1, B: pm1}, Element{A: pm1, B: pm1}},
+		{I(), I()},
+		{Element{A: pm1}, Element{B: pm1}},
+	}
+	for i := 0; i < 200; i++ {
+		cases = append(cases, struct{ x, y Element }{randElement(rng), randElement(rng)})
+	}
+	for _, c := range cases {
+		tr := MulAlg2Trace(c.x, c.y)
+		// t7 must fit in 254 bits.
+		if tr.T7[3]>>62 != 0 {
+			t.Fatalf("t7 exceeds 254 bits for %v * %v", c.x, c.y)
+		}
+		// t8 (cross term) must fit in 255 bits and be non-negative
+		// (checked implicitly: t6 >= t5 always).
+		if tr.T8[3]>>63 != 0 {
+			t.Fatalf("t8 exceeds 255 bits for %v * %v", c.x, c.y)
+		}
+		// Final outputs are canonical.
+		want := Mul(c.x, c.y)
+		if !tr.Z0.Equal(want.A) || !tr.Z1.Equal(want.B) {
+			t.Fatalf("Alg2 result mismatch for %v * %v", c.x, c.y)
+		}
+	}
+}
+
+func TestSqrMatchesMul(t *testing.T) {
+	f := func(a Element) bool {
+		return Sqr(a).Equal(Mul(a, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	assoc := func(a, b, c Element) bool {
+		return Mul(Mul(a, b), c).Equal(Mul(a, Mul(b, c)))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error("associativity:", err)
+	}
+	distrib := func(a, b, c Element) bool {
+		return Mul(a, Add(b, c)).Equal(Add(Mul(a, b), Mul(a, c)))
+	}
+	if err := quick.Check(distrib, nil); err != nil {
+		t.Error("distributivity:", err)
+	}
+	conjMult := func(a, b Element) bool {
+		return Conj(Mul(a, b)).Equal(Mul(Conj(a), Conj(b)))
+	}
+	if err := quick.Check(conjMult, nil); err != nil {
+		t.Error("conjugation homomorphism:", err)
+	}
+	addSub := func(a, b Element) bool {
+		return Sub(Add(a, b), b).Equal(a) && Add(a, Neg(a)).IsZero()
+	}
+	if err := quick.Check(addSub, nil); err != nil {
+		t.Error("add/sub:", err)
+	}
+}
+
+func TestInv(t *testing.T) {
+	if !Inv(Zero()).IsZero() {
+		t.Error("Inv(0) != 0")
+	}
+	f := func(a Element) bool {
+		if a.IsZero() {
+			return true
+		}
+		return Mul(a, Inv(a)).IsOne()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormMultiplicative(t *testing.T) {
+	f := func(a, b Element) bool {
+		return Norm(Mul(a, b)).Equal(fp.Mul(Norm(a), Norm(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(31))
+	for i := 0; i < 50; i++ {
+		a := randElement(rng)
+		s := Sqr(a)
+		r, ok := Sqrt(s)
+		if !ok {
+			t.Fatalf("Sqrt failed on square %v", s)
+		}
+		if !Sqr(r).Equal(s) {
+			t.Fatalf("Sqrt returned non-root for %v", s)
+		}
+	}
+	// Pure-real and pure-imaginary cases.
+	for i := 0; i < 20; i++ {
+		a := Element{A: randFp(rng)}
+		s := Sqr(a)
+		if r, ok := Sqrt(s); !ok || !Sqr(r).Equal(s) {
+			t.Fatalf("Sqrt failed on real square")
+		}
+		b := Element{B: randFp(rng)}
+		s = Sqr(b)
+		if r, ok := Sqrt(s); !ok || !Sqr(r).Equal(s) {
+			t.Fatalf("Sqrt failed on imaginary square")
+		}
+	}
+	// Non-squares must be rejected. i*nonsquare trick: find one by search.
+	found := 0
+	for i := 0; i < 50; i++ {
+		a := randElement(rng)
+		if !IsSquare(a) {
+			found++
+			if _, ok := Sqrt(a); ok {
+				t.Fatalf("Sqrt succeeded on non-square %v", a)
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("no non-squares found in 50 random elements; suspicious")
+	}
+}
+
+func TestMulIEquivalence(t *testing.T) {
+	f := func(a Element) bool {
+		return MulI(a).Equal(Mul(a, I()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulFpAndSmall(t *testing.T) {
+	f := func(a Element, v uint64) bool {
+		s := fp.New(v)
+		return MulFp(a, s).Equal(Mul(a, Element{A: s})) &&
+			MulSmall(a, v).Equal(MulFp(a, s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(a Element) bool {
+		b := a.Bytes()
+		got, err := FromBytes(b[:])
+		return err == nil && got.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := FromBytes(make([]byte, 7)); err == nil {
+		t.Error("FromBytes accepted wrong length")
+	}
+}
+
+func BenchmarkMulKaratsuba(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(1))
+	x, y := randElement(rng), randElement(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	sink = x
+}
+
+func BenchmarkMulSchoolbook(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(1))
+	x, y := randElement(rng), randElement(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = MulSchoolbook(x, y)
+	}
+	sink = x
+}
+
+func BenchmarkMulAlg2(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(1))
+	x, y := randElement(rng), randElement(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = MulAlg2(x, y)
+	}
+	sink = x
+}
+
+func BenchmarkSqr(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(1))
+	x := randElement(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = Sqr(x)
+	}
+	sink = x
+}
+
+func BenchmarkInv(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(1))
+	x := randElement(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = Inv(x)
+	}
+	sink = x
+}
+
+var sink Element

@@ -1,0 +1,111 @@
+package fp2
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fp"
+)
+
+// Deeper algebraic properties of GF(p^2), complementing the basic axiom
+// tests in fp2_test.go.
+
+func TestFrobeniusIsConjugation(t *testing.T) {
+	// The p-power Frobenius of GF(p^2)/GF(p) fixes GF(p) and negates the
+	// imaginary part: a^p == conj(a).
+	pExp := []uint64{^uint64(0), 0x7FFFFFFFFFFFFFFF} // p = 2^127-1
+	f := func(a Element) bool {
+		frob := Element{
+			A: fp.Exp(a.A, pExp),
+			B: fp.Exp(a.B, pExp),
+		}
+		// Component-wise x^p == x in GF(p) (Fermat), so a^p as a field
+		// power must be computed properly: use square-and-multiply over
+		// the whole field via repeated squaring.
+		apow := expFp2(a, pExp)
+		return apow.Equal(Conj(a)) && frob.A.Equal(a.A) && frob.B.Equal(a.B)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// expFp2 is a simple square-and-multiply in GF(p^2) for tests.
+func expFp2(a Element, e []uint64) Element {
+	r := One()
+	for i := len(e) - 1; i >= 0; i-- {
+		for b := 63; b >= 0; b-- {
+			r = Sqr(r)
+			if e[i]>>uint(b)&1 == 1 {
+				r = Mul(r, a)
+			}
+		}
+	}
+	return r
+}
+
+func TestUnitGroupOrder(t *testing.T) {
+	// a^(p^2-1) == 1 for a != 0: exponent (p-1)(p+1) applied in stages.
+	pm1 := []uint64{^uint64(0) - 1, 0x7FFFFFFFFFFFFFFF} // p-1
+	pp1 := []uint64{0, 0x8000000000000000}              // p+1 = 2^127
+	f := func(a Element) bool {
+		if a.IsZero() {
+			return true
+		}
+		return expFp2(expFp2(a, pm1), pp1).IsOne()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSquareDetection(t *testing.T) {
+	// Exactly the squares pass IsSquare; the product of two non-squares
+	// is a square.
+	f := func(a, b Element) bool {
+		if a.IsZero() || b.IsZero() {
+			return true
+		}
+		sa, sb := IsSquare(a), IsSquare(b)
+		prod := IsSquare(Mul(a, b))
+		// quadratic character is multiplicative
+		return prod == (sa == sb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvolutionAndLinearity(t *testing.T) {
+	f := func(a, b Element) bool {
+		return Conj(Conj(a)).Equal(a) &&
+			Conj(Add(a, b)).Equal(Add(Conj(a), Conj(b))) &&
+			Neg(Neg(a)).Equal(a) &&
+			Sub(Zero(), a).Equal(Neg(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormIsFpValued(t *testing.T) {
+	f := func(a Element) bool {
+		n := Norm(a)
+		// norm(a) = a * conj(a), and the product must be purely real.
+		prod := Mul(a, Conj(a))
+		return prod.B.IsZero() && prod.A.Equal(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoubleHalf(t *testing.T) {
+	inv2 := Element{A: fp.Inv(fp.New(2))}
+	f := func(a Element) bool {
+		return Mul(Double(a), inv2).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package gates models the silicon area of the cryptoprocessor (Fig. 3
+// of the paper: 1400 kGE in 2-input-NAND equivalents, occupying
+// 1.76 mm x 3.56 mm of a 65 nm SOTB die).
+//
+// Component sizes are first-order standard-cell estimates (multiplier
+// arrays scale with bits^2, register files and ROMs with bit count); a
+// single calibration factor maps the raw estimate of the reference
+// configuration onto the published 1400 kGE total, accounting for the
+// physical-design overheads (clock tree, test logic, utilization margins)
+// a gate-count model cannot see. Relative block sizes and the scaling
+// under design changes (e.g. 4-multiplier schoolbook datapath vs the
+// 3-multiplier Karatsuba one) come from the model.
+package gates
+
+import (
+	"fmt"
+	"math"
+)
+
+// Published silicon figures.
+const (
+	PaperKGE      = 1400.0
+	PaperWidthMM  = 1.76
+	PaperHeightMM = 3.56
+)
+
+// PaperAreaMM2 is the published SM-unit area.
+const PaperAreaMM2 = PaperWidthMM * PaperHeightMM
+
+// Config describes a datapath configuration.
+type Config struct {
+	// FpMultipliers is the number of GF(p) multiplier cores inside the
+	// GF(p^2) multiplier: 3 for Karatsuba (the paper), 4 for schoolbook.
+	FpMultipliers int
+	// FieldBits is the GF(p) operand width (127 for FourQ, 256 for P-256).
+	FieldBits int
+	// Registers is the register-file depth (words of 2*FieldBits bits).
+	Registers int
+	// ROMWords is the number of 64-bit control words in the program ROM.
+	ROMWords int
+	// PipelineStages of the multiplier (pipeline registers).
+	PipelineStages int
+}
+
+// DefaultConfig returns the fabricated chip's configuration; Registers
+// and ROMWords reflect the scheduled full-SM microprogram.
+func DefaultConfig(registers, romWords int) Config {
+	return Config{
+		FpMultipliers:  3,
+		FieldBits:      127,
+		Registers:      registers,
+		ROMWords:       romWords,
+		PipelineStages: 3,
+	}
+}
+
+// Block is one area entry of the Fig. 3 breakdown.
+type Block struct {
+	Name string
+	KGE  float64
+}
+
+// Breakdown is a complete area report.
+type Breakdown struct {
+	Blocks   []Block
+	TotalKGE float64
+	// Die dimensions assuming the published GE density and aspect ratio.
+	AreaMM2            float64
+	WidthMM, HeightMM  float64
+	CalibrationApplied float64
+}
+
+// Raw per-component gate-count estimates (GE).
+const (
+	geMulPerBit2    = 6.8 // parallel multiplier array, GE per bit^2
+	geAddPerBit     = 12  // carry-lookahead add/sub, GE per bit
+	geFlopPerBit    = 6   // pipeline/architectural register, GE per bit
+	geRegFilePerBit = 11  // 4R/2W flop-based register file incl. muxing
+	geROMPerBit     = 0.6 // synthesized control ROM incl. decoder
+	geControlFixed  = 25000
+)
+
+// estimateRaw computes the uncalibrated block list.
+func estimateRaw(c Config) []Block {
+	b := float64(c.FieldBits)
+	mulCore := geMulPerBit2 * b * b
+	multBlock := float64(c.FpMultipliers)*mulCore +
+		// Karatsuba pre/post adders, lazy-reduction folders, and the
+		// pipeline registers (2*FieldBits wide datapath per stage).
+		6*geAddPerBit*2*b +
+		float64(c.PipelineStages)*geFlopPerBit*4*b
+	addBlock := 2*geAddPerBit*b + geFlopPerBit*2*b
+	rfBlock := float64(c.Registers) * 2 * b * geRegFilePerBit
+	romBlock := float64(c.ROMWords) * 64 * geROMPerBit
+	ctrl := float64(geControlFixed)
+	return []Block{
+		{"Fp2 multiplier (pipelined Karatsuba)", multBlock / 1000},
+		{"Fp2 adder/subtractor", addBlock / 1000},
+		{"register file (4R/2W)", rfBlock / 1000},
+		{"program ROM", romBlock / 1000},
+		{"controller / FSM / digit logic", ctrl / 1000},
+	}
+}
+
+// Estimate returns the raw (uncalibrated) breakdown for a configuration.
+func Estimate(c Config) Breakdown {
+	blocks := estimateRaw(c)
+	total := 0.0
+	for _, bl := range blocks {
+		total += bl.KGE
+	}
+	return withDie(Breakdown{Blocks: blocks, TotalKGE: total, CalibrationApplied: 1})
+}
+
+// EstimateCalibrated scales the raw estimate of cfg so that the reference
+// configuration ref lands exactly on the published 1400 kGE. Use
+// cfg == ref to reproduce Fig. 3; use a modified cfg (e.g. schoolbook
+// multiplier) to predict design-change costs relative to silicon.
+func EstimateCalibrated(cfg, ref Config) Breakdown {
+	rawRef := Estimate(ref)
+	factor := PaperKGE / rawRef.TotalKGE
+	blocks := estimateRaw(cfg)
+	total := 0.0
+	for i := range blocks {
+		blocks[i].KGE *= factor
+		total += blocks[i].KGE
+	}
+	return withDie(Breakdown{Blocks: blocks, TotalKGE: total, CalibrationApplied: factor})
+}
+
+// withDie fills in the die-dimension figures using the published GE
+// density and aspect ratio.
+func withDie(b Breakdown) Breakdown {
+	density := PaperAreaMM2 / PaperKGE // mm^2 per kGE
+	b.AreaMM2 = b.TotalKGE * density
+	aspect := PaperWidthMM / PaperHeightMM
+	b.HeightMM = math.Sqrt(b.AreaMM2 / aspect)
+	b.WidthMM = b.AreaMM2 / b.HeightMM
+	return b
+}
+
+// LatencyAreaProduct computes Table II's figure of merit:
+// area (kGE) x latency (ms).
+func LatencyAreaProduct(kGE, latencySeconds float64) float64 {
+	return kGE * latencySeconds * 1000
+}
+
+// String renders the breakdown as a Fig. 3-style report.
+func (b Breakdown) String() string {
+	s := ""
+	for _, bl := range b.Blocks {
+		s += fmt.Sprintf("  %-40s %8.1f kGE (%4.1f%%)\n", bl.Name, bl.KGE, 100*bl.KGE/b.TotalKGE)
+	}
+	s += fmt.Sprintf("  %-40s %8.1f kGE\n", "TOTAL", b.TotalKGE)
+	s += fmt.Sprintf("  die: %.2f mm x %.2f mm = %.2f mm^2", b.WidthMM, b.HeightMM, b.AreaMM2)
+	return s
+}

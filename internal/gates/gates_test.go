@@ -1,0 +1,98 @@
+package gates
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func refConfig() Config { return DefaultConfig(104, 2*2500) }
+
+func TestCalibratedTotalMatchesPaper(t *testing.T) {
+	ref := refConfig()
+	b := EstimateCalibrated(ref, ref)
+	if math.Abs(b.TotalKGE-PaperKGE) > 1e-6 {
+		t.Errorf("calibrated total %f != %f", b.TotalKGE, PaperKGE)
+	}
+	if math.Abs(b.AreaMM2-PaperAreaMM2) > 1e-6 {
+		t.Errorf("area %f != %f", b.AreaMM2, PaperAreaMM2)
+	}
+	// Die dimensions keep the published aspect ratio.
+	if math.Abs(b.WidthMM/b.HeightMM-PaperWidthMM/PaperHeightMM) > 1e-9 {
+		t.Error("aspect ratio wrong")
+	}
+}
+
+func TestSchoolbookCostsMore(t *testing.T) {
+	ref := refConfig()
+	kar := EstimateCalibrated(ref, ref)
+	sb := ref
+	sb.FpMultipliers = 4
+	school := EstimateCalibrated(sb, ref)
+	if school.TotalKGE <= kar.TotalKGE {
+		t.Error("4-multiplier schoolbook datapath should be larger")
+	}
+	// One extra 127-bit multiplier core is a significant share.
+	delta := school.TotalKGE - kar.TotalKGE
+	if delta < 50 {
+		t.Errorf("schoolbook delta %f kGE implausibly small", delta)
+	}
+}
+
+func TestScalingDirections(t *testing.T) {
+	ref := refConfig()
+	base := Estimate(ref)
+	bigger := ref
+	bigger.Registers *= 2
+	if Estimate(bigger).TotalKGE <= base.TotalKGE {
+		t.Error("more registers should cost area")
+	}
+	wider := ref
+	wider.FieldBits = 256
+	if Estimate(wider).TotalKGE <= base.TotalKGE {
+		t.Error("wider field should cost area")
+	}
+	longer := ref
+	longer.ROMWords *= 2
+	if Estimate(longer).TotalKGE <= base.TotalKGE {
+		t.Error("bigger ROM should cost area")
+	}
+}
+
+func TestBreakdownShares(t *testing.T) {
+	ref := refConfig()
+	b := EstimateCalibrated(ref, ref)
+	if len(b.Blocks) != 5 {
+		t.Fatalf("expected 5 blocks, got %d", len(b.Blocks))
+	}
+	sum := 0.0
+	for _, bl := range b.Blocks {
+		if bl.KGE <= 0 {
+			t.Errorf("block %s non-positive", bl.Name)
+		}
+		sum += bl.KGE
+	}
+	if math.Abs(sum-b.TotalKGE) > 1e-9 {
+		t.Error("blocks do not sum to total")
+	}
+	// The multiplier and register file dominate the SM unit.
+	if b.Blocks[0].KGE < b.Blocks[1].KGE {
+		t.Error("multiplier should dwarf the adder")
+	}
+}
+
+func TestLatencyAreaProduct(t *testing.T) {
+	// Table II "ours @1.2V": 1400 kGE x 0.0101 ms = 14.1.
+	got := LatencyAreaProduct(1400, 10.1e-6)
+	if math.Abs(got-14.14) > 0.01 {
+		t.Errorf("latency-area product %f, want ~14.14", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	b := EstimateCalibrated(refConfig(), refConfig())
+	s := b.String()
+	if !strings.Contains(s, "TOTAL") || !strings.Contains(s, "kGE") {
+		t.Error("report missing fields")
+	}
+}

@@ -1,0 +1,341 @@
+// Package hdl exports the modelled cryptoprocessor as synthesizable-style
+// SystemVerilog (unpacked-array ports carry the recoded digit RAM): a
+// structural top level wiring the register file, the
+// pipelined Karatsuba GF(p^2) multiplier (Algorithm 2 written
+// behaviourally over wide vectors), the two-lane adder/subtractor, the
+// forwarding muxes and the ROM-driven sequencer, plus the program ROM as
+// a $readmemh image.
+//
+// The generated RTL mirrors the Go cycle-accurate model
+// (internal/rtl) construct for construct; functional truth within this
+// repository is established by the Go model, and the export exists so the
+// design can be taken into a standard simulation/synthesis flow.
+package hdl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Design is a set of generated files (name -> contents).
+type Design map[string]string
+
+// Generate renders the full design for a scheduled program.
+func Generate(p *isa.Program) (Design, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	words, err := p.ROMImage()
+	if err != nil {
+		return nil, err
+	}
+	d := Design{}
+	d["rom.hex"] = romHex(words)
+	d["fp2_mul.v"] = fp2MulV(p.MulLatency)
+	d["fp2_addsub.v"] = fp2AddSubV()
+	d["regfile.v"] = regfileV(p.NumRegs)
+	d["sequencer.v"] = sequencerV(p, len(words))
+	d["fourq_sm_top.v"] = topV(p, len(words))
+	return d, nil
+}
+
+func romHex(words []uint64) string {
+	var b strings.Builder
+	for _, w := range words {
+		fmt.Fprintf(&b, "%016x\n", w)
+	}
+	return b.String()
+}
+
+// fp2MulV renders the pipelined Karatsuba multiplier with lazy
+// reduction: a literal transcription of the paper's Algorithm 2 staged
+// across `stages` pipeline registers.
+func fp2MulV(stages int) string {
+	return fmt.Sprintf(`// GF(p^2) pipelined Karatsuba multiplier, p = 2^127-1 (Algorithm 2).
+// Latency %d cycles, initiation interval 1.
+module fp2_mul (
+    input  wire         clk,
+    input  wire [253:0] a,   // {a1[126:0], a0[126:0]}
+    input  wire [253:0] b,
+    output wire [253:0] z
+);
+    localparam [126:0] P = 127'h7FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF;
+
+    wire [126:0] x0 = a[126:0];
+    wire [126:0] x1 = a[253:127];
+    wire [126:0] y0 = b[126:0];
+    wire [126:0] y1 = b[253:127];
+
+    // Stage 1: the three Karatsuba partial products and pre-additions.
+    reg [253:0] t0_q, t1_q;
+    reg [255:0] t6_q;
+    always @(posedge clk) begin
+        t0_q <= x0 * y0;
+        t1_q <= x1 * y1;
+        t6_q <= (x0 + x1) * (y0 + y1);
+    end
+
+    // Stage 2: lazy accumulation (t4 = t0-t1 made non-negative by adding
+    // p*(2^127+1) = 2^254-1; t8 = t6 - (t0+t1) is the cross term).
+    reg [254:0] t7_q;
+    reg [255:0] t8_q;
+    always @(posedge clk) begin
+        t7_q <= (t0_q >= t1_q) ? (t0_q - t1_q)
+                               : (t0_q + 255'h3FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF - t1_q);
+        t8_q <= t6_q - t0_q - t1_q;
+    end
+
+    // Stage 3: Mersenne folds and final conditional subtractions.
+    reg [253:0] z_q;
+    wire [127:0] f0 = t7_q[126:0] + t7_q[253:127];
+    wire [127:0] f1 = t8_q[126:0] + t8_q[253:127] + t8_q[255:254];
+    wire [127:0] r0a = (f0 >= {1'b0, P}) ? (f0 - {1'b0, P}) : f0;
+    wire [127:0] r1a = (f1 >= {1'b0, P}) ? (f1 - {1'b0, P}) : f1;
+    wire [126:0] r0 = (r0a[126:0] == P) ? 127'd0 : r0a[126:0];
+    wire [126:0] r1 = (r1a[126:0] == P) ? 127'd0 : r1a[126:0];
+    always @(posedge clk) begin
+        z_q <= {r1, r0};
+    end
+
+    assign z = z_q;
+endmodule
+`, stages)
+}
+
+func fp2AddSubV() string {
+	return `// GF(p^2) adder/subtractor: two independent GF(p) lanes with per-lane
+// add/subtract commands (cmd[0] = real lane, cmd[1] = imaginary lane;
+// 0 = add, 1 = subtract). Single-cycle.
+module fp2_addsub (
+    input  wire         clk,
+    input  wire [253:0] a,
+    input  wire [253:0] b,
+    input  wire [1:0]   cmd,
+    output wire [253:0] z
+);
+    localparam [126:0] P = 127'h7FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF;
+
+    function [126:0] lane;
+        input [126:0] x;
+        input [126:0] y;
+        input         sub;
+        reg   [127:0] s;
+        begin
+            if (sub)
+                s = (x >= y) ? (x - y) : (x + {1'b0, P} - y);
+            else
+                s = x + y;
+            // fold bit 127 and normalize
+            s = s[126:0] + s[127];
+            if (s[126:0] == P) s = 0;
+            lane = s[126:0];
+        end
+    endfunction
+
+    reg [253:0] z_q;
+    always @(posedge clk) begin
+        z_q[126:0]   <= lane(a[126:0],   b[126:0],   cmd[0]);
+        z_q[253:127] <= lane(a[253:127], b[253:127], cmd[1]);
+    end
+    assign z = z_q;
+endmodule
+`
+}
+
+func regfileV(numRegs int) string {
+	addrBits := 1
+	for 1<<addrBits < numRegs {
+		addrBits++
+	}
+	return fmt.Sprintf(`// 4-read / 2-write register file, %d x 254-bit words.
+module regfile (
+    input  wire         clk,
+    input  wire [%d:0]  raddr_a,
+    input  wire [%d:0]  raddr_b,
+    input  wire [%d:0]  raddr_c,
+    input  wire [%d:0]  raddr_d,
+    output wire [253:0] rdata_a,
+    output wire [253:0] rdata_b,
+    output wire [253:0] rdata_c,
+    output wire [253:0] rdata_d,
+    input  wire         wen_a,
+    input  wire [%d:0]  waddr_a,
+    input  wire [253:0] wdata_a,
+    input  wire         wen_b,
+    input  wire [%d:0]  waddr_b,
+    input  wire [253:0] wdata_b
+);
+    reg [253:0] mem [0:%d];
+
+    assign rdata_a = mem[raddr_a];
+    assign rdata_b = mem[raddr_b];
+    assign rdata_c = mem[raddr_c];
+    assign rdata_d = mem[raddr_d];
+
+    always @(posedge clk) begin
+        if (wen_a) mem[waddr_a] <= wdata_a;
+        if (wen_b) mem[waddr_b] <= wdata_b;
+    end
+endmodule
+`, numRegs,
+		addrBits-1, addrBits-1, addrBits-1, addrBits-1,
+		addrBits-1, addrBits-1, numRegs-1)
+}
+
+// sequencerV renders the FSM: cycle counter, ROM fetch, control-word
+// decode, runtime table addressing from the recoded digit RAM, and the
+// dynamic sign commands.
+func sequencerV(p *isa.Program, romWords int) string {
+	var tbl strings.Builder
+	for u := 0; u < 8; u++ {
+		for c := 0; c < 4; c++ {
+			fmt.Fprintf(&tbl, "            table_addr[%d][%d] = 9'd%d;\n", u, c, p.TableRegs[u][c])
+		}
+	}
+	var corr strings.Builder
+	for c := 0; c < 4; c++ {
+		fmt.Fprintf(&corr, "            corr_ident[%d] = 9'd%d;\n", c, p.CorrIdentRegs[c])
+	}
+	return fmt.Sprintf(`// ROM-driven sequencer: walks %d control words (two per cycle), decodes
+// the 64-bit instruction format of internal/isa, resolves runtime table
+// operands from the recoded digit RAM (sign s_i, index v_i) and produces
+// the datapath control signals.
+module sequencer (
+    input  wire        clk,
+    input  wire        rst,
+    // recoded scalar digits, loaded before start
+    input  wire [7:0]  digit_v   [0:64],   // table indices v_i
+    input  wire        digit_s   [0:64],   // 1 = negative sign s_i
+    input  wire        corr_flag,          // parity-correction flag
+    output reg  [63:0] mul_word,
+    output reg  [63:0] add_word,
+    output reg  [%d:0] cycle,
+    output reg         done
+);
+    localparam MAKESPAN = %d;
+
+    reg [63:0] rom [0:%d];
+    initial $readmemh("rom.hex", rom);
+
+    // Fixed address maps generated from the scheduled program.
+    reg [8:0] table_addr [0:7][0:3];
+    reg [8:0] corr_ident [0:3];
+    initial begin
+%s%s    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            cycle <= 0;
+            done  <= 0;
+        end else if (!done) begin
+            mul_word <= rom[2*cycle];
+            add_word <= rom[2*cycle + 1];
+            if (cycle == MAKESPAN)
+                done <= 1;
+            else
+                cycle <= cycle + 1;
+        end
+    end
+
+    // Operand resolution (per the isa control-word layout):
+    //   kind 1 = register, 2/3 = forwarding, 4 = table read, 5 = correction.
+    // Table reads swap the X+Y / Y-X coordinates when digit_s[i] is set;
+    // dynamic-command adds subtract when digit_s[i] (or corr_flag) is set.
+    function [8:0] resolve_addr;
+        input [2:0] kind;
+        input [8:0] regaddr;
+        input [1:0] coord;
+        input [6:0] digit;
+        reg   [1:0] eff;
+        begin
+            case (kind)
+                3'd4: begin
+                    eff = coord;
+                    if (digit_s[digit] && coord < 2)
+                        eff = coord ^ 2'd1;
+                    resolve_addr = table_addr[digit_v[digit]][eff];
+                end
+                3'd5: begin
+                    if (corr_flag) begin
+                        eff = coord;
+                        if (coord < 2) eff = coord ^ 2'd1;
+                        resolve_addr = table_addr[0][eff];
+                    end else
+                        resolve_addr = corr_ident[coord];
+                end
+                default: resolve_addr = regaddr;
+            endcase
+        end
+    endfunction
+endmodule
+`, romWords, cycleBits(p.Makespan)-1, p.Makespan, romWords-1, tbl.String(), corr.String())
+}
+
+func cycleBits(makespan int) int {
+	b := 1
+	for 1<<b <= makespan {
+		b++
+	}
+	return b
+}
+
+func topV(p *isa.Program, romWords int) string {
+	return fmt.Sprintf(`// FourQ scalar-multiplication unit: structural top level.
+// Generated from a scheduled microprogram: makespan %d cycles,
+// %d instructions, %d registers, multiplier latency %d, adder latency %d.
+module fourq_sm_top (
+    input  wire         clk,
+    input  wire         rst,
+    input  wire [7:0]   digit_v [0:64],
+    input  wire         digit_s [0:64],
+    input  wire         corr_flag,
+    output wire         done
+);
+    wire [63:0] mul_word, add_word;
+    wire [%d:0] cycle;
+
+    sequencer u_seq (
+        .clk(clk), .rst(rst),
+        .digit_v(digit_v), .digit_s(digit_s), .corr_flag(corr_flag),
+        .mul_word(mul_word), .add_word(add_word),
+        .cycle(cycle), .done(done)
+    );
+
+    // Register file read/write buses.
+    wire [253:0] rdata_a, rdata_b, rdata_c, rdata_d;
+    wire [253:0] mul_out, add_out;
+
+    // Forwarding muxes: operand kind 2 selects mul_out, 3 selects add_out.
+    wire [253:0] mul_a = (mul_word[14:12] == 3'd2) ? mul_out :
+                         (mul_word[14:12] == 3'd3) ? add_out : rdata_a;
+    wire [253:0] mul_b = (mul_word[35:33] == 3'd2) ? mul_out :
+                         (mul_word[35:33] == 3'd3) ? add_out : rdata_b;
+    wire [253:0] add_a = (add_word[14:12] == 3'd2) ? mul_out :
+                         (add_word[14:12] == 3'd3) ? add_out : rdata_c;
+    wire [253:0] add_b = (add_word[35:33] == 3'd2) ? mul_out :
+                         (add_word[35:33] == 3'd3) ? add_out : rdata_d;
+
+    fp2_mul u_mul (.clk(clk), .a(mul_a), .b(mul_b), .z(mul_out));
+
+    // Adder command bits: static from the control word (bits 4:3), or
+    // both-lanes-subtract when the dynamic mode bit (2) is set and the
+    // referenced digit's sign (or the correction flag, digit 127) is
+    // negative.
+    wire [6:0] dyn_digit = add_word[11:5];
+    wire       dyn_neg   = (dyn_digit == 7'd127) ? corr_flag : digit_s[dyn_digit];
+    wire [1:0] add_cmd   = add_word[2] ? {2{dyn_neg}} : {add_word[4], add_word[3]};
+    fp2_addsub u_add (.clk(clk), .a(add_a), .b(add_b), .cmd(add_cmd), .z(add_out));
+
+    regfile u_rf (
+        .clk(clk),
+        .raddr_a(mul_word[23:15]), .raddr_b(mul_word[44:36]),
+        .raddr_c(add_word[23:15]), .raddr_d(add_word[44:36]),
+        .rdata_a(rdata_a), .rdata_b(rdata_b), .rdata_c(rdata_c), .rdata_d(rdata_d),
+        .wen_a(mul_word[0] & ~mul_word[63]), .waddr_a(mul_word[62:54]), .wdata_a(mul_out),
+        .wen_b(add_word[0] & ~add_word[63]), .waddr_b(add_word[62:54]), .wdata_b(add_out)
+    );
+endmodule
+`, p.Makespan, len(p.Instrs), p.NumRegs, p.MulLatency, p.AddLatency, cycleBits(p.Makespan)-1)
+}

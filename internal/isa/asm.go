@@ -1,0 +1,411 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Textual assembly format for microprograms, so schedules can be dumped,
+// inspected, diffed and reloaded. One directive or instruction per line:
+//
+//	.regs 101
+//	.makespan 3940
+//	.latency mul=3 add=1
+//	.input P.x r5
+//	.const r0 0x0 0x0 0x0 0x0
+//	.table 3 2dt r40
+//	.corrident 2z r2
+//	.output x r88
+//	I 12 MUL  A=r5 B=Mout DST=r7          ; dbl.x2
+//	I 13 ADD  A=tbl[x+y,17] B=r9 CMD=+- DST=r8
+//	I 14 ADD  A=r1 B=corr[2dt] CMD=dyn(corr) DST=r9
+//
+// Comments start with ';' or '#'.
+
+var coordNames = [4]string{"x+y", "y-x", "2z", "2dt"}
+
+func coordByName(s string) (uint8, error) {
+	for i, n := range coordNames {
+		if n == s {
+			return uint8(i), nil
+		}
+	}
+	return 0, fmt.Errorf("isa: unknown coordinate %q", s)
+}
+
+func formatOperand(op Operand) string {
+	switch op.Kind {
+	case OpNone:
+		return "none"
+	case OpReg:
+		return fmt.Sprintf("r%d", op.Reg)
+	case OpFwdMul:
+		return "Mout"
+	case OpFwdAdd:
+		return "Sout"
+	case OpTable:
+		return fmt.Sprintf("tbl[%s,%d]", coordNames[op.Coord&3], op.Digit)
+	case OpCorr:
+		return fmt.Sprintf("corr[%s]", coordNames[op.Coord&3])
+	}
+	return "?"
+}
+
+func parseOperand(s string) (Operand, error) {
+	switch {
+	case s == "none":
+		return Operand{Kind: OpNone}, nil
+	case s == "Mout":
+		return Operand{Kind: OpFwdMul}, nil
+	case s == "Sout":
+		return Operand{Kind: OpFwdAdd}, nil
+	case strings.HasPrefix(s, "r"):
+		v, err := strconv.ParseUint(s[1:], 10, 16)
+		if err != nil || v >= MaxRegs {
+			return Operand{}, fmt.Errorf("isa: bad register %q", s)
+		}
+		return Operand{Kind: OpReg, Reg: uint16(v)}, nil
+	case strings.HasPrefix(s, "tbl[") && strings.HasSuffix(s, "]"):
+		inner := s[4 : len(s)-1]
+		parts := strings.Split(inner, ",")
+		if len(parts) != 2 {
+			return Operand{}, fmt.Errorf("isa: bad table operand %q", s)
+		}
+		c, err := coordByName(parts[0])
+		if err != nil {
+			return Operand{}, err
+		}
+		d, err := strconv.ParseUint(parts[1], 10, 8)
+		if err != nil || d > 64 {
+			return Operand{}, fmt.Errorf("isa: bad table digit in %q", s)
+		}
+		return Operand{Kind: OpTable, Coord: c, Digit: uint8(d)}, nil
+	case strings.HasPrefix(s, "corr[") && strings.HasSuffix(s, "]"):
+		c, err := coordByName(s[5 : len(s)-1])
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Kind: OpCorr, Coord: c}, nil
+	}
+	return Operand{}, fmt.Errorf("isa: unknown operand %q", s)
+}
+
+func formatCmd(in Instr) string {
+	if in.CmdMode == CmdDynSign {
+		if in.Digit == DigitCorr {
+			return "dyn(corr)"
+		}
+		return fmt.Sprintf("dyn(%d)", in.Digit)
+	}
+	lane := func(c uint8) byte {
+		if c == CmdSub {
+			return '-'
+		}
+		return '+'
+	}
+	return string([]byte{lane(in.CmdRe), lane(in.CmdIm)})
+}
+
+func parseCmd(s string, in *Instr) error {
+	switch {
+	case s == "dyn(corr)":
+		in.CmdMode = CmdDynSign
+		in.Digit = DigitCorr
+		return nil
+	case strings.HasPrefix(s, "dyn(") && strings.HasSuffix(s, ")"):
+		d, err := strconv.ParseUint(s[4:len(s)-1], 10, 8)
+		if err != nil || d > 64 {
+			return fmt.Errorf("isa: bad dynamic command %q", s)
+		}
+		in.CmdMode = CmdDynSign
+		in.Digit = uint8(d)
+		return nil
+	case len(s) == 2 && (s[0] == '+' || s[0] == '-') && (s[1] == '+' || s[1] == '-'):
+		in.CmdMode = CmdStatic
+		if s[0] == '-' {
+			in.CmdRe = CmdSub
+		}
+		if s[1] == '-' {
+			in.CmdIm = CmdSub
+		}
+		return nil
+	}
+	return fmt.Errorf("isa: bad command %q", s)
+}
+
+// FormatProgram renders a program in the textual assembly format.
+func FormatProgram(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".regs %d\n", p.NumRegs)
+	fmt.Fprintf(&b, ".makespan %d\n", p.Makespan)
+	ii := p.MulII
+	if ii <= 0 {
+		ii = 1
+	}
+	fmt.Fprintf(&b, ".latency mul=%d add=%d ii=%d\n", p.MulLatency, p.AddLatency, ii)
+	inputs := make([]string, 0, len(p.InputRegs))
+	for name := range p.InputRegs {
+		inputs = append(inputs, name)
+	}
+	sort.Strings(inputs)
+	for _, name := range inputs {
+		fmt.Fprintf(&b, ".input %s r%d\n", name, p.InputRegs[name])
+	}
+	for _, c := range p.ConstRegs {
+		fmt.Fprintf(&b, ".const r%d 0x%x 0x%x 0x%x 0x%x\n", c.Reg, c.Value[0], c.Value[1], c.Value[2], c.Value[3])
+	}
+	if p.TableRegs != ([8][4]uint16{}) {
+		for u := 0; u < 8; u++ {
+			for c := 0; c < 4; c++ {
+				fmt.Fprintf(&b, ".table %d %s r%d\n", u, coordNames[c], p.TableRegs[u][c])
+			}
+		}
+		for c := 0; c < 4; c++ {
+			fmt.Fprintf(&b, ".corrident %s r%d\n", coordNames[c], p.CorrIdentRegs[c])
+		}
+	}
+	outputs := make([]string, 0, len(p.OutputRegs))
+	for name := range p.OutputRegs {
+		outputs = append(outputs, name)
+	}
+	sort.Strings(outputs)
+	for _, name := range outputs {
+		fmt.Fprintf(&b, ".output %s r%d\n", name, p.OutputRegs[name])
+	}
+	for _, in := range p.Instrs {
+		unit := "MUL"
+		if in.Unit == UnitAdd {
+			unit = "ADD"
+		}
+		fmt.Fprintf(&b, "I %d %s A=%s B=%s", in.Cycle, unit, formatOperand(in.A), formatOperand(in.B))
+		if in.Unit == UnitAdd {
+			fmt.Fprintf(&b, " CMD=%s", formatCmd(in))
+		}
+		fmt.Fprintf(&b, " DST=r%d", in.Dst)
+		if in.NoWB {
+			b.WriteString(" NOWB")
+		}
+		if in.Label != "" {
+			fmt.Fprintf(&b, " ; %s", in.Label)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseProgram parses the textual assembly format back into a Program.
+func ParseProgram(src string) (*Program, error) {
+	p := &Program{
+		InputRegs:  map[string]uint16{},
+		OutputRegs: map[string]uint16{},
+	}
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := raw
+		label := ""
+		if i := strings.Index(line, ";"); i >= 0 {
+			label = strings.TrimSpace(line[i+1:])
+			line = line[:i]
+		}
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(msg string, args ...any) (*Program, error) {
+			return nil, fmt.Errorf("isa: line %d: %s", lineNo, fmt.Sprintf(msg, args...))
+		}
+		parseReg := func(s string) (uint16, error) {
+			if !strings.HasPrefix(s, "r") {
+				return 0, fmt.Errorf("expected register, got %q", s)
+			}
+			v, err := strconv.ParseUint(s[1:], 10, 16)
+			if err != nil || v >= MaxRegs {
+				return 0, fmt.Errorf("bad register %q", s)
+			}
+			return uint16(v), nil
+		}
+		switch fields[0] {
+		case ".regs":
+			if len(fields) != 2 {
+				return fail("bad .regs")
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return fail("bad .regs: %v", err)
+			}
+			p.NumRegs = v
+		case ".makespan":
+			if len(fields) != 2 {
+				return fail("bad .makespan")
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return fail("bad .makespan: %v", err)
+			}
+			p.Makespan = v
+		case ".latency":
+			for _, f := range fields[1:] {
+				kv := strings.SplitN(f, "=", 2)
+				if len(kv) != 2 {
+					return fail("bad .latency field %q", f)
+				}
+				v, err := strconv.Atoi(kv[1])
+				if err != nil {
+					return fail("bad latency %q", f)
+				}
+				switch kv[0] {
+				case "mul":
+					p.MulLatency = v
+				case "add":
+					p.AddLatency = v
+				case "ii":
+					p.MulII = v
+				default:
+					return fail("unknown latency unit %q", kv[0])
+				}
+			}
+		case ".input":
+			if len(fields) != 3 {
+				return fail("bad .input")
+			}
+			r, err := parseReg(fields[2])
+			if err != nil {
+				return fail("%v", err)
+			}
+			p.InputRegs[fields[1]] = r
+		case ".output":
+			if len(fields) != 3 {
+				return fail("bad .output")
+			}
+			r, err := parseReg(fields[2])
+			if err != nil {
+				return fail("%v", err)
+			}
+			p.OutputRegs[fields[1]] = r
+		case ".const":
+			if len(fields) != 6 {
+				return fail("bad .const")
+			}
+			r, err := parseReg(fields[1])
+			if err != nil {
+				return fail("%v", err)
+			}
+			var c ConstLoad
+			c.Reg = r
+			for i := 0; i < 4; i++ {
+				v, err := strconv.ParseUint(strings.TrimPrefix(fields[2+i], "0x"), 16, 64)
+				if err != nil {
+					return fail("bad const limb %q", fields[2+i])
+				}
+				c.Value[i] = v
+			}
+			p.ConstRegs = append(p.ConstRegs, c)
+		case ".table":
+			if len(fields) != 4 {
+				return fail("bad .table")
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil || u < 0 || u > 7 {
+				return fail("bad table entry index %q", fields[1])
+			}
+			c, err := coordByName(fields[2])
+			if err != nil {
+				return fail("%v", err)
+			}
+			r, err := parseReg(fields[3])
+			if err != nil {
+				return fail("%v", err)
+			}
+			p.TableRegs[u][c] = r
+		case ".corrident":
+			if len(fields) != 3 {
+				return fail("bad .corrident")
+			}
+			c, err := coordByName(fields[1])
+			if err != nil {
+				return fail("%v", err)
+			}
+			r, err := parseReg(fields[2])
+			if err != nil {
+				return fail("%v", err)
+			}
+			p.CorrIdentRegs[c] = r
+		case "I":
+			in, err := parseInstrFields(fields[1:])
+			if err != nil {
+				return fail("%v", err)
+			}
+			in.Label = label
+			p.Instrs = append(p.Instrs, in)
+		default:
+			return fail("unknown directive %q", fields[0])
+		}
+	}
+	return p, nil
+}
+
+func parseInstrFields(fields []string) (Instr, error) {
+	var in Instr
+	if len(fields) < 2 {
+		return in, fmt.Errorf("truncated instruction")
+	}
+	cyc, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return in, fmt.Errorf("bad cycle %q", fields[0])
+	}
+	in.Cycle = cyc
+	switch fields[1] {
+	case "MUL":
+		in.Unit = UnitMul
+	case "ADD":
+		in.Unit = UnitAdd
+	default:
+		return in, fmt.Errorf("bad unit %q", fields[1])
+	}
+	for _, f := range fields[2:] {
+		if f == "NOWB" {
+			in.NoWB = true
+			continue
+		}
+		kv := strings.SplitN(f, "=", 2)
+		if len(kv) != 2 {
+			return in, fmt.Errorf("bad field %q", f)
+		}
+		switch kv[0] {
+		case "A":
+			op, err := parseOperand(kv[1])
+			if err != nil {
+				return in, err
+			}
+			in.A = op
+		case "B":
+			op, err := parseOperand(kv[1])
+			if err != nil {
+				return in, err
+			}
+			in.B = op
+		case "CMD":
+			if err := parseCmd(kv[1], &in); err != nil {
+				return in, err
+			}
+		case "DST":
+			if !strings.HasPrefix(kv[1], "r") {
+				return in, fmt.Errorf("bad DST %q", kv[1])
+			}
+			v, err := strconv.ParseUint(kv[1][1:], 10, 16)
+			if err != nil || v >= MaxRegs {
+				return in, fmt.Errorf("bad DST %q", kv[1])
+			}
+			in.Dst = uint16(v)
+		default:
+			return in, fmt.Errorf("unknown field %q", kv[0])
+		}
+	}
+	return in, nil
+}

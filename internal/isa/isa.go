@@ -1,0 +1,322 @@
+// Package isa defines the microinstruction set of the FourQ ASIC
+// cryptoprocessor model: the control-word layout of the program ROM that
+// the FSM sequencer (Fig. 1(a)) walks through, one multiplier issue and
+// one adder issue per cycle, with register-file addressing, forwarding
+// selects, and the runtime table-indexing and sign commands driven by the
+// recoded scalar digits (the "cmd." column of the paper's Table I).
+package isa
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Unit indices.
+const (
+	UnitMul = 0
+	UnitAdd = 1
+)
+
+// OperandKind selects how a datapath input is sourced.
+type OperandKind uint8
+
+const (
+	// OpNone marks an unused operand slot.
+	OpNone OperandKind = iota
+	// OpReg reads the register file at Reg.
+	OpReg
+	// OpFwdMul takes the multiplier output port (the result completing
+	// this cycle), bypassing the register file.
+	OpFwdMul
+	// OpFwdAdd takes the adder output port.
+	OpFwdAdd
+	// OpTable reads the precomputed-table region: the physical address is
+	// computed from the recoded digit v_Digit and coordinate Coord, with
+	// the X+Y / Y-X swap applied when the digit sign is negative.
+	OpTable
+	// OpCorr reads the parity-correction operand: coordinate Coord of -P
+	// (table entry 0, swapped) when the correction flag is set, else the
+	// cached-identity constant register.
+	OpCorr
+)
+
+func (k OperandKind) String() string {
+	switch k {
+	case OpNone:
+		return "none"
+	case OpReg:
+		return "reg"
+	case OpFwdMul:
+		return "Mout"
+	case OpFwdAdd:
+		return "Sout"
+	case OpTable:
+		return "tbl"
+	case OpCorr:
+		return "corr"
+	}
+	return "?"
+}
+
+// Operand is one datapath input specifier.
+type Operand struct {
+	Kind  OperandKind
+	Reg   uint16 // register address (OpReg)
+	Coord uint8  // table coordinate 0..3 (OpTable/OpCorr)
+	Digit uint8  // recoded digit position 0..64 (OpTable)
+}
+
+// CmdMode selects how the adder's command bits are produced.
+type CmdMode uint8
+
+const (
+	// CmdStatic takes the lane commands from the instruction word.
+	CmdStatic CmdMode = iota
+	// CmdDynSign derives both lane commands from the sign of recoded
+	// digit Digit (subtract when negative); Digit == DigitCorr uses the
+	// correction flag instead.
+	CmdDynSign
+)
+
+// DigitCorr is the Digit sentinel selecting the correction flag.
+const DigitCorr = 127
+
+// Lane command bits.
+const (
+	CmdAdd = 0
+	CmdSub = 1
+)
+
+// Instr is one issued micro-operation.
+type Instr struct {
+	Cycle   int
+	Unit    uint8 // UnitMul or UnitAdd
+	A, B    Operand
+	CmdMode CmdMode
+	CmdRe   uint8 // lane commands (UnitAdd, CmdStatic)
+	CmdIm   uint8
+	Digit   uint8 // digit for CmdDynSign (DigitCorr = correction flag)
+	Dst     uint16
+	// NoWB suppresses the register-file write-back: the result is only
+	// delivered on the unit's forwarding output. Set by the scheduler's
+	// write-back elision pass for values all of whose consumers read the
+	// forwarding network, saving register-file write energy.
+	NoWB  bool
+	Label string // debug only; not encoded
+}
+
+// ConstLoad preloads a register with a constant at program load time.
+type ConstLoad struct {
+	Reg   uint16
+	Value [4]uint64 // fp2 limbs: re.lo, re.hi, im.lo, im.hi
+}
+
+// Program is a complete scheduled microprogram plus its register-file
+// load map.
+type Program struct {
+	Instrs     []Instr
+	NumRegs    int
+	Makespan   int
+	MulLatency int
+	AddLatency int
+	// MulII is the multiplier initiation interval (0 treated as 1).
+	MulII int
+	// InputRegs maps external input names to their registers.
+	InputRegs map[string]uint16
+	// ConstRegs lists constants to preload.
+	ConstRegs []ConstLoad
+	// TableRegs[u][c] is the register holding coordinate c of T[u].
+	TableRegs [8][4]uint16
+	// CorrIdentRegs holds the registers with the cached identity
+	// (1, 1, 2, 0) used by OpCorr when the correction flag is clear.
+	CorrIdentRegs [4]uint16
+	// OutputRegs maps output names to registers.
+	OutputRegs map[string]uint16
+}
+
+// Validate performs structural checks: register addresses in range, at
+// most one issue per unit per cycle, cycles within the makespan.
+func (p *Program) Validate() error {
+	type slot struct {
+		unit  uint8
+		cycle int
+	}
+	seen := map[slot]bool{}
+	ii := p.MulII
+	if ii <= 0 {
+		ii = 1
+	}
+	lastMul := -1 << 30
+	sorted := append([]Instr(nil), p.Instrs...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Cycle < sorted[b].Cycle })
+	for _, in := range sorted {
+		if in.Unit == UnitMul {
+			if in.Cycle < lastMul+ii {
+				return fmt.Errorf("isa: multiplier issues at %d and %d violate II=%d", lastMul, in.Cycle, ii)
+			}
+			lastMul = in.Cycle
+		}
+	}
+	for i, in := range p.Instrs {
+		if in.Unit != UnitMul && in.Unit != UnitAdd {
+			return fmt.Errorf("isa: instr %d has invalid unit %d", i, in.Unit)
+		}
+		s := slot{in.Unit, in.Cycle}
+		if seen[s] {
+			return fmt.Errorf("isa: unit %d double-issued at cycle %d", in.Unit, in.Cycle)
+		}
+		seen[s] = true
+		if int(in.Dst) >= p.NumRegs {
+			return fmt.Errorf("isa: instr %d writes register %d >= %d", i, in.Dst, p.NumRegs)
+		}
+		for _, op := range [...]Operand{in.A, in.B} {
+			if op.Kind == OpReg && int(op.Reg) >= p.NumRegs {
+				return fmt.Errorf("isa: instr %d reads register %d >= %d", i, op.Reg, p.NumRegs)
+			}
+			if op.Kind == OpTable && op.Coord > 3 {
+				return fmt.Errorf("isa: instr %d table coord %d", i, op.Coord)
+			}
+			if op.Kind == OpTable && op.Digit > 64 {
+				return fmt.Errorf("isa: instr %d table digit %d", i, op.Digit)
+			}
+		}
+		lat := p.AddLatency
+		if in.Unit == UnitMul {
+			lat = p.MulLatency
+		}
+		if in.Cycle < 0 || in.Cycle+lat > p.Makespan {
+			return fmt.Errorf("isa: instr %d at cycle %d completes after makespan %d", i, in.Cycle, p.Makespan)
+		}
+	}
+	return nil
+}
+
+// SortByCycle orders the instructions by (cycle, unit), the ROM order.
+func (p *Program) SortByCycle() {
+	sort.SliceStable(p.Instrs, func(i, j int) bool {
+		if p.Instrs[i].Cycle != p.Instrs[j].Cycle {
+			return p.Instrs[i].Cycle < p.Instrs[j].Cycle
+		}
+		return p.Instrs[i].Unit < p.Instrs[j].Unit
+	})
+}
+
+// Control-word bit layout, one 64-bit word per issued operation
+// (LSB first):
+//
+//	bit   0      valid
+//	bit   1      unit
+//	bit   2      cmdmode
+//	bits  3-4    cmdRe, cmdIm
+//	bits  5-11   digit (7 bits)
+//	bits 12-32   operand A: kind(3) reg(9) coord(2) digit(7)
+//	bits 33-53   operand B: kind(3) reg(9) coord(2) digit(7)
+//	bits 54-62   dst register (9 bits)
+//	bit  63      no-writeback flag
+const (
+	wordValid   = 1 << 0
+	maxRegBits  = 9
+	maxRegCount = 1 << maxRegBits
+)
+
+// MaxRegs is the architectural register-file size limit (9-bit address).
+const MaxRegs = maxRegCount
+
+var errWord = errors.New("isa: malformed control word")
+
+// Encode packs an instruction into a 64-bit control word. The Cycle and
+// Label fields are not encoded: the ROM address is the cycle.
+func Encode(in Instr) (uint64, error) {
+	if in.Dst >= maxRegCount || in.A.Reg >= maxRegCount || in.B.Reg >= maxRegCount {
+		return 0, fmt.Errorf("isa: register address exceeds %d", maxRegCount)
+	}
+	var w uint64 = wordValid
+	w |= uint64(in.Unit&1) << 1
+	w |= uint64(in.CmdMode&1) << 2
+	w |= uint64(in.CmdRe&1) << 3
+	w |= uint64(in.CmdIm&1) << 4
+	w |= uint64(in.Digit&0x7F) << 5
+	enc := func(op Operand, shift uint) {
+		w |= uint64(op.Kind&7) << shift
+		w |= uint64(op.Reg&(maxRegCount-1)) << (shift + 3)
+		w |= uint64(op.Coord&3) << (shift + 12)
+		w |= uint64(op.Digit&0x7F) << (shift + 14)
+	}
+	enc(in.A, 12)
+	enc(in.B, 33)
+	w |= uint64(in.Dst) << 54
+	if in.NoWB {
+		w |= 1 << 63
+	}
+	return w, nil
+}
+
+// Decode unpacks a control word.
+func Decode(w uint64) (Instr, error) {
+	if w&wordValid == 0 {
+		return Instr{}, errWord
+	}
+	var in Instr
+	in.Unit = uint8(w >> 1 & 1)
+	in.CmdMode = CmdMode(w >> 2 & 1)
+	in.CmdRe = uint8(w >> 3 & 1)
+	in.CmdIm = uint8(w >> 4 & 1)
+	in.Digit = uint8(w >> 5 & 0x7F)
+	dec := func(shift uint) Operand {
+		return Operand{
+			Kind:  OperandKind(w >> shift & 7),
+			Reg:   uint16(w >> (shift + 3) & (maxRegCount - 1)),
+			Coord: uint8(w >> (shift + 12) & 3),
+			Digit: uint8(w >> (shift + 14) & 0x7F),
+		}
+	}
+	in.A = dec(12)
+	in.B = dec(33)
+	in.Dst = uint16(w >> 54 & (maxRegCount - 1))
+	in.NoWB = w>>63&1 == 1
+	return in, nil
+}
+
+// ROMImage renders the program as the two-issue-slot-per-cycle ROM the
+// FSM walks: words[2*c] is the multiplier slot of cycle c, words[2*c+1]
+// the adder slot; empty slots are zero (invalid) words. The image size in
+// bits feeds the area model.
+func (p *Program) ROMImage() ([]uint64, error) {
+	words := make([]uint64, 2*(p.Makespan+1))
+	for _, in := range p.Instrs {
+		w, err := Encode(in)
+		if err != nil {
+			return nil, err
+		}
+		idx := 2*in.Cycle + int(in.Unit)
+		if idx >= len(words) {
+			return nil, fmt.Errorf("isa: instruction cycle %d outside ROM", in.Cycle)
+		}
+		if words[idx] != 0 {
+			return nil, fmt.Errorf("isa: ROM slot collision at cycle %d unit %d", in.Cycle, in.Unit)
+		}
+		words[idx] = w
+	}
+	return words, nil
+}
+
+// FromROMImage reconstructs the instruction stream of a ROM image.
+func FromROMImage(words []uint64) ([]Instr, error) {
+	var out []Instr
+	for idx, w := range words {
+		if w == 0 {
+			continue
+		}
+		in, err := Decode(w)
+		if err != nil {
+			return nil, err
+		}
+		in.Cycle = idx / 2
+		if int(in.Unit) != idx%2 {
+			return nil, fmt.Errorf("isa: ROM slot %d holds unit %d", idx, in.Unit)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}

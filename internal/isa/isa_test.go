@@ -1,0 +1,148 @@
+package isa
+
+import (
+	mrand "math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Generate implements quick.Generator for Instr (encodable subset).
+func (Instr) Generate(r *mrand.Rand, _ int) reflect.Value {
+	op := func() Operand {
+		return Operand{
+			Kind:  OperandKind(r.Intn(6)),
+			Reg:   uint16(r.Intn(MaxRegs)),
+			Coord: uint8(r.Intn(4)),
+			Digit: uint8(r.Intn(65)),
+		}
+	}
+	in := Instr{
+		Unit:    uint8(r.Intn(2)),
+		A:       op(),
+		B:       op(),
+		CmdMode: CmdMode(r.Intn(2)),
+		CmdRe:   uint8(r.Intn(2)),
+		CmdIm:   uint8(r.Intn(2)),
+		Digit:   uint8(r.Intn(128)),
+		Dst:     uint16(r.Intn(MaxRegs)),
+		NoWB:    r.Intn(2) == 1,
+	}
+	return reflect.ValueOf(in)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(in Instr) bool {
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		if err != nil {
+			return false
+		}
+		// Cycle and Label are not encoded.
+		in.Cycle, in.Label = 0, ""
+		return got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRejectsBigRegisters(t *testing.T) {
+	if _, err := Encode(Instr{Dst: MaxRegs}); err == nil {
+		t.Error("oversized dst accepted")
+	}
+	if _, err := Encode(Instr{A: Operand{Kind: OpReg, Reg: MaxRegs}}); err == nil {
+		t.Error("oversized A.Reg accepted")
+	}
+}
+
+func TestDecodeRejectsInvalidWord(t *testing.T) {
+	if _, err := Decode(0); err == nil {
+		t.Error("invalid word accepted")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := &Program{
+		NumRegs:    16,
+		Makespan:   10,
+		MulLatency: 3,
+		AddLatency: 1,
+		Instrs: []Instr{
+			{Cycle: 0, Unit: UnitMul, Dst: 1},
+			{Cycle: 0, Unit: UnitAdd, Dst: 2},
+			{Cycle: 1, Unit: UnitMul, Dst: 3},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Double issue.
+	bad := *p
+	bad.Instrs = append(append([]Instr(nil), p.Instrs...), Instr{Cycle: 0, Unit: UnitMul, Dst: 4})
+	if bad.Validate() == nil {
+		t.Error("double issue not caught")
+	}
+	// Register out of range.
+	bad = *p
+	bad.Instrs = []Instr{{Cycle: 0, Unit: UnitMul, Dst: 16}}
+	if bad.Validate() == nil {
+		t.Error("register overflow not caught")
+	}
+	// Completion past makespan.
+	bad = *p
+	bad.Instrs = []Instr{{Cycle: 9, Unit: UnitMul, Dst: 1}}
+	if bad.Validate() == nil {
+		t.Error("completion past makespan not caught")
+	}
+}
+
+func TestROMImageRoundTrip(t *testing.T) {
+	p := &Program{
+		NumRegs:    32,
+		Makespan:   8,
+		MulLatency: 3,
+		AddLatency: 1,
+		Instrs: []Instr{
+			{Cycle: 0, Unit: UnitMul, A: Operand{Kind: OpReg, Reg: 1}, B: Operand{Kind: OpReg, Reg: 2}, Dst: 3},
+			{Cycle: 2, Unit: UnitAdd, A: Operand{Kind: OpFwdMul}, B: Operand{Kind: OpReg, Reg: 4}, CmdRe: CmdSub, Dst: 5},
+			{Cycle: 3, Unit: UnitAdd, A: Operand{Kind: OpTable, Coord: 2, Digit: 17}, B: Operand{Kind: OpCorr, Coord: 1}, CmdMode: CmdDynSign, Digit: 17, Dst: 6},
+		},
+	}
+	words, err := p.ROMImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 2*(p.Makespan+1) {
+		t.Fatalf("ROM size %d", len(words))
+	}
+	back, err := FromROMImage(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(p.Instrs) {
+		t.Fatalf("got %d instrs back, want %d", len(back), len(p.Instrs))
+	}
+	for i, in := range p.Instrs {
+		want := in
+		want.Label = ""
+		if back[i] != want {
+			t.Errorf("instr %d: got %+v want %+v", i, back[i], want)
+		}
+	}
+}
+
+func TestSortByCycle(t *testing.T) {
+	p := &Program{Instrs: []Instr{
+		{Cycle: 5, Unit: UnitAdd},
+		{Cycle: 2, Unit: UnitMul},
+		{Cycle: 5, Unit: UnitMul},
+	}}
+	p.SortByCycle()
+	if p.Instrs[0].Cycle != 2 || p.Instrs[1].Cycle != 5 || p.Instrs[1].Unit != UnitMul {
+		t.Error("sort order wrong")
+	}
+}

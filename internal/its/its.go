@@ -1,0 +1,148 @@
+// Package its models the paper's motivating workload (Section I): a
+// roadside unit verifying a flood of signed vehicle messages. It provides
+// a discrete-event simulation of the verification queue -- Poisson
+// message arrivals served by the (deterministic-latency) cryptoprocessor
+// -- so the throughput claims can be translated into the latency and
+// loss figures a traffic engineer actually cares about.
+//
+// The model is M/D/1 (memoryless arrivals, deterministic service, one
+// accelerator): the simulation is validated against the closed-form
+// Pollaczek-Khinchine mean waiting time in the tests.
+package its
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config describes a verification-queue scenario.
+type Config struct {
+	// ArrivalRate is the mean message rate (messages/second, Poisson).
+	ArrivalRate float64
+	// ServiceTime is the deterministic verification latency (seconds),
+	// e.g. two scalar-multiplication latencies at the chosen VDD.
+	ServiceTime float64
+	// Horizon is the simulated duration in seconds.
+	Horizon float64
+	// QueueCap bounds the number of waiting messages (0 = unbounded);
+	// arrivals finding a full queue are dropped (message loss).
+	QueueCap int
+	// Servers is the number of parallel accelerator cores (M/D/c);
+	// 0 means 1.
+	Servers int
+	// Seed makes the simulation reproducible.
+	Seed int64
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	Arrived, Served, Dropped int
+	// Sojourn times (arrival to verification complete), seconds.
+	MeanSojourn, MaxSojourn, P99Sojourn float64
+	// MeanQueueWait is the time spent waiting before service starts.
+	MeanQueueWait float64
+	// Utilization is the fraction of the horizon the accelerator is busy.
+	Utilization float64
+	// LossRate is Dropped/Arrived.
+	LossRate float64
+}
+
+// Simulate runs the discrete-event model.
+func Simulate(cfg Config) (*Result, error) {
+	if cfg.ArrivalRate <= 0 || cfg.ServiceTime <= 0 || cfg.Horizon <= 0 {
+		return nil, errors.New("its: rates, service time and horizon must be positive")
+	}
+	servers := cfg.Servers
+	if servers <= 0 {
+		servers = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var (
+		t        float64 // arrival clock
+		busy     float64
+		sojourns []float64
+		waits    []float64
+		res      Result
+		// completion times of queued-or-in-service messages, ascending;
+		// used for the finite-queue occupancy check.
+		completions []float64
+	)
+	freeAt := make([]float64, servers) // per-core next-free times
+	for {
+		t += rng.ExpFloat64() / cfg.ArrivalRate
+		if t > cfg.Horizon {
+			break
+		}
+		res.Arrived++
+		// Drop completed entries from the occupancy window.
+		idx := sort.SearchFloat64s(completions, t)
+		completions = completions[idx:]
+		if cfg.QueueCap > 0 && len(completions) > cfg.QueueCap+servers-1 {
+			res.Dropped++
+			continue
+		}
+		// Earliest-free core serves next (FCFS across cores).
+		core := 0
+		for c := 1; c < servers; c++ {
+			if freeAt[c] < freeAt[core] {
+				core = c
+			}
+		}
+		start := t
+		if freeAt[core] > start {
+			start = freeAt[core]
+		}
+		done := start + cfg.ServiceTime
+		freeAt[core] = done
+		busy += cfg.ServiceTime
+		// Keep completions sorted (insertion point search).
+		pos := sort.SearchFloat64s(completions, done)
+		completions = append(completions, 0)
+		copy(completions[pos+1:], completions[pos:])
+		completions[pos] = done
+		res.Served++
+		sojourns = append(sojourns, done-t)
+		waits = append(waits, start-t)
+	}
+	if res.Served > 0 {
+		sort.Float64s(sojourns)
+		var sum, wsum float64
+		for _, s := range sojourns {
+			sum += s
+		}
+		for _, w := range waits {
+			wsum += w
+		}
+		res.MeanSojourn = sum / float64(res.Served)
+		res.MeanQueueWait = wsum / float64(res.Served)
+		res.MaxSojourn = sojourns[len(sojourns)-1]
+		res.P99Sojourn = sojourns[int(math.Ceil(0.99*float64(len(sojourns))))-1]
+	}
+	res.Utilization = busy / (cfg.Horizon * float64(servers))
+	if res.Arrived > 0 {
+		res.LossRate = float64(res.Dropped) / float64(res.Arrived)
+	}
+	return &res, nil
+}
+
+// TheoreticalMeanWait returns the M/D/1 Pollaczek-Khinchine mean queueing
+// delay rho/(2*mu*(1-rho)) for utilization rho < 1.
+func TheoreticalMeanWait(arrivalRate, serviceTime float64) (float64, error) {
+	rho := arrivalRate * serviceTime
+	if rho >= 1 {
+		return 0, errors.New("its: unstable queue (utilization >= 1)")
+	}
+	mu := 1 / serviceTime
+	return rho / (2 * mu * (1 - rho)), nil
+}
+
+// MaxStableRate returns the largest Poisson arrival rate the accelerator
+// sustains with utilization at most rho (e.g. 0.8 for headroom).
+func MaxStableRate(serviceTime, rho float64) float64 {
+	if serviceTime <= 0 {
+		return 0
+	}
+	return rho / serviceTime
+}

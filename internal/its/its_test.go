@@ -1,0 +1,154 @@
+package its
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{ArrivalRate: 0, ServiceTime: 1, Horizon: 1},
+		{ArrivalRate: 1, ServiceTime: 0, Horizon: 1},
+		{ArrivalRate: 1, ServiceTime: 1, Horizon: 0},
+	}
+	for _, c := range bad {
+		if _, err := Simulate(c); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestMatchesPollaczekKhinchine(t *testing.T) {
+	// rho = 0.5: Wq = 0.5/(2*mu*0.5) = S/2... compare sim vs theory.
+	cfg := Config{
+		ArrivalRate: 500,
+		ServiceTime: 0.001, // rho = 0.5
+		Horizon:     2000,
+		Seed:        99,
+	}
+	r, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := TheoreticalMeanWait(cfg.ArrivalRate, cfg.ServiceTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.MeanQueueWait-want)/want > 0.05 {
+		t.Errorf("mean queue wait %.6f vs theory %.6f (>5%% off)", r.MeanQueueWait, want)
+	}
+	// Utilization approximates rho.
+	if math.Abs(r.Utilization-0.5) > 0.02 {
+		t.Errorf("utilization %.3f, want ~0.5", r.Utilization)
+	}
+	// Sojourn = wait + service.
+	if math.Abs(r.MeanSojourn-(r.MeanQueueWait+cfg.ServiceTime)) > 1e-9 {
+		t.Error("sojourn decomposition broken")
+	}
+}
+
+func TestHighLoadQueueGrows(t *testing.T) {
+	low, err := Simulate(Config{ArrivalRate: 100, ServiceTime: 0.001, Horizon: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Simulate(Config{ArrivalRate: 950, ServiceTime: 0.001, Horizon: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.MeanSojourn <= low.MeanSojourn {
+		t.Error("heavier load should increase latency")
+	}
+	if high.P99Sojourn < high.MeanSojourn {
+		t.Error("p99 below mean")
+	}
+	if high.MaxSojourn < high.P99Sojourn {
+		t.Error("max below p99")
+	}
+}
+
+func TestFiniteQueueDrops(t *testing.T) {
+	// Overloaded system with a small buffer must drop messages.
+	r, err := Simulate(Config{ArrivalRate: 2000, ServiceTime: 0.001, Horizon: 100, QueueCap: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dropped == 0 {
+		t.Fatal("overloaded finite queue dropped nothing")
+	}
+	if r.LossRate < 0.3 {
+		t.Errorf("loss rate %.2f suspiciously low at 2x overload", r.LossRate)
+	}
+	if r.Served+r.Dropped != r.Arrived {
+		t.Error("message accounting broken")
+	}
+	// The served stream keeps bounded latency.
+	if r.MaxSojourn > 0.001*float64(8+2) {
+		t.Errorf("max sojourn %.4f exceeds the buffer bound", r.MaxSojourn)
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	cfg := Config{ArrivalRate: 700, ServiceTime: 0.0009, Horizon: 200, Seed: 7}
+	a, _ := Simulate(cfg)
+	b, _ := Simulate(cfg)
+	if *a != *b {
+		t.Error("same seed produced different results")
+	}
+	cfg.Seed = 8
+	c, _ := Simulate(cfg)
+	if *a == *c {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestTheoreticalMeanWaitUnstable(t *testing.T) {
+	if _, err := TheoreticalMeanWait(1001, 0.001); err == nil {
+		t.Error("unstable queue accepted")
+	}
+}
+
+func TestMaxStableRate(t *testing.T) {
+	if r := MaxStableRate(0.001, 0.8); math.Abs(r-800) > 1e-9 {
+		t.Errorf("MaxStableRate = %f, want 800", r)
+	}
+	if MaxStableRate(0, 0.8) != 0 {
+		t.Error("zero service time should return 0")
+	}
+}
+
+func TestMultiServerScaling(t *testing.T) {
+	// Heavy single-core load becomes light with 11 cores (the paper's
+	// multi-core comparison row).
+	base := Config{ArrivalRate: 900, ServiceTime: 0.001, Horizon: 300, Seed: 3}
+	one, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := base
+	multi.Servers = 11
+	eleven, err := Simulate(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eleven.MeanSojourn >= one.MeanSojourn {
+		t.Errorf("11 cores (%.6f) should beat 1 core (%.6f)", eleven.MeanSojourn, one.MeanSojourn)
+	}
+	// With 11 cores at rho_total = 0.082, waiting is nearly zero:
+	// sojourn ~ service time.
+	if eleven.MeanSojourn > 1.05*base.ServiceTime {
+		t.Errorf("11-core sojourn %.6f should approach the bare service time", eleven.MeanSojourn)
+	}
+	if math.Abs(eleven.Utilization-0.9/11) > 0.02 {
+		t.Errorf("utilization %.3f, want ~%.3f", eleven.Utilization, 0.9/11)
+	}
+	// Overload beyond a single core remains stable with enough cores.
+	over := Config{ArrivalRate: 2500, ServiceTime: 0.001, Horizon: 100, Servers: 4, Seed: 4}
+	r, err := Simulate(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanSojourn > 0.01 {
+		t.Errorf("4 cores at 62%% load should stay fast, got %.4f s", r.MeanSojourn)
+	}
+}

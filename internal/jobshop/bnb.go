@@ -1,0 +1,313 @@
+package jobshop
+
+import (
+	"sort"
+)
+
+// Exact branch-and-bound solver. The search is organized as iterative
+// deepening on the makespan: for each candidate makespan M (starting at a
+// lower bound), a chronological DFS with constraint propagation decides
+// whether a feasible schedule completing by M exists. The first feasible
+// M is optimal. This mirrors how CP solvers close small scheduling
+// instances and is exact for block-sized problems (tens of tasks, e.g.
+// the paper's Table I double-and-add block).
+
+// BnBResult is the outcome of BranchAndBound.
+type BnBResult struct {
+	Schedule Schedule
+	// Optimal is true when the returned schedule's makespan was proved
+	// minimal. When the node budget runs out the incumbent (list/anneal)
+	// schedule is returned with Optimal == false.
+	Optimal bool
+	// Nodes is the number of search nodes explored.
+	Nodes int64
+	// LowerBound is the best proven lower bound on the makespan.
+	LowerBound int
+}
+
+// LowerBound computes max(critical-path bound, machine-load bounds).
+func LowerBound(inst *Instance) (int, error) {
+	order, err := inst.topoOrder()
+	if err != nil {
+		return 0, err
+	}
+	est := inst.earliestStarts(order)
+	lb := 0
+	for i, t := range inst.Tasks {
+		if c := est[i] + t.Tail; c > lb {
+			lb = c
+		}
+	}
+	// Machine load: a machine with total occupancy W, the earliest task
+	// released at r and the cheapest (tail - dur) slack s, cannot finish
+	// before r + W - 1 + min_i(tail_i - dur_i + 1).
+	load := make([]int, inst.Machines)
+	minRel := make([]int, inst.Machines)
+	minSlack := make([]int, inst.Machines)
+	for m := range minRel {
+		minRel[m] = 1 << 30
+		minSlack[m] = 1 << 30
+	}
+	for i, t := range inst.Tasks {
+		load[t.Machine] += t.dur()
+		if est[i] < minRel[t.Machine] {
+			minRel[t.Machine] = est[i]
+		}
+		// Whichever task runs last on the machine starts no earlier than
+		// rel + (W - dur_last) and publishes at start + tail_last, so the
+		// machine bound is rel + W + min_i(tail_i - dur_i). No clamping:
+		// a task with tail < dur legitimately publishes before the
+		// machine frees.
+		if s := t.Tail - t.dur(); s < minSlack[t.Machine] {
+			minSlack[t.Machine] = s
+		}
+	}
+	for m := 0; m < inst.Machines; m++ {
+		if load[m] == 0 {
+			continue
+		}
+		if b := minRel[m] + load[m] + minSlack[m]; b > lb {
+			lb = b
+		}
+	}
+	return lb, nil
+}
+
+// BranchAndBound finds a minimum-makespan schedule, exploring at most
+// maxNodes search nodes. If the budget is exhausted before optimality is
+// proven, the best heuristic schedule found so far is returned with
+// Optimal == false.
+func BranchAndBound(inst *Instance, maxNodes int64) (BnBResult, error) {
+	lb, err := LowerBound(inst)
+	if err != nil {
+		return BnBResult{}, err
+	}
+	incumbent, err := SolveList(inst)
+	if err != nil {
+		return BnBResult{}, err
+	}
+	res := BnBResult{Schedule: incumbent, LowerBound: lb}
+	if incumbent.Makespan == lb {
+		res.Optimal = true
+		return res, nil
+	}
+	s := &bnbState{inst: inst, preds: inst.preds(), succs: inst.succs(), budget: maxNodes}
+	order, _ := inst.topoOrder()
+	s.topo = order
+	for m := lb; m < incumbent.Makespan; m++ {
+		found, ok := s.feasible(m)
+		if !ok {
+			// budget exhausted; cannot prove anything further.
+			res.Nodes = s.nodes
+			return res, nil
+		}
+		if found != nil {
+			sched := Schedule{Start: found, Makespan: m}
+			// Recompute true makespan (may be < m if tails end earlier).
+			actual := 0
+			for i, st := range found {
+				if e := st + inst.Tasks[i].Tail; e > actual {
+					actual = e
+				}
+			}
+			sched.Makespan = actual
+			res.Schedule = sched
+			res.Optimal = true
+			res.Nodes = s.nodes
+			return res, nil
+		}
+		res.LowerBound = m + 1
+	}
+	// All makespans below the incumbent proved infeasible: incumbent optimal.
+	res.Optimal = true
+	res.Nodes = s.nodes
+	return res, nil
+}
+
+type bnbState struct {
+	inst   *Instance
+	preds  [][]Prec
+	succs  [][]Prec
+	topo   []int
+	nodes  int64
+	budget int64
+}
+
+// feasible reports whether a schedule with makespan <= M exists; it
+// returns (starts, true) on success, (nil, true) on proven infeasibility,
+// and (nil, false) when the node budget ran out.
+func (s *bnbState) feasible(m int) ([]int, bool) {
+	n := len(s.inst.Tasks)
+	est := make([]int, n)
+	lst := make([]int, n)
+	for i, t := range s.inst.Tasks {
+		est[i] = t.Release
+		lst[i] = m - t.Tail
+	}
+	// Forward propagate est, backward propagate lst.
+	for _, v := range s.topo {
+		for _, p := range s.succs[v] {
+			if est[v]+p.Lag > est[p.After] {
+				est[p.After] = est[v] + p.Lag
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := s.topo[i]
+		for _, p := range s.succs[v] {
+			if lst[p.After]-p.Lag < lst[v] {
+				lst[v] = lst[p.After] - p.Lag
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if est[i] > lst[i] {
+			return nil, true // infeasible at this makespan
+		}
+	}
+	start := make([]int, n)
+	for i := range start {
+		start[i] = -1
+	}
+	busy := make([]int, s.inst.Machines)
+	ok, exhausted := s.dfs(0, 0, est, lst, start, busy)
+	if exhausted {
+		return nil, false
+	}
+	if ok {
+		return start, true
+	}
+	return nil, true
+}
+
+// dfs schedules chronologically: at time t it branches over the choices
+// of which ready task each machine issues (or none). Returns
+// (success, budgetExhausted).
+func (s *bnbState) dfs(t, done int, est, lst, start, busy []int) (bool, bool) {
+	n := len(s.inst.Tasks)
+	if done == n {
+		return true, false
+	}
+	s.nodes++
+	if s.nodes > s.budget {
+		return false, true
+	}
+	// Deadline check and ready-set construction.
+	type pend struct{ lst, dur int }
+	ready := make(map[int][]int)    // machine -> ready task ids
+	pending := make(map[int][]pend) // machine -> unscheduled task info
+	minEst := 1 << 30
+	for i := 0; i < n; i++ {
+		if start[i] >= 0 {
+			continue
+		}
+		if lst[i] < t {
+			return false, false // someone already missed their deadline
+		}
+		pending[s.inst.Tasks[i].Machine] = append(pending[s.inst.Tasks[i].Machine],
+			pend{lst[i], s.inst.Tasks[i].dur()})
+		// Effective est given scheduled preds.
+		e := est[i]
+		okAllPreds := true
+		for _, p := range s.preds[i] {
+			if start[p.Before] < 0 {
+				okAllPreds = false
+				// optimistic: est already includes static propagation
+				continue
+			}
+			if v := start[p.Before] + p.Lag; v > e {
+				e = v
+			}
+		}
+		if e < minEst {
+			minEst = e
+		}
+		if okAllPreds && e <= t && busy[s.inst.Tasks[i].Machine] <= t {
+			m := s.inst.Tasks[i].Machine
+			ready[m] = append(ready[m], i)
+		}
+	}
+	// Hall/pigeonhole pruning: on each machine, among the k
+	// tightest-deadline unscheduled tasks, total occupancy cum must fit
+	// before the k-th deadline: lst_k >= avail + cum - maxDur.
+	for m, items := range pending {
+		sort.Slice(items, func(a, b int) bool { return items[a].lst < items[b].lst })
+		avail := t
+		if busy[m] > avail {
+			avail = busy[m]
+		}
+		cum, maxDur := 0, 0
+		for _, it := range items {
+			cum += it.dur
+			if it.dur > maxDur {
+				maxDur = it.dur
+			}
+			if it.lst < avail+cum-maxDur {
+				return false, false
+			}
+		}
+	}
+	if len(ready) == 0 {
+		// Nothing ready: fast-forward to the next interesting time (a
+		// precedence release or a machine becoming free).
+		next := minEst
+		for m := range pending {
+			if busy[m] > t && busy[m] < next {
+				next = busy[m]
+			}
+		}
+		if next <= t {
+			next = t + 1
+		}
+		return s.dfs(next, done, est, lst, start, busy)
+	}
+	// Order machines deterministically.
+	machines := make([]int, 0, len(ready))
+	for m := range ready {
+		machines = append(machines, m)
+	}
+	sort.Ints(machines)
+	// Branch over per-machine choices via recursive product. To keep the
+	// branching factor sane each machine chooses among its ready tasks
+	// ordered by (lst, id); "issue nothing" is tried last and only when no
+	// ready task on that machine is forced (lst == t).
+	var assign func(mi int) (bool, bool)
+	chosen := make([]int, 0, len(machines))
+	assign = func(mi int) (bool, bool) {
+		if mi == len(machines) {
+			// All machines decided for time t; recurse to t+1.
+			return s.dfs(t+1, done+len(chosen), est, lst, start, busy)
+		}
+		m := machines[mi]
+		cands := append([]int(nil), ready[m]...)
+		sort.Slice(cands, func(a, b int) bool {
+			if lst[cands[a]] != lst[cands[b]] {
+				return lst[cands[a]] < lst[cands[b]]
+			}
+			return cands[a] < cands[b]
+		})
+		forced := len(cands) > 0 && lst[cands[0]] == t
+		for _, id := range cands {
+			start[id] = t
+			prevBusy := busy[m]
+			busy[m] = t + s.inst.Tasks[id].dur()
+			chosen = append(chosen, id)
+			ok, exhausted := assign(mi + 1)
+			chosen = chosen[:len(chosen)-1]
+			busy[m] = prevBusy
+			if exhausted {
+				start[id] = -1
+				return false, true
+			}
+			if ok {
+				return true, false
+			}
+			start[id] = -1
+		}
+		if !forced {
+			return assign(mi + 1)
+		}
+		return false, false
+	}
+	return assign(0)
+}

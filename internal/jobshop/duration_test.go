@@ -1,0 +1,199 @@
+package jobshop
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDurationValidate(t *testing.T) {
+	inst := &Instance{
+		Tasks:    []Task{{Machine: 0, Dur: 3, Tail: 3}, {Machine: 0, Dur: 1, Tail: 1}},
+		Machines: 1,
+	}
+	// Overlap: task 1 starting inside task 0's occupancy window.
+	if Validate(inst, Schedule{Start: []int{0, 2}, Makespan: 3}) == nil {
+		t.Error("occupancy overlap not caught")
+	}
+	if err := Validate(inst, Schedule{Start: []int{0, 3}, Makespan: 4}); err != nil {
+		t.Errorf("valid occupancy schedule rejected: %v", err)
+	}
+}
+
+func TestDurationListSchedule(t *testing.T) {
+	// Three Dur=2 tasks on one machine: issue at 0, 2, 4; tail 2 each.
+	inst := &Instance{Machines: 1}
+	for i := 0; i < 3; i++ {
+		inst.Tasks = append(inst.Tasks, Task{Machine: 0, Dur: 2, Tail: 2})
+	}
+	s, err := SolveList(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(inst, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 6 {
+		t.Errorf("makespan %d, want 6", s.Makespan)
+	}
+}
+
+func TestDurationLowerBound(t *testing.T) {
+	inst := &Instance{Machines: 1}
+	for i := 0; i < 4; i++ {
+		inst.Tasks = append(inst.Tasks, Task{Machine: 0, Dur: 3, Tail: 3})
+	}
+	lb, err := LowerBound(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total occupancy 12, last task publishes at start+3 >= 9+3.
+	if lb != 12 {
+		t.Errorf("lower bound %d, want 12", lb)
+	}
+	s, _ := SolveList(inst)
+	if s.Makespan != 12 {
+		t.Errorf("list makespan %d, want 12", s.Makespan)
+	}
+}
+
+func TestDurationBranchAndBound(t *testing.T) {
+	// Mixed durations with a precedence that forces an idle decision:
+	// the exact solver must still prove optimality.
+	inst := &Instance{
+		Tasks: []Task{
+			{Machine: 0, Dur: 2, Tail: 2}, // 0
+			{Machine: 0, Dur: 1, Tail: 4}, // 1: long tail
+			{Machine: 1, Dur: 1, Tail: 1}, // 2: succ of 1
+		},
+		Precs:    []Prec{{Before: 1, After: 2, Lag: 4}},
+		Machines: 2,
+	}
+	r, err := BranchAndBound(inst, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(inst, r.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Optimal {
+		t.Error("small duration instance not solved to optimality")
+	}
+	// Optimal: issue 1 at 0 (tail to 4), 0 at 1..2, 2 at 4 -> makespan 5.
+	if r.Schedule.Makespan != 5 {
+		t.Errorf("makespan %d, want 5", r.Schedule.Makespan)
+	}
+}
+
+func TestDurationRandomAgreement(t *testing.T) {
+	// On random small instances with durations, BnB must never beat the
+	// proven lower bound nor lose to the list scheduler, and everything
+	// must validate.
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 20; trial++ {
+		inst := &Instance{Machines: 2}
+		n := 5 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			inst.Tasks = append(inst.Tasks, Task{
+				Machine: rng.Intn(2),
+				Dur:     1 + rng.Intn(3),
+				Tail:    1 + rng.Intn(4),
+			})
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(4) == 0 {
+					inst.Precs = append(inst.Precs, Prec{Before: i, After: j, Lag: 1 + rng.Intn(3)})
+				}
+			}
+		}
+		list, err := SolveList(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(inst, list); err != nil {
+			t.Fatalf("trial %d list: %v", trial, err)
+		}
+		r, err := BranchAndBound(inst, 500_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(inst, r.Schedule); err != nil {
+			t.Fatalf("trial %d bnb: %v", trial, err)
+		}
+		lb, _ := LowerBound(inst)
+		if r.Schedule.Makespan < lb {
+			t.Fatalf("trial %d: makespan %d below lower bound %d", trial, r.Schedule.Makespan, lb)
+		}
+		if r.Schedule.Makespan > list.Makespan {
+			t.Fatalf("trial %d: bnb worse than list", trial)
+		}
+	}
+}
+
+func TestTabuValidAndNotWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(888))
+	for trial := 0; trial < 8; trial++ {
+		inst := &Instance{Machines: 2}
+		n := 10 + rng.Intn(15)
+		for i := 0; i < n; i++ {
+			inst.Tasks = append(inst.Tasks, Task{Machine: rng.Intn(2), Dur: 1 + rng.Intn(2), Tail: 1 + rng.Intn(4)})
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(5) == 0 {
+					inst.Precs = append(inst.Precs, Prec{Before: i, After: j, Lag: 1 + rng.Intn(3)})
+				}
+			}
+		}
+		list, err := SolveList(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := Tabu(inst, int64(trial), 150, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(inst, tb); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if tb.Makespan > list.Makespan {
+			t.Fatalf("trial %d: tabu %d worse than its list start %d", trial, tb.Makespan, list.Makespan)
+		}
+	}
+	// Empty instance.
+	if _, err := Tabu(&Instance{Machines: 1}, 0, 10, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeuristicsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(999))
+	inst := &Instance{Machines: 2}
+	for i := 0; i < 20; i++ {
+		inst.Tasks = append(inst.Tasks, Task{Machine: rng.Intn(2), Tail: 1 + rng.Intn(3)})
+	}
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			if rng.Intn(6) == 0 {
+				inst.Precs = append(inst.Precs, Prec{Before: i, After: j, Lag: 1 + rng.Intn(2)})
+			}
+		}
+	}
+	a1, _ := Anneal(inst, 5, 200)
+	a2, _ := Anneal(inst, 5, 200)
+	if a1.Makespan != a2.Makespan {
+		t.Error("Anneal not deterministic for fixed seed")
+	}
+	t1, _ := Tabu(inst, 5, 100, 0, 0)
+	t2, _ := Tabu(inst, 5, 100, 0, 0)
+	if t1.Makespan != t2.Makespan {
+		t.Error("Tabu not deterministic for fixed seed")
+	}
+	l1, _ := SolveList(inst)
+	l2, _ := SolveList(inst)
+	for i := range l1.Start {
+		if l1.Start[i] != l2.Start[i] {
+			t.Fatal("ListSchedule not deterministic")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package jobshop_test
+
+import (
+	"fmt"
+
+	"repro/internal/jobshop"
+)
+
+// Example schedules a small two-machine instance with a latency chain.
+func Example() {
+	inst := &jobshop.Instance{
+		Machines: 2,
+		Tasks: []jobshop.Task{
+			{Machine: 0, Tail: 3}, // a multiply
+			{Machine: 0, Tail: 3}, // another multiply
+			{Machine: 1, Tail: 1}, // an add consuming the first product
+		},
+		Precs: []jobshop.Prec{{Before: 0, After: 2, Lag: 3}},
+	}
+	s, err := jobshop.SolveList(inst)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("makespan:", s.Makespan)
+	fmt.Println("valid:", jobshop.Validate(inst, s) == nil)
+
+	exact, err := jobshop.BranchAndBound(inst, 100000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("optimal proven:", exact.Optimal)
+	// Output:
+	// makespan: 4
+	// valid: true
+	// optimal proven: true
+}

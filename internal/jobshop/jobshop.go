@@ -1,0 +1,349 @@
+// Package jobshop provides a job-shop / resource-constrained scheduling
+// solver: the in-repo substitute for the PySchedule + IBM CP Optimizer
+// pair the paper uses in its automated instruction-scheduling flow
+// (Section III-C, Step 3).
+//
+// The model matches what instruction scheduling for a pipelined datapath
+// needs: every task occupies one machine (functional unit issue slot) for
+// exactly one time unit, and precedence edges carry lags (the producing
+// unit's pipeline latency). The objective is the makespan
+// max_i (start_i + tail_i), where tail_i is the task's result latency.
+//
+// Three solvers are provided:
+//
+//   - ListSchedule: deterministic greedy list scheduling under a priority
+//     vector (critical-path priorities by default); linear time, used for
+//     full scalar-multiplication traces with thousands of operations.
+//   - BranchAndBound: exact makespan minimization with CP-style pruning
+//     (precedence-propagated release dates, machine-load and critical-path
+//     lower bounds); practical for block-sized instances like the paper's
+//     Table I and proves optimality.
+//   - Anneal: simulated annealing over priority vectors, refining the list
+//     schedule when exact search is out of reach.
+package jobshop
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Task is an operation bound to one machine.
+type Task struct {
+	// Machine is the index of the (unary) machine the task issues on.
+	Machine int
+	// Dur is the machine occupancy: the number of consecutive time units
+	// the machine is busy (the issue interval of a partially pipelined
+	// unit). Zero means 1.
+	Dur int
+	// Tail is the task's result latency: its successors (and the
+	// makespan) see the result Tail time units after the start.
+	Tail int
+	// Release is the earliest permitted start time.
+	Release int
+}
+
+// dur returns the effective occupancy of a task.
+func (t Task) dur() int {
+	if t.Dur <= 0 {
+		return 1
+	}
+	return t.Dur
+}
+
+// Prec is a precedence constraint: start[After] >= start[Before] + Lag.
+type Prec struct {
+	Before, After int
+	Lag           int
+}
+
+// Instance is a scheduling problem.
+type Instance struct {
+	Tasks    []Task
+	Precs    []Prec
+	Machines int
+}
+
+// Schedule assigns a start time to every task.
+type Schedule struct {
+	Start    []int
+	Makespan int
+}
+
+// Validate checks that s satisfies every constraint of inst and that the
+// recorded makespan is correct. It returns a descriptive error on the
+// first violation found.
+func Validate(inst *Instance, s Schedule) error {
+	if len(s.Start) != len(inst.Tasks) {
+		return fmt.Errorf("jobshop: schedule has %d starts for %d tasks", len(s.Start), len(inst.Tasks))
+	}
+	// Release dates and machine capacity (occupancy-aware).
+	type slot struct{ machine, time int }
+	used := make(map[slot]int, len(inst.Tasks))
+	makespan := 0
+	for i, t := range inst.Tasks {
+		st := s.Start[i]
+		if st < t.Release {
+			return fmt.Errorf("jobshop: task %d starts at %d before release %d", i, st, t.Release)
+		}
+		for dt := 0; dt < t.dur(); dt++ {
+			k := slot{t.Machine, st + dt}
+			if prev, ok := used[k]; ok {
+				return fmt.Errorf("jobshop: tasks %d and %d overlap on machine %d at time %d", prev, i, t.Machine, st+dt)
+			}
+			used[k] = i
+		}
+		if end := st + t.Tail; end > makespan {
+			makespan = end
+		}
+	}
+	for _, p := range inst.Precs {
+		if s.Start[p.After] < s.Start[p.Before]+p.Lag {
+			return fmt.Errorf("jobshop: precedence %d->%d (lag %d) violated: %d < %d+%d",
+				p.Before, p.After, p.Lag, s.Start[p.After], s.Start[p.Before], p.Lag)
+		}
+	}
+	if makespan != s.Makespan {
+		return fmt.Errorf("jobshop: recorded makespan %d, actual %d", s.Makespan, makespan)
+	}
+	return nil
+}
+
+// succs builds adjacency lists of successor edges.
+func (inst *Instance) succs() [][]Prec {
+	out := make([][]Prec, len(inst.Tasks))
+	for _, p := range inst.Precs {
+		out[p.Before] = append(out[p.Before], p)
+	}
+	return out
+}
+
+// preds builds adjacency lists of predecessor edges.
+func (inst *Instance) preds() [][]Prec {
+	out := make([][]Prec, len(inst.Tasks))
+	for _, p := range inst.Precs {
+		out[p.After] = append(out[p.After], p)
+	}
+	return out
+}
+
+// topoOrder returns a topological order of the precedence DAG, or an
+// error if the precedences contain a cycle.
+func (inst *Instance) topoOrder() ([]int, error) {
+	n := len(inst.Tasks)
+	indeg := make([]int, n)
+	for _, p := range inst.Precs {
+		if p.Before < 0 || p.Before >= n || p.After < 0 || p.After >= n {
+			return nil, fmt.Errorf("jobshop: precedence references task out of range")
+		}
+		indeg[p.After]++
+	}
+	succ := inst.succs()
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, p := range succ[v] {
+			indeg[p.After]--
+			if indeg[p.After] == 0 {
+				queue = append(queue, p.After)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, errors.New("jobshop: precedence graph has a cycle")
+	}
+	return order, nil
+}
+
+// CriticalPathPriorities returns, for each task, the length of the
+// longest lag-weighted path from the task to any sink, including the
+// task's own tail. Scheduling in decreasing priority order is the classic
+// critical-path heuristic.
+func CriticalPathPriorities(inst *Instance) ([]int, error) {
+	order, err := inst.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	succ := inst.succs()
+	prio := make([]int, len(inst.Tasks))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		best := inst.Tasks[v].Tail
+		for _, p := range succ[v] {
+			if c := p.Lag + prio[p.After]; c > best {
+				best = c
+			}
+		}
+		prio[v] = best
+	}
+	return prio, nil
+}
+
+// earliestStarts propagates release dates through the precedence DAG,
+// ignoring machine capacity (the "infinite resources" relaxation).
+func (inst *Instance) earliestStarts(order []int) []int {
+	est := make([]int, len(inst.Tasks))
+	for i, t := range inst.Tasks {
+		est[i] = t.Release
+	}
+	succ := inst.succs()
+	for _, v := range order {
+		for _, p := range succ[v] {
+			if est[v]+p.Lag > est[p.After] {
+				est[p.After] = est[v] + p.Lag
+			}
+		}
+	}
+	return est
+}
+
+// ListSchedule builds a feasible schedule greedily: at each time step,
+// among the precedence-ready tasks, the highest-priority task is issued
+// on each free machine. Ties break by task index for determinism.
+func ListSchedule(inst *Instance, prio []int) (Schedule, error) {
+	n := len(inst.Tasks)
+	if len(prio) != n {
+		return Schedule{}, fmt.Errorf("jobshop: priority vector length %d != %d tasks", len(prio), n)
+	}
+	if _, err := inst.topoOrder(); err != nil {
+		return Schedule{}, err
+	}
+	preds := inst.preds()
+	start := make([]int, n)
+	for i := range start {
+		start[i] = -1
+	}
+	busyUntil := make([]int, inst.Machines)
+	// ready time of each task given scheduled predecessors; recomputed lazily.
+	scheduled := 0
+	// Candidate heap per machine would be faster; n is a few thousand so a
+	// simple sorted scan per time step is fine and simpler to verify.
+	type cand struct{ id, ready int }
+	makespan := 0
+	for time := 0; scheduled < n; time++ {
+		// Collect ready tasks per machine.
+		perMachine := make([][]cand, inst.Machines)
+		for i := 0; i < n; i++ {
+			if start[i] >= 0 {
+				continue
+			}
+			ready := inst.Tasks[i].Release
+			ok := true
+			for _, p := range preds[i] {
+				if start[p.Before] < 0 {
+					ok = false
+					break
+				}
+				if t := start[p.Before] + p.Lag; t > ready {
+					ready = t
+				}
+			}
+			if ok && ready <= time {
+				m := inst.Tasks[i].Machine
+				perMachine[m] = append(perMachine[m], cand{i, ready})
+			}
+		}
+		for m := range perMachine {
+			cands := perMachine[m]
+			if len(cands) == 0 || busyUntil[m] > time {
+				continue
+			}
+			sort.Slice(cands, func(a, b int) bool {
+				if prio[cands[a].id] != prio[cands[b].id] {
+					return prio[cands[a].id] > prio[cands[b].id]
+				}
+				return cands[a].id < cands[b].id
+			})
+			best := cands[0].id
+			start[best] = time
+			busyUntil[m] = time + inst.Tasks[best].dur()
+			scheduled++
+			if end := time + inst.Tasks[best].Tail; end > makespan {
+				makespan = end
+			}
+		}
+	}
+	return Schedule{Start: start, Makespan: makespan}, nil
+}
+
+// SolveList is ListSchedule under critical-path priorities.
+func SolveList(inst *Instance) (Schedule, error) {
+	prio, err := CriticalPathPriorities(inst)
+	if err != nil {
+		return Schedule{}, err
+	}
+	return ListSchedule(inst, prio)
+}
+
+// Anneal refines a priority vector by simulated annealing: random
+// perturbations of task priorities, re-running the list scheduler, and
+// accepting improvements (and occasional regressions, cooling over time).
+// Deterministic for a fixed seed.
+func Anneal(inst *Instance, seed int64, iters int) (Schedule, error) {
+	base, err := CriticalPathPriorities(inst)
+	if err != nil {
+		return Schedule{}, err
+	}
+	cur := make([]int, len(base))
+	copy(cur, base)
+	bestSched, err := ListSchedule(inst, cur)
+	if err != nil {
+		return Schedule{}, err
+	}
+	curSpan := bestSched.Makespan
+	rng := rand.New(rand.NewSource(seed))
+	n := len(inst.Tasks)
+	if n == 0 {
+		return bestSched, nil
+	}
+	temp := float64(curSpan) / 8
+	if temp < 1 {
+		temp = 1
+	}
+	for it := 0; it < iters; it++ {
+		next := make([]int, n)
+		copy(next, cur)
+		// Perturb a few tasks' priorities.
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			i := rng.Intn(n)
+			next[i] += rng.Intn(2*len(base)+1) - len(base)
+		}
+		s, err := ListSchedule(inst, next)
+		if err != nil {
+			return Schedule{}, err
+		}
+		delta := s.Makespan - curSpan
+		if delta <= 0 || rng.Float64() < annealAccept(delta, temp) {
+			cur = next
+			curSpan = s.Makespan
+			if s.Makespan < bestSched.Makespan {
+				bestSched = s
+			}
+		}
+		temp *= 0.995
+		if temp < 0.5 {
+			temp = 0.5
+		}
+	}
+	return bestSched, nil
+}
+
+func annealAccept(delta int, temp float64) float64 {
+	// exp(-delta/temp) without importing math for a hot path: a cheap
+	// rational approximation is enough for an acceptance probability.
+	x := float64(delta) / temp
+	if x > 30 {
+		return 0
+	}
+	// exp(-x) ~= 1/(1+x+x^2/2+x^3/6) for moderate x.
+	return 1 / (1 + x + x*x/2 + x*x*x/6)
+}

@@ -1,0 +1,318 @@
+package jobshop
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chainInstance: t0 -> t1 -> t2 on one machine, lag 3 each, tail 3.
+func chainInstance() *Instance {
+	return &Instance{
+		Tasks: []Task{
+			{Machine: 0, Tail: 3},
+			{Machine: 0, Tail: 3},
+			{Machine: 0, Tail: 1},
+		},
+		Precs: []Prec{
+			{Before: 0, After: 1, Lag: 3},
+			{Before: 1, After: 2, Lag: 3},
+		},
+		Machines: 1,
+	}
+}
+
+func TestListScheduleChain(t *testing.T) {
+	inst := chainInstance()
+	s, err := SolveList(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(inst, s); err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: starts 0, 3, 6; makespan 7.
+	if s.Makespan != 7 {
+		t.Errorf("chain makespan = %d, want 7", s.Makespan)
+	}
+}
+
+func TestListScheduleMachineContention(t *testing.T) {
+	// 5 independent unit tasks on one machine, tail 1: makespan 5.
+	inst := &Instance{Machines: 1}
+	for i := 0; i < 5; i++ {
+		inst.Tasks = append(inst.Tasks, Task{Machine: 0, Tail: 1})
+	}
+	s, err := SolveList(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(inst, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 5 {
+		t.Errorf("makespan = %d, want 5", s.Makespan)
+	}
+}
+
+func TestListScheduleTwoMachines(t *testing.T) {
+	// Two independent chains, one per machine: they run in parallel.
+	inst := &Instance{
+		Tasks: []Task{
+			{Machine: 0, Tail: 2}, {Machine: 0, Tail: 2},
+			{Machine: 1, Tail: 2}, {Machine: 1, Tail: 2},
+		},
+		Precs: []Prec{
+			{Before: 0, After: 1, Lag: 2},
+			{Before: 2, After: 3, Lag: 2},
+		},
+		Machines: 2,
+	}
+	s, err := SolveList(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 4 {
+		t.Errorf("makespan = %d, want 4", s.Makespan)
+	}
+}
+
+func TestReleaseDates(t *testing.T) {
+	inst := &Instance{
+		Tasks:    []Task{{Machine: 0, Tail: 1, Release: 10}},
+		Machines: 1,
+	}
+	s, err := SolveList(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start[0] != 10 || s.Makespan != 11 {
+		t.Errorf("release date ignored: start=%d makespan=%d", s.Start[0], s.Makespan)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	inst := chainInstance()
+	good, _ := SolveList(inst)
+	if err := Validate(inst, good); err != nil {
+		t.Fatal(err)
+	}
+	// Precedence violation.
+	bad := Schedule{Start: []int{0, 1, 6}, Makespan: 7}
+	if Validate(inst, bad) == nil {
+		t.Error("precedence violation not caught")
+	}
+	// Machine double-booking.
+	inst2 := &Instance{
+		Tasks:    []Task{{Machine: 0, Tail: 1}, {Machine: 0, Tail: 1}},
+		Machines: 1,
+	}
+	if Validate(inst2, Schedule{Start: []int{0, 0}, Makespan: 1}) == nil {
+		t.Error("double booking not caught")
+	}
+	// Wrong makespan.
+	if Validate(inst2, Schedule{Start: []int{0, 1}, Makespan: 99}) == nil {
+		t.Error("wrong makespan not caught")
+	}
+	// Release violation.
+	inst3 := &Instance{Tasks: []Task{{Machine: 0, Tail: 1, Release: 5}}, Machines: 1}
+	if Validate(inst3, Schedule{Start: []int{0}, Makespan: 1}) == nil {
+		t.Error("release violation not caught")
+	}
+	// Length mismatch.
+	if Validate(inst, Schedule{Start: []int{0}, Makespan: 1}) == nil {
+		t.Error("length mismatch not caught")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	inst := &Instance{
+		Tasks:    []Task{{Machine: 0, Tail: 1}, {Machine: 0, Tail: 1}},
+		Precs:    []Prec{{Before: 0, After: 1, Lag: 1}, {Before: 1, After: 0, Lag: 1}},
+		Machines: 1,
+	}
+	if _, err := SolveList(inst); err == nil {
+		t.Error("cycle not detected")
+	}
+	if _, err := CriticalPathPriorities(inst); err == nil {
+		t.Error("cycle not detected by priorities")
+	}
+}
+
+// randomInstance builds a random layered DAG instance.
+func randomInstance(rng *rand.Rand, n, machines int) *Instance {
+	inst := &Instance{Machines: machines}
+	for i := 0; i < n; i++ {
+		inst.Tasks = append(inst.Tasks, Task{
+			Machine: rng.Intn(machines),
+			Tail:    1 + rng.Intn(3),
+			Release: rng.Intn(3),
+		})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(n) < 2 {
+				inst.Precs = append(inst.Precs, Prec{Before: i, After: j, Lag: 1 + rng.Intn(3)})
+			}
+		}
+	}
+	return inst
+}
+
+func TestListScheduleRandomValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 50; trial++ {
+		inst := randomInstance(rng, 5+rng.Intn(30), 1+rng.Intn(3))
+		s, err := SolveList(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(inst, s); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestBranchAndBoundOptimalOnKnown(t *testing.T) {
+	inst := chainInstance()
+	res, err := BranchAndBound(inst, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.Schedule.Makespan != 7 {
+		t.Errorf("BnB chain: optimal=%v makespan=%d, want true/7", res.Optimal, res.Schedule.Makespan)
+	}
+	// A case where the greedy list scheduler is suboptimal: two chains on
+	// one machine where issuing the short-priority task first hurts.
+	inst2 := &Instance{
+		Tasks: []Task{
+			{Machine: 0, Tail: 1}, // 0: feeds long chain on machine 1
+			{Machine: 0, Tail: 1}, // 1: independent
+			{Machine: 1, Tail: 6}, // 2: long successor of 0
+		},
+		Precs:    []Prec{{Before: 0, After: 2, Lag: 1}},
+		Machines: 2,
+	}
+	res2, err := BranchAndBound(inst2, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(inst2, res2.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Optimal || res2.Schedule.Makespan != 7 {
+		t.Errorf("BnB: optimal=%v makespan=%d, want true/7", res2.Optimal, res2.Schedule.Makespan)
+	}
+}
+
+func TestBranchAndBoundNeverWorseThanList(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 25; trial++ {
+		inst := randomInstance(rng, 6+rng.Intn(12), 2)
+		list, err := SolveList(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := BranchAndBound(inst, 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(inst, res.Schedule); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Schedule.Makespan > list.Makespan {
+			t.Fatalf("trial %d: BnB %d worse than list %d", trial, res.Schedule.Makespan, list.Makespan)
+		}
+		if res.Optimal && res.Schedule.Makespan < res.LowerBound {
+			t.Fatalf("trial %d: makespan below proven lower bound", trial)
+		}
+	}
+}
+
+func TestBranchAndBoundBudgetExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	inst := randomInstance(rng, 40, 2)
+	res, err := BranchAndBound(inst, 10) // tiny budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must still return a valid (heuristic) schedule.
+	if err := Validate(inst, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnealValidAndNotWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 10; trial++ {
+		inst := randomInstance(rng, 10+rng.Intn(20), 2)
+		list, err := SolveList(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ann, err := Anneal(inst, int64(trial), 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(inst, ann); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if ann.Makespan > list.Makespan {
+			t.Fatalf("trial %d: anneal %d worse than its list start %d", trial, ann.Makespan, list.Makespan)
+		}
+	}
+}
+
+func TestLowerBoundSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for trial := 0; trial < 20; trial++ {
+		inst := randomInstance(rng, 5+rng.Intn(20), 2)
+		lb, err := LowerBound(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := SolveList(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb > s.Makespan {
+			t.Fatalf("trial %d: lower bound %d exceeds feasible makespan %d", trial, lb, s.Makespan)
+		}
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	inst := &Instance{Machines: 1}
+	s, err := SolveList(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 0 {
+		t.Error("empty instance should have zero makespan")
+	}
+	res, err := BranchAndBound(inst, 100)
+	if err != nil || !res.Optimal {
+		t.Error("empty instance should solve optimally")
+	}
+}
+
+func BenchmarkListSchedule1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	inst := randomInstance(rng, 1000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveList(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBranchAndBound28(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	inst := randomInstance(rng, 28, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BranchAndBound(inst, 500_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

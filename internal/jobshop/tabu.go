@@ -1,0 +1,75 @@
+package jobshop
+
+import (
+	"math/rand"
+)
+
+// Tabu refines a priority vector by tabu search: each iteration samples
+// a neighborhood of single-task priority perturbations, moves to the
+// best neighbor whose perturbed task is not tabu (accepting uphill moves
+// when stuck), and marks the moved task tabu for a fixed tenure. An
+// aspiration rule overrides the tabu when a move beats the incumbent.
+// Deterministic for a fixed seed.
+func Tabu(inst *Instance, seed int64, iters, neighborhood, tenure int) (Schedule, error) {
+	if neighborhood <= 0 {
+		neighborhood = 12
+	}
+	if tenure <= 0 {
+		tenure = 8
+	}
+	base, err := CriticalPathPriorities(inst)
+	if err != nil {
+		return Schedule{}, err
+	}
+	n := len(inst.Tasks)
+	if n == 0 {
+		return SolveList(inst)
+	}
+	cur := append([]int(nil), base...)
+	best, err := ListSchedule(inst, cur)
+	if err != nil {
+		return Schedule{}, err
+	}
+	curSpan := best.Makespan
+	tabuUntil := make([]int, n)
+	rng := rand.New(rand.NewSource(seed))
+	span := len(base) + 1
+
+	for it := 0; it < iters; it++ {
+		type move struct {
+			task, delta, makespan int
+			sched                 Schedule
+		}
+		bestMove := move{task: -1}
+		for j := 0; j < neighborhood; j++ {
+			task := rng.Intn(n)
+			delta := rng.Intn(2*span+1) - span
+			if delta == 0 {
+				delta = 1
+			}
+			cand := append([]int(nil), cur...)
+			cand[task] += delta
+			s, err := ListSchedule(inst, cand)
+			if err != nil {
+				return Schedule{}, err
+			}
+			aspires := s.Makespan < best.Makespan
+			if tabuUntil[task] > it && !aspires {
+				continue
+			}
+			if bestMove.task == -1 || s.Makespan < bestMove.makespan {
+				bestMove = move{task, delta, s.Makespan, s}
+			}
+		}
+		if bestMove.task == -1 {
+			continue // whole neighborhood tabu; retry with fresh samples
+		}
+		cur[bestMove.task] += bestMove.delta
+		curSpan = bestMove.makespan
+		tabuUntil[bestMove.task] = it + tenure
+		if curSpan < best.Makespan {
+			best = bestMove.sched
+		}
+	}
+	return best, nil
+}

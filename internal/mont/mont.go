@@ -1,0 +1,237 @@
+// Package mont implements generic 256-bit Montgomery arithmetic over an
+// odd modulus given as four 64-bit limbs. It backs every non-Mersenne
+// field in the repository: the FourQ scalar field (mod the subgroup
+// order N), the NIST P-256 field and scalar field, and the Curve25519
+// field of the Table II baselines.
+//
+// All operations run on [4]uint64 limb vectors; no math/big anywhere
+// (the derived constants R^2 and -N^-1 mod 2^64 are computed with limb
+// arithmetic at construction time).
+package mont
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// Elem is a 256-bit value in four little-endian 64-bit limbs.
+type Elem = [4]uint64
+
+// Modulus carries an odd modulus and its precomputed Montgomery
+// constants (R = 2^256).
+type Modulus struct {
+	N      Elem
+	NPrime uint64 // -N^-1 mod 2^64
+	R2     Elem   // R^2 mod N
+	One    Elem   // R mod N (1 in Montgomery form)
+}
+
+// NewModulus validates and precomputes constants for an odd modulus
+// with N < 2^256 and N > 1.
+func NewModulus(n Elem) (*Modulus, error) {
+	if n[0]&1 == 0 {
+		return nil, errors.New("mont: modulus must be odd")
+	}
+	if n == (Elem{}) || n == (Elem{1}) {
+		return nil, errors.New("mont: modulus must exceed 1")
+	}
+	m := &Modulus{N: n}
+	// Newton iteration for the 2-adic inverse of n[0]; odd n0 squares to
+	// 1 mod 8, so n0 itself is correct to 3 bits and 6 doublings of
+	// precision reach 64 bits.
+	inv := n[0]
+	for i := 0; i < 6; i++ {
+		inv *= 2 - n[0]*inv
+	}
+	m.NPrime = -inv
+
+	// R mod N by reducing 2^256: start from 2^255 shifted in by doubling
+	// 1 mod N 256 times (limb-only).
+	one := Elem{1}
+	r := one
+	for i := 0; i < 256; i++ {
+		r = m.addRaw(r, r)
+	}
+	m.One = r // 2^256 mod N = R mod N
+	// R^2 = (R mod N) doubled 256 more times.
+	r2 := r
+	for i := 0; i < 256; i++ {
+		r2 = m.addRaw(r2, r2)
+	}
+	m.R2 = r2
+	return m, nil
+}
+
+// geN reports t >= N.
+func (m *Modulus) geN(t Elem) bool {
+	for i := 3; i >= 0; i-- {
+		if t[i] != m.N[i] {
+			return t[i] > m.N[i]
+		}
+	}
+	return true
+}
+
+// subN computes t - N; caller guarantees t >= N (no borrow out).
+func (m *Modulus) subN(t Elem) Elem {
+	var bw uint64
+	t[0], bw = bits.Sub64(t[0], m.N[0], 0)
+	t[1], bw = bits.Sub64(t[1], m.N[1], bw)
+	t[2], bw = bits.Sub64(t[2], m.N[2], bw)
+	t[3], _ = bits.Sub64(t[3], m.N[3], bw)
+	return t
+}
+
+// addRaw computes a+b mod N for reduced inputs a, b < N, handling the
+// possible 2^256 overflow when N is close to 2^256.
+func (m *Modulus) addRaw(a, b Elem) Elem {
+	var t Elem
+	var c uint64
+	t[0], c = bits.Add64(a[0], b[0], 0)
+	t[1], c = bits.Add64(a[1], b[1], c)
+	t[2], c = bits.Add64(a[2], b[2], c)
+	t[3], c = bits.Add64(a[3], b[3], c)
+	if c != 0 {
+		// t = a+b-2^256; since a,b < N <= 2^256-1, a+b-N < N, so one
+		// subtraction of N (borrowing the carry) reduces fully.
+		var bw uint64
+		t[0], bw = bits.Sub64(t[0], m.N[0], 0)
+		t[1], bw = bits.Sub64(t[1], m.N[1], bw)
+		t[2], bw = bits.Sub64(t[2], m.N[2], bw)
+		t[3], bw = bits.Sub64(t[3], m.N[3], bw)
+		_ = bw // cancelled by the carry
+		return t
+	}
+	if m.geN(t) {
+		t = m.subN(t)
+	}
+	return t
+}
+
+// Add returns a+b mod N (inputs reduced).
+func (m *Modulus) Add(a, b Elem) Elem { return m.addRaw(a, b) }
+
+// Sub returns a-b mod N (inputs reduced).
+func (m *Modulus) Sub(a, b Elem) Elem {
+	var t Elem
+	var bw uint64
+	t[0], bw = bits.Sub64(a[0], b[0], 0)
+	t[1], bw = bits.Sub64(a[1], b[1], bw)
+	t[2], bw = bits.Sub64(a[2], b[2], bw)
+	t[3], bw = bits.Sub64(a[3], b[3], bw)
+	if bw != 0 {
+		var c uint64
+		t[0], c = bits.Add64(t[0], m.N[0], 0)
+		t[1], c = bits.Add64(t[1], m.N[1], c)
+		t[2], c = bits.Add64(t[2], m.N[2], c)
+		t[3], _ = bits.Add64(t[3], m.N[3], c)
+	}
+	return t
+}
+
+// Neg returns -a mod N.
+func (m *Modulus) Neg(a Elem) Elem { return m.Sub(Elem{}, a) }
+
+// madd computes x*y + a + b as (hi, lo); cannot overflow 128 bits.
+func madd(x, y, a, b uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(x, y)
+	var c uint64
+	lo, c = bits.Add64(lo, a, 0)
+	hi += c
+	lo, c = bits.Add64(lo, b, 0)
+	hi += c
+	return
+}
+
+// Mul returns a*b*R^-1 mod N (CIOS Montgomery multiplication). At least
+// one input must be < N; the other may be any 256-bit value (useful for
+// reducing unnormalized inputs against R^2).
+func (m *Modulus) Mul(a, b Elem) Elem {
+	var t Elem
+	var d uint64
+	for i := 0; i < 4; i++ {
+		var c uint64
+		for j := 0; j < 4; j++ {
+			c, t[j] = madd(a[i], b[j], t[j], c)
+		}
+		var overflow uint64
+		d, overflow = bits.Add64(d, c, 0)
+		mi := t[0] * m.NPrime
+		c, _ = madd(mi, m.N[0], t[0], 0)
+		for j := 1; j < 4; j++ {
+			c, t[j-1] = madd(mi, m.N[j], t[j], c)
+		}
+		t[3], c = bits.Add64(d, c, 0)
+		d = c + overflow
+	}
+	for d != 0 || m.geN(t) {
+		if d != 0 {
+			var bw uint64
+			t[0], bw = bits.Sub64(t[0], m.N[0], 0)
+			t[1], bw = bits.Sub64(t[1], m.N[1], bw)
+			t[2], bw = bits.Sub64(t[2], m.N[2], bw)
+			t[3], bw = bits.Sub64(t[3], m.N[3], bw)
+			d -= bw
+			continue
+		}
+		t = m.subN(t)
+	}
+	return t
+}
+
+// ToMont converts a (any 256-bit value) into Montgomery form, reducing
+// mod N in the process.
+func (m *Modulus) ToMont(a Elem) Elem { return m.Mul(a, m.R2) }
+
+// FromMont strips the Montgomery factor.
+func (m *Modulus) FromMont(a Elem) Elem { return m.Mul(a, Elem{1}) }
+
+// Reduce returns a mod N for any 256-bit a.
+func (m *Modulus) Reduce(a Elem) Elem { return m.FromMont(m.ToMont(a)) }
+
+// Sqr returns the Montgomery square.
+func (m *Modulus) Sqr(a Elem) Elem { return m.Mul(a, a) }
+
+// Exp computes base^e in Montgomery form (base in Montgomery form,
+// exponent as plain limbs, square-and-multiply MSB first).
+func (m *Modulus) Exp(base Elem, e Elem) Elem {
+	r := m.One
+	started := false
+	for i := 255; i >= 0; i-- {
+		if started {
+			r = m.Sqr(r)
+		}
+		if e[i/64]>>(uint(i)%64)&1 == 1 {
+			if started {
+				r = m.Mul(r, base)
+			} else {
+				r = base
+				started = true
+			}
+		}
+	}
+	if !started {
+		return m.One
+	}
+	return r
+}
+
+// InvFermat computes a^-1 in Montgomery form for a prime modulus
+// (a^(N-2)); returns the zero element for a == 0.
+func (m *Modulus) InvFermat(a Elem) Elem {
+	if a == (Elem{}) {
+		return Elem{}
+	}
+	e := m.N
+	// N-2: N is odd so N-2 only borrows within the low limb unless
+	// N[0] < 2.
+	var bw uint64
+	e[0], bw = bits.Sub64(e[0], 2, 0)
+	e[1], bw = bits.Sub64(e[1], 0, bw)
+	e[2], bw = bits.Sub64(e[2], 0, bw)
+	e[3], _ = bits.Sub64(e[3], 0, bw)
+	return m.Exp(a, e)
+}
+
+// IsZero reports a == 0.
+func IsZero(a Elem) bool { return a == (Elem{}) }

@@ -1,0 +1,204 @@
+package mont
+
+import (
+	"math/big"
+	mrand "math/rand"
+	"testing"
+)
+
+// Test moduli: the FourQ subgroup order, the P-256 field prime, the
+// Curve25519 prime, and a small odd modulus.
+var testModuli = map[string]string{
+	"fourq-N":    "29cbc14e5e0a72f05397829cbc14e5dfbd004dfe0f79992fb2540ec7768ce7",
+	"p256-p":     "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
+	"c25519-p":   "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
+	"p256-order": "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551",
+	"small":      "10001",
+}
+
+func toBig(e Elem) *big.Int {
+	v := new(big.Int)
+	for i := 3; i >= 0; i-- {
+		v.Lsh(v, 64)
+		v.Add(v, new(big.Int).SetUint64(e[i]))
+	}
+	return v
+}
+
+func fromBig(v *big.Int) Elem {
+	var e Elem
+	for i := 0; i < 4; i++ {
+		e[i] = new(big.Int).Rsh(v, uint(64*i)).Uint64()
+	}
+	return e
+}
+
+func modulusFor(t *testing.T, hex string) (*Modulus, *big.Int) {
+	t.Helper()
+	n, ok := new(big.Int).SetString(hex, 16)
+	if !ok {
+		t.Fatal("bad hex")
+	}
+	m, err := NewModulus(fromBig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, n
+}
+
+func randElem(r *mrand.Rand) Elem {
+	return Elem{r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()}
+}
+
+func TestConstants(t *testing.T) {
+	for name, hex := range testModuli {
+		m, n := modulusFor(t, hex)
+		// NPrime * N[0] == -1 mod 2^64.
+		if m.NPrime*m.N[0] != ^uint64(0) {
+			t.Errorf("%s: NPrime wrong", name)
+		}
+		// R2 == 2^512 mod N.
+		want := new(big.Int).Lsh(big.NewInt(1), 512)
+		want.Mod(want, n)
+		if toBig(m.R2).Cmp(want) != 0 {
+			t.Errorf("%s: R2 wrong", name)
+		}
+		// One == 2^256 mod N.
+		want = new(big.Int).Lsh(big.NewInt(1), 256)
+		want.Mod(want, n)
+		if toBig(m.One).Cmp(want) != 0 {
+			t.Errorf("%s: One wrong", name)
+		}
+	}
+}
+
+func TestNewModulusRejects(t *testing.T) {
+	if _, err := NewModulus(Elem{2}); err == nil {
+		t.Error("even modulus accepted")
+	}
+	if _, err := NewModulus(Elem{}); err == nil {
+		t.Error("zero modulus accepted")
+	}
+	if _, err := NewModulus(Elem{1}); err == nil {
+		t.Error("modulus 1 accepted")
+	}
+}
+
+func TestArithmeticAgainstBig(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(42))
+	for name, hex := range testModuli {
+		m, n := modulusFor(t, hex)
+		for trial := 0; trial < 300; trial++ {
+			a, b := randElem(rng), randElem(rng)
+			ra := m.Reduce(a)
+			rb := m.Reduce(b)
+			// Reduce matches.
+			if toBig(ra).Cmp(new(big.Int).Mod(toBig(a), n)) != 0 {
+				t.Fatalf("%s: Reduce mismatch", name)
+			}
+			// Add/Sub on reduced values.
+			sum := new(big.Int).Add(toBig(ra), toBig(rb))
+			sum.Mod(sum, n)
+			if toBig(m.Add(ra, rb)).Cmp(sum) != 0 {
+				t.Fatalf("%s: Add mismatch", name)
+			}
+			diff := new(big.Int).Sub(toBig(ra), toBig(rb))
+			diff.Mod(diff, n)
+			if toBig(m.Sub(ra, rb)).Cmp(diff) != 0 {
+				t.Fatalf("%s: Sub mismatch", name)
+			}
+			// Montgomery multiply round trip.
+			prod := new(big.Int).Mul(toBig(ra), toBig(rb))
+			prod.Mod(prod, n)
+			got := m.FromMont(m.Mul(m.ToMont(ra), m.ToMont(rb)))
+			if toBig(got).Cmp(prod) != 0 {
+				t.Fatalf("%s: Mul mismatch", name)
+			}
+		}
+		// Boundary values.
+		nm1 := m.Sub(Elem{}, m.One) // hmm: -One is in Montgomery domain; use N-1 directly
+		_ = nm1
+		max := Elem{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+		if toBig(m.Reduce(max)).Cmp(new(big.Int).Mod(toBig(max), n)) != 0 {
+			t.Fatalf("%s: Reduce(max) mismatch", name)
+		}
+	}
+}
+
+func TestNegAndIdentities(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(43))
+	for name, hex := range testModuli {
+		m, _ := modulusFor(t, hex)
+		for trial := 0; trial < 50; trial++ {
+			a := m.Reduce(randElem(rng))
+			if m.Add(a, m.Neg(a)) != (Elem{}) {
+				t.Fatalf("%s: a + (-a) != 0", name)
+			}
+			am := m.ToMont(a)
+			if m.FromMont(m.Mul(am, m.One)) != a {
+				t.Fatalf("%s: a*1 != a", name)
+			}
+		}
+	}
+}
+
+func TestExpAgainstBig(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(44))
+	for name, hex := range testModuli {
+		m, n := modulusFor(t, hex)
+		for trial := 0; trial < 20; trial++ {
+			a := m.Reduce(randElem(rng))
+			e := randElem(rng)
+			got := m.FromMont(m.Exp(m.ToMont(a), e))
+			want := new(big.Int).Exp(toBig(a), toBig(e), n)
+			if toBig(got).Cmp(want) != 0 {
+				t.Fatalf("%s: Exp mismatch", name)
+			}
+		}
+		// a^0 == 1.
+		a := m.Reduce(randElem(rng))
+		if m.Exp(m.ToMont(a), Elem{}) != m.One {
+			t.Fatalf("%s: a^0 != 1", name)
+		}
+	}
+}
+
+func TestInvFermatOnPrimes(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(45))
+	for _, name := range []string{"fourq-N", "p256-p", "c25519-p", "p256-order", "small"} {
+		m, n := modulusFor(t, testModuli[name])
+		for trial := 0; trial < 20; trial++ {
+			a := m.Reduce(randElem(rng))
+			if IsZero(a) {
+				continue
+			}
+			inv := m.FromMont(m.InvFermat(m.ToMont(a)))
+			want := new(big.Int).ModInverse(toBig(a), n)
+			if toBig(inv).Cmp(want) != 0 {
+				t.Fatalf("%s: InvFermat mismatch", name)
+			}
+		}
+		if !IsZero(m.InvFermat(Elem{})) {
+			t.Fatalf("%s: InvFermat(0) != 0", name)
+		}
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	m, _ := NewModulus(fromBig(mustBig(testModuli["p256-p"])))
+	rng := mrand.New(mrand.NewSource(1))
+	x := m.ToMont(m.Reduce(randElem(rng)))
+	y := m.ToMont(m.Reduce(randElem(rng)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = m.Mul(x, y)
+	}
+	sink = x
+}
+
+func mustBig(hex string) *big.Int {
+	v, _ := new(big.Int).SetString(hex, 16)
+	return v
+}
+
+var sink Elem

@@ -1,0 +1,145 @@
+package p256
+
+import (
+	"crypto/sha256"
+	"io"
+	"math/big"
+
+	"repro/internal/mont"
+)
+
+// ECDSA over P-256, the exact workload of the paper's Table II baseline
+// [5] (a P-256 signature-verification ASIC). Scalar arithmetic modulo
+// the group order runs on the limb Montgomery context; signatures are
+// interoperable with crypto/ecdsa (verified in the tests).
+
+// nMod is the Montgomery context for the group order.
+var nMod = func() *mont.Modulus {
+	m, err := mont.NewModulus(elemFromBig(N))
+	if err != nil {
+		panic("p256: " + err.Error())
+	}
+	return m
+}()
+
+// modOrder reduces a big.Int into [0, N).
+func modOrder(v *big.Int) *big.Int {
+	return new(big.Int).Mod(v, N)
+}
+
+// PrivateKey is an ECDSA P-256 private key.
+type PrivateKey struct {
+	D    *big.Int
+	PubX *big.Int
+	PubY *big.Int
+}
+
+// Signature is the (r, s) pair.
+type Signature struct {
+	R, S *big.Int
+}
+
+// GenerateKey creates a key pair with randomness from rand.
+func GenerateKey(rand io.Reader) (*PrivateKey, error) {
+	for {
+		var buf [32]byte
+		if _, err := io.ReadFull(rand, buf[:]); err != nil {
+			return nil, err
+		}
+		d := modOrder(new(big.Int).SetBytes(buf[:]))
+		if d.Sign() == 0 {
+			continue
+		}
+		res, err := ScalarMultWNAF(d, Gx, Gy)
+		if err != nil {
+			return nil, err
+		}
+		return &PrivateKey{D: d, PubX: res.X, PubY: res.Y}, nil
+	}
+}
+
+// hashToInt converts a SHA-256 digest to an integer per FIPS 186-4
+// (leftmost min(N.BitLen, 256) bits; both are 256 here).
+func hashToInt(h []byte) *big.Int {
+	return new(big.Int).SetBytes(h)
+}
+
+// Sign produces an ECDSA signature of msg (SHA-256 digest internally).
+func Sign(rand io.Reader, priv *PrivateKey, msg []byte) (*Signature, error) {
+	e := sha256.Sum256(msg)
+	z := hashToInt(e[:])
+	for {
+		var buf [32]byte
+		if _, err := io.ReadFull(rand, buf[:]); err != nil {
+			return nil, err
+		}
+		k := modOrder(new(big.Int).SetBytes(buf[:]))
+		if k.Sign() == 0 {
+			continue
+		}
+		res, err := ScalarMultWNAF(k, Gx, Gy)
+		if err != nil {
+			return nil, err
+		}
+		r := modOrder(res.X)
+		if r.Sign() == 0 {
+			continue
+		}
+		// s = k^-1 (z + r d) mod N, on the Montgomery context.
+		kinv := nMod.FromMont(nMod.InvFermat(nMod.ToMont(elemFromBig(k))))
+		rd := nMod.Mul(nMod.ToMont(elemFromBig(r)), nMod.ToMont(elemFromBig(priv.D)))
+		sum := nMod.Add(nMod.FromMont(rd), nMod.Reduce(elemFromBig(z)))
+		s := nMod.FromMont(nMod.Mul(nMod.ToMont(kinv), nMod.ToMont(sum)))
+		sBig := elemToBig(s)
+		if sBig.Sign() == 0 {
+			continue
+		}
+		return &Signature{R: r, S: sBig}, nil
+	}
+}
+
+// Verify checks an ECDSA signature over msg.
+func Verify(pubX, pubY *big.Int, msg []byte, sig *Signature) bool {
+	if sig == nil || sig.R == nil || sig.S == nil {
+		return false
+	}
+	if sig.R.Sign() <= 0 || sig.S.Sign() <= 0 || sig.R.Cmp(N) >= 0 || sig.S.Cmp(N) >= 0 {
+		return false
+	}
+	if !OnCurve(pubX, pubY) {
+		return false
+	}
+	e := sha256.Sum256(msg)
+	z := hashToInt(e[:])
+	w := nMod.FromMont(nMod.InvFermat(nMod.ToMont(elemFromBig(sig.S))))
+	u1 := elemToBig(nMod.FromMont(nMod.Mul(nMod.ToMont(nMod.Reduce(elemFromBig(z))), nMod.ToMont(w))))
+	u2 := elemToBig(nMod.FromMont(nMod.Mul(nMod.ToMont(elemFromBig(sig.R)), nMod.ToMont(w))))
+
+	// [u1]G + [u2]Q via two multiplications and a mixed add on the
+	// Jacobian machinery.
+	f := &fieldCtx{}
+	r1, err := ScalarMultWNAF(u1, Gx, Gy)
+	if err != nil {
+		return false
+	}
+	r2, err := ScalarMultWNAF(u2, pubX, pubY)
+	if err != nil {
+		return false
+	}
+	var sum point
+	switch {
+	case r1.X == nil && r2.X == nil:
+		return false
+	case r1.X == nil:
+		sum = point{feFromBig(r2.X), feFromBig(r2.Y), feOne}
+	case r2.X == nil:
+		sum = point{feFromBig(r1.X), feFromBig(r1.Y), feOne}
+	default:
+		sum = f.addMixed(point{feFromBig(r1.X), feFromBig(r1.Y), feOne}, feFromBig(r2.X), feFromBig(r2.Y))
+	}
+	if sum.isInfinity() {
+		return false
+	}
+	x, _ := f.affine(sum)
+	return modOrder(x).Cmp(sig.R) == 0
+}

@@ -1,0 +1,94 @@
+package p256
+
+import (
+	stdecdsa "crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"testing"
+)
+
+func TestECDSASignVerify(t *testing.T) {
+	priv, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("p256 baseline signature")
+	sig, err := Sign(rand.Reader, priv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(priv.PubX, priv.PubY, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if Verify(priv.PubX, priv.PubY, []byte("other"), sig) {
+		t.Fatal("wrong message accepted")
+	}
+}
+
+func TestECDSAInteropVerifyStdlibSignature(t *testing.T) {
+	// Signatures produced by crypto/ecdsa must verify with our code.
+	std, err := stdecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("interop: stdlib signs, we verify")
+	h := sha256.Sum256(msg)
+	r, s, err := stdecdsa.Sign(rand.Reader, std, h[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(std.PublicKey.X, std.PublicKey.Y, msg, &Signature{R: r, S: s}) {
+		t.Fatal("stdlib signature rejected by our verifier")
+	}
+}
+
+func TestECDSAInteropStdlibVerifiesOurSignature(t *testing.T) {
+	priv, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("interop: we sign, stdlib verifies")
+	sig, err := Sign(rand.Reader, priv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.Sum256(msg)
+	pub := &stdecdsa.PublicKey{Curve: elliptic.P256(), X: priv.PubX, Y: priv.PubY}
+	if !stdecdsa.Verify(pub, h[:], sig.R, sig.S) {
+		t.Fatal("our signature rejected by crypto/ecdsa")
+	}
+}
+
+func TestECDSARejections(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	msg := []byte("m")
+	sig, _ := Sign(rand.Reader, priv, msg)
+
+	other, _ := GenerateKey(rand.Reader)
+	if Verify(other.PubX, other.PubY, msg, sig) {
+		t.Error("wrong key accepted")
+	}
+	bad := &Signature{R: N, S: sig.S}
+	if Verify(priv.PubX, priv.PubY, msg, bad) {
+		t.Error("r >= N accepted")
+	}
+	if Verify(priv.PubX, priv.PubY, msg, nil) {
+		t.Error("nil signature accepted")
+	}
+	if Verify(Gx, Gx, msg, sig) { // off-curve public key
+		t.Error("off-curve key accepted")
+	}
+}
+
+func BenchmarkECDSAVerifyP256(b *testing.B) {
+	priv, _ := GenerateKey(rand.Reader)
+	msg := []byte("bench")
+	sig, _ := Sign(rand.Reader, priv, msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(priv.PubX, priv.PubY, msg, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package p256 implements NIST P-256 scalar multiplication as the
+// prior-art baseline of the paper's Table II (rows [5], [19]-[21]): the
+// short Weierstrass curve y^2 = x^3 - 3x + b over the 256-bit NIST prime,
+// with Jacobian-coordinate arithmetic and wNAF scalar multiplication.
+//
+// Field arithmetic runs on 4x64-bit limbs in Montgomery form (package
+// mont); math/big appears only at the public API boundary. Performance
+// comparisons against the FourQ processor use the operation-count cycle
+// model in CycleModel, not Go wall-clock times.
+package p256
+
+import (
+	"errors"
+	"math/big"
+
+	"repro/internal/mont"
+)
+
+// Curve parameters (FIPS 186-4).
+var (
+	P  = mustHex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+	N  = mustHex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
+	B  = mustHex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b")
+	Gx = mustHex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296")
+	Gy = mustHex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5")
+)
+
+func mustHex(s string) *big.Int {
+	v, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		panic("p256: bad constant")
+	}
+	return v
+}
+
+// pMod is the Montgomery context for the field prime.
+var pMod = func() *mont.Modulus {
+	m, err := mont.NewModulus(elemFromBig(P))
+	if err != nil {
+		panic("p256: " + err.Error())
+	}
+	return m
+}()
+
+// felem is a field element in Montgomery form.
+type felem = mont.Elem
+
+func elemFromBig(v *big.Int) mont.Elem {
+	var e mont.Elem
+	red := new(big.Int).Mod(v, new(big.Int).Lsh(big.NewInt(1), 256))
+	for i := 0; i < 4; i++ {
+		e[i] = new(big.Int).Rsh(red, uint(64*i)).Uint64()
+	}
+	return e
+}
+
+func elemToBig(e mont.Elem) *big.Int {
+	v := new(big.Int)
+	for i := 3; i >= 0; i-- {
+		v.Lsh(v, 64)
+		v.Add(v, new(big.Int).SetUint64(e[i]))
+	}
+	return v
+}
+
+func feFromBig(v *big.Int) felem { return pMod.ToMont(pMod.Reduce(elemFromBig(v))) }
+func feToBig(e felem) *big.Int   { return elemToBig(pMod.FromMont(e)) }
+
+// Precomputed Montgomery-form curve constants.
+var (
+	feB     = feFromBig(B)
+	feGx    = feFromBig(Gx)
+	feGy    = feFromBig(Gy)
+	feOne   = pMod.One
+	feThree = feFromBig(big.NewInt(3))
+)
+
+// OpCount tallies field operations for the cycle model.
+type OpCount struct {
+	Mul, Sqr, Add, Inv int
+}
+
+// Mults returns mult-type operations (squarings count as multiplications
+// on the modelled datapath).
+func (c OpCount) Mults() int { return c.Mul + c.Sqr }
+
+// point is a Jacobian-coordinate point (X/Z^2, Y/Z^3) with coordinates
+// in Montgomery form; z == 0 is the point at infinity.
+type point struct {
+	x, y, z felem
+}
+
+func infinity() point { return point{x: feOne, y: feOne} }
+
+func (p point) isInfinity() bool { return mont.IsZero(p.z) }
+
+// OnCurve verifies the affine curve equation for big.Int coordinates.
+func OnCurve(x, y *big.Int) bool {
+	if x == nil || y == nil {
+		return false
+	}
+	xe, ye := feFromBig(x), feFromBig(y)
+	lhs := pMod.Mul(ye, ye)
+	x2 := pMod.Mul(xe, xe)
+	rhs := pMod.Mul(x2, xe)
+	rhs = pMod.Sub(rhs, pMod.Mul(feThree, xe))
+	rhs = pMod.Add(rhs, feB)
+	return lhs == rhs
+}
+
+// fieldCtx wraps the Montgomery context with op counting.
+type fieldCtx struct{ ops OpCount }
+
+func (f *fieldCtx) mul(a, b felem) felem {
+	f.ops.Mul++
+	return pMod.Mul(a, b)
+}
+
+func (f *fieldCtx) sqr(a felem) felem {
+	f.ops.Sqr++
+	return pMod.Mul(a, a)
+}
+
+func (f *fieldCtx) add(a, b felem) felem {
+	f.ops.Add++
+	return pMod.Add(a, b)
+}
+
+func (f *fieldCtx) sub(a, b felem) felem {
+	f.ops.Add++
+	return pMod.Sub(a, b)
+}
+
+func (f *fieldCtx) inv(a felem) felem {
+	f.ops.Inv++
+	return pMod.InvFermat(a)
+}
+
+// affine normalizes p (nil, nil for infinity).
+func (f *fieldCtx) affine(p point) (x, y *big.Int) {
+	if p.isInfinity() {
+		return nil, nil
+	}
+	zi := f.inv(p.z)
+	zi2 := f.sqr(zi)
+	x = feToBig(f.mul(p.x, zi2))
+	y = feToBig(f.mul(p.y, f.mul(zi2, zi)))
+	return x, y
+}
+
+// double computes 2p (Jacobian, a = -3: 4M + 4S).
+func (f *fieldCtx) double(p point) point {
+	if p.isInfinity() {
+		return infinity()
+	}
+	delta := f.sqr(p.z)
+	gamma := f.sqr(p.y)
+	beta := f.mul(p.x, gamma)
+	alpha := f.mul(f.sub(p.x, delta), f.add(p.x, delta))
+	alpha = f.add(f.add(alpha, alpha), alpha)
+	beta4 := f.add(f.add(beta, beta), f.add(beta, beta))
+	beta8 := f.add(beta4, beta4)
+	x3 := f.sub(f.sqr(alpha), beta8)
+	z3 := f.sub(f.sub(f.sqr(f.add(p.y, p.z)), gamma), delta)
+	g2 := f.sqr(gamma)
+	g8 := f.add(f.add(g2, g2), f.add(g2, g2))
+	g8 = f.add(g8, g8)
+	y3 := f.sub(f.mul(alpha, f.sub(beta4, x3)), g8)
+	return point{x3, y3, z3}
+}
+
+// addMixed computes p + q with q affine (8M + 3S).
+func (f *fieldCtx) addMixed(p point, qx, qy felem) point {
+	if p.isInfinity() {
+		return point{qx, qy, feOne}
+	}
+	z1z1 := f.sqr(p.z)
+	u2 := f.mul(qx, z1z1)
+	s2 := f.mul(qy, f.mul(p.z, z1z1))
+	h := f.sub(u2, p.x)
+	r := f.sub(s2, p.y)
+	if mont.IsZero(h) {
+		if mont.IsZero(r) {
+			return f.double(p)
+		}
+		return infinity()
+	}
+	h2 := f.sqr(h)
+	h3 := f.mul(h2, h)
+	v := f.mul(p.x, h2)
+	x3 := f.sub(f.sub(f.sqr(r), h3), f.add(v, v))
+	y3 := f.sub(f.mul(r, f.sub(v, x3)), f.mul(p.y, h3))
+	z3 := f.mul(p.z, h)
+	return point{x3, y3, z3}
+}
+
+// ScalarMultResult carries the product and the operation tally.
+type ScalarMultResult struct {
+	X, Y *big.Int
+	Ops  OpCount
+}
+
+// ScalarMultBinary computes [k](x,y) by plain double-and-add: the
+// Section II reference method.
+func ScalarMultBinary(k *big.Int, x, y *big.Int) (*ScalarMultResult, error) {
+	if !OnCurve(x, y) {
+		return nil, errors.New("p256: point not on curve")
+	}
+	f := &fieldCtx{}
+	qx, qy := feFromBig(x), feFromBig(y)
+	acc := infinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc = f.double(acc)
+		if k.Bit(i) == 1 {
+			acc = f.addMixed(acc, qx, qy)
+		}
+	}
+	ax, ay := f.affine(acc)
+	return &ScalarMultResult{X: ax, Y: ay, Ops: f.ops}, nil
+}
+
+// ScalarMultWNAF computes [k](x,y) with width-4 NAF recoding
+// (~256 doublings + ~51 additions), the form a competitive ASIC design
+// would implement.
+func ScalarMultWNAF(k *big.Int, x, y *big.Int) (*ScalarMultResult, error) {
+	if !OnCurve(x, y) {
+		return nil, errors.New("p256: point not on curve")
+	}
+	f := &fieldCtx{}
+	type aff struct{ x, y felem }
+	base := aff{feFromBig(x), feFromBig(y)}
+	// Precompute odd multiples [1,3,...,15]P in affine form (normalized
+	// individually; the cycle model amortizes these inversions as a
+	// Montgomery batch, see CycleModel).
+	var table [8]aff
+	table[0] = base
+	twoP := f.double(point{base.x, base.y, feOne})
+	tx, ty := f.affine(twoP)
+	t2 := aff{feFromBig(tx), feFromBig(ty)}
+	cur := point{base.x, base.y, feOne}
+	for i := 1; i < 8; i++ {
+		cur = f.addMixed(cur, t2.x, t2.y)
+		cx, cy := f.affine(cur)
+		table[i] = aff{feFromBig(cx), feFromBig(cy)}
+	}
+	naf := wnaf(k, 4)
+	acc := infinity()
+	for i := len(naf) - 1; i >= 0; i-- {
+		acc = f.double(acc)
+		d := naf[i]
+		if d == 0 {
+			continue
+		}
+		if d > 0 {
+			e := table[(d-1)/2]
+			acc = f.addMixed(acc, e.x, e.y)
+		} else {
+			e := table[(-d-1)/2]
+			acc = f.addMixed(acc, e.x, pMod.Neg(e.y))
+		}
+	}
+	ax, ay := f.affine(acc)
+	return &ScalarMultResult{X: ax, Y: ay, Ops: f.ops}, nil
+}
+
+// wnaf computes the width-w non-adjacent form, least significant first.
+func wnaf(k *big.Int, w uint) []int {
+	var out []int
+	v := new(big.Int).Set(k)
+	mod := int64(1) << w
+	half := mod >> 1
+	for v.Sign() > 0 {
+		var d int64
+		if v.Bit(0) == 1 {
+			d = new(big.Int).Mod(v, big.NewInt(mod)).Int64()
+			if d >= half {
+				d -= mod
+			}
+			v.Sub(v, big.NewInt(d))
+		}
+		out = append(out, int(d))
+		v.Rsh(v, 1)
+	}
+	return out
+}
+
+// CycleModel estimates the cycle count of the SM on a P-256 datapath
+// built from the same silicon as the FourQ processor: the three 127-bit
+// multiplier cores compose one 256-bit Karatsuba product, so each 256-bit
+// modular multiplication occupies MulIssueSlots issue slots of the
+// (pipelined) multiplier; the NIST-prime reduction adds are absorbed by
+// the adder in parallel.
+type CycleModel struct {
+	// MulIssueSlots is the number of multiplier issue cycles per 256-bit
+	// modular multiplication (3: one per 128x128 Karatsuba limb product).
+	MulIssueSlots int
+	// InvCycles is the cost of one field inversion (Fermat chain of
+	// ~256 squarings + ~11 multiplications, each MulIssueSlots wide).
+	InvCycles int
+}
+
+// DefaultCycleModel returns the same-silicon comparison model.
+func DefaultCycleModel() CycleModel {
+	return CycleModel{MulIssueSlots: 3, InvCycles: 267 * 3}
+}
+
+// Cycles estimates the SM cycle count from an operation tally. Inversions
+// beyond the first (table normalizations) are assumed batched with
+// Montgomery's trick -- three extra multiplications each instead of a
+// full Fermat chain, as a competitive ASIC design would implement.
+func (m CycleModel) Cycles(ops OpCount) int {
+	c := ops.Mults() * m.MulIssueSlots
+	if ops.Inv > 0 {
+		c += m.InvCycles + (ops.Inv-1)*3*m.MulIssueSlots
+	}
+	return c
+}

@@ -1,0 +1,23 @@
+package power_test
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+)
+
+// Example calibrates the model and reads off the paper's headline
+// operating points.
+func Example() {
+	m, err := power.Calibrate(1981) // cycles per SM from the scheduled program
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("@1.20V: %.1f us, %.2f uJ\n", m.Latency(1.2)*1e6, m.EnergyPerSM(1.2)*1e6)
+	fmt.Printf("@0.32V: %.0f us, %.3f uJ\n", m.Latency(0.32)*1e6, m.EnergyPerSM(0.32)*1e6)
+	fmt.Printf("clock @1.20V: %.0f MHz\n", m.Fmax(1.2)/1e6)
+	// Output:
+	// @1.20V: 10.1 us, 3.98 uJ
+	// @0.32V: 857 us, 0.327 uJ
+	// clock @1.20V: 196 MHz
+}

@@ -1,0 +1,212 @@
+// Package power models the fabricated chip's voltage/frequency/energy
+// behaviour (Fig. 4 of the paper): maximum operating frequency, scalar
+// multiplication latency and energy per SM as functions of the supply
+// voltage, for the 65 nm SOTB process with the paper's body-bias scheme
+// (VBP = 0.7*VDD, VBN = 0.3*VDD).
+//
+// Since we cannot measure silicon, the model is an EKV-style
+// inversion-charge delay law (smooth across the sub/near/super-threshold
+// regions; the body-bias scheme is absorbed into the fitted effective
+// threshold) combined with a CV^2 dynamic-plus-leakage energy law. The
+// four free parameters are calibrated exactly to the paper's measured
+// anchor points:
+//
+//	1.20 V: 10.1 us / 3.98 uJ per SM
+//	0.32 V:  857 us / 0.327 uJ per SM
+//
+// so the reproduced Fig. 4 passes through the published measurements and
+// keeps their shape: exponential frequency collapse below ~0.5 V and an
+// energy minimum at the low-voltage end of the measured range.
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Paper anchor points (Section IV-B / Table II).
+const (
+	AnchorHighV       = 1.20     // V
+	AnchorHighLatency = 10.1e-6  // s per SM
+	AnchorHighEnergy  = 3.98e-6  // J per SM
+	AnchorLowV        = 0.32     // V
+	AnchorLowLatency  = 857e-6   // s per SM
+	AnchorLowEnergy   = 0.327e-6 // J per SM
+)
+
+// VMin and VMax bound the model's validated supply range.
+const (
+	VMin = 0.26
+	VMax = 1.32
+)
+
+// Model is a calibrated voltage/frequency/energy model.
+type Model struct {
+	// CyclesPerSM is the cycle count of one scalar multiplication on the
+	// modelled processor (from the scheduled microprogram).
+	CyclesPerSM float64
+	// vth is the fitted effective threshold voltage (body bias absorbed).
+	vth float64
+	// k scales the EKV speed term to Hz.
+	k float64
+	// aDyn is the dynamic energy coefficient (J/V^2 per SM).
+	aDyn float64
+	// iLeak is the effective leakage current (A).
+	iLeak float64
+	// thermal slope 2*n*phi_t of the EKV charge law.
+	slope float64
+}
+
+// speed is the EKV-normalized frequency term: q(V)^2/V with
+// q = ln(1+exp((V-Vth)/slope)). Monotone increasing in V.
+func speed(v, vth, slope float64) float64 {
+	q := math.Log1p(math.Exp((v - vth) / slope))
+	return q * q / v
+}
+
+// Calibrate fits the model for a processor that takes cyclesPerSM cycles
+// per scalar multiplication. The frequency law is fitted so that the
+// latency anchors hold exactly; the energy law so the energy anchors hold
+// exactly.
+func Calibrate(cyclesPerSM float64) (*Model, error) {
+	if cyclesPerSM <= 0 {
+		return nil, errors.New("power: cyclesPerSM must be positive")
+	}
+	m := &Model{CyclesPerSM: cyclesPerSM, slope: 2 * 1.5 * 0.026}
+
+	// Fit Vth by bisection on the frequency ratio between the anchors.
+	targetRatio := AnchorLowLatency / AnchorHighLatency // f(high)/f(low)
+	lo, hi := 0.01, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		r := speed(AnchorHighV, mid, m.slope) / speed(AnchorLowV, mid, m.slope)
+		if r < targetRatio {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	m.vth = (lo + hi) / 2
+	r := speed(AnchorHighV, m.vth, m.slope) / speed(AnchorLowV, m.vth, m.slope)
+	if math.Abs(r-targetRatio)/targetRatio > 1e-6 {
+		return nil, fmt.Errorf("power: threshold fit failed (ratio %.3f vs %.3f)", r, targetRatio)
+	}
+	// Scale to the absolute frequency anchor.
+	fHigh := cyclesPerSM / AnchorHighLatency
+	m.k = fHigh / speed(AnchorHighV, m.vth, m.slope)
+
+	// Energy: E(V) = aDyn*V^2 + iLeak*V*T(V); solve the 2x2 linear system
+	// from the two anchors.
+	t1, t2 := m.Latency(AnchorHighV), m.Latency(AnchorLowV)
+	// [ v1^2  v1*t1 ] [aDyn ]   [E1]
+	// [ v2^2  v2*t2 ] [iLeak] = [E2]
+	a11, a12 := AnchorHighV*AnchorHighV, AnchorHighV*t1
+	a21, a22 := AnchorLowV*AnchorLowV, AnchorLowV*t2
+	det := a11*a22 - a12*a21
+	if math.Abs(det) < 1e-30 {
+		return nil, errors.New("power: singular energy calibration")
+	}
+	m.aDyn = (AnchorHighEnergy*a22 - a12*AnchorLowEnergy) / det
+	m.iLeak = (a11*AnchorLowEnergy - AnchorHighEnergy*a21) / det
+	if m.aDyn <= 0 || m.iLeak <= 0 {
+		return nil, fmt.Errorf("power: non-physical energy fit (aDyn=%g, iLeak=%g)", m.aDyn, m.iLeak)
+	}
+	return m, nil
+}
+
+// Vth returns the fitted effective threshold voltage.
+func (m *Model) Vth() float64 { return m.vth }
+
+// WithBodyBias returns a derived model whose effective threshold is
+// shifted by deltaVth. The paper's forward body-bias scheme
+// (VBP = 0.7*VDD, VBN = 0.3*VDD) is absorbed into the fitted threshold
+// of the calibrated model; passing a positive delta (~+0.1 V for 65 nm
+// SOTB with the bias removed) models operation without it, which is what
+// makes 0.32 V operation possible in the first place. The energy
+// coefficients are kept; energy follows the changed latency.
+func (m *Model) WithBodyBias(deltaVth float64) *Model {
+	d := *m
+	d.vth = m.vth + deltaVth
+	return &d
+}
+
+// Fmax returns the maximum operating frequency (Hz) at supply v.
+func (m *Model) Fmax(v float64) float64 {
+	return m.k * speed(v, m.vth, m.slope)
+}
+
+// Latency returns the scalar-multiplication latency (seconds) at supply v.
+func (m *Model) Latency(v float64) float64 {
+	return m.CyclesPerSM / m.Fmax(v)
+}
+
+// LatencyCycles returns the latency for an arbitrary cycle count.
+func (m *Model) LatencyCycles(v float64, cycles float64) float64 {
+	return cycles / m.Fmax(v)
+}
+
+// EnergyPerSM returns the energy (Joules) of one scalar multiplication at
+// supply v: dynamic CV^2 plus leakage integrated over the SM latency.
+func (m *Model) EnergyPerSM(v float64) float64 {
+	return m.aDyn*v*v + m.iLeak*v*m.Latency(v)
+}
+
+// EnergyPerCycle returns the per-cycle energy at supply v, for scaling to
+// workloads with different cycle counts.
+func (m *Model) EnergyPerCycle(v float64) float64 {
+	return m.EnergyPerSM(v) / m.CyclesPerSM
+}
+
+// Throughput returns scalar multiplications per second at supply v.
+func (m *Model) Throughput(v float64) float64 { return 1 / m.Latency(v) }
+
+// SweepPoint is one row of the Fig. 4 reproduction.
+type SweepPoint struct {
+	V          float64 // supply voltage
+	FmaxHz     float64
+	LatencyS   float64 // per SM
+	EnergyJ    float64 // per SM
+	Throughput float64 // SM/s
+}
+
+// Sweep evaluates the model on n evenly spaced voltages in [vlo, vhi].
+func (m *Model) Sweep(vlo, vhi float64, n int) []SweepPoint {
+	if n < 2 {
+		n = 2
+	}
+	pts := make([]SweepPoint, n)
+	for i := 0; i < n; i++ {
+		v := vlo + (vhi-vlo)*float64(i)/float64(n-1)
+		pts[i] = SweepPoint{
+			V:          v,
+			FmaxHz:     m.Fmax(v),
+			LatencyS:   m.Latency(v),
+			EnergyJ:    m.EnergyPerSM(v),
+			Throughput: m.Throughput(v),
+		}
+	}
+	return pts
+}
+
+// MinEnergyVoltage finds the supply voltage minimizing energy per SM over
+// the validated range, by golden-section search.
+func (m *Model) MinEnergyVoltage() (v, e float64) {
+	lo, hi := VMin, VMax
+	phi := (math.Sqrt(5) - 1) / 2
+	a, b := hi-phi*(hi-lo), lo+phi*(hi-lo)
+	fa, fb := m.EnergyPerSM(a), m.EnergyPerSM(b)
+	for i := 0; i < 100; i++ {
+		if fa < fb {
+			hi, b, fb = b, a, fa
+			a = hi - phi*(hi-lo)
+			fa = m.EnergyPerSM(a)
+		} else {
+			lo, a, fa = a, b, fb
+			b = lo + phi*(hi-lo)
+			fb = m.EnergyPerSM(b)
+		}
+	}
+	v = (lo + hi) / 2
+	return v, m.EnergyPerSM(v)
+}

@@ -1,0 +1,181 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+const testCycles = 2500
+
+func calibrated(t *testing.T) *Model {
+	t.Helper()
+	m, err := Calibrate(testCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Abs(b)
+}
+
+func TestCalibrationHitsAnchors(t *testing.T) {
+	m := calibrated(t)
+	if !approx(m.Latency(AnchorHighV), AnchorHighLatency, 1e-6) {
+		t.Errorf("latency @1.2V = %g, want %g", m.Latency(AnchorHighV), AnchorHighLatency)
+	}
+	if !approx(m.Latency(AnchorLowV), AnchorLowLatency, 1e-6) {
+		t.Errorf("latency @0.32V = %g, want %g", m.Latency(AnchorLowV), AnchorLowLatency)
+	}
+	if !approx(m.EnergyPerSM(AnchorHighV), AnchorHighEnergy, 1e-6) {
+		t.Errorf("energy @1.2V = %g, want %g", m.EnergyPerSM(AnchorHighV), AnchorHighEnergy)
+	}
+	if !approx(m.EnergyPerSM(AnchorLowV), AnchorLowEnergy, 1e-6) {
+		t.Errorf("energy @0.32V = %g, want %g", m.EnergyPerSM(AnchorLowV), AnchorLowEnergy)
+	}
+}
+
+func TestCalibrateRejectsBadInput(t *testing.T) {
+	if _, err := Calibrate(0); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	if _, err := Calibrate(-5); err == nil {
+		t.Error("negative cycles accepted")
+	}
+}
+
+func TestFrequencyMonotone(t *testing.T) {
+	m := calibrated(t)
+	prev := 0.0
+	for v := VMin; v <= VMax; v += 0.01 {
+		f := m.Fmax(v)
+		if f <= prev {
+			t.Fatalf("Fmax not monotone at %.2f V", v)
+		}
+		prev = f
+	}
+}
+
+func TestFrequencyShape(t *testing.T) {
+	m := calibrated(t)
+	// Fig. 4 shape: frequency collapses by orders of magnitude between
+	// 1.2 V and the near-threshold region.
+	ratio := m.Fmax(1.2) / m.Fmax(0.32)
+	if !approx(ratio, AnchorLowLatency/AnchorHighLatency, 1e-6) {
+		t.Errorf("anchored frequency ratio wrong: %f", ratio)
+	}
+	// Threshold must be physically plausible for SOTB with forward bias.
+	if m.Vth() < 0.15 || m.Vth() > 0.6 {
+		t.Errorf("fitted Vth %.3f V implausible", m.Vth())
+	}
+	// Fmax @1.2V should be a plausible 65nm clock (tens of MHz..1GHz).
+	if m.Fmax(1.2) < 20e6 || m.Fmax(1.2) > 2e9 {
+		t.Errorf("Fmax(1.2V) = %g Hz implausible", m.Fmax(1.2))
+	}
+}
+
+func TestEnergyMinimumNearLowAnchor(t *testing.T) {
+	m := calibrated(t)
+	v, e := m.MinEnergyVoltage()
+	// The paper reports the minimum measured energy at 0.32 V; the
+	// continuous model's minimum must sit at or just below that point.
+	if v < VMin || v > 0.40 {
+		t.Errorf("minimum-energy voltage %.3f V not near the paper's 0.32 V", v)
+	}
+	if e > AnchorLowEnergy*(1+1e-9) {
+		t.Errorf("minimum energy %g above the 0.32 V anchor %g", e, AnchorLowEnergy)
+	}
+	// On the measured grid (>= 0.32 V) the minimum is at 0.32 V exactly,
+	// as the paper claims.
+	for v := 0.36; v <= 1.2; v += 0.04 {
+		if m.EnergyPerSM(v) <= AnchorLowEnergy {
+			t.Errorf("energy at %.2f V undercuts the 0.32 V point", v)
+		}
+	}
+}
+
+func TestEnergyDecomposition(t *testing.T) {
+	m := calibrated(t)
+	// At high voltage dynamic energy dominates; at low voltage leakage is
+	// a visible share (that's what creates the minimum).
+	dynHigh := m.aDyn * AnchorHighV * AnchorHighV
+	if dynHigh/m.EnergyPerSM(AnchorHighV) < 0.9 {
+		t.Error("dynamic energy should dominate at 1.2 V")
+	}
+	leakLow := m.iLeak * AnchorLowV * m.Latency(AnchorLowV)
+	if leakLow/m.EnergyPerSM(AnchorLowV) < 0.05 {
+		t.Error("leakage share at 0.32 V suspiciously low")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	m := calibrated(t)
+	pts := m.Sweep(0.32, 1.2, 23)
+	if len(pts) != 23 {
+		t.Fatalf("sweep length %d", len(pts))
+	}
+	if pts[0].V != 0.32 || !approx(pts[len(pts)-1].V, 1.2, 1e-9) {
+		t.Error("sweep endpoints wrong")
+	}
+	for _, p := range pts {
+		if p.LatencyS <= 0 || p.EnergyJ <= 0 || p.FmaxHz <= 0 {
+			t.Fatalf("non-positive sweep values at %.2f V", p.V)
+		}
+		if !approx(p.Throughput*p.LatencyS, 1, 1e-9) {
+			t.Fatalf("throughput/latency inconsistent at %.2f V", p.V)
+		}
+	}
+}
+
+func TestLatencyCyclesScaling(t *testing.T) {
+	m := calibrated(t)
+	// Double the cycles -> double the latency at any voltage.
+	if !approx(m.LatencyCycles(0.9, 2*testCycles), 2*m.Latency(0.9), 1e-12) {
+		t.Error("LatencyCycles does not scale linearly")
+	}
+	if !approx(m.EnergyPerCycle(1.2)*testCycles, m.EnergyPerSM(1.2), 1e-9) {
+		t.Error("EnergyPerCycle inconsistent")
+	}
+}
+
+func TestDifferentCycleCountsSameEnergy(t *testing.T) {
+	// Energy anchors are per-SM chip measurements: they must not depend
+	// on the cycle-count estimate used for frequency calibration.
+	m1, _ := Calibrate(2000)
+	m2, _ := Calibrate(4000)
+	if !approx(m1.EnergyPerSM(0.7), m2.EnergyPerSM(0.7), 1e-9) {
+		t.Error("energy model should be cycle-count invariant")
+	}
+	// But frequency scales with cycles.
+	if !approx(m2.Fmax(1.2)/m1.Fmax(1.2), 2, 1e-9) {
+		t.Error("frequency should scale with cycle count")
+	}
+}
+
+func TestBodyBiasAblation(t *testing.T) {
+	m := calibrated(t)
+	// Removing the forward body bias raises the effective threshold and
+	// collapses near-threshold performance far more than nominal-voltage
+	// performance -- the reason the paper's SOTB bias scheme matters.
+	noBias := m.WithBodyBias(0.10)
+	if noBias.Vth() <= m.Vth() {
+		t.Fatal("threshold did not rise")
+	}
+	slow32 := m.Fmax(0.32) / noBias.Fmax(0.32)
+	slow120 := m.Fmax(1.20) / noBias.Fmax(1.20)
+	if slow32 <= slow120 {
+		t.Errorf("bias removal should hurt 0.32V (%.2fx) more than 1.2V (%.2fx)", slow32, slow120)
+	}
+	if slow32 < 2 {
+		t.Errorf("near-threshold slowdown %.2fx implausibly small for +100mV Vth", slow32)
+	}
+	// The original model is untouched.
+	if m.Vth() == noBias.Vth() {
+		t.Error("WithBodyBias mutated the receiver")
+	}
+	// Energy at low voltage rises with the longer runtime.
+	if noBias.EnergyPerSM(0.32) <= m.EnergyPerSM(0.32) {
+		t.Error("longer latency should increase leakage energy")
+	}
+}

@@ -1,0 +1,86 @@
+package rtl
+
+import (
+	"math/bits"
+
+	"repro/internal/fp2"
+	"repro/internal/isa"
+)
+
+// Switching-activity model: counts the bit toggles on the two functional
+// units' output buses and the operand buses across consecutive cycles.
+// Toggle counts are the standard first-order proxy for dynamic power in
+// CMOS (P ~ alpha * C * V^2 * f) and double as a data-dependence probe
+// for side-channel analysis: with the fixed-FSM design only the *data*
+// toggles vary with the scalar, never the schedule.
+
+// Activity accumulates switching statistics over a run.
+type Activity struct {
+	// Toggles is the total number of output-bus bit flips.
+	Toggles int
+	// PerCycle holds the toggle count of each cycle (indexed by cycle).
+	PerCycle []int
+	// lastMul/lastAdd are the previous bus values.
+	lastMul, lastAdd fp2.Element
+	haveMul, haveAdd bool
+}
+
+// NewActivity returns an Activity sized for a program with the given
+// makespan; attach its Observe method to RunInput.Observer.
+func NewActivity(makespan int) *Activity {
+	return &Activity{PerCycle: make([]int, makespan+1)}
+}
+
+// Observe consumes datapath events.
+func (a *Activity) Observe(ev Event) {
+	if ev.Kind != EvWriteback {
+		return
+	}
+	var dist int
+	switch ev.Unit {
+	case isa.UnitMul:
+		if a.haveMul {
+			dist = hamming(a.lastMul, ev.Value)
+		} else {
+			dist = popcount(ev.Value)
+		}
+		a.lastMul = ev.Value
+		a.haveMul = true
+	case isa.UnitAdd:
+		if a.haveAdd {
+			dist = hamming(a.lastAdd, ev.Value)
+		} else {
+			dist = popcount(ev.Value)
+		}
+		a.lastAdd = ev.Value
+		a.haveAdd = true
+	}
+	a.Toggles += dist
+	if ev.Cycle >= 0 && ev.Cycle < len(a.PerCycle) {
+		a.PerCycle[ev.Cycle] += dist
+	}
+}
+
+// MeanTogglesPerCycle is the average switching activity.
+func (a *Activity) MeanTogglesPerCycle() float64 {
+	if len(a.PerCycle) == 0 {
+		return 0
+	}
+	return float64(a.Toggles) / float64(len(a.PerCycle))
+}
+
+func hamming(x, y fp2.Element) int {
+	xa0, xa1 := x.A.Limbs()
+	xb0, xb1 := x.B.Limbs()
+	ya0, ya1 := y.A.Limbs()
+	yb0, yb1 := y.B.Limbs()
+	return bits.OnesCount64(xa0^ya0) + bits.OnesCount64(xa1^ya1) +
+		bits.OnesCount64(xb0^yb0) + bits.OnesCount64(xb1^yb1)
+}
+
+func popcount(x fp2.Element) int {
+	a0, a1 := x.A.Limbs()
+	b0, b1 := x.B.Limbs()
+	return bits.OnesCount64(a0) + bits.OnesCount64(a1) +
+		bits.OnesCount64(b0) + bits.OnesCount64(b1)
+}

@@ -1,0 +1,171 @@
+package rtl
+
+import (
+	"errors"
+	mrand "math/rand"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/fp2"
+	"repro/internal/isa"
+	"repro/internal/scalar"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// elidedSetup schedules the DBLADD block with write-back elision on.
+func elidedSetup(t testing.TB, seed int64) (*sched.Result, curve.Point, [8]curve.Cached, scalar.Scalar) {
+	t.Helper()
+	rng := mrand.New(mrand.NewSource(seed))
+	p := curve.ScalarMultBinary(randScalar(rng), curve.Generator())
+	table := curve.BuildTable(curve.NewMultiBase(p))
+	acc := curve.ScalarMultBinary(randScalar(rng), curve.Generator())
+	k := randScalar(rng)
+	tr, err := trace.BuildDblAdd(k, acc, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sched.Schedule(tr.Graph, sched.DefaultResources(), sched.Options{
+		Method: sched.MethodList, ElideWritebacks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, acc, table, k
+}
+
+func TestElisionCorrectAndSavesWrites(t *testing.T) {
+	r, acc, table, k := elidedSetup(t, 41)
+	if r.ElidedWrites == 0 {
+		t.Fatal("elision pass removed nothing; forwarding-only values exist in this block")
+	}
+	got := runDblAdd(t, r.Program, acc, table, k)
+	want := expectedDblAdd(acc, table, k)
+	if !got.Equal(want) {
+		t.Fatal("elided program computes wrong result")
+	}
+	// Compare write traffic against the unelided program.
+	dec := scalar.Decompose(k)
+	_, st, err := Run(r.Program, RunInput{Inputs: dblAddInputs(acc, table), Rec: scalar.Recode(dec), Corrected: dec.Corrected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ElidedWrites != r.ElidedWrites {
+		t.Errorf("RTL elided %d writes, scheduler marked %d", st.ElidedWrites, r.ElidedWrites)
+	}
+	if st.RegWrites+st.ElidedWrites != st.MulIssues+st.AddIssues {
+		t.Errorf("write accounting broken: %d + %d != %d ops", st.RegWrites, st.ElidedWrites, st.MulIssues+st.AddIssues)
+	}
+}
+
+func TestElisionScalarIndependent(t *testing.T) {
+	r, acc, table, _ := elidedSetup(t, 42)
+	rng := mrand.New(mrand.NewSource(55))
+	for i := 0; i < 8; i++ {
+		k := randScalar(rng)
+		got := runDblAdd(t, r.Program, acc, table, k)
+		if !got.Equal(expectedDblAdd(acc, table, k)) {
+			t.Fatalf("elided program wrong for scalar %d", i)
+		}
+	}
+}
+
+func TestOverEagerElisionCaught(t *testing.T) {
+	// Manually elide a write that IS architecturally needed: the hazard
+	// checker must flag the read of the never-written register.
+	prog, acc, table, k := dblAddSetup(t, 43, sched.MethodList)
+	cp := *prog
+	cp.Instrs = append([]isa.Instr(nil), prog.Instrs...)
+	// Find an instruction whose dst is later read via OpReg and kill its WB.
+	victim := -1
+	for i, in := range cp.Instrs {
+		for j := i + 1; j < len(cp.Instrs); j++ {
+			for _, op := range [...]isa.Operand{cp.Instrs[j].A, cp.Instrs[j].B} {
+				if op.Kind == isa.OpReg && op.Reg == in.Dst {
+					victim = i
+				}
+			}
+		}
+		if victim >= 0 {
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no register-read consumer found")
+	}
+	cp.Instrs[victim].NoWB = true
+	dec := scalar.Decompose(k)
+	_, _, err := Run(&cp, RunInput{Inputs: dblAddInputs(acc, table), Rec: scalar.Recode(dec), Corrected: dec.Corrected})
+	if err == nil {
+		t.Fatal("over-eager elision not caught")
+	}
+	if !errors.Is(err, ErrHazard) {
+		t.Fatalf("expected hazard error, got %v", err)
+	}
+}
+
+func TestElisionOnFullSM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rng := mrand.New(mrand.NewSource(44))
+	tr, err := trace.BuildScalarMult(randScalar(rng), curve.GeneratorAffine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sched.Schedule(tr.Graph, sched.DefaultResources(), sched.Options{
+		Method: sched.MethodList, ElideWritebacks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ElidedWrites < 500 {
+		t.Errorf("only %d writes elided on the full SM; expected a large forwarding-only population", r.ElidedWrites)
+	}
+	k := randScalar(rng)
+	dec := scalar.Decompose(k)
+	g := curve.GeneratorAffine()
+	out, st, err := Run(r.Program, RunInput{
+		Inputs:    map[string]fp2.Element{"P.x": g.X, "P.y": g.Y},
+		Rec:       scalar.Recode(dec),
+		Corrected: dec.Corrected,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := curve.ScalarMult(k, curve.Generator()).Affine()
+	if !out["x"].Equal(want.X) || !out["y"].Equal(want.Y) {
+		t.Fatal("elided full-SM program wrong")
+	}
+	t.Logf("full SM with elision: %d/%d writes elided (%.0f%% RF write energy saved)",
+		st.ElidedWrites, st.ElidedWrites+st.RegWrites,
+		100*float64(st.ElidedWrites)/float64(st.ElidedWrites+st.RegWrites))
+}
+
+func TestElisionWithInitiationInterval(t *testing.T) {
+	// Elision and a narrower multiplier (II=2) compose correctly.
+	rng := mrand.New(mrand.NewSource(61))
+	p := curve.ScalarMultBinary(randScalar(rng), curve.Generator())
+	table := curve.BuildTable(curve.NewMultiBase(p))
+	acc := curve.ScalarMultBinary(randScalar(rng), curve.Generator())
+	k := randScalar(rng)
+	tr, err := trace.BuildDblAdd(k, acc, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sched.DefaultResources()
+	res.MulII = 2
+	res.MulLatency = 4
+	r, err := sched.Schedule(tr.Graph, res, sched.Options{Method: sched.MethodList, ElideWritebacks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runDblAdd(t, r.Program, acc, table, k)
+	if !got.Equal(expectedDblAdd(acc, table, k)) {
+		t.Fatal("II=2 + elision program wrong")
+	}
+	// II is respected: 15 muls at II=2 need at least 29 issue cycles.
+	if r.Makespan < 15*2-1 {
+		t.Fatalf("makespan %d violates the issue bound for II=2", r.Makespan)
+	}
+}

@@ -1,0 +1,352 @@
+// Package rtl is a cycle-accurate model of the proposed cryptoprocessor
+// datapath (Fig. 1 of the paper): a 4-read/2-write register file, a
+// pipelined Karatsuba GF(p^2) multiplier (executed bit-exactly through
+// the Algorithm 2 stage model), a GF(p^2) adder/subtractor with per-lane
+// commands, forwarding paths from both unit outputs, and an FSM sequencer
+// that walks the scheduled microprogram one cycle at a time.
+//
+// The model is also a hazard checker: it fails loudly on structural
+// violations (double issue, port over-subscription, reads of never
+// written registers, forwarding from an idle unit), so a corrupted
+// schedule cannot silently produce a result.
+package rtl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fp"
+	"repro/internal/fp2"
+	"repro/internal/isa"
+	"repro/internal/scalar"
+)
+
+// RunInput carries the per-run data: external inputs, and the recoded
+// scalar digits + correction flag that drive the runtime table indexing
+// and dynamic sign commands.
+type RunInput struct {
+	Inputs    map[string]fp2.Element
+	Rec       scalar.Recoded
+	Corrected bool
+	// Observer, when non-nil, receives one Event per issue and per
+	// write-back, in cycle order. Used by the VCD dumper and the
+	// switching-activity model.
+	Observer func(Event)
+}
+
+// EventKind tags an observed datapath event.
+type EventKind uint8
+
+const (
+	// EvIssue: an operation entered a functional unit this cycle.
+	EvIssue EventKind = iota
+	// EvWriteback: a result completed and was written to the register file.
+	EvWriteback
+)
+
+// Event is one observed datapath transaction.
+type Event struct {
+	Kind  EventKind
+	Cycle int
+	Unit  uint8 // isa.UnitMul or isa.UnitAdd
+	Dst   uint16
+	// A, B are the resolved operand values (EvIssue only).
+	A, B fp2.Element
+	// Value is the produced result (EvWriteback only).
+	Value fp2.Element
+	// Label is the debug label of the instruction (EvIssue only).
+	Label string
+}
+
+// Stats summarizes an execution.
+type Stats struct {
+	Cycles         int
+	MulIssues      int
+	AddIssues      int
+	RegReads       int
+	RegWrites      int
+	ElidedWrites   int
+	ForwardedReads int
+	// MulUtilization is MulIssues / Cycles.
+	MulUtilization float64
+}
+
+// ErrHazard wraps all structural violations detected during execution.
+var ErrHazard = errors.New("rtl: structural hazard")
+
+type pipeSlot struct {
+	valid      bool
+	completion int
+	dst        uint16
+	noWB       bool
+	value      fp2.Element
+}
+
+// machine is the datapath state.
+type machine struct {
+	prog    *isa.Program
+	regs    []fp2.Element
+	written []bool
+	in      RunInput
+	mulPipe []pipeSlot // in-flight multiplier results
+	addPipe []pipeSlot
+	stats   Stats
+}
+
+// Run executes the program and returns the named outputs.
+func Run(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	m := &machine{
+		prog:    p,
+		regs:    make([]fp2.Element, p.NumRegs),
+		written: make([]bool, p.NumRegs),
+		in:      in,
+	}
+	// Program load: constants and inputs.
+	for _, c := range p.ConstRegs {
+		m.regs[c.Reg] = fp2.New(fp.SetLimbs(c.Value[0], c.Value[1]), fp.SetLimbs(c.Value[2], c.Value[3]))
+		m.written[c.Reg] = true
+	}
+	for name, reg := range p.InputRegs {
+		v, ok := in.Inputs[name]
+		if !ok {
+			return nil, Stats{}, fmt.Errorf("rtl: missing input %q", name)
+		}
+		m.regs[reg] = v
+		m.written[reg] = true
+	}
+
+	mulII := p.MulII
+	if mulII <= 0 {
+		mulII = 1
+	}
+	lastMulIssue := -1 << 30
+	// Group instructions by cycle.
+	byCycle := make([][]isa.Instr, p.Makespan+1)
+	for _, ins := range p.Instrs {
+		byCycle[ins.Cycle] = append(byCycle[ins.Cycle], ins)
+	}
+
+	for cycle := 0; cycle <= p.Makespan; cycle++ {
+		// Write-back phase: results completing this cycle reach the
+		// register file (write-through) and the forwarding ports.
+		mulOut, addOut, err := m.writeback(cycle)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		// Issue phase.
+		reads := 0
+		var mulIssued, addIssued bool
+		for _, ins := range byCycle[cycle] {
+			a, ra, err := m.resolve(ins, ins.A, mulOut, addOut)
+			if err != nil {
+				return nil, Stats{}, fmt.Errorf("cycle %d op %q A: %w", cycle, ins.Label, err)
+			}
+			b, rb, err := m.resolve(ins, ins.B, mulOut, addOut)
+			if err != nil {
+				return nil, Stats{}, fmt.Errorf("cycle %d op %q B: %w", cycle, ins.Label, err)
+			}
+			reads += ra + rb
+			if m.in.Observer != nil {
+				m.in.Observer(Event{Kind: EvIssue, Cycle: cycle, Unit: ins.Unit, Dst: ins.Dst, A: a, B: b, Label: ins.Label})
+			}
+			switch ins.Unit {
+			case isa.UnitMul:
+				if mulIssued {
+					return nil, Stats{}, fmt.Errorf("%w: multiplier double issue at cycle %d", ErrHazard, cycle)
+				}
+				if cycle < lastMulIssue+mulII {
+					return nil, Stats{}, fmt.Errorf("%w: multiplier II=%d violated at cycle %d", ErrHazard, mulII, cycle)
+				}
+				lastMulIssue = cycle
+				mulIssued = true
+				m.stats.MulIssues++
+				result := fp2.MulAlg2(a, b)
+				m.mulPipe = append(m.mulPipe, pipeSlot{true, cycle + p.MulLatency, ins.Dst, ins.NoWB, result})
+			case isa.UnitAdd:
+				if addIssued {
+					return nil, Stats{}, fmt.Errorf("%w: adder double issue at cycle %d", ErrHazard, cycle)
+				}
+				addIssued = true
+				m.stats.AddIssues++
+				result, err := m.addsub(ins, a, b)
+				if err != nil {
+					return nil, Stats{}, err
+				}
+				m.addPipe = append(m.addPipe, pipeSlot{true, cycle + p.AddLatency, ins.Dst, ins.NoWB, result})
+			}
+		}
+		if reads > 4 {
+			return nil, Stats{}, fmt.Errorf("%w: %d register reads at cycle %d (4 ports)", ErrHazard, reads, cycle)
+		}
+		m.stats.RegReads += reads
+	}
+	// Drain any remaining completions (schedule validation guarantees
+	// everything completes by Makespan, so the pipes must be empty).
+	for _, s := range append(m.mulPipe, m.addPipe...) {
+		if s.valid {
+			return nil, Stats{}, fmt.Errorf("%w: result still in flight after makespan", ErrHazard)
+		}
+	}
+
+	out := map[string]fp2.Element{}
+	for name, reg := range p.OutputRegs {
+		if !m.written[reg] {
+			return nil, Stats{}, fmt.Errorf("rtl: output %q register %d never written", name, reg)
+		}
+		out[name] = m.regs[reg]
+	}
+	m.stats.Cycles = p.Makespan
+	if p.Makespan > 0 {
+		m.stats.MulUtilization = float64(m.stats.MulIssues) / float64(p.Makespan)
+	}
+	return out, m.stats, nil
+}
+
+// writeback retires results whose completion is this cycle; it returns
+// the unit output-port values for the forwarding network.
+func (m *machine) writeback(cycle int) (mulOut, addOut *fp2.Element, err error) {
+	writes := 0
+	retire := func(pipe []pipeSlot, unit uint8) ([]pipeSlot, *fp2.Element, error) {
+		var out *fp2.Element
+		next := pipe[:0]
+		for _, s := range pipe {
+			if !s.valid || s.completion != cycle {
+				if s.valid {
+					next = append(next, s)
+				}
+				continue
+			}
+			if out != nil {
+				return nil, nil, fmt.Errorf("%w: two results on one unit at cycle %d", ErrHazard, cycle)
+			}
+			v := s.value
+			out = &v
+			if s.noWB {
+				m.stats.ElidedWrites++
+			} else {
+				m.regs[s.dst] = s.value
+				m.written[s.dst] = true
+				writes++
+			}
+			if m.in.Observer != nil {
+				m.in.Observer(Event{Kind: EvWriteback, Cycle: cycle, Unit: unit, Dst: s.dst, Value: s.value})
+			}
+		}
+		return next, out, nil
+	}
+	m.mulPipe, mulOut, err = retire(m.mulPipe, isa.UnitMul)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.addPipe, addOut, err = retire(m.addPipe, isa.UnitAdd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if writes > 2 {
+		return nil, nil, fmt.Errorf("%w: %d register writes at cycle %d (2 ports)", ErrHazard, writes, cycle)
+	}
+	m.stats.RegWrites += writes
+	return mulOut, addOut, nil
+}
+
+// resolve produces the operand value and the number of register-file
+// read ports it consumed.
+func (m *machine) resolve(ins isa.Instr, op isa.Operand, mulOut, addOut *fp2.Element) (fp2.Element, int, error) {
+	readReg := func(r uint16) (fp2.Element, error) {
+		if int(r) >= len(m.regs) {
+			return fp2.Element{}, fmt.Errorf("%w: register %d out of range", ErrHazard, r)
+		}
+		if !m.written[r] {
+			return fp2.Element{}, fmt.Errorf("%w: read of never-written register %d", ErrHazard, r)
+		}
+		return m.regs[r], nil
+	}
+	switch op.Kind {
+	case isa.OpReg:
+		v, err := readReg(op.Reg)
+		return v, 1, err
+	case isa.OpFwdMul:
+		if mulOut == nil {
+			return fp2.Element{}, 0, fmt.Errorf("%w: forwarding from idle multiplier", ErrHazard)
+		}
+		m.stats.ForwardedReads++
+		return *mulOut, 0, nil
+	case isa.OpFwdAdd:
+		if addOut == nil {
+			return fp2.Element{}, 0, fmt.Errorf("%w: forwarding from idle adder", ErrHazard)
+		}
+		m.stats.ForwardedReads++
+		return *addOut, 0, nil
+	case isa.OpTable:
+		if op.Digit >= scalar.Digits {
+			return fp2.Element{}, 0, fmt.Errorf("%w: table digit %d", ErrHazard, op.Digit)
+		}
+		sign := m.in.Rec.Sign[op.Digit]
+		idx := m.in.Rec.Index[op.Digit]
+		coord := op.Coord
+		if sign < 0 {
+			switch coord {
+			case 0:
+				coord = 1
+			case 1:
+				coord = 0
+			}
+		}
+		v, err := readReg(m.prog.TableRegs[idx][coord])
+		return v, 1, err
+	case isa.OpCorr:
+		if m.in.Corrected {
+			coord := op.Coord
+			switch coord {
+			case 0:
+				coord = 1
+			case 1:
+				coord = 0
+			case 3:
+				coord = 3 // raw 2dT; the dynamic sign op negates it
+			}
+			v, err := readReg(m.prog.TableRegs[0][coord])
+			return v, 1, err
+		}
+		v, err := readReg(m.prog.CorrIdentRegs[op.Coord])
+		return v, 1, err
+	}
+	return fp2.Element{}, 0, fmt.Errorf("%w: operand kind %v unresolvable", ErrHazard, op.Kind)
+}
+
+// addsub executes the adder with per-lane commands, resolving dynamic
+// sign commands from the recoded digits / correction flag.
+func (m *machine) addsub(ins isa.Instr, a, b fp2.Element) (fp2.Element, error) {
+	cmdRe, cmdIm := ins.CmdRe, ins.CmdIm
+	if ins.CmdMode == isa.CmdDynSign {
+		neg := false
+		if ins.Digit == isa.DigitCorr {
+			neg = m.in.Corrected
+		} else {
+			if ins.Digit >= scalar.Digits {
+				return fp2.Element{}, fmt.Errorf("%w: dyn sign digit %d", ErrHazard, ins.Digit)
+			}
+			neg = m.in.Rec.Sign[ins.Digit] < 0
+		}
+		if neg {
+			cmdRe, cmdIm = isa.CmdSub, isa.CmdSub
+		} else {
+			cmdRe, cmdIm = isa.CmdAdd, isa.CmdAdd
+		}
+	}
+	var out fp2.Element
+	if cmdRe == isa.CmdAdd {
+		out.A = fp.Add(a.A, b.A)
+	} else {
+		out.A = fp.Sub(a.A, b.A)
+	}
+	if cmdIm == isa.CmdAdd {
+		out.B = fp.Add(a.B, b.B)
+	} else {
+		out.B = fp.Sub(a.B, b.B)
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package rtl
+
+import (
+	"errors"
+	mrand "math/rand"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/fp2"
+	"repro/internal/isa"
+	"repro/internal/scalar"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func randScalar(r *mrand.Rand) scalar.Scalar {
+	var s scalar.Scalar
+	for i := range s {
+		s[i] = r.Uint64()
+	}
+	return s
+}
+
+// dblAddSetup builds and schedules a standalone DBLADD block.
+func dblAddSetup(t testing.TB, seed int64, method sched.Method) (*isa.Program, curve.Point, [8]curve.Cached, scalar.Scalar) {
+	t.Helper()
+	rng := mrand.New(mrand.NewSource(seed))
+	p := curve.ScalarMultBinary(randScalar(rng), curve.Generator())
+	table := curve.BuildTable(curve.NewMultiBase(p))
+	acc := curve.ScalarMultBinary(randScalar(rng), curve.Generator())
+	k := randScalar(rng)
+	tr, err := trace.BuildDblAdd(k, acc, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sched.Schedule(tr.Graph, sched.DefaultResources(), sched.Options{Method: method})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Program, acc, table, k
+}
+
+func dblAddInputs(acc curve.Point, table [8]curve.Cached) map[string]fp2.Element {
+	in := map[string]fp2.Element{
+		"Q.x": acc.X, "Q.y": acc.Y, "Q.z": acc.Z, "Q.ta": acc.Ta, "Q.tb": acc.Tb,
+	}
+	names := [4]string{"x+y", "y-x", "2z", "2dt"}
+	vals := func(c curve.Cached) [4]fp2.Element {
+		return [4]fp2.Element{c.XplusY, c.YminusX, c.Z2, c.T2d}
+	}
+	for u := 0; u < 8; u++ {
+		v := vals(table[u])
+		for ci, n := range names {
+			in["T"+string(rune('0'+u))+"."+n] = v[ci]
+		}
+	}
+	return in
+}
+
+func runDblAdd(t testing.TB, prog *isa.Program, acc curve.Point, table [8]curve.Cached, k scalar.Scalar) curve.Point {
+	t.Helper()
+	dec := scalar.Decompose(k)
+	rec := scalar.Recode(dec)
+	out, _, err := Run(prog, RunInput{Inputs: dblAddInputs(acc, table), Rec: rec, Corrected: dec.Corrected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return curve.Point{X: out["x"], Y: out["y"], Z: out["z"], Ta: out["ta"], Tb: out["tb"]}
+}
+
+func expectedDblAdd(acc curve.Point, table [8]curve.Cached, k scalar.Scalar) curve.Point {
+	rec := scalar.Recode(scalar.Decompose(k))
+	return curve.AddCached(curve.Double(acc), table[rec.Index[0]].CondNeg(rec.Sign[0]))
+}
+
+func TestRunDblAddMatchesLibrary(t *testing.T) {
+	prog, acc, table, k := dblAddSetup(t, 11, sched.MethodList)
+	got := runDblAdd(t, prog, acc, table, k)
+	if !got.Equal(expectedDblAdd(acc, table, k)) {
+		t.Fatal("RTL DBLADD result differs from library")
+	}
+}
+
+func TestRunDblAddScalarIndependence(t *testing.T) {
+	// The program was traced with one scalar; running with other scalars
+	// must still be correct (the schedule is scalar-independent; only the
+	// runtime table indexing and sign commands change).
+	prog, acc, table, _ := dblAddSetup(t, 12, sched.MethodBnB)
+	rng := mrand.New(mrand.NewSource(99))
+	for trial := 0; trial < 16; trial++ {
+		k := randScalar(rng)
+		got := runDblAdd(t, prog, acc, table, k)
+		if !got.Equal(expectedDblAdd(acc, table, k)) {
+			t.Fatalf("trial %d: result differs for fresh scalar", trial)
+		}
+	}
+}
+
+func TestRunReportsStats(t *testing.T) {
+	prog, acc, table, k := dblAddSetup(t, 13, sched.MethodList)
+	dec := scalar.Decompose(k)
+	rec := scalar.Recode(dec)
+	_, st, err := Run(prog, RunInput{Inputs: dblAddInputs(acc, table), Rec: rec, Corrected: dec.Corrected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MulIssues != 15 || st.AddIssues != 13 {
+		t.Errorf("issue counts %d/%d, want 15/13", st.MulIssues, st.AddIssues)
+	}
+	if st.MulUtilization <= 0 || st.MulUtilization > 1 {
+		t.Errorf("utilization %f out of range", st.MulUtilization)
+	}
+	if st.RegWrites == 0 || st.RegReads == 0 {
+		t.Error("no register traffic recorded")
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	prog, acc, table, k := dblAddSetup(t, 14, sched.MethodList)
+	in := dblAddInputs(acc, table)
+	delete(in, "Q.x")
+	dec := scalar.Decompose(k)
+	if _, _, err := Run(prog, RunInput{Inputs: in, Rec: scalar.Recode(dec), Corrected: dec.Corrected}); err == nil {
+		t.Fatal("missing input not reported")
+	}
+}
+
+func TestHazardInjection(t *testing.T) {
+	prog, acc, table, k := dblAddSetup(t, 15, sched.MethodList)
+	dec := scalar.Decompose(k)
+	rec := scalar.Recode(dec)
+	in := RunInput{Inputs: dblAddInputs(acc, table), Rec: rec, Corrected: dec.Corrected}
+
+	corrupt := func(mutate func(p *isa.Program)) error {
+		cp := *prog
+		cp.Instrs = append([]isa.Instr(nil), prog.Instrs...)
+		mutate(&cp)
+		_, _, err := Run(&cp, in)
+		return err
+	}
+
+	// Double issue on the multiplier.
+	err := corrupt(func(p *isa.Program) {
+		for i := range p.Instrs {
+			if p.Instrs[i].Unit == isa.UnitMul && p.Instrs[i].Cycle > 0 {
+				p.Instrs[i].Cycle = p.Instrs[0].Cycle
+				break
+			}
+		}
+	})
+	if err == nil {
+		t.Error("double issue not detected")
+	}
+
+	// Forwarding from an idle unit: push a forwarding consumer early.
+	err = corrupt(func(p *isa.Program) {
+		for i := range p.Instrs {
+			if p.Instrs[i].A.Kind == isa.OpFwdMul {
+				p.Instrs[i].A = isa.Operand{Kind: isa.OpFwdAdd}
+			}
+		}
+	})
+	if err == nil {
+		t.Error("idle-unit forwarding not detected (or no forwarding in program)")
+	}
+
+	// Read of a never-written register.
+	err = corrupt(func(p *isa.Program) {
+		p.Instrs[len(p.Instrs)-1].A = isa.Operand{Kind: isa.OpReg, Reg: uint16(p.NumRegs - 1)}
+		p.NumRegs++ // shift so the register is fresh
+		p.Instrs[len(p.Instrs)-1].A.Reg = uint16(p.NumRegs - 1)
+	})
+	if err == nil {
+		t.Error("uninitialized register read not detected")
+	}
+	if err != nil && !errors.Is(err, ErrHazard) {
+		t.Errorf("expected ErrHazard, got %v", err)
+	}
+}
+
+func TestFullScalarMultOnRTL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SM on RTL is slow")
+	}
+	rng := mrand.New(mrand.NewSource(16))
+	traceScalar := randScalar(rng)
+	tr, err := trace.BuildScalarMult(traceScalar, curve.GeneratorAffine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sched.Schedule(tr.Graph, sched.DefaultResources(), sched.Options{Method: sched.MethodList})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := curve.GeneratorAffine()
+	inputs := map[string]fp2.Element{"P.x": g.X, "P.y": g.Y}
+
+	// Run with the traced scalar and three fresh ones.
+	scalars := []scalar.Scalar{traceScalar, randScalar(rng), {42}, {0, 0, 0, ^uint64(0)}}
+	for i, k := range scalars {
+		dec := scalar.Decompose(k)
+		out, st, err := Run(r.Program, RunInput{Inputs: inputs, Rec: scalar.Recode(dec), Corrected: dec.Corrected})
+		if err != nil {
+			t.Fatalf("scalar %d: %v", i, err)
+		}
+		want := curve.ScalarMult(k, curve.Generator()).Affine()
+		if !out["x"].Equal(want.X) || !out["y"].Equal(want.Y) {
+			t.Fatalf("scalar %d: RTL SM result differs from library", i)
+		}
+		if i == 0 {
+			t.Logf("full SM: %d cycles, mul util %.2f, %d fwd reads, %d regs",
+				st.Cycles, st.MulUtilization, st.ForwardedReads, r.Program.NumRegs)
+		}
+	}
+}

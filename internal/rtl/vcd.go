@@ -1,0 +1,141 @@
+package rtl
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fp2"
+	"repro/internal/isa"
+)
+
+// VCD (Value Change Dump, IEEE 1364) waveform export of a program
+// execution, viewable in GTKWave and friends. One timestep per clock
+// cycle; the dumped signals are the two issue strobes, the two result
+// buses (256 bit), and the two write-back addresses.
+
+type vcdSignal struct {
+	id    byte
+	name  string
+	width int
+}
+
+var vcdSignals = []vcdSignal{
+	{'!', "mul_issue", 1},
+	{'"', "add_issue", 1},
+	{'#', "mul_out", 256},
+	{'$', "add_out", 256},
+	{'%', "mul_wb_addr", 9},
+	{'&', "add_wb_addr", 9},
+}
+
+// WriteVCD executes the program (as Run does) while dumping a waveform
+// to w. It returns the run outputs and statistics.
+func WriteVCD(p *isa.Program, in RunInput, w io.Writer) (map[string]fp2.Element, Stats, error) {
+	var werr error
+	emit := func(format string, args ...any) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(w, format, args...)
+		}
+	}
+	emit("$date repro fourq-asic $end\n")
+	emit("$timescale 1ns $end\n")
+	emit("$scope module fourq_sm $end\n")
+	for _, s := range vcdSignals {
+		emit("$var wire %d %c %s $end\n", s.width, s.id, s.name)
+	}
+	emit("$upscope $end\n$enddefinitions $end\n")
+	emit("#0\n0!\n0\"\n")
+
+	cur := -1
+	issued := map[byte]bool{}
+	chain := in.Observer
+	in.Observer = func(ev Event) {
+		if chain != nil {
+			chain(ev)
+		}
+		if ev.Cycle != cur {
+			// Close the previous cycle: drop issue strobes that fired.
+			if cur >= 0 {
+				for id := range issued {
+					emit("0%c\n", id)
+				}
+			}
+			issued = map[byte]bool{}
+			cur = ev.Cycle
+			emit("#%d\n", cur*10)
+		}
+		switch ev.Kind {
+		case EvIssue:
+			if ev.Unit == isa.UnitMul {
+				emit("1!\n")
+				issued['!'] = true
+			} else {
+				emit("1\"\n")
+				issued['"'] = true
+			}
+		case EvWriteback:
+			if ev.Unit == isa.UnitMul {
+				emit("b%s #\n", vcdBits(ev.Value))
+				emit("b%s %%\n", vcdAddr(ev.Dst))
+			} else {
+				emit("b%s $\n", vcdBits(ev.Value))
+				emit("b%s &\n", vcdAddr(ev.Dst))
+			}
+		}
+	}
+	out, st, err := Run(p, in)
+	if err != nil {
+		return nil, st, err
+	}
+	if cur >= 0 {
+		for id := range issued {
+			emit("0%c\n", id)
+		}
+	}
+	emit("#%d\n", (p.Makespan+1)*10)
+	if werr != nil {
+		return nil, st, werr
+	}
+	return out, st, nil
+}
+
+// vcdBits renders a 256-bit field element as a binary VCD vector,
+// most significant bit first, without leading zeros (VCD convention).
+func vcdBits(v fp2.Element) string {
+	a0, a1 := v.A.Limbs()
+	b0, b1 := v.B.Limbs()
+	limbs := [4]uint64{b1, b0, a1, a0} // imaginary part in the high half
+	out := make([]byte, 0, 256)
+	started := false
+	for _, l := range limbs {
+		for i := 63; i >= 0; i-- {
+			bit := byte('0' + (l >> uint(i) & 1))
+			if !started && bit == '0' {
+				continue
+			}
+			started = true
+			out = append(out, bit)
+		}
+	}
+	if !started {
+		return "0"
+	}
+	return string(out)
+}
+
+func vcdAddr(a uint16) string {
+	out := make([]byte, 0, 9)
+	started := false
+	for i := 8; i >= 0; i-- {
+		bit := byte('0' + (a >> uint(i) & 1))
+		if !started && bit == '0' {
+			continue
+		}
+		started = true
+		out = append(out, bit)
+	}
+	if !started {
+		return "0"
+	}
+	return string(out)
+}

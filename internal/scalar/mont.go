@@ -1,0 +1,54 @@
+package scalar
+
+import (
+	"math/big"
+
+	"repro/internal/mont"
+)
+
+// Limb-based arithmetic modulo the subgroup order N, built on the
+// generic Montgomery package. The public AddModN/SubModN/MulModN/InvModN
+// functions run entirely on 4x64-bit limbs; math/big appears only in the
+// test suite as the reference implementation.
+
+// nLimbs is N in little-endian limbs.
+var nLimbs = [4]uint64{
+	0x2FB2540EC7768CE7,
+	0xDFBD004DFE0F7999,
+	0xF05397829CBC14E5,
+	0x0029CBC14E5E0A72,
+}
+
+// modN is the precomputed Montgomery context for N.
+var modN = func() *mont.Modulus {
+	m, err := mont.NewModulus(nLimbs)
+	if err != nil {
+		panic("scalar: " + err.Error())
+	}
+	// Cross-check the hex constant against bigN once at init.
+	check := new(big.Int)
+	for i := 3; i >= 0; i-- {
+		check.Lsh(check, 64)
+		check.Add(check, new(big.Int).SetUint64(nLimbs[i]))
+	}
+	if check.Cmp(bigN) != 0 {
+		panic("scalar: N limb constant disagrees with NHex")
+	}
+	return m
+}()
+
+// Internal helpers used by scalar.go; kept as named functions so the
+// call sites read like the algorithm descriptions.
+
+func reduceFull(a [4]uint64) [4]uint64      { return modN.Reduce(a) }
+func toMont(a [4]uint64) [4]uint64          { return modN.ToMont(a) }
+func fromMont(a [4]uint64) [4]uint64        { return modN.FromMont(a) }
+func montMul(a, b [4]uint64) [4]uint64      { return modN.Mul(a, b) }
+func addModNLimbs(a, b [4]uint64) [4]uint64 { return modN.Add(a, b) }
+func subModNLimbs(a, b [4]uint64) [4]uint64 { return modN.Sub(a, b) }
+
+// invModNLimbs computes a^-1 mod N (a reduced, non-zero) by Fermat
+// exponentiation (N is prime).
+func invModNLimbs(a [4]uint64) [4]uint64 {
+	return modN.FromMont(modN.InvFermat(modN.ToMont(a)))
+}

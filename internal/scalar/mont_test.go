@@ -1,0 +1,155 @@
+package scalar
+
+import (
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Reference implementations over math/big, used only to verify the limb
+// code.
+
+func refMod(a Scalar) Scalar {
+	v := new(big.Int).Mod(a.Big(), bigN)
+	return FromBig(v)
+}
+
+func refMul(a, b Scalar) Scalar {
+	v := new(big.Int).Mul(a.Big(), b.Big())
+	v.Mod(v, bigN)
+	return FromBig(v)
+}
+
+func TestNPrime(t *testing.T) {
+	// NPrime * N[0] == -1 mod 2^64.
+	if modN.NPrime*nLimbs[0] != ^uint64(0) {
+		t.Fatalf("NPrime wrong: %#x", modN.NPrime)
+	}
+}
+
+func TestR2Constant(t *testing.T) {
+	want := new(big.Int).Lsh(big.NewInt(1), 512)
+	want.Mod(want, bigN)
+	got := Scalar(modN.R2).Big()
+	if got.Cmp(want) != 0 {
+		t.Fatal("R^2 constant wrong")
+	}
+}
+
+func TestMontRoundTrip(t *testing.T) {
+	f := func(a Scalar) bool {
+		r := reduceFull([4]uint64(a))
+		return Scalar(fromMont(toMont(r))) == Scalar(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceFullMatchesBig(t *testing.T) {
+	f := func(a Scalar) bool {
+		return ModN(a).Equal(refMod(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Boundary cases.
+	cases := []Scalar{
+		{},
+		{1},
+		Scalar(nLimbs),
+		{nLimbs[0] - 1, nLimbs[1], nLimbs[2], nLimbs[3]}, // N-1
+		{nLimbs[0] + 1, nLimbs[1], nLimbs[2], nLimbs[3]}, // N+1
+		{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)},
+	}
+	for _, c := range cases {
+		if !ModN(c).Equal(refMod(c)) {
+			t.Fatalf("ModN(%v) mismatch", c)
+		}
+	}
+}
+
+func TestMontMulMatchesBig(t *testing.T) {
+	f := func(a, b Scalar) bool {
+		return MulModN(a, b).Equal(refMul(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// N-1 squared and friends.
+	nm1 := Scalar{nLimbs[0] - 1, nLimbs[1], nLimbs[2], nLimbs[3]}
+	all1 := Scalar{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+	for _, pair := range [][2]Scalar{{nm1, nm1}, {all1, all1}, {nm1, all1}, {Scalar(nLimbs), nm1}} {
+		if !MulModN(pair[0], pair[1]).Equal(refMul(pair[0], pair[1])) {
+			t.Fatalf("MulModN boundary mismatch for %v * %v", pair[0], pair[1])
+		}
+	}
+}
+
+func TestLimbAddSubMatchBig(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(321))
+	for i := 0; i < 2000; i++ {
+		a := Scalar{rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64()}
+		b := Scalar{rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64()}
+		sum := new(big.Int).Add(a.Big(), b.Big())
+		sum.Mod(sum, bigN)
+		if AddModN(a, b).Big().Cmp(sum) != 0 {
+			t.Fatalf("AddModN mismatch for %v + %v", a, b)
+		}
+		diff := new(big.Int).Sub(a.Big(), b.Big())
+		diff.Mod(diff, bigN)
+		if SubModN(a, b).Big().Cmp(diff) != 0 {
+			t.Fatalf("SubModN mismatch for %v - %v", a, b)
+		}
+	}
+}
+
+func TestInvModNLimbsMatchesBig(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(654))
+	for i := 0; i < 50; i++ {
+		a := Scalar{rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64()}
+		if ModN(a).IsZero() {
+			continue
+		}
+		got, err := InvModN(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := new(big.Int).ModInverse(new(big.Int).Mod(a.Big(), bigN), bigN)
+		if got.Big().Cmp(want) != 0 {
+			t.Fatalf("InvModN mismatch for %v", a)
+		}
+	}
+	// Multiples of N invert to an error.
+	if _, err := InvModN(Scalar(nLimbs)); err == nil {
+		t.Error("InvModN(N) should fail")
+	}
+}
+
+func BenchmarkMulModN(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(1))
+	x := Scalar{rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64()}
+	y := Scalar{rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = MulModN(x, y)
+	}
+	scalarSink = x
+}
+
+func BenchmarkInvModN(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(2))
+	x := Scalar{rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		x, err = InvModN(x)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	scalarSink = x
+}
+
+var scalarSink Scalar

@@ -1,0 +1,115 @@
+package scalar
+
+// This file implements steps 3-5 of the paper's Algorithm 1: the four-way
+// scalar decomposition and the GLV-SAC signed all-nonzero recoding
+// (Faz-Hernandez, Longa, Sanchez), producing for each of the 65 loop
+// iterations a sign s_i in {+1,-1} and a table index v_i in [0,7].
+
+// Digits is the number of recoded digit positions: 64-bit sub-scalars
+// recode into 65 signed digits (the paper's loop runs i = 64 down to 0).
+const Digits = 65
+
+// Decomposition is the output of Decompose: four 64-bit sub-scalars plus
+// the parity-correction flag.
+type Decomposition struct {
+	// A holds the four sub-scalars a1..a4 (A[0] is a1).
+	A [4]uint64
+	// Corrected is set when a1 was even and had to be incremented to
+	// satisfy the recoding's oddness requirement. The caller must then
+	// subtract the base point once from the final result:
+	// [k]P = [k']P - P with k' = k+1.
+	Corrected bool
+}
+
+// Decompose splits k into four 64-bit sub-scalars a1..a4 such that
+// k = a1 + a2*2^64 + a3*2^128 + a4*2^192, forcing a1 odd (see
+// Decomposition.Corrected). With the multi-base point set
+// {P, [2^64]P, [2^128]P, [2^192]P} this makes
+// [k]P = [a1]P + [a2]P2 + [a3]P3 + [a4]P4, the shape of equation (2) in
+// the paper.
+func Decompose(k Scalar) Decomposition {
+	d := Decomposition{A: [4]uint64{k[0], k[1], k[2], k[3]}}
+	if d.A[0]&1 == 0 {
+		// a1 must be odd for GLV-SAC; k even => use k+1 and correct later.
+		// a1 is even so a1+1 cannot carry.
+		d.A[0]++
+		d.Corrected = true
+	}
+	return d
+}
+
+// Recoded is the matrix of signed digits from GLV-SAC recoding.
+type Recoded struct {
+	// Sign[i] is s_i in {+1, -1}: the sign applied to the table entry at
+	// iteration i (i = Digits-1 is consumed first).
+	Sign [Digits]int8
+	// Index[i] is v_i in [0, 7]: which precomputed point T[v_i] to use.
+	Index [Digits]uint8
+}
+
+// Recode applies the GLV-SAC recoding to a decomposition. a1 must be odd
+// (guaranteed by Decompose). The recoded output satisfies, for each j,
+//
+//	a_j = sum_i b_j[i] * 2^i
+//
+// where b_1[i] = Sign[i] and b_j[i] in {0, Sign[i]} is bit j-2 of
+// Index[i] times Sign[i], for j = 2..4.
+func Recode(d Decomposition) Recoded {
+	var r Recoded
+	a1 := d.A[0]
+	if a1&1 == 0 {
+		panic("scalar: Recode requires odd a1")
+	}
+
+	// b1: the sign row. b1[i] = 2*bit(a1, i+1) - 1 for i < Digits-1,
+	// b1[Digits-1] = +1.
+	var b1 [Digits]int8
+	for i := 0; i < Digits-1; i++ {
+		bit := int8(0)
+		if i+1 < 64 {
+			bit = int8(a1 >> uint(i+1) & 1)
+		}
+		b1[i] = 2*bit - 1
+	}
+	b1[Digits-1] = 1
+
+	// Rows 2..4: digit extraction. The GLV-SAC recurrence is
+	//   b_j[i] = b1[i] * (k_j mod 2)
+	//   k_j   <- floor(k_j/2) - floor(b_j[i]/2)
+	// and floor(b_j[i]/2) is -1 exactly when the current bit is set and
+	// the sign row is negative, so k_j gains a +1 carry in that case.
+	// k_j never goes negative and is fully consumed after Digits steps.
+	// The loop body is branchless: secret bits become masks, so the
+	// recoding is usable from the constant-time path.
+	var idx [Digits]uint8
+	for j := 1; j < 4; j++ {
+		kj := d.A[j]
+		for i := 0; i < Digits; i++ {
+			bit := kj & 1
+			idx[i] |= uint8(bit) << uint(j-1)
+			negSign := uint64(uint8(b1[i])) >> 7 // 1 iff b1[i] < 0
+			kj = kj>>1 + (bit & negSign)
+		}
+		if kj != 0 {
+			panic("scalar: recoding failed to consume sub-scalar")
+		}
+	}
+
+	r.Index = idx
+	copy(r.Sign[:], b1[:])
+	return r
+}
+
+// ReconstructDigit returns the value contribution of digit position i for
+// sub-scalar row j (j = 0 is the sign row itself). Used by tests to verify
+// the recoding identity.
+func (r Recoded) ReconstructDigit(j, i int) int64 {
+	s := int64(r.Sign[i])
+	if j == 0 {
+		return s
+	}
+	if r.Index[i]>>(uint(j-1))&1 == 1 {
+		return s
+	}
+	return 0
+}

@@ -1,0 +1,66 @@
+package scalar
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestRecodeExhaustiveSmall verifies the decompose+recode pipeline for
+// every scalar with interesting small sub-scalars: all 2^12 combinations
+// of 8-valued digits across the four limbs, plus every k < 1024. This
+// catches carry/borrow edge cases randomized testing can miss.
+func TestRecodeExhaustiveSmall(t *testing.T) {
+	check := func(k Scalar) {
+		t.Helper()
+		d := Decompose(k)
+		r := Recode(d)
+		for j := 0; j < 4; j++ {
+			v := new(big.Int)
+			for i := Digits - 1; i >= 0; i-- {
+				v.Lsh(v, 1)
+				v.Add(v, big.NewInt(r.ReconstructDigit(j, i)))
+			}
+			if v.Cmp(new(big.Int).SetUint64(d.A[j])) != 0 {
+				t.Fatalf("k=%v row %d: reconstructed %v, want %d", k, j, v, d.A[j])
+			}
+		}
+	}
+	for k := uint64(0); k < 1024; k++ {
+		check(Scalar{k})
+	}
+	vals := []uint64{0, 1, 2, 3, ^uint64(0), ^uint64(0) - 1, 1 << 63, 1<<63 - 1}
+	for _, a := range vals {
+		for _, b := range vals {
+			for _, c := range vals {
+				for _, d := range vals {
+					check(Scalar{a, b, c, d})
+				}
+			}
+		}
+	}
+}
+
+// TestRecodeSignIndexCoverage verifies every (sign, index) pair is
+// reachable at digit position 0 by engineered scalars (the runtime
+// addressing cases the RTL must handle).
+func TestRecodeSignIndexCoverage(t *testing.T) {
+	seen := map[[2]int]bool{}
+	for idx := 0; idx < 8; idx++ {
+		for signBit := uint64(0); signBit < 2; signBit++ {
+			k := Scalar{
+				1 | signBit<<1,
+				uint64(idx) & 1,
+				uint64(idx) >> 1 & 1,
+				uint64(idx) >> 2 & 1,
+			}
+			r := Recode(Decompose(k))
+			seen[[2]int{int(r.Sign[0]), int(r.Index[0])}] = true
+			if int(r.Index[0]) != idx {
+				t.Fatalf("engineered index %d, got %d", idx, r.Index[0])
+			}
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("covered %d of 16 (sign,index) pairs", len(seen))
+	}
+}

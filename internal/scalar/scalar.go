@@ -1,0 +1,201 @@
+// Package scalar implements 256-bit scalars for FourQ scalar
+// multiplication: arithmetic modulo the prime subgroup order N, the
+// four-way scalar decomposition, and the GLV-SAC signed recoding used by
+// steps 3-5 of the paper's Algorithm 1.
+//
+// The decomposition here splits k into its four base-2^64 digits, pairing
+// with the multi-base point set {P, [2^64]P, [2^128]P, [2^192]P}. This is
+// the documented substitution for the Costello-Longa endomorphism
+// decomposition (see DESIGN.md): steps 2-10 of Algorithm 1 -- table
+// construction, recoding and the 64-iteration double-and-add loop -- are
+// structurally identical, which is what the ASIC scheduling study needs.
+//
+// Scalar-field arithmetic (mod N) uses math/big internally; it runs once
+// per signature, never inside the SM datapath, and is not constant time.
+package scalar
+
+import (
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Size is the byte length of an encoded scalar.
+const Size = 32
+
+// Scalar is a 256-bit unsigned integer in four little-endian 64-bit limbs.
+// Scalars are *not* implicitly reduced modulo the group order; FourQ's SM
+// accepts any k in [0, 2^256).
+type Scalar [4]uint64
+
+// NHex is the order of the prime-order subgroup of FourQ (246 bits).
+const NHex = "29cbc14e5e0a72f05397829cbc14e5dfbd004dfe0f79992fb2540ec7768ce7"
+
+// Cofactor is #E(F_p^2) / N = 392 = 2^3 * 7^2.
+const Cofactor = 392
+
+// bigN is the subgroup order as a big.Int (initialized once, read-only).
+var bigN = mustBig(NHex)
+
+func mustBig(hex string) *big.Int {
+	v, ok := new(big.Int).SetString(hex, 16)
+	if !ok {
+		panic("scalar: bad constant " + hex)
+	}
+	return v
+}
+
+// Order returns a copy of the subgroup order N.
+func Order() *big.Int { return new(big.Int).Set(bigN) }
+
+// FromUint64 returns the scalar with value v.
+func FromUint64(v uint64) Scalar { return Scalar{v} }
+
+// FromBig returns the scalar k mod 2^256.
+func FromBig(v *big.Int) Scalar {
+	var s Scalar
+	red := new(big.Int).And(v, mask256)
+	if v.Sign() < 0 {
+		red.Mod(v, two256)
+	}
+	for i := 0; i < 4; i++ {
+		s[i] = new(big.Int).Rsh(red, uint(64*i)).Uint64()
+	}
+	return s
+}
+
+var (
+	two256  = new(big.Int).Lsh(big.NewInt(1), 256)
+	mask256 = new(big.Int).Sub(two256, big.NewInt(1))
+)
+
+// Big returns the scalar as a big.Int.
+func (s Scalar) Big() *big.Int {
+	v := new(big.Int)
+	for i := 3; i >= 0; i-- {
+		v.Lsh(v, 64)
+		v.Add(v, new(big.Int).SetUint64(s[i]))
+	}
+	return v
+}
+
+// IsZero reports whether s == 0.
+func (s Scalar) IsZero() bool {
+	return s[0]|s[1]|s[2]|s[3] == 0
+}
+
+// Equal reports whether two scalars are identical, in constant time.
+func (s Scalar) Equal(t Scalar) bool {
+	var b [Size]byte
+	var c [Size]byte
+	sb, tb := s.Bytes(), t.Bytes()
+	copy(b[:], sb[:])
+	copy(c[:], tb[:])
+	return subtle.ConstantTimeCompare(b[:], c[:]) == 1
+}
+
+// Bit returns bit i of the scalar (0 for i >= 256).
+func (s Scalar) Bit(i int) uint64 {
+	if i < 0 || i >= 256 {
+		return 0
+	}
+	return s[i/64] >> (uint(i) % 64) & 1
+}
+
+// BitLen returns the minimal number of bits needed to represent s.
+func (s Scalar) BitLen() int {
+	for i := 3; i >= 0; i-- {
+		if s[i] != 0 {
+			n := 0
+			for v := s[i]; v != 0; v >>= 1 {
+				n++
+			}
+			return 64*i + n
+		}
+	}
+	return 0
+}
+
+// Bytes returns the 32-byte little-endian encoding.
+func (s Scalar) Bytes() [Size]byte {
+	var out [Size]byte
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			out[8*i+j] = byte(s[i] >> (8 * j))
+		}
+	}
+	return out
+}
+
+// FromBytes decodes a 32-byte little-endian scalar.
+func FromBytes(b []byte) (Scalar, error) {
+	if len(b) != Size {
+		return Scalar{}, fmt.Errorf("scalar: encoding must be %d bytes, got %d", Size, len(b))
+	}
+	var s Scalar
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			s[i] |= uint64(b[8*i+j]) << (8 * j)
+		}
+	}
+	return s, nil
+}
+
+// Random returns a uniformly random scalar in [1, N-1], suitable as a
+// private key or signing nonce.
+func Random(r io.Reader) (Scalar, error) {
+	for {
+		var buf [Size]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return Scalar{}, err
+		}
+		v := new(big.Int).SetBytes(buf[:])
+		v.Mod(v, bigN)
+		if v.Sign() == 0 {
+			continue
+		}
+		return FromBig(v), nil
+	}
+}
+
+// errZeroInverse is returned when inverting zero mod N.
+var errZeroInverse = errors.New("scalar: inverse of zero")
+
+// ModN reduces s modulo the subgroup order N (limb-based Montgomery
+// reduction; see mont.go).
+func ModN(s Scalar) Scalar {
+	return Scalar(reduceFull([4]uint64(s)))
+}
+
+// AddModN returns a + b mod N. Inputs may be unreduced.
+func AddModN(a, b Scalar) Scalar {
+	return Scalar(addModNLimbs(reduceFull([4]uint64(a)), reduceFull([4]uint64(b))))
+}
+
+// SubModN returns a - b mod N. Inputs may be unreduced.
+func SubModN(a, b Scalar) Scalar {
+	return Scalar(subModNLimbs(reduceFull([4]uint64(a)), reduceFull([4]uint64(b))))
+}
+
+// MulModN returns a * b mod N. Inputs may be unreduced.
+func MulModN(a, b Scalar) Scalar {
+	am := toMont([4]uint64(a)) // montMul accepts any 256-bit value
+	bm := toMont([4]uint64(b))
+	return Scalar(fromMont(montMul(am, bm)))
+}
+
+// InvModN returns a^-1 mod N, or an error for a == 0 mod N.
+func InvModN(a Scalar) (Scalar, error) {
+	r := reduceFull([4]uint64(a))
+	if r == ([4]uint64{}) {
+		return Scalar{}, errZeroInverse
+	}
+	return Scalar(invModNLimbs(r)), nil
+}
+
+// String formats the scalar as 0x-prefixed big-endian hex.
+func (s Scalar) String() string {
+	return fmt.Sprintf("0x%016x%016x%016x%016x", s[3], s[2], s[1], s[0])
+}

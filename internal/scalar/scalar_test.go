@@ -1,0 +1,255 @@
+package scalar
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Generate implements quick.Generator for Scalar.
+func (Scalar) Generate(r *mrand.Rand, _ int) reflect.Value {
+	var s Scalar
+	switch r.Intn(8) {
+	case 0:
+		// zero
+	case 1:
+		s = Scalar{1}
+	case 2:
+		s = Scalar{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+	default:
+		for i := range s {
+			s[i] = r.Uint64()
+		}
+	}
+	return reflect.ValueOf(s)
+}
+
+func TestOrderProperties(t *testing.T) {
+	n := Order()
+	if n.BitLen() != 246 {
+		t.Errorf("N should be 246 bits, got %d", n.BitLen())
+	}
+	if !n.ProbablyPrime(64) {
+		t.Error("N is not prime")
+	}
+}
+
+func TestBigRoundTrip(t *testing.T) {
+	f := func(s Scalar) bool {
+		return FromBig(s.Big()).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(s Scalar) bool {
+		b := s.Bytes()
+		got, err := FromBytes(b[:])
+		return err == nil && got.Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := FromBytes(make([]byte, 31)); err == nil {
+		t.Error("FromBytes accepted short input")
+	}
+}
+
+func TestBitAndBitLen(t *testing.T) {
+	s := Scalar{0b1011, 0, 0, 1}
+	if s.Bit(0) != 1 || s.Bit(1) != 1 || s.Bit(2) != 0 || s.Bit(3) != 1 {
+		t.Error("Bit() wrong in low limb")
+	}
+	if s.Bit(192) != 1 || s.Bit(193) != 0 {
+		t.Error("Bit() wrong in high limb")
+	}
+	if s.Bit(-1) != 0 || s.Bit(256) != 0 {
+		t.Error("Bit() out of range should be 0")
+	}
+	if s.BitLen() != 193 {
+		t.Errorf("BitLen = %d, want 193", s.BitLen())
+	}
+	if (Scalar{}).BitLen() != 0 {
+		t.Error("BitLen(0) != 0")
+	}
+}
+
+func TestModNArithmetic(t *testing.T) {
+	n := Order()
+	f := func(a, b Scalar) bool {
+		sum := AddModN(a, b).Big()
+		want := new(big.Int).Add(a.Big(), b.Big())
+		want.Mod(want, n)
+		if sum.Cmp(want) != 0 {
+			return false
+		}
+		diff := SubModN(a, b).Big()
+		want = new(big.Int).Sub(a.Big(), b.Big())
+		want.Mod(want, n)
+		if diff.Cmp(want) != 0 {
+			return false
+		}
+		prod := MulModN(a, b).Big()
+		want = new(big.Int).Mul(a.Big(), b.Big())
+		want.Mod(want, n)
+		return prod.Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvModN(t *testing.T) {
+	if _, err := InvModN(Scalar{}); err == nil {
+		t.Error("InvModN(0) should fail")
+	}
+	f := func(a Scalar) bool {
+		if ModN(a).IsZero() {
+			return true
+		}
+		inv, err := InvModN(a)
+		if err != nil {
+			return false
+		}
+		return MulModN(a, inv).Equal(FromUint64(1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomScalar(t *testing.T) {
+	n := Order()
+	for i := 0; i < 16; i++ {
+		s, err := Random(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.IsZero() {
+			t.Fatal("Random returned zero")
+		}
+		if s.Big().Cmp(n) >= 0 {
+			t.Fatal("Random returned >= N")
+		}
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	f := func(k Scalar) bool {
+		d := Decompose(k)
+		if d.A[0]&1 != 1 {
+			return false
+		}
+		// Reconstruct: a1 + a2*2^64 + a3*2^128 + a4*2^192 == k (+1 if corrected).
+		v := new(big.Int)
+		for i := 3; i >= 0; i-- {
+			v.Lsh(v, 64)
+			v.Add(v, new(big.Int).SetUint64(d.A[i]))
+		}
+		want := k.Big()
+		if d.Corrected {
+			want.Add(want, big.NewInt(1))
+		}
+		return v.Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// reconstructRecoded recovers the four sub-scalars from a recoding.
+func reconstructRecoded(r Recoded) [4]*big.Int {
+	var out [4]*big.Int
+	for j := 0; j < 4; j++ {
+		v := new(big.Int)
+		for i := Digits - 1; i >= 0; i-- {
+			v.Lsh(v, 1)
+			v.Add(v, big.NewInt(r.ReconstructDigit(j, i)))
+		}
+		out[j] = v
+	}
+	return out
+}
+
+func TestRecodeRoundTrip(t *testing.T) {
+	f := func(k Scalar) bool {
+		d := Decompose(k)
+		r := Recode(d)
+		got := reconstructRecoded(r)
+		for j := 0; j < 4; j++ {
+			if got[j].Cmp(new(big.Int).SetUint64(d.A[j])) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecodeDigitRanges(t *testing.T) {
+	f := func(k Scalar) bool {
+		r := Recode(Decompose(k))
+		for i := 0; i < Digits; i++ {
+			if r.Sign[i] != 1 && r.Sign[i] != -1 {
+				return false
+			}
+			if r.Index[i] > 7 {
+				return false
+			}
+		}
+		// Top digit always has positive sign.
+		return r.Sign[Digits-1] == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecodePanicsOnEven(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Recode accepted even a1")
+		}
+	}()
+	Recode(Decomposition{A: [4]uint64{2, 0, 0, 0}})
+}
+
+func TestDecomposeEdgeCases(t *testing.T) {
+	// k = 0: a1 becomes 1, corrected.
+	d := Decompose(Scalar{})
+	if !d.Corrected || d.A[0] != 1 {
+		t.Error("Decompose(0) should correct to a1=1")
+	}
+	// k with a1 = 2^64-1 (odd): no correction.
+	d = Decompose(Scalar{^uint64(0)})
+	if d.Corrected {
+		t.Error("odd a1 should not be corrected")
+	}
+	// k with a1 = 2^64-2 (even): corrected without overflow.
+	d = Decompose(Scalar{^uint64(0) - 1})
+	if !d.Corrected || d.A[0] != ^uint64(0) {
+		t.Error("even a1 correction wrong")
+	}
+}
+
+func BenchmarkDecomposeRecode(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(5))
+	var k Scalar
+	for i := range k {
+		k[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := Recode(Decompose(k))
+		benchSink = r.Index[0]
+	}
+}
+
+var benchSink uint8

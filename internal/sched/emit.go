@@ -1,0 +1,381 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// emitProgram performs register allocation over the scheduled trace and
+// emits the executable microprogram (Step 4 of the paper's flow: control
+// signal generation).
+//
+// Allocation is a linear scan over issue order. A value's register is
+// live from its defining op's issue cycle until the issue cycle of its
+// last consumer; registers are recycled only for ops issuing strictly
+// after that (so the late write at issue+latency can never clobber a
+// pending read). Inputs and constants are preloaded; table-slot values,
+// correction constants and outputs are pinned for the whole program.
+func emitProgram(g *trace.Graph, res Resources, starts []int, makespan int) (*isa.Program, int, int, error) {
+	n := len(g.Ops)
+	nv := len(g.Values)
+
+	// Last-use issue cycle per value.
+	lastUse := make([]int, nv)
+	for i := range lastUse {
+		lastUse[i] = -1
+	}
+	pinned := make([]bool, nv)
+	for _, op := range g.Ops {
+		for _, operand := range [...]int{op.A, op.B} {
+			v := g.Values[operand]
+			switch v.Kind {
+			case trace.SrcOp, trace.SrcInput, trace.SrcConst:
+				if starts[op.ID] > lastUse[operand] {
+					lastUse[operand] = starts[op.ID]
+				}
+			case trace.SrcTable, trace.SrcCorr:
+				// runtime reads touch the pinned table region; nothing to
+				// extend here (the slots are pinned below).
+			}
+		}
+	}
+	if g.HasTable() {
+		for u := 0; u < 8; u++ {
+			for c := 0; c < 4; c++ {
+				pinned[g.TableSlots[u][c]] = true
+			}
+		}
+	}
+	// Correction-identity constants and outputs stay pinned.
+	constByName := map[string]int{}
+	for _, v := range g.Values {
+		if v.Kind == trace.SrcConst {
+			constByName[v.Name] = v.ID
+		}
+	}
+	for _, name := range []string{"zero", "one", "two"} {
+		if id, ok := constByName[name]; ok {
+			pinned[id] = true
+		}
+	}
+	outputs := map[string]int{}
+	for name, id := range g.Outputs {
+		outputs[name] = id
+		pinned[id] = true
+	}
+
+	// Allocator state.
+	regOf := make([]int, nv)
+	for i := range regOf {
+		regOf[i] = -1
+	}
+	var free []int
+	next := 0
+	alloc := func(v int) error {
+		if regOf[v] >= 0 {
+			return nil
+		}
+		if len(free) > 0 {
+			// Reuse the lowest-numbered free register for determinism.
+			sort.Ints(free)
+			regOf[v] = free[0]
+			free = free[1:]
+			return nil
+		}
+		if next >= res.MaxRegs {
+			return fmt.Errorf("sched: register file exhausted (%d registers)", res.MaxRegs)
+		}
+		regOf[v] = next
+		next++
+		return nil
+	}
+
+	// Preload inputs and constants.
+	var prog isa.Program
+	prog.InputRegs = map[string]uint16{}
+	prog.OutputRegs = map[string]uint16{}
+	for _, v := range g.Values {
+		if v.Kind != trace.SrcConst && v.Kind != trace.SrcInput {
+			continue
+		}
+		if err := alloc(v.ID); err != nil {
+			return nil, 0, 0, err
+		}
+		if v.Kind == trace.SrcInput {
+			prog.InputRegs[v.Name] = uint16(regOf[v.ID])
+		} else {
+			var limbs [4]uint64
+			c := g.Concrete[v.ID]
+			limbs[0], limbs[1] = c.A.Limbs()
+			limbs[2], limbs[3] = c.B.Limbs()
+			prog.ConstRegs = append(prog.ConstRegs, isa.ConstLoad{Reg: uint16(regOf[v.ID]), Value: limbs})
+		}
+	}
+
+	// Issue order.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if starts[order[a]] != starts[order[b]] {
+			return starts[order[a]] < starts[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	// Expiry queue: values sorted by lastUse, released when an op issues
+	// strictly later.
+	type expiry struct{ cycle, value int }
+	var expiries []expiry
+	maxLive, live := 0, 0
+
+	countLive := func(delta int) {
+		live += delta
+		if live > maxLive {
+			maxLive = live
+		}
+	}
+	// Inputs/consts start live.
+	for _, v := range g.Values {
+		if v.Kind == trace.SrcConst || v.Kind == trace.SrcInput {
+			countLive(1)
+			if !pinned[v.ID] && lastUse[v.ID] >= 0 {
+				expiries = append(expiries, expiry{lastUse[v.ID], v.ID})
+			}
+		}
+	}
+	sort.Slice(expiries, func(a, b int) bool { return expiries[a].cycle < expiries[b].cycle })
+	expIdx := 0
+
+	operandFor := func(op trace.Op, operand int) (isa.Operand, error) {
+		v := g.Values[operand]
+		switch v.Kind {
+		case trace.SrcTable:
+			return isa.Operand{Kind: isa.OpTable, Coord: uint8(v.Coord), Digit: uint8(v.Digit)}, nil
+		case trace.SrcCorr:
+			return isa.Operand{Kind: isa.OpCorr, Coord: uint8(v.Coord)}, nil
+		case trace.SrcConst, trace.SrcInput:
+			return isa.Operand{Kind: isa.OpReg, Reg: uint16(regOf[operand])}, nil
+		case trace.SrcOp:
+			p := g.Ops[v.Op]
+			completion := starts[p.ID] + latency(p.Unit, res)
+			if completion == starts[op.ID] {
+				if p.Unit == trace.UnitMul {
+					return isa.Operand{Kind: isa.OpFwdMul}, nil
+				}
+				return isa.Operand{Kind: isa.OpFwdAdd}, nil
+			}
+			if regOf[operand] < 0 {
+				return isa.Operand{}, fmt.Errorf("sched: operand value %d has no register", operand)
+			}
+			return isa.Operand{Kind: isa.OpReg, Reg: uint16(regOf[operand])}, nil
+		}
+		return isa.Operand{}, fmt.Errorf("sched: bad operand kind")
+	}
+
+	for _, id := range order {
+		op := g.Ops[id]
+		cycle := starts[id]
+		// Release expired registers (lastUse strictly before this cycle).
+		for expIdx < len(expiries) && expiries[expIdx].cycle < cycle {
+			v := expiries[expIdx].value
+			if regOf[v] >= 0 {
+				free = append(free, regOf[v])
+				countLive(-1)
+			}
+			expIdx++
+		}
+		if err := alloc(op.Out); err != nil {
+			return nil, 0, 0, err
+		}
+		countLive(1)
+		if !pinned[op.Out] {
+			lu := lastUse[op.Out]
+			if lu < 0 {
+				// Dead value (result never read): release right after issue.
+				lu = cycle
+			}
+			// Insert keeping order; expiries after expIdx remain sorted if
+			// we insert at the right position.
+			pos := sort.Search(len(expiries), func(i int) bool { return expiries[i].cycle > lu })
+			if pos < expIdx {
+				pos = expIdx
+			}
+			expiries = append(expiries, expiry{})
+			copy(expiries[pos+1:], expiries[pos:])
+			expiries[pos] = expiry{lu, op.Out}
+		}
+
+		a, err := operandFor(op, op.A)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		bopnd, err := operandFor(op, op.B)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		unit := uint8(isa.UnitMul)
+		if op.Unit == trace.UnitAdd {
+			unit = isa.UnitAdd
+		}
+		digit := uint8(0)
+		cmdMode := isa.CmdStatic
+		if op.CmdMode == trace.CmdDynSign {
+			cmdMode = isa.CmdDynSign
+			if op.Digit < 0 {
+				digit = isa.DigitCorr
+			} else {
+				digit = uint8(op.Digit)
+			}
+		}
+		prog.Instrs = append(prog.Instrs, isa.Instr{
+			Cycle:   cycle,
+			Unit:    unit,
+			A:       a,
+			B:       bopnd,
+			CmdMode: cmdMode,
+			CmdRe:   uint8(op.CmdRe),
+			CmdIm:   uint8(op.CmdIm),
+			Digit:   digit,
+			Dst:     uint16(regOf[op.Out]),
+			Label:   op.Label,
+		})
+	}
+
+	// Port-pressure verification (4R/2W by construction, but verify).
+	if err := checkPorts(g, res, starts, &prog); err != nil {
+		return nil, 0, 0, err
+	}
+
+	prog.NumRegs = next
+	prog.Makespan = makespan
+	prog.MulLatency = res.MulLatency
+	prog.AddLatency = res.AddLatency
+	prog.MulII = res.MulII
+	if prog.MulII <= 0 {
+		prog.MulII = 1
+	}
+	if g.HasTable() {
+		for u := 0; u < 8; u++ {
+			for c := 0; c < 4; c++ {
+				prog.TableRegs[u][c] = uint16(regOf[g.TableSlots[u][c]])
+			}
+		}
+		// Correction identity (X+Y, Y-X, 2Z, 2dT) = (1, 1, 2, 0).
+		ident := [4]string{"one", "one", "two", "zero"}
+		for c, name := range ident {
+			if id, ok := constByName[name]; ok {
+				prog.CorrIdentRegs[c] = uint16(regOf[id])
+			}
+		}
+	}
+	for name, id := range outputs {
+		prog.OutputRegs[name] = uint16(regOf[id])
+	}
+	prog.SortByCycle()
+	if err := prog.Validate(); err != nil {
+		return nil, 0, 0, err
+	}
+	return &prog, next, maxLive, nil
+}
+
+// elideWritebacks marks instructions whose results are consumed only via
+// the forwarding network (and whose destination registers are not part of
+// the externally visible state): their register-file write is suppressed.
+// Returns the number of elided writes.
+func elideWritebacks(prog *isa.Program, res Resources) int {
+	protect := map[uint16]bool{}
+	for _, r := range prog.OutputRegs {
+		protect[r] = true
+	}
+	for u := 0; u < 8; u++ {
+		for c := 0; c < 4; c++ {
+			protect[prog.TableRegs[u][c]] = true
+		}
+	}
+	for _, r := range prog.CorrIdentRegs {
+		protect[r] = true
+	}
+	// Register read and write cycle indices.
+	reads := map[uint16][]int{}
+	writes := map[uint16][]int{}
+	completion := func(in isa.Instr) int {
+		if in.Unit == isa.UnitMul {
+			return in.Cycle + res.MulLatency
+		}
+		return in.Cycle + res.AddLatency
+	}
+	for _, in := range prog.Instrs {
+		for _, op := range [...]isa.Operand{in.A, in.B} {
+			if op.Kind == isa.OpReg {
+				reads[op.Reg] = append(reads[op.Reg], in.Cycle)
+			}
+		}
+		writes[in.Dst] = append(writes[in.Dst], completion(in))
+	}
+	for r := range reads {
+		sort.Ints(reads[r])
+	}
+	for r := range writes {
+		sort.Ints(writes[r])
+	}
+	elided := 0
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		if protect[in.Dst] {
+			continue
+		}
+		c := completion(*in)
+		// Next write to the same register strictly after c.
+		next := 1 << 30
+		ws := writes[in.Dst]
+		j := sort.SearchInts(ws, c+1)
+		if j < len(ws) {
+			next = ws[j]
+		}
+		// Any architectural read in [c, next)?
+		rs := reads[in.Dst]
+		k := sort.SearchInts(rs, c)
+		if k < len(rs) && rs[k] < next {
+			continue // the register value is still needed
+		}
+		in.NoWB = true
+		elided++
+	}
+	return elided
+}
+
+// checkPorts verifies that no cycle exceeds the register file's read or
+// write port counts.
+func checkPorts(g *trace.Graph, res Resources, starts []int, prog *isa.Program) error {
+	reads := map[int]int{}
+	writes := map[int]int{}
+	for _, in := range prog.Instrs {
+		for _, op := range [...]isa.Operand{in.A, in.B} {
+			switch op.Kind {
+			case isa.OpReg, isa.OpTable, isa.OpCorr:
+				reads[in.Cycle]++
+			}
+		}
+		lat := res.AddLatency
+		if in.Unit == isa.UnitMul {
+			lat = res.MulLatency
+		}
+		writes[in.Cycle+lat]++
+	}
+	for c, r := range reads {
+		if r > res.ReadPorts {
+			return fmt.Errorf("sched: cycle %d needs %d read ports (have %d)", c, r, res.ReadPorts)
+		}
+	}
+	for c, w := range writes {
+		if w > res.WritePorts {
+			return fmt.Errorf("sched: cycle %d needs %d write ports (have %d)", c, w, res.WritePorts)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+// Package sched is the scheduling front-end of the automated flow
+// (Section III-C of the paper): it converts a recorded GF(p^2) operation
+// trace into a job-shop instance over the datapath's two functional
+// units, solves it (list scheduling, exact branch-and-bound, simulated
+// annealing, or the deliberately handicapped block-local mode used as the
+// "manual scheduling" ablation), allocates the register file, and emits
+// the executable microprogram for the FSM/ROM sequencer.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/jobshop"
+	"repro/internal/trace"
+)
+
+// Resources describes the Fig. 1 datapath parameters.
+type Resources struct {
+	// MulLatency is the multiplier pipeline depth: a product issued at
+	// cycle t is available (for forwarding or write-back) at t+MulLatency.
+	MulLatency int
+	// AddLatency is the adder latency.
+	AddLatency int
+	// MulII is the multiplier initiation interval: the number of cycles
+	// between successive multiplier issues (1 = fully pipelined, the
+	// fabricated chip; 2 or 3 model narrower multipliers that compute the
+	// three Karatsuba limb products on fewer GF(p) cores). 0 means 1.
+	MulII int
+	// ReadPorts and WritePorts bound the register file (4R/2W on the chip).
+	ReadPorts, WritePorts int
+	// MaxRegs bounds the register file size.
+	MaxRegs int
+}
+
+// DefaultResources returns the parameters modelling the fabricated chip:
+// a 3-stage pipelined Karatsuba multiplier (Algorithm 2's
+// multiply / lazy-fold / final-subtract stages), single-cycle adder,
+// 4-read/2-write register file.
+func DefaultResources() Resources {
+	return Resources{MulLatency: 3, AddLatency: 1, MulII: 1, ReadPorts: 4, WritePorts: 2, MaxRegs: isa.MaxRegs}
+}
+
+// Method selects the scheduling algorithm.
+type Method uint8
+
+const (
+	// MethodList is critical-path list scheduling (fast, near-optimal on
+	// throughput-bound traces).
+	MethodList Method = iota
+	// MethodBnB is the exact CP-style branch-and-bound (block-sized
+	// instances; proves optimality).
+	MethodBnB
+	// MethodAnneal refines the list schedule by simulated annealing.
+	MethodAnneal
+	// MethodBlocked schedules consecutive fixed-size blocks independently
+	// with barriers between them: the model of conventional manual
+	// block-by-block scheduling the paper argues against.
+	MethodBlocked
+	// MethodTabu refines the list schedule by tabu search.
+	MethodTabu
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodList:
+		return "list"
+	case MethodBnB:
+		return "bnb"
+	case MethodAnneal:
+		return "anneal"
+	case MethodBlocked:
+		return "blocked"
+	case MethodTabu:
+		return "tabu"
+	}
+	return "?"
+}
+
+// Options tunes the solvers.
+type Options struct {
+	Method      Method
+	AnnealIters int   // MethodAnneal; default 2000
+	BnBBudget   int64 // MethodBnB node budget; default 2e6
+	BlockSize   int   // MethodBlocked; default 32
+	Seed        int64
+	// ElideWritebacks enables the write-back elision pass: results all of
+	// whose consumers use the forwarding network skip the register file,
+	// saving write-port energy. The RTL hazard checker independently
+	// verifies the pass (an over-eager elision turns into a
+	// read-of-never-written-register error).
+	ElideWritebacks bool
+}
+
+// Result is a complete scheduling outcome.
+type Result struct {
+	Starts     []int // issue cycle per trace op
+	Makespan   int
+	Program    *isa.Program
+	RegsUsed   int
+	MaxLive    int // peak number of simultaneously live values
+	Optimal    bool
+	LowerBound int
+	Nodes      int64 // search nodes (MethodBnB)
+	// ElidedWrites counts register-file write-backs removed by the
+	// elision pass (Options.ElideWritebacks).
+	ElidedWrites int
+}
+
+// latency returns the result latency of an op under res.
+func latency(u trace.Unit, res Resources) int {
+	if u == trace.UnitMul {
+		return res.MulLatency
+	}
+	return res.AddLatency
+}
+
+// BuildInstance converts the trace graph into a job-shop instance:
+// machine 0 is the multiplier, machine 1 the adder; every op occupies its
+// machine for one issue cycle and publishes its result after the unit's
+// latency, which becomes the precedence lag to every consumer.
+func BuildInstance(g *trace.Graph, res Resources) (*jobshop.Instance, error) {
+	inst := &jobshop.Instance{Machines: 2}
+	mulII := res.MulII
+	if mulII <= 0 {
+		mulII = 1
+	}
+	for _, op := range g.Ops {
+		machine, dur := 0, mulII
+		if op.Unit == trace.UnitAdd {
+			machine, dur = 1, 1
+		}
+		inst.Tasks = append(inst.Tasks, jobshop.Task{Machine: machine, Dur: dur, Tail: latency(op.Unit, res)})
+	}
+	type edge struct{ b, a int }
+	seen := make(map[edge]bool)
+	for _, op := range g.Ops {
+		for _, operand := range [...]int{op.A, op.B} {
+			for _, dep := range g.OperandDeps(operand) {
+				e := edge{dep, op.ID}
+				if seen[e] {
+					continue
+				}
+				seen[e] = true
+				inst.Precs = append(inst.Precs, jobshop.Prec{
+					Before: dep,
+					After:  op.ID,
+					Lag:    latency(g.Ops[dep].Unit, res),
+				})
+			}
+		}
+	}
+	return inst, nil
+}
+
+// Schedule runs the full flow: instance construction, solving, register
+// allocation and microprogram emission.
+func Schedule(g *trace.Graph, res Resources, opts Options) (*Result, error) {
+	if err := g.CheckConsistency(); err != nil {
+		return nil, err
+	}
+	inst, err := BuildInstance(g, res)
+	if err != nil {
+		return nil, err
+	}
+	result := &Result{}
+
+	switch opts.Method {
+	case MethodList:
+		s, err := jobshop.SolveList(inst)
+		if err != nil {
+			return nil, err
+		}
+		lb, _ := jobshop.LowerBound(inst)
+		result.Starts, result.Makespan = s.Start, s.Makespan
+		result.LowerBound = lb
+		result.Optimal = s.Makespan == lb
+	case MethodBnB:
+		budget := opts.BnBBudget
+		if budget == 0 {
+			budget = 2_000_000
+		}
+		r, err := jobshop.BranchAndBound(inst, budget)
+		if err != nil {
+			return nil, err
+		}
+		result.Starts, result.Makespan = r.Schedule.Start, r.Schedule.Makespan
+		result.Optimal = r.Optimal
+		result.LowerBound = r.LowerBound
+		result.Nodes = r.Nodes
+	case MethodAnneal:
+		iters := opts.AnnealIters
+		if iters == 0 {
+			iters = 2000
+		}
+		s, err := jobshop.Anneal(inst, opts.Seed, iters)
+		if err != nil {
+			return nil, err
+		}
+		lb, _ := jobshop.LowerBound(inst)
+		result.Starts, result.Makespan = s.Start, s.Makespan
+		result.LowerBound = lb
+		result.Optimal = s.Makespan == lb
+	case MethodTabu:
+		iters := opts.AnnealIters
+		if iters == 0 {
+			iters = 300
+		}
+		s, err := jobshop.Tabu(inst, opts.Seed, iters, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		lb, _ := jobshop.LowerBound(inst)
+		result.Starts, result.Makespan = s.Start, s.Makespan
+		result.LowerBound = lb
+		result.Optimal = s.Makespan == lb
+	case MethodBlocked:
+		starts, span, err := blockedSchedule(g, inst, res, opts.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		result.Starts, result.Makespan = starts, span
+		lb, _ := jobshop.LowerBound(inst)
+		result.LowerBound = lb
+	default:
+		return nil, fmt.Errorf("sched: unknown method %d", opts.Method)
+	}
+
+	// Sanity: the produced schedule must satisfy the global instance.
+	if err := jobshop.Validate(inst, jobshop.Schedule{Start: result.Starts, Makespan: result.Makespan}); err != nil {
+		return nil, fmt.Errorf("sched: internal error, invalid schedule: %w", err)
+	}
+
+	prog, regsUsed, maxLive, err := emitProgram(g, res, result.Starts, result.Makespan)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ElideWritebacks {
+		result.ElidedWrites = elideWritebacks(prog, res)
+	}
+	result.Program = prog
+	result.RegsUsed = regsUsed
+	result.MaxLive = maxLive
+	return result, nil
+}
+
+// blockedSchedule partitions the trace into consecutive blocks of
+// blockSize ops, schedules each block independently, and serializes the
+// blocks with full barriers -- the model of conventional hand scheduling
+// (the paper: "the entire sequence ... should be divided into multiple
+// small blocks ... which results in the local optima").
+func blockedSchedule(g *trace.Graph, inst *jobshop.Instance, res Resources, blockSize int) ([]int, int, error) {
+	if blockSize <= 0 {
+		blockSize = 32
+	}
+	n := len(g.Ops)
+	starts := make([]int, n)
+	offset := 0
+	for lo := 0; lo < n; lo += blockSize {
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		sub := &jobshop.Instance{Machines: 2}
+		for i := lo; i < hi; i++ {
+			sub.Tasks = append(sub.Tasks, inst.Tasks[i])
+		}
+		for _, p := range inst.Precs {
+			if p.Before >= lo && p.Before < hi && p.After >= lo && p.After < hi {
+				sub.Precs = append(sub.Precs, jobshop.Prec{Before: p.Before - lo, After: p.After - lo, Lag: p.Lag})
+			}
+		}
+		s, err := jobshop.SolveList(sub)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := lo; i < hi; i++ {
+			starts[i] = offset + s.Start[i-lo]
+		}
+		offset += s.Makespan // barrier: wait for every result of the block
+	}
+	return starts, offset, nil
+}

@@ -1,0 +1,120 @@
+package schnorrq
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func makeBatch(t testing.TB, n int) []BatchItem {
+	t.Helper()
+	items := make([]BatchItem, n)
+	for i := range items {
+		k, err := GenerateKey(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte{byte(i), byte(i * 3), 0x55}
+		sig := k.Sign(msg)
+		items[i] = BatchItem{Pub: &k.Public, Msg: msg, Sig: sig[:]}
+	}
+	return items
+}
+
+func TestBatchVerifyValid(t *testing.T) {
+	items := makeBatch(t, 6)
+	ok, err := BatchVerify(rand.Reader, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("valid batch rejected")
+	}
+}
+
+func TestBatchVerifyEmpty(t *testing.T) {
+	ok, err := BatchVerify(rand.Reader, nil)
+	if err != nil || !ok {
+		t.Fatal("empty batch should verify")
+	}
+}
+
+func TestBatchVerifySingle(t *testing.T) {
+	items := makeBatch(t, 1)
+	ok, err := BatchVerify(rand.Reader, items)
+	if err != nil || !ok {
+		t.Fatal("single-item batch rejected")
+	}
+}
+
+func TestBatchVerifyCatchesForgery(t *testing.T) {
+	for corrupt := 0; corrupt < 3; corrupt++ {
+		items := makeBatch(t, 5)
+		switch corrupt {
+		case 0: // tamper a message
+			items[2].Msg = []byte("tampered")
+		case 1: // tamper s
+			sig := append([]byte(nil), items[3].Sig...)
+			sig[len(sig)-5] ^= 1
+			items[3].Sig = sig
+		case 2: // swap signatures between messages
+			items[0].Sig, items[1].Sig = items[1].Sig, items[0].Sig
+		}
+		ok, err := BatchVerify(rand.Reader, items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("corrupted batch (mode %d) accepted", corrupt)
+		}
+	}
+}
+
+func TestBatchVerifyMalformed(t *testing.T) {
+	items := makeBatch(t, 2)
+	items[1].Sig = items[1].Sig[:10]
+	if _, err := BatchVerify(rand.Reader, items); err == nil {
+		t.Fatal("truncated signature not reported as malformed")
+	}
+	items = makeBatch(t, 2)
+	items[0].Pub = nil
+	if _, err := BatchVerify(rand.Reader, items); err == nil {
+		t.Fatal("nil pub not reported")
+	}
+}
+
+func TestBatchAgreesWithSingleVerify(t *testing.T) {
+	items := makeBatch(t, 4)
+	// Every item verifies individually.
+	for i, it := range items {
+		if !Verify(it.Pub, it.Msg, it.Sig) {
+			t.Fatalf("item %d fails single verification", i)
+		}
+	}
+	ok, err := BatchVerify(rand.Reader, items)
+	if err != nil || !ok {
+		t.Fatal("batch disagrees with single verification")
+	}
+}
+
+func BenchmarkBatchVerify16(b *testing.B) {
+	items := makeBatch(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := BatchVerify(rand.Reader, items)
+		if err != nil || !ok {
+			b.Fatal("batch failed")
+		}
+	}
+}
+
+func BenchmarkSingleVerify16(b *testing.B) {
+	items := makeBatch(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, it := range items {
+			if !Verify(it.Pub, it.Msg, it.Sig) {
+				b.Fatal("verify failed")
+			}
+		}
+	}
+}

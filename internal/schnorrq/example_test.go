@@ -1,0 +1,41 @@
+package schnorrq_test
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"repro/internal/schnorrq"
+)
+
+// Example signs and verifies a message, then batch-verifies several.
+func Example() {
+	key, err := schnorrq.GenerateKey(rand.Reader)
+	if err != nil {
+		panic(err)
+	}
+	msg := []byte("roadside unit broadcast #17")
+	sig := key.Sign(msg)
+	fmt.Println("verified:", schnorrq.Verify(&key.Public, msg, sig[:]))
+
+	var batch []schnorrq.BatchItem
+	for i := 0; i < 4; i++ {
+		m := []byte{byte(i)}
+		s := key.Sign(m)
+		batch = append(batch, schnorrq.BatchItem{Pub: &key.Public, Msg: m, Sig: s[:]})
+	}
+	ok, err := schnorrq.BatchVerify(rand.Reader, batch)
+	fmt.Println("batch:", ok, err)
+	// Output:
+	// verified: true
+	// batch: true <nil>
+}
+
+// ExampleNewKeyFromSeed shows deterministic key derivation.
+func ExampleNewKeyFromSeed() {
+	var seed [schnorrq.SeedSize]byte
+	seed[0] = 0xAA
+	k1, _ := schnorrq.NewKeyFromSeed(seed)
+	k2, _ := schnorrq.NewKeyFromSeed(seed)
+	fmt.Println(k1.Public.Bytes() == k2.Public.Bytes())
+	// Output: true
+}

@@ -1,0 +1,141 @@
+package schnorrq
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+func TestSignVerify(t *testing.T) {
+	k, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("schnorrq over fourq")
+	sig := k.Sign(msg)
+	if !Verify(&k.Public, msg, sig[:]) {
+		t.Fatal("valid signature rejected")
+	}
+}
+
+func TestDeterministicSignatures(t *testing.T) {
+	var seed [SeedSize]byte
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	k1, err := NewKeyFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := NewKeyFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("determinism")
+	s1 := k1.Sign(msg)
+	s2 := k2.Sign(msg)
+	if !bytes.Equal(s1[:], s2[:]) {
+		t.Fatal("same seed + message produced different signatures")
+	}
+	if k1.Public.Bytes() != k2.Public.Bytes() {
+		t.Fatal("same seed produced different public keys")
+	}
+	// Different messages must produce different nonce points.
+	s3 := k1.Sign([]byte("other"))
+	if bytes.Equal(s1[:32], s3[:32]) {
+		t.Fatal("nonce reuse across messages")
+	}
+}
+
+func TestRejections(t *testing.T) {
+	k, _ := GenerateKey(rand.Reader)
+	msg := []byte("msg")
+	sig := k.Sign(msg)
+
+	if Verify(&k.Public, []byte("other msg"), sig[:]) {
+		t.Error("wrong message accepted")
+	}
+	bad := sig
+	bad[5] ^= 0x40 // corrupt R
+	if Verify(&k.Public, msg, bad[:]) {
+		t.Error("corrupted R accepted")
+	}
+	bad = sig
+	bad[curve0()+3] ^= 1 // corrupt s
+	if Verify(&k.Public, msg, bad[:]) {
+		t.Error("corrupted s accepted")
+	}
+	if Verify(&k.Public, msg, sig[:10]) {
+		t.Error("truncated signature accepted")
+	}
+	other, _ := GenerateKey(rand.Reader)
+	if Verify(&other.Public, msg, sig[:]) {
+		t.Error("wrong key accepted")
+	}
+	// Non-canonical s (>= N): all-ones scalar.
+	bad = sig
+	for i := curve0(); i < len(bad); i++ {
+		bad[i] = 0xFF
+	}
+	if Verify(&k.Public, msg, bad[:]) {
+		t.Error("non-canonical s accepted")
+	}
+}
+
+func curve0() int { return SignatureSize - 32 }
+
+func TestPublicKeyRoundTrip(t *testing.T) {
+	k, _ := GenerateKey(rand.Reader)
+	enc := k.Public.Bytes()
+	pk, err := PublicKeyFromBytes(enc[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("round trip")
+	sig := k.Sign(msg)
+	if !Verify(pk, msg, sig[:]) {
+		t.Fatal("signature invalid under decoded public key")
+	}
+	if _, err := PublicKeyFromBytes(enc[:10]); err == nil {
+		t.Error("short public key accepted")
+	}
+}
+
+func TestManyKeysAndMessages(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		k, err := GenerateKey(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 3; j++ {
+			msg := []byte{byte(i), byte(j), 0xAB}
+			sig := k.Sign(msg)
+			if !Verify(&k.Public, msg, sig[:]) {
+				t.Fatalf("key %d message %d rejected", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	k, _ := GenerateKey(rand.Reader)
+	msg := []byte("benchmark")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sigSink = k.Sign(msg)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	k, _ := GenerateKey(rand.Reader)
+	msg := []byte("benchmark")
+	sig := k.Sign(msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(&k.Public, msg, sig[:]) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+var sigSink [SignatureSize]byte

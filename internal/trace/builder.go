@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/fp2"
+	"repro/internal/scalar"
+)
+
+// Val is a handle to a graph value, carrying its concrete evaluation.
+type Val struct {
+	id int
+	v  fp2.Element
+}
+
+// ID returns the underlying value node ID.
+func (v Val) ID() int { return v.id }
+
+// Concrete returns the evaluated field element.
+func (v Val) Concrete() fp2.Element { return v.v }
+
+// Builder records operations into a Graph while evaluating them.
+// The recoded scalar digits (when set) resolve runtime table reads.
+type Builder struct {
+	g         *Graph
+	rec       scalar.Recoded
+	corrected bool
+	hasRec    bool
+	zero      Val
+	hasZero   bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{g: &Graph{
+		Inputs:  map[string]int{},
+		Outputs: map[string]int{},
+	}}
+}
+
+// SetScalar provides the recoded digits used to resolve table reads and
+// dynamic sign commands during concrete evaluation.
+func (b *Builder) SetScalar(rec scalar.Recoded, corrected bool) {
+	b.rec = rec
+	b.corrected = corrected
+	b.hasRec = true
+}
+
+// Graph finalizes and returns the recorded graph.
+func (b *Builder) Graph() *Graph { return b.g }
+
+func (b *Builder) newValue(kind SrcKind, op int, name string, concrete fp2.Element) Val {
+	id := len(b.g.Values)
+	b.g.Values = append(b.g.Values, Value{ID: id, Kind: kind, Op: op, Name: name, Digit: -1})
+	b.g.Concrete = append(b.g.Concrete, concrete)
+	return Val{id: id, v: concrete}
+}
+
+// Input declares an externally loaded value.
+func (b *Builder) Input(name string, v fp2.Element) Val {
+	val := b.newValue(SrcInput, -1, name, v)
+	b.g.Inputs[name] = val.id
+	return val
+}
+
+// Const declares a register-file constant.
+func (b *Builder) Const(name string, v fp2.Element) Val {
+	return b.newValue(SrcConst, -1, name, v)
+}
+
+// Zero returns the shared zero constant (declared on first use).
+func (b *Builder) Zero() Val {
+	if !b.hasZero {
+		b.zero = b.Const("zero", fp2.Zero())
+		b.hasZero = true
+	}
+	return b.zero
+}
+
+// Output names a value as an external output.
+func (b *Builder) Output(name string, v Val) {
+	b.g.Outputs[name] = v.id
+}
+
+func (b *Builder) record(op Op, concrete fp2.Element) Val {
+	op.ID = len(b.g.Ops)
+	out := b.newValue(SrcOp, op.ID, op.Label, concrete)
+	op.Out = out.id
+	b.g.Ops = append(b.g.Ops, op)
+	// fix the Op field of the output value (newValue set Op already).
+	return out
+}
+
+// Mul records x*y on the multiplier.
+func (b *Builder) Mul(x, y Val, label string) Val {
+	return b.record(Op{Unit: UnitMul, A: x.id, B: y.id, Digit: -1, Label: label}, fp2.Mul(x.v, y.v))
+}
+
+// Sqr records x*x (squarings issue on the multiplier as ordinary
+// multiplications, as in the paper's datapath).
+func (b *Builder) Sqr(x Val, label string) Val { return b.Mul(x, x, label) }
+
+// Add records x+y on the adder.
+func (b *Builder) Add(x, y Val, label string) Val {
+	return b.record(Op{Unit: UnitAdd, CmdRe: LaneAdd, CmdIm: LaneAdd, A: x.id, B: y.id, Digit: -1, Label: label},
+		fp2.Add(x.v, y.v))
+}
+
+// Sub records x-y on the adder.
+func (b *Builder) Sub(x, y Val, label string) Val {
+	return b.record(Op{Unit: UnitAdd, CmdRe: LaneSub, CmdIm: LaneSub, A: x.id, B: y.id, Digit: -1, Label: label},
+		fp2.Sub(x.v, y.v))
+}
+
+// Conj records the conjugation (0+re, 0-im) as an adder op with
+// per-lane commands and first operand zero.
+func (b *Builder) Conj(x Val, label string) Val {
+	z := b.Zero()
+	re := fp2.Conj(x.v)
+	return b.record(Op{Unit: UnitAdd, CmdRe: LaneAdd, CmdIm: LaneSub, A: z.id, B: x.id, Digit: -1, Label: label}, re)
+}
+
+// DynSign records the sign-application op of the main loop: (0 +/- x)
+// with the command driven at runtime by the sign of recoded digit
+// position `digit` (or by the correction flag when digit == -1).
+func (b *Builder) DynSign(x Val, digit int, label string) Val {
+	z := b.Zero()
+	neg := b.signAt(digit) < 0
+	conc := x.v
+	if neg {
+		conc = fp2.Neg(x.v)
+	}
+	return b.record(Op{Unit: UnitAdd, CmdMode: CmdDynSign, A: z.id, B: x.id, Digit: digit, Label: label}, conc)
+}
+
+func (b *Builder) signAt(digit int) int8 {
+	if !b.hasRec {
+		return 1
+	}
+	if digit < 0 {
+		if b.corrected {
+			return -1
+		}
+		return 1
+	}
+	return b.rec.Sign[digit]
+}
+
+// RegisterTable records the value IDs that produce the 8x4 table
+// coordinates. Must be called before TableRead.
+func (b *Builder) RegisterTable(slots [8][4]Val) {
+	for u := 0; u < 8; u++ {
+		for c := 0; c < 4; c++ {
+			b.g.TableSlots[u][TableCoord(c)] = slots[u][c].id
+		}
+	}
+	b.g.hasTable = true
+}
+
+// TableRead records a runtime-indexed table operand: coordinate coord of
+// T[v_digit], with the X+Y / Y-X swap applied when the digit's sign is
+// negative. Concrete evaluation resolves the read using the builder's
+// recoded scalar.
+func (b *Builder) TableRead(coord TableCoord, digit int) Val {
+	if !b.g.hasTable {
+		panic("trace: TableRead before RegisterTable")
+	}
+	if digit < 0 || digit >= scalar.Digits {
+		panic(fmt.Sprintf("trace: digit %d out of range", digit))
+	}
+	idx := 0
+	sign := int8(1)
+	if b.hasRec {
+		idx = int(b.rec.Index[digit])
+		sign = b.rec.Sign[digit]
+	}
+	effective := coord
+	if sign < 0 {
+		switch coord {
+		case CoordXplusY:
+			effective = CoordYminusX
+		case CoordYminusX:
+			effective = CoordXplusY
+		}
+	}
+	src := b.g.TableSlots[idx][effective]
+	conc := b.g.Concrete[src]
+	id := len(b.g.Values)
+	b.g.Values = append(b.g.Values, Value{ID: id, Kind: SrcTable, Op: -1, Coord: coord, Digit: digit})
+	b.g.Concrete = append(b.g.Concrete, conc)
+	return Val{id: id, v: conc}
+}
+
+// CorrRead records the correction operand for coordinate coord: the
+// corresponding coordinate of -P (table slot 0, swapped) when the
+// decomposition was parity-corrected, else the cached identity constant.
+func (b *Builder) CorrRead(coord TableCoord) Val {
+	if !b.g.hasTable {
+		panic("trace: CorrRead before RegisterTable")
+	}
+	var conc fp2.Element
+	if b.corrected {
+		effective := coord
+		switch coord {
+		case CoordXplusY:
+			effective = CoordYminusX
+		case CoordYminusX:
+			effective = CoordXplusY
+		}
+		conc = b.g.Concrete[b.g.TableSlots[0][effective]]
+		if coord == CoordT2d {
+			// the dynamic sign op downstream negates 2dT; the raw read is
+			// the stored (positive) coordinate.
+			conc = b.g.Concrete[b.g.TableSlots[0][CoordT2d]]
+		}
+	} else {
+		switch coord {
+		case CoordXplusY, CoordYminusX:
+			conc = fp2.One()
+		case CoordZ2:
+			conc = fp2.FromUint64(2, 0)
+		case CoordT2d:
+			conc = fp2.Zero()
+		}
+	}
+	id := len(b.g.Values)
+	b.g.Values = append(b.g.Values, Value{ID: id, Kind: SrcCorr, Op: -1, Coord: coord, Digit: -1})
+	b.g.Concrete = append(b.g.Concrete, conc)
+	return Val{id: id, v: conc}
+}

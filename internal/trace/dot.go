@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the dataflow graph in Graphviz format for visual
+// inspection of the extracted dependencies (multiplications as boxes,
+// adder ops as ellipses, runtime table reads as dashed inputs). Intended
+// for block-sized traces; the full SM graph renders but is unwieldy.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [fontsize=10];\n", name)
+	for _, op := range g.Ops {
+		shape := "ellipse"
+		if op.Unit == UnitMul {
+			shape = "box"
+		}
+		label := op.Label
+		if label == "" {
+			label = fmt.Sprintf("op%d", op.ID)
+		}
+		fmt.Fprintf(&b, "  op%d [shape=%s,label=%q];\n", op.ID, shape, label)
+	}
+	// Input/const/table pseudo-nodes, emitted lazily.
+	emitted := map[int]bool{}
+	ensureValueNode := func(vid int) string {
+		v := g.Values[vid]
+		if v.Kind == SrcOp {
+			return fmt.Sprintf("op%d", v.Op)
+		}
+		id := fmt.Sprintf("v%d", vid)
+		if !emitted[vid] {
+			emitted[vid] = true
+			label := v.Name
+			style := "solid"
+			switch v.Kind {
+			case SrcTable:
+				label = fmt.Sprintf("T[v%d].%s", v.Digit, v.Coord)
+				style = "dashed"
+			case SrcCorr:
+				label = fmt.Sprintf("corr.%s", v.Coord)
+				style = "dashed"
+			}
+			fmt.Fprintf(&b, "  %s [shape=plaintext,style=%s,label=%q];\n", id, style, label)
+		}
+		return id
+	}
+	for _, op := range g.Ops {
+		for _, operand := range [...]int{op.A, op.B} {
+			src := ensureValueNode(operand)
+			fmt.Fprintf(&b, "  %s -> op%d;\n", src, op.ID)
+		}
+	}
+	for name, vid := range g.Outputs {
+		v := g.Values[vid]
+		if v.Kind == SrcOp {
+			fmt.Fprintf(&b, "  out_%s [shape=plaintext,label=%q];\n  op%d -> out_%s;\n",
+				sanitize(name), name, v.Op, sanitize(name))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,254 @@
+// Package trace records the execution of FourQ's scalar-multiplication
+// algorithm as a dataflow graph of GF(p^2) micro-operations. It is the
+// reproduction of Steps 1-2 of the paper's automated scheduling flow: the
+// algorithm is written once against a small arithmetic DSL, executed, and
+// every subroutine call is recorded together with its data dependencies.
+//
+// The recorded graph is simultaneously *evaluated* on concrete field
+// values, so the trace doubles as a golden reference when the scheduled
+// program is later executed on the cycle-accurate RTL model.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/fp2"
+)
+
+// Unit identifies the functional unit an operation issues on.
+type Unit uint8
+
+const (
+	// UnitMul is the pipelined Karatsuba GF(p^2) multiplier.
+	UnitMul Unit = iota
+	// UnitAdd is the GF(p^2) adder/subtractor.
+	UnitAdd
+)
+
+func (u Unit) String() string {
+	if u == UnitMul {
+		return "MUL"
+	}
+	return "ADD"
+}
+
+// LaneCmd selects add or subtract for one GF(p) lane of the adder.
+type LaneCmd uint8
+
+const (
+	LaneAdd LaneCmd = iota
+	LaneSub
+)
+
+// CmdMode describes how the adder command bits are produced.
+type CmdMode uint8
+
+const (
+	// CmdStatic: the command bits are fixed in the instruction word.
+	CmdStatic CmdMode = iota
+	// CmdDynSign: both lanes compute (0 op x); op is + when the recoded
+	// sign s_digit is positive and - when negative. This is the paper's
+	// runtime "cmd." column driven by the scalar digits.
+	CmdDynSign
+)
+
+// SrcKind classifies how a value is obtained.
+type SrcKind uint8
+
+const (
+	// SrcOp: produced by an operation in the graph.
+	SrcOp SrcKind = iota
+	// SrcInput: an external input (loaded into the register file).
+	SrcInput
+	// SrcConst: a constant preloaded in the register file.
+	SrcConst
+	// SrcTable: a runtime-indexed read of the precomputed table T[v_i];
+	// Coord selects the coordinate, Digit the recoded digit position.
+	// When the digit's sign is negative the X+Y and Y-X coordinates swap.
+	SrcTable
+	// SrcCorr: the parity-correction operand: coordinate of -P (i.e.
+	// table slot 0 with swap) when the decomposition was corrected, the
+	// cached identity constant otherwise.
+	SrcCorr
+)
+
+// TableCoord names the four cached coordinates stored per table entry.
+type TableCoord uint8
+
+const (
+	CoordXplusY TableCoord = iota
+	CoordYminusX
+	CoordZ2
+	CoordT2d
+	numCoords
+)
+
+func (c TableCoord) String() string {
+	switch c {
+	case CoordXplusY:
+		return "X+Y"
+	case CoordYminusX:
+		return "Y-X"
+	case CoordZ2:
+		return "2Z"
+	case CoordT2d:
+		return "2dT"
+	}
+	return "?"
+}
+
+// Value is a node of the dataflow graph.
+type Value struct {
+	ID    int
+	Kind  SrcKind
+	Op    int        // producing op for SrcOp, else -1
+	Name  string     // for inputs/constants/outputs
+	Coord TableCoord // for SrcTable / SrcCorr
+	Digit int        // for SrcTable: recoded digit position; -1 otherwise
+}
+
+// Op is a recorded GF(p^2) micro-operation.
+type Op struct {
+	ID           int
+	Unit         Unit
+	CmdMode      CmdMode
+	CmdRe, CmdIm LaneCmd // static command bits (UnitAdd, CmdStatic)
+	Digit        int     // digit position driving CmdDynSign; -1 = correction flag
+	A, B         int     // operand value IDs
+	Out          int     // produced value ID
+	Label        string
+}
+
+// Graph is the full recorded trace.
+type Graph struct {
+	Values []Value
+	Ops    []Op
+	// Concrete holds the evaluated field element of every value (the
+	// trace is recorded while executing on concrete data).
+	Concrete []fp2.Element
+	// TableSlots[u][c] is the value ID that produces coordinate c of
+	// table entry T[u]. Zero-valued until the table is registered.
+	TableSlots [8][numCoords]int
+	hasTable   bool
+	// Inputs and Outputs name the external interface.
+	Inputs  map[string]int
+	Outputs map[string]int
+}
+
+// NumMuls returns the number of multiplier operations.
+func (g *Graph) NumMuls() int {
+	n := 0
+	for _, op := range g.Ops {
+		if op.Unit == UnitMul {
+			n++
+		}
+	}
+	return n
+}
+
+// NumAdds returns the number of adder operations.
+func (g *Graph) NumAdds() int { return len(g.Ops) - g.NumMuls() }
+
+// Stats summarizes the operation mix, reproducing the paper's profiling
+// observation that GF(p^2) multiplications dominate the SM workload.
+type Stats struct {
+	Muls, Adds, Total int
+	MulShare          float64
+}
+
+// Stats computes the op-mix summary of the graph.
+func (g *Graph) Stats() Stats {
+	m := g.NumMuls()
+	t := len(g.Ops)
+	s := Stats{Muls: m, Adds: t - m, Total: t}
+	if t > 0 {
+		s.MulShare = float64(m) / float64(t)
+	}
+	return s
+}
+
+// HasTable reports whether table slots were registered.
+func (g *Graph) HasTable() bool { return g.hasTable }
+
+// OperandDeps returns the op IDs a value depends on, used by the
+// scheduler to build precedence edges. Table and correction reads depend
+// conservatively on every producer of the coordinate pair they may read
+// (the schedule must be valid for every scalar).
+func (g *Graph) OperandDeps(valueID int) []int {
+	v := g.Values[valueID]
+	switch v.Kind {
+	case SrcOp:
+		return []int{v.Op}
+	case SrcInput, SrcConst:
+		return nil
+	case SrcTable, SrcCorr:
+		var deps []int
+		add := func(id int) {
+			if g.Values[id].Kind == SrcOp {
+				deps = append(deps, g.Values[id].Op)
+			}
+		}
+		slots := g.TableSlots
+		appendCoord := func(c TableCoord) {
+			if v.Kind == SrcCorr {
+				add(slots[0][c])
+				return
+			}
+			for u := 0; u < 8; u++ {
+				add(slots[u][c])
+			}
+		}
+		switch v.Coord {
+		case CoordXplusY, CoordYminusX:
+			// Sign swap may read either coordinate.
+			appendCoord(CoordXplusY)
+			appendCoord(CoordYminusX)
+		default:
+			appendCoord(v.Coord)
+		}
+		return deps
+	}
+	return nil
+}
+
+// CheckConsistency validates internal invariants of the graph: operand
+// IDs in range, ops produce distinct values, table registration complete.
+// Returns the first problem found.
+func (g *Graph) CheckConsistency() error {
+	if len(g.Concrete) != len(g.Values) {
+		return fmt.Errorf("trace: %d concrete values for %d nodes", len(g.Concrete), len(g.Values))
+	}
+	seenOut := make(map[int]bool)
+	for i, op := range g.Ops {
+		if op.ID != i {
+			return fmt.Errorf("trace: op %d has ID %d", i, op.ID)
+		}
+		for _, v := range [...]int{op.A, op.B, op.Out} {
+			if v < 0 || v >= len(g.Values) {
+				return fmt.Errorf("trace: op %d references value %d out of range", i, v)
+			}
+		}
+		if seenOut[op.Out] {
+			return fmt.Errorf("trace: value %d produced twice", op.Out)
+		}
+		seenOut[op.Out] = true
+		if g.Values[op.Out].Kind != SrcOp || g.Values[op.Out].Op != i {
+			return fmt.Errorf("trace: op %d output value not linked back", i)
+		}
+		// Operands must be produced by earlier ops (SSA order).
+		for _, v := range [...]int{op.A, op.B} {
+			if g.Values[v].Kind == SrcOp && g.Values[v].Op >= i {
+				return fmt.Errorf("trace: op %d uses value produced later", i)
+			}
+		}
+	}
+	for _, v := range g.Values {
+		if v.Kind == SrcTable && !g.hasTable {
+			return fmt.Errorf("trace: table read without registered table")
+		}
+		if v.Kind == SrcTable && (v.Digit < 0 || v.Digit > 64) {
+			return fmt.Errorf("trace: table read digit %d out of range", v.Digit)
+		}
+	}
+	return nil
+}

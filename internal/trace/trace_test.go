@@ -1,0 +1,271 @@
+package trace
+
+import (
+	mrand "math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/fp2"
+	"repro/internal/scalar"
+)
+
+func randScalar(r *mrand.Rand) scalar.Scalar {
+	var s scalar.Scalar
+	for i := range s {
+		s[i] = r.Uint64()
+	}
+	return s
+}
+
+func TestBuilderBasicOps(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x", fp2.FromUint64(3, 5))
+	y := b.Input("y", fp2.FromUint64(7, 11))
+	m := b.Mul(x, y, "m")
+	if !m.Concrete().Equal(fp2.Mul(x.Concrete(), y.Concrete())) {
+		t.Fatal("Mul concrete wrong")
+	}
+	a := b.Add(x, y, "a")
+	if !a.Concrete().Equal(fp2.Add(x.Concrete(), y.Concrete())) {
+		t.Fatal("Add concrete wrong")
+	}
+	s := b.Sub(x, y, "s")
+	if !s.Concrete().Equal(fp2.Sub(x.Concrete(), y.Concrete())) {
+		t.Fatal("Sub concrete wrong")
+	}
+	c := b.Conj(x, "c")
+	if !c.Concrete().Equal(fp2.Conj(x.Concrete())) {
+		t.Fatal("Conj concrete wrong")
+	}
+	g := b.Graph()
+	if err := g.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumMuls() != 1 || g.NumAdds() != 3 {
+		t.Fatalf("op counts wrong: %d muls %d adds", g.NumMuls(), g.NumAdds())
+	}
+}
+
+func TestBuildScalarMultMatchesLibrary(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(61))
+	g := curve.GeneratorAffine()
+	for trial := 0; trial < 3; trial++ {
+		k := randScalar(rng)
+		tr, err := BuildScalarMult(k, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := curve.ScalarMult(k, curve.Generator()).Affine()
+		gotX := tr.Graph.Concrete[tr.XOut]
+		gotY := tr.Graph.Concrete[tr.YOut]
+		if !gotX.Equal(want.X) || !gotY.Equal(want.Y) {
+			t.Fatalf("trial %d: trace evaluation disagrees with curve.ScalarMult", trial)
+		}
+	}
+}
+
+func TestBuildScalarMultCorrectedScalar(t *testing.T) {
+	// Even scalar forces the parity-correction path.
+	k := scalar.Scalar{42}
+	tr, err := BuildScalarMult(k, curve.GeneratorAffine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := curve.ScalarMult(k, curve.Generator()).Affine()
+	if !tr.Graph.Concrete[tr.XOut].Equal(want.X) || !tr.Graph.Concrete[tr.YOut].Equal(want.Y) {
+		t.Fatal("corrected-path trace disagrees with library")
+	}
+}
+
+func TestScalarMultTraceStats(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(62))
+	tr, err := BuildScalarMult(randScalar(rng), curve.GeneratorAffine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Graph.Stats()
+	// The paper profiles GF(p^2) multiplications at ~57% of SM operations.
+	if st.MulShare < 0.45 || st.MulShare > 0.70 {
+		t.Errorf("multiplication share %.2f outside the plausible band around the paper's 57%%", st.MulShare)
+	}
+	if st.Total < 3000 {
+		t.Errorf("full SM trace suspiciously small: %d ops", st.Total)
+	}
+	// Sections must partition consecutively.
+	for _, name := range []string{"multibase", "tablebuild", "mainloop", "finalize"} {
+		if _, ok := tr.Sections[name]; !ok {
+			t.Errorf("missing section %s", name)
+		}
+	}
+}
+
+func TestDblAddBlockMatchesLibrary(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(63))
+	for trial := 0; trial < 4; trial++ {
+		k := randScalar(rng)
+		p := curve.ScalarMultBinary(randScalar(rng), curve.Generator())
+		table := curve.BuildTable(curve.NewMultiBase(p))
+		acc := curve.ScalarMultBinary(randScalar(rng), curve.Generator())
+
+		tr, err := BuildDblAdd(k, acc, table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := scalar.Decompose(k)
+		rec := scalar.Recode(dec)
+		want := curve.AddCached(curve.Double(acc), table[rec.Index[0]].CondNeg(rec.Sign[0]))
+		g := tr.Graph
+		got := curve.Point{
+			X:  g.Concrete[g.Outputs["x"]],
+			Y:  g.Concrete[g.Outputs["y"]],
+			Z:  g.Concrete[g.Outputs["z"]],
+			Ta: g.Concrete[g.Outputs["ta"]],
+			Tb: g.Concrete[g.Outputs["tb"]],
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: DBLADD block disagrees with library", trial)
+		}
+	}
+}
+
+func TestDblAddBlockOpCounts(t *testing.T) {
+	// Section III-C: the double-and-add loop body is 15 GF(p^2)
+	// multiplications and 13 additions/subtractions.
+	rng := mrand.New(mrand.NewSource(64))
+	p := curve.Generator()
+	table := curve.BuildTable(curve.NewMultiBase(p))
+	tr, err := BuildDblAdd(randScalar(rng), p, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Graph.NumMuls(); got != 15 {
+		t.Errorf("DBLADD multiplications = %d, want 15 (paper)", got)
+	}
+	if got := tr.Graph.NumAdds(); got != 13 {
+		t.Errorf("DBLADD add/subs = %d, want 13 (paper)", got)
+	}
+}
+
+func TestOperandDepsTableReads(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(65))
+	tr, err := BuildScalarMult(randScalar(rng), curve.GeneratorAffine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tr.Graph
+	// Find a table-read value and check it depends on table producers.
+	found := false
+	for _, v := range g.Values {
+		if v.Kind == SrcTable && v.Coord == CoordZ2 {
+			deps := g.OperandDeps(v.ID)
+			if len(deps) != 8 {
+				t.Fatalf("2Z table read should depend on 8 producers, got %d", len(deps))
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no table read in trace")
+	}
+	// X+Y reads must depend on both swapped coordinates (16 producers).
+	for _, v := range g.Values {
+		if v.Kind == SrcTable && v.Coord == CoordXplusY {
+			if deps := g.OperandDeps(v.ID); len(deps) != 16 {
+				t.Fatalf("X+Y table read should depend on 16 producers, got %d", len(deps))
+			}
+			break
+		}
+	}
+}
+
+func TestCheckConsistencyCatchesCorruption(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(66))
+	p := curve.Generator()
+	table := curve.BuildTable(curve.NewMultiBase(p))
+	tr, err := BuildDblAdd(randScalar(rng), p, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tr.Graph
+	// Corrupt: op referencing an out-of-range value.
+	bad := *g
+	badOps := append([]Op(nil), g.Ops...)
+	badOps[3].A = 1 << 20
+	bad.Ops = badOps
+	if bad.CheckConsistency() == nil {
+		t.Error("out-of-range operand not caught")
+	}
+}
+
+func TestTableReadBeforeRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TableRead before RegisterTable did not panic")
+		}
+	}()
+	b := NewBuilder()
+	b.TableRead(CoordZ2, 0)
+}
+
+func BenchmarkBuildScalarMult(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(1))
+	k := randScalar(rng)
+	g := curve.GeneratorAffine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildScalarMult(k, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(71))
+	p := curve.Generator()
+	table := curve.BuildTable(curve.NewMultiBase(p))
+	tr, err := BuildDblAdd(randScalar(rng), p, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := tr.Graph.DOT("dbladd")
+	for _, want := range []string{"digraph", "shape=box", "shape=ellipse", "T[v0]", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// One node per op.
+	if got := strings.Count(dot, "[shape=box"); got != tr.Graph.NumMuls() {
+		t.Errorf("box nodes %d, want %d", got, tr.Graph.NumMuls())
+	}
+}
+
+func TestBuildScalarMultWithBases(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(72))
+	k := randScalar(rng)
+	mb := curve.NewMultiBase(curve.Generator())
+	var bases [4]curve.Affine
+	for j := 0; j < 4; j++ {
+		bases[j] = mb.P[j].Affine()
+	}
+	tr, err := BuildScalarMultWithBases(k, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := curve.ScalarMult(k, curve.Generator()).Affine()
+	if !tr.Graph.Concrete[tr.XOut].Equal(want.X) || !tr.Graph.Concrete[tr.YOut].Equal(want.Y) {
+		t.Fatal("with-bases trace disagrees with library")
+	}
+	if _, ok := tr.Sections["multibase"]; ok {
+		t.Fatal("with-bases trace should have no multibase section")
+	}
+	// The endo-workload trace is much smaller than the functional one.
+	full, err := BuildScalarMult(k, curve.GeneratorAffine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Graph.Ops) >= len(full.Graph.Ops) {
+		t.Fatal("with-bases trace not smaller than full trace")
+	}
+}
