@@ -1,0 +1,32 @@
+# Build/test/CI entry points. `make ci` is what the smoke pipeline runs:
+# vet + build + race-enabled tests, then an end-to-end check that
+# fourq-bench's machine-readable output carries real RTL statistics.
+
+GO ?= go
+BENCH_JSON ?= /tmp/bench.json
+
+.PHONY: all build test vet race ci smoke clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+smoke: build
+	$(GO) run ./cmd/fourq-bench -exp latency -json $(BENCH_JSON)
+	$(GO) run ./scripts/benchcheck $(BENCH_JSON)
+
+ci: vet build race smoke
+
+clean:
+	$(GO) clean ./...
+	rm -f $(BENCH_JSON)

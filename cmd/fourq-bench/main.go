@@ -9,46 +9,101 @@
 //	fourq-bench -exp fig3      # E6: area breakdown
 //	fourq-bench -exp ablation  # E7: scheduler ablation
 //	fourq-bench -exp all       # everything
+//
+// Observability flags (see docs/OBSERVABILITY.md):
+//
+//	-json <path>        write every executed experiment's tables as
+//	                    structured JSON (schema "fourq-bench/v1") in
+//	                    addition to the text output
+//	-trace <path>       execute one scalar multiplication on the RTL
+//	                    model and write its cycle-level timeline as
+//	                    Chrome trace_event JSON (open in Perfetto or
+//	                    chrome://tracing)
+//	-debug-addr <addr>  serve net/http/pprof and expvar on addr (e.g.
+//	                    "localhost:6060") for profiling long sweeps
+//
+// The processor (the full trace -> schedule -> emit build) is
+// constructed lazily: cheap experiments that do not need it (table1,
+// ablation, pareto) run without paying for the build.
 package main
 
 import (
+	_ "expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/jobshop"
+	"repro/internal/scalar"
 	"repro/internal/sched"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: profile|table1|latency|fig4|table2|fig3|ablation|pareto|all")
 	full := flag.Bool("full", false, "include full-trace scheduler ablation (slow)")
+	jsonPath := flag.String("json", "", "write executed experiments' results as structured JSON to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event timeline of one scalar multiplication to this file")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if err := run(*exp, *full); err != nil {
+	if *debugAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof and expvar handlers.
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "fourq-bench: debug server:", err)
+			}
+		}()
+		fmt.Printf("debug server (pprof + expvar) on http://%s/debug/pprof\n", *debugAddr)
+	}
+
+	if err := run(*exp, *full, *jsonPath, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "fourq-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, full bool) error {
-	needProcessor := exp != "table1" && exp != "ablation"
-	var p *core.Processor
-	if needProcessor || exp == "all" {
-		var err error
-		fmt.Println("building processor (trace -> schedule -> program)...")
-		p, err = core.New(core.Config{})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  functional program: %s\n", core.ProgramSummary(p.Program()))
-		fmt.Printf("  endo-workload program: %s\n\n", core.ProgramSummary(p.EndoProgram()))
-	}
+// bench carries the shared state of one invocation: the lazily built
+// processor and the accumulating JSON report.
+type bench struct {
+	full bool
+	proc *core.Processor
+	rep  *report
+}
 
+// processor builds the full trace->schedule->emit pipeline on first use
+// so cheap experiments never pay for it.
+func (b *bench) processor() (*core.Processor, error) {
+	if b.proc != nil {
+		return b.proc, nil
+	}
+	fmt.Println("building processor (trace -> schedule -> program)...")
+	p, err := core.New(core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("  functional program: %s\n", core.ProgramSummary(p.Program()))
+	fmt.Printf("  endo-workload program: %s\n\n", core.ProgramSummary(p.EndoProgram()))
+	b.proc = p
+	return p, nil
+}
+
+// traceScalar is the fixed scalar traced by -trace (any scalar produces
+// the same schedule; a fixed one keeps the timeline reproducible).
+var traceScalar = scalar.Scalar{0x9E3779B97F4A7C15, 0xD1B54A32D192ED03, 0x2545F4914F6CDD1D, 0x27220A95FE9D3E8F}
+
+func run(exp string, full bool, jsonPath, tracePath string) error {
+	b := &bench{full: full, rep: newReport()}
+
+	ran := 0
 	do := func(name string, f func() error) error {
 		if exp != "all" && exp != name {
 			return nil
 		}
+		ran++
 		fmt.Printf("==== %s ====\n", name)
 		if err := f(); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
@@ -57,34 +112,71 @@ func run(exp string, full bool) error {
 		return nil
 	}
 
-	if err := do("profile", func() error { return profile(p) }); err != nil {
-		return err
+	steps := []struct {
+		name string
+		f    func() error
+	}{
+		{"profile", b.profile},
+		{"table1", b.table1},
+		{"latency", b.latency},
+		{"fig4", b.fig4},
+		{"table2", b.table2},
+		{"fig3", b.fig3},
+		{"ablation", b.ablation},
+		{"pareto", b.pareto},
 	}
-	if err := do("table1", table1); err != nil {
-		return err
+	for _, s := range steps {
+		if err := do(s.name, s.f); err != nil {
+			return err
+		}
 	}
-	if err := do("latency", func() error { return latency(p) }); err != nil {
-		return err
+	if ran == 0 {
+		names := make([]string, len(steps))
+		for i, s := range steps {
+			names[i] = s.name
+		}
+		return fmt.Errorf("unknown experiment %q (valid: %s, all)", exp, strings.Join(names, ", "))
 	}
-	if err := do("fig4", func() error { return fig4(p) }); err != nil {
-		return err
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		p, err := b.processor()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		st, err := p.TraceScalarMult(traceScalar, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Printf("wrote Chrome trace_event timeline (%d cycles, %d slices) to %s\n",
+			st.Cycles, st.MulIssues+st.AddIssues, tracePath)
 	}
-	if err := do("table2", func() error { return table2(p) }); err != nil {
-		return err
-	}
-	if err := do("fig3", func() error { return fig3(p) }); err != nil {
-		return err
-	}
-	if err := do("ablation", func() error { return ablation(full) }); err != nil {
-		return err
-	}
-	if err := do("pareto", pareto); err != nil {
-		return err
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		err = b.rep.write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
+		fmt.Printf("wrote structured results to %s\n", jsonPath)
 	}
 	return nil
 }
 
-func pareto() error {
+func (b *bench) pareto() error {
 	pts, err := core.ParetoSweep()
 	if err != nil {
 		return err
@@ -96,20 +188,48 @@ func pareto() error {
 	}
 	fmt.Println("\nfinding: with a per-cycle control ROM, narrower multipliers lose on both axes;")
 	fmt.Println("the paper's full-throughput 3-core Karatsuba datapath is Pareto-optimal.")
+	b.rep.add("pareto", map[string]any{"points": pts})
 	return nil
 }
 
-func profile(p *core.Processor) error {
+func (b *bench) profile() error {
+	p, err := b.processor()
+	if err != nil {
+		return err
+	}
 	st := p.TraceStats()
 	fmt.Printf("full SM trace: %d GF(p^2) operations\n", st.Total)
 	fmt.Printf("  multiplications: %d (%.1f%%)   [paper: ~57%%]\n", st.Muls, 100*st.MulShare)
 	fmt.Printf("  add/subs:        %d (%.1f%%)\n", st.Adds, 100*(1-st.MulShare))
+	rst, err := b.runStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scheduled issue occupancy over %d cycles: multiplier %.1f%%, adder %.1f%%\n",
+		rst.Cycles, 100*rst.MulUtilization, 100*rst.AddUtilization)
+	b.rep.add("profile", map[string]any{
+		"trace_ops": st,
+		"rtl_stats": rst,
+	})
 	return nil
 }
 
-func table1() error {
+func (b *bench) table1() error {
 	fmt.Println("scheduling the double-and-add block with the exact solver...")
-	r, err := core.TableI(sched.DefaultResources())
+	var progressLines int
+	r, err := core.TableIObserved(sched.DefaultResources(), func(p jobshop.Progress) {
+		switch p.Kind {
+		case jobshop.ProgressIncumbent:
+			fmt.Printf("  bnb: incumbent makespan %d (bound %d, %d nodes)\n", p.Makespan, p.Bound, p.Nodes)
+		case jobshop.ProgressBound:
+			fmt.Printf("  bnb: lower bound raised to %d (%d nodes)\n", p.Bound, p.Nodes)
+		case jobshop.ProgressNodes:
+			fmt.Printf("  bnb: %d nodes explored...\n", p.Nodes)
+		case jobshop.ProgressDone:
+			fmt.Printf("  bnb: done, makespan %d, optimal %v (%d nodes)\n", p.Makespan, p.Optimal, p.Nodes)
+		}
+		progressLines++
+	})
 	if err != nil {
 		return err
 	}
@@ -117,10 +237,37 @@ func table1() error {
 	fmt.Printf("makespan: %d cycles (optimal proven: %v, lower bound %d) [paper's Table I: 25]\n\n",
 		r.Makespan, r.Optimal, r.LowerBound)
 	fmt.Println(r.Listing)
+	b.rep.add("table1", map[string]any{
+		"muls":            r.Muls,
+		"adds":            r.Adds,
+		"makespan":        r.Makespan,
+		"optimal":         r.Optimal,
+		"lower_bound":     r.LowerBound,
+		"progress_events": progressLines,
+	})
 	return nil
 }
 
-func latency(p *core.Processor) error {
+// runStats executes one scalar multiplication bit-true on the RTL model
+// and returns its statistics (shared by the profile and latency
+// experiments; the run is milliseconds, the build dominates).
+func (b *bench) runStats() (stats rtlStats, err error) {
+	p, err := b.processor()
+	if err != nil {
+		return rtlStats{}, err
+	}
+	_, st, err := p.ScalarMult(traceScalar)
+	if err != nil {
+		return rtlStats{}, err
+	}
+	return rtlStats(st), nil
+}
+
+func (b *bench) latency() error {
+	p, err := b.processor()
+	if err != nil {
+		return err
+	}
 	m, err := p.PowerModel()
 	if err != nil {
 		return err
@@ -130,14 +277,34 @@ func latency(p *core.Processor) error {
 	fmt.Printf("derived clock @1.20V: %.1f MHz\n", m.Fmax(1.2)/1e6)
 	fmt.Printf("latency @1.20V: %.2f us  [paper: 10.1 us]\n", m.Latency(1.2)*1e6)
 	fmt.Printf("latency @0.32V: %.0f us  [paper: 857 us]\n", m.Latency(0.32)*1e6)
+	rst, err := b.runStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("issue occupancy: multiplier %.1f%%, adder %.1f%% (%d stall cycles)\n",
+		100*rst.MulUtilization, 100*rst.AddUtilization, rst.StallCycles)
+	fmt.Printf("register file: %d reads (%d forwarded), %d writes (%d elided)\n",
+		rst.RegReads, rst.ForwardedReads, rst.RegWrites, rst.ElidedWrites)
 	if err := p.Verify(2, 7); err != nil {
 		return err
 	}
 	fmt.Println("RTL-vs-library verification: 2/2 scalar multiplications bit-exact")
+	b.rep.add("latency", map[string]any{
+		"cycles_functional":   p.CyclesFunctional(),
+		"cycles_endo_modeled": p.CyclesEndoModeled(),
+		"fmax_mhz_1v20":       m.Fmax(1.2) / 1e6,
+		"latency_us_1v20":     m.Latency(1.2) * 1e6,
+		"latency_us_0v32":     m.Latency(0.32) * 1e6,
+		"rtl_stats":           rst,
+	})
 	return nil
 }
 
-func fig4(p *core.Processor) error {
+func (b *bench) fig4() error {
+	p, err := b.processor()
+	if err != nil {
+		return err
+	}
 	r, err := p.Figure4(12)
 	if err != nil {
 		return err
@@ -149,10 +316,15 @@ func fig4(p *core.Processor) error {
 	}
 	fmt.Printf("model minimum energy: %.3f uJ at %.2f V [paper: 0.327 uJ at 0.32 V]\n",
 		r.MinEnergyJ*1e6, r.MinEnergyV)
+	b.rep.add("fig4", r)
 	return nil
 }
 
-func table2(p *core.Processor) error {
+func (b *bench) table2() error {
+	p, err := b.processor()
+	if err != nil {
+		return err
+	}
 	r, err := p.TableII()
 	if err != nil {
 		return err
@@ -193,19 +365,25 @@ func table2(p *core.Processor) error {
 		r.SpeedupVsP256ASIC, r.SpeedupVsFourQFPGA, r.EnergyGainVsECDSA)
 	fmt.Printf("same-silicon cross-check: FourQ %d cycles vs P-256 model %d (%.2fx) vs Curve25519 model %d (%.2fx)\n",
 		r.FourQCycles, r.P256ModelCycles, r.ModelSpeedupP256, r.C25519ModelCycles, r.ModelSpeedupC25519)
+	b.rep.add("table2", r)
 	return nil
 }
 
-func fig3(p *core.Processor) error {
-	b := p.Figure3()
+func (b *bench) fig3() error {
+	p, err := b.processor()
+	if err != nil {
+		return err
+	}
+	br := p.Figure3()
 	fmt.Println("area breakdown (calibrated to the published 1400 kGE):")
-	fmt.Println(b)
+	fmt.Println(br)
 	fmt.Printf("\n  [paper: 1400 kGE, %.2f mm x %.2f mm]\n", 1.76, 3.56)
+	b.rep.add("fig3", br)
 	return nil
 }
 
-func ablation(full bool) error {
-	rows, err := core.SchedulerAblation(sched.DefaultResources(), full)
+func (b *bench) ablation() error {
+	rows, err := core.SchedulerAblation(sched.DefaultResources(), b.full)
 	if err != nil {
 		return err
 	}
@@ -224,5 +402,11 @@ func ablation(full bool) error {
 	}
 	fmt.Printf("write-back elision (full SM): %d of %d register-file writes removed (%.0f%%)\n",
 		el.ElidedWrites, el.TotalOps, 100*el.SavedShare)
+	b.rep.add("ablation", map[string]any{
+		"methods":                   rows,
+		"forwarding_makespan":       withF,
+		"forwarding_plus1_makespan": withoutF,
+		"elision":                   el,
+	})
 	return nil
 }

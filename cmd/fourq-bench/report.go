@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/rtl"
+)
+
+// report accumulates the structured results of every executed
+// experiment and serializes them as one JSON document (written by the
+// -json flag). Schema identifier "fourq-bench/v1"; each experiment adds
+// one entry under its -exp name.
+type report struct {
+	Schema      string         `json:"schema"`
+	Experiments map[string]any `json:"experiments"`
+}
+
+func newReport() *report {
+	return &report{Schema: "fourq-bench/v1", Experiments: map[string]any{}}
+}
+
+func (r *report) add(name string, v any) {
+	r.Experiments[name] = v
+}
+
+func (r *report) write(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// rtlStats mirrors rtl.Stats field-for-field, adding JSON tags so the
+// -json report uses stable snake_case keys.
+type rtlStats struct {
+	Cycles            int            `json:"cycles"`
+	MulIssues         int            `json:"mul_issues"`
+	AddIssues         int            `json:"add_issues"`
+	RegReads          int            `json:"reg_reads"`
+	RegWrites         int            `json:"reg_writes"`
+	ElidedWrites      int            `json:"elided_writes"`
+	ForwardedReads    int            `json:"forwarded_reads"`
+	MulUtilization    float64        `json:"mul_utilization"`
+	AddUtilization    float64        `json:"add_utilization"`
+	StallCycles       int            `json:"stall_cycles"`
+	ReadPortPressure  [5]int         `json:"read_port_pressure"`
+	WritePortPressure [3]int         `json:"write_port_pressure"`
+	IssuesByOpcode    map[string]int `json:"issues_by_opcode"`
+}
+
+var _ = rtlStats(rtl.Stats{}) // layouts must stay convertible

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/curve"
 	"repro/internal/fp2"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/rtl"
 	"repro/internal/scalar"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -39,6 +41,11 @@ type Config struct {
 	// equivalent schedule (the program is scalar-independent). A fixed
 	// default keeps builds deterministic.
 	TraceScalar scalar.Scalar
+	// Telemetry, when non-nil, receives wall-clock timing spans for each
+	// phase of the build pipeline (functional and endo-workload
+	// trace recording and scheduling) on trace track 0, viewable in
+	// Perfetto next to the cycle-domain datapath timeline.
+	Telemetry *telemetry.Recorder
 }
 
 // Processor is a scheduled instance of the FourQ ASIC model.
@@ -86,14 +93,34 @@ func New(cfg Config) (*Processor, error) {
 	}
 	p := &Processor{cfg: cfg}
 
+	// phase wraps one pipeline step in a wall-clock telemetry span (a
+	// no-op without a recorder).
+	phase := func(name string, args map[string]any, f func() error) error {
+		var sp *telemetry.Span
+		if cfg.Telemetry != nil {
+			sp = cfg.Telemetry.StartSpan(0, name, "core.pipeline")
+		}
+		err := f()
+		if sp != nil {
+			sp.End(args)
+		}
+		return err
+	}
+
 	g := curve.GeneratorAffine()
-	funcTr, err := trace.BuildScalarMult(cfg.TraceScalar, g)
-	if err != nil {
+	var funcTr *trace.ScalarMultTrace
+	if err := phase("trace/functional", nil, func() (err error) {
+		funcTr, err = trace.BuildScalarMult(cfg.TraceScalar, g)
+		return err
+	}); err != nil {
 		return nil, fmt.Errorf("core: trace: %w", err)
 	}
 	p.stats = funcTr.Graph.Stats()
-	fr, err := sched.Schedule(funcTr.Graph, cfg.Resources, cfg.Sched)
-	if err != nil {
+	var fr *sched.Result
+	if err := phase("schedule/functional", map[string]any{"ops": len(funcTr.Graph.Ops)}, func() (err error) {
+		fr, err = sched.Schedule(funcTr.Graph, cfg.Resources, cfg.Sched)
+		return err
+	}); err != nil {
 		return nil, fmt.Errorf("core: schedule: %w", err)
 	}
 	p.funcProg, p.funcResult = fr.Program, fr
@@ -104,12 +131,18 @@ func New(cfg Config) (*Processor, error) {
 	for j := 0; j < 4; j++ {
 		bases[j] = mb.P[j].Affine()
 	}
-	endoTr, err := trace.BuildScalarMultWithBases(cfg.TraceScalar, bases)
-	if err != nil {
+	var endoTr *trace.ScalarMultTrace
+	if err := phase("trace/endo", nil, func() (err error) {
+		endoTr, err = trace.BuildScalarMultWithBases(cfg.TraceScalar, bases)
+		return err
+	}); err != nil {
 		return nil, fmt.Errorf("core: endo trace: %w", err)
 	}
-	er, err := sched.Schedule(endoTr.Graph, cfg.Resources, cfg.Sched)
-	if err != nil {
+	var er *sched.Result
+	if err := phase("schedule/endo", map[string]any{"ops": len(endoTr.Graph.Ops)}, func() (err error) {
+		er, err = sched.Schedule(endoTr.Graph, cfg.Resources, cfg.Sched)
+		return err
+	}); err != nil {
 		return nil, fmt.Errorf("core: endo schedule: %w", err)
 	}
 	p.endoProg, p.endoResult = er.Program, er
@@ -205,6 +238,36 @@ func (p *Processor) ScalarMultEndo(k scalar.Scalar, base curve.Affine) (curve.Af
 		return curve.Affine{}, st, err
 	}
 	return curve.Affine{X: out["x"], Y: out["y"]}, st, nil
+}
+
+// TraceScalarMult executes [k]G bit-true on the RTL model under the
+// telemetry observer and writes the Chrome trace_event timeline of the
+// run (one complete slice per multiplier/adder issue, occupancy
+// samples; loadable in Perfetto or chrome://tracing) to w. The result
+// is cross-checked against the functional library before the trace is
+// written, so a corrupted run cannot produce a plausible-looking
+// timeline. It returns the run statistics.
+func (p *Processor) TraceScalarMult(k scalar.Scalar, w io.Writer) (rtl.Stats, error) {
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder()
+	tel := rtl.NewRunTelemetry(reg, rec, p.funcProg)
+	dec := scalar.Decompose(k)
+	g := curve.GeneratorAffine()
+	out, st, err := rtl.Run(p.funcProg, rtl.RunInput{
+		Inputs:    map[string]fp2.Element{"P.x": g.X, "P.y": g.Y},
+		Rec:       scalar.Recode(dec),
+		Corrected: dec.Corrected,
+		Observer:  tel.Observe,
+	})
+	if err != nil {
+		return st, err
+	}
+	tel.Finish(st)
+	want := curve.ScalarMult(k, curve.Generator()).Affine()
+	if !out["x"].Equal(want.X) || !out["y"].Equal(want.Y) {
+		return st, fmt.Errorf("core: traced run differs from library for k=%v", k)
+	}
+	return st, rec.WriteTrace(w)
 }
 
 // Verify runs nTrials random scalar multiplications on the RTL model and

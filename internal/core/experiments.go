@@ -37,6 +37,13 @@ type TableIResult struct {
 // TableI schedules the 15-mult/13-add double-and-add block with the
 // exact branch-and-bound solver and renders a Table I-style listing.
 func TableI(res sched.Resources) (*TableIResult, error) {
+	return TableIObserved(res, nil)
+}
+
+// TableIObserved is TableI with solver progress reporting: progress
+// (when non-nil) receives the branch-and-bound incumbent/bound
+// trajectory while the block is being scheduled.
+func TableIObserved(res sched.Resources, progress jobshop.ProgressFunc) (*TableIResult, error) {
 	k := scalar.Scalar{0x9E3779B97F4A7C15, 2, 3, 4}
 	p := curve.Generator()
 	table := curve.BuildTable(curve.NewMultiBase(p))
@@ -44,7 +51,9 @@ func TableI(res sched.Resources) (*TableIResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := sched.Schedule(tr.Graph, res, sched.Options{Method: sched.MethodBnB, BnBBudget: 10_000_000})
+	r, err := sched.Schedule(tr.Graph, res, sched.Options{
+		Method: sched.MethodBnB, BnBBudget: 10_000_000, Progress: progress,
+	})
 	if err != nil {
 		return nil, err
 	}

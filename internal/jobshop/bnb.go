@@ -78,6 +78,14 @@ func LowerBound(inst *Instance) (int, error) {
 // proven, the best heuristic schedule found so far is returned with
 // Optimal == false.
 func BranchAndBound(inst *Instance, maxNodes int64) (BnBResult, error) {
+	return BranchAndBoundObserved(inst, maxNodes, nil)
+}
+
+// BranchAndBoundObserved is BranchAndBound with progress reporting: fn
+// (when non-nil) receives the initial heuristic incumbent, every lower
+// bound improvement, node-count heartbeats, the improved incumbent when
+// a feasible makespan is found, and a final ProgressDone.
+func BranchAndBoundObserved(inst *Instance, maxNodes int64, fn ProgressFunc) (BnBResult, error) {
 	lb, err := LowerBound(inst)
 	if err != nil {
 		return BnBResult{}, err
@@ -87,11 +95,13 @@ func BranchAndBound(inst *Instance, maxNodes int64) (BnBResult, error) {
 		return BnBResult{}, err
 	}
 	res := BnBResult{Schedule: incumbent, LowerBound: lb}
+	fn.emit(Progress{Kind: ProgressIncumbent, Makespan: incumbent.Makespan, Bound: lb})
 	if incumbent.Makespan == lb {
 		res.Optimal = true
+		fn.emit(Progress{Kind: ProgressDone, Makespan: res.Schedule.Makespan, Bound: res.LowerBound, Optimal: true})
 		return res, nil
 	}
-	s := &bnbState{inst: inst, preds: inst.preds(), succs: inst.succs(), budget: maxNodes}
+	s := &bnbState{inst: inst, preds: inst.preds(), succs: inst.succs(), budget: maxNodes, progress: fn}
 	order, _ := inst.topoOrder()
 	s.topo = order
 	for m := lb; m < incumbent.Makespan; m++ {
@@ -99,6 +109,7 @@ func BranchAndBound(inst *Instance, maxNodes int64) (BnBResult, error) {
 		if !ok {
 			// budget exhausted; cannot prove anything further.
 			res.Nodes = s.nodes
+			fn.emit(Progress{Kind: ProgressDone, Makespan: res.Schedule.Makespan, Bound: res.LowerBound, Nodes: s.nodes})
 			return res, nil
 		}
 		if found != nil {
@@ -114,23 +125,28 @@ func BranchAndBound(inst *Instance, maxNodes int64) (BnBResult, error) {
 			res.Schedule = sched
 			res.Optimal = true
 			res.Nodes = s.nodes
+			fn.emit(Progress{Kind: ProgressIncumbent, Makespan: actual, Bound: res.LowerBound, Nodes: s.nodes})
+			fn.emit(Progress{Kind: ProgressDone, Makespan: actual, Bound: res.LowerBound, Nodes: s.nodes, Optimal: true})
 			return res, nil
 		}
 		res.LowerBound = m + 1
+		fn.emit(Progress{Kind: ProgressBound, Makespan: incumbent.Makespan, Bound: m + 1, Nodes: s.nodes})
 	}
 	// All makespans below the incumbent proved infeasible: incumbent optimal.
 	res.Optimal = true
 	res.Nodes = s.nodes
+	fn.emit(Progress{Kind: ProgressDone, Makespan: res.Schedule.Makespan, Bound: res.LowerBound, Nodes: s.nodes, Optimal: true})
 	return res, nil
 }
 
 type bnbState struct {
-	inst   *Instance
-	preds  [][]Prec
-	succs  [][]Prec
-	topo   []int
-	nodes  int64
-	budget int64
+	inst     *Instance
+	preds    [][]Prec
+	succs    [][]Prec
+	topo     []int
+	nodes    int64
+	budget   int64
+	progress ProgressFunc
 }
 
 // feasible reports whether a schedule with makespan <= M exists; it
@@ -191,6 +207,9 @@ func (s *bnbState) dfs(t, done int, est, lst, start, busy []int) (bool, bool) {
 	s.nodes++
 	if s.nodes > s.budget {
 		return false, true
+	}
+	if s.nodes%bnbHeartbeat == 0 {
+		s.progress.emit(Progress{Kind: ProgressNodes, Nodes: s.nodes})
 	}
 	// Deadline check and ready-set construction.
 	type pend struct{ lst, dur int }

@@ -1,0 +1,70 @@
+package jobshop
+
+// Solver progress reporting. Long branch-and-bound and local-search
+// runs were previously silent until completion; the *Observed solver
+// variants invoke a ProgressFunc at every meaningful search event so
+// callers (the sched package, the cmd tools, tests) can surface live
+// incumbent/bound trajectories. Callbacks run synchronously on the
+// solver goroutine — keep them cheap.
+
+// ProgressKind tags a solver progress event.
+type ProgressKind uint8
+
+const (
+	// ProgressIncumbent: a new best schedule was found (also emitted for
+	// the initial heuristic incumbent).
+	ProgressIncumbent ProgressKind = iota
+	// ProgressBound: the proven lower bound improved.
+	ProgressBound
+	// ProgressNodes: a periodic node-count heartbeat (branch-and-bound).
+	ProgressNodes
+	// ProgressIteration: a periodic iteration heartbeat (local search).
+	ProgressIteration
+	// ProgressDone: the solver finished; Makespan/Bound/Optimal are final.
+	ProgressDone
+)
+
+func (k ProgressKind) String() string {
+	switch k {
+	case ProgressIncumbent:
+		return "incumbent"
+	case ProgressBound:
+		return "bound"
+	case ProgressNodes:
+		return "nodes"
+	case ProgressIteration:
+		return "iteration"
+	case ProgressDone:
+		return "done"
+	}
+	return "?"
+}
+
+// Progress is one solver progress event.
+type Progress struct {
+	Kind ProgressKind
+	// Makespan is the best incumbent makespan known so far.
+	Makespan int
+	// Bound is the best proven lower bound so far (0 when the solver
+	// does not prove bounds, e.g. tabu search).
+	Bound int
+	// Nodes is the number of branch-and-bound nodes explored so far.
+	Nodes int64
+	// Iteration is the local-search iteration (tabu).
+	Iteration int
+	// Optimal is set on ProgressDone when optimality was proven.
+	Optimal bool
+}
+
+// ProgressFunc receives progress events; nil disables reporting.
+type ProgressFunc func(Progress)
+
+// emit invokes fn if non-nil.
+func (fn ProgressFunc) emit(p Progress) {
+	if fn != nil {
+		fn(p)
+	}
+}
+
+// bnbHeartbeat is the node interval between ProgressNodes events.
+const bnbHeartbeat = 1 << 20

@@ -1,0 +1,129 @@
+package jobshop
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBranchAndBoundProgressEvents(t *testing.T) {
+	// The two-chain instance where the list scheduler is suboptimal, so
+	// branch-and-bound actually searches and improves the incumbent.
+	inst := &Instance{
+		Tasks: []Task{
+			{Machine: 0, Tail: 1},
+			{Machine: 0, Tail: 1},
+			{Machine: 1, Tail: 6},
+		},
+		Precs:    []Prec{{Before: 0, After: 2, Lag: 1}},
+		Machines: 2,
+	}
+	var events []Progress
+	res, err := BranchAndBoundObserved(inst, 1_000_000, func(p Progress) { events = append(events, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	first, last := events[0], events[len(events)-1]
+	if first.Kind != ProgressIncumbent {
+		t.Fatalf("first event %v, want incumbent", first.Kind)
+	}
+	if last.Kind != ProgressDone {
+		t.Fatalf("last event %v, want done", last.Kind)
+	}
+	if last.Makespan != res.Schedule.Makespan || last.Optimal != res.Optimal {
+		t.Fatalf("done event %+v disagrees with result makespan=%d optimal=%v",
+			last, res.Schedule.Makespan, res.Optimal)
+	}
+	// The incumbent trajectory must be non-increasing and end at the
+	// returned makespan; bounds must be non-decreasing.
+	prevInc, prevBound := 1<<30, 0
+	improvements := 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case ProgressIncumbent:
+			if ev.Makespan > prevInc {
+				t.Fatalf("incumbent worsened: %d after %d", ev.Makespan, prevInc)
+			}
+			if ev.Makespan < prevInc {
+				improvements++
+			}
+			prevInc = ev.Makespan
+		case ProgressBound:
+			if ev.Bound < prevBound {
+				t.Fatalf("bound regressed: %d after %d", ev.Bound, prevBound)
+			}
+			prevBound = ev.Bound
+		}
+	}
+	// List yields 8 on this instance, optimum is 7: the search must have
+	// reported the improvement.
+	if improvements < 1 {
+		t.Fatalf("expected at least one incumbent improvement, events: %+v", events)
+	}
+}
+
+func TestBranchAndBoundProgressImmediateOptimal(t *testing.T) {
+	// On the chain instance list scheduling is already optimal: still
+	// expect the initial incumbent and a done event.
+	var kinds []ProgressKind
+	if _, err := BranchAndBoundObserved(chainInstance(), 1_000_000, func(p Progress) {
+		kinds = append(kinds, p.Kind)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) < 2 || kinds[0] != ProgressIncumbent || kinds[len(kinds)-1] != ProgressDone {
+		t.Fatalf("kinds = %v, want incumbent...done", kinds)
+	}
+}
+
+func TestBranchAndBoundNilProgress(t *testing.T) {
+	// The nil callback path must behave identically to BranchAndBound.
+	rng := rand.New(rand.NewSource(77))
+	inst := randomInstance(rng, 12, 2)
+	a, err := BranchAndBound(inst, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BranchAndBoundObserved(inst, 100_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule.Makespan != b.Schedule.Makespan || a.Optimal != b.Optimal || a.Nodes != b.Nodes {
+		t.Fatalf("observed(nil) diverges: %+v vs %+v", a, b)
+	}
+}
+
+func TestTabuProgressEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	inst := randomInstance(rng, 20, 2)
+	var events []Progress
+	s, err := TabuObserved(inst, 1, 250, 0, 0, func(p Progress) { events = append(events, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("got %d events, want at least incumbent + done", len(events))
+	}
+	if events[0].Kind != ProgressIncumbent {
+		t.Fatalf("first event %v, want incumbent", events[0].Kind)
+	}
+	last := events[len(events)-1]
+	if last.Kind != ProgressDone || last.Makespan != s.Makespan || last.Iteration != 250 {
+		t.Fatalf("done event %+v, want makespan %d at iteration 250", last, s.Makespan)
+	}
+	// Determinism: same seed, same events.
+	var replay []Progress
+	if _, err := TabuObserved(inst, 1, 250, 0, 0, func(p Progress) { replay = append(replay, p) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != len(events) {
+		t.Fatalf("replay produced %d events, want %d", len(replay), len(events))
+	}
+	for i := range replay {
+		if replay[i] != events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, replay[i], events[i])
+		}
+	}
+}

@@ -11,6 +11,18 @@ import (
 // aspiration rule overrides the tabu when a move beats the incumbent.
 // Deterministic for a fixed seed.
 func Tabu(inst *Instance, seed int64, iters, neighborhood, tenure int) (Schedule, error) {
+	return TabuObserved(inst, seed, iters, neighborhood, tenure, nil)
+}
+
+// tabuHeartbeat is the iteration interval between ProgressIteration
+// events.
+const tabuHeartbeat = 100
+
+// TabuObserved is Tabu with progress reporting: fn (when non-nil)
+// receives the initial incumbent, every incumbent improvement with the
+// iteration it occurred at, periodic iteration heartbeats, and a final
+// ProgressDone.
+func TabuObserved(inst *Instance, seed int64, iters, neighborhood, tenure int, fn ProgressFunc) (Schedule, error) {
 	if neighborhood <= 0 {
 		neighborhood = 12
 	}
@@ -31,11 +43,15 @@ func Tabu(inst *Instance, seed int64, iters, neighborhood, tenure int) (Schedule
 		return Schedule{}, err
 	}
 	curSpan := best.Makespan
+	fn.emit(Progress{Kind: ProgressIncumbent, Makespan: best.Makespan})
 	tabuUntil := make([]int, n)
 	rng := rand.New(rand.NewSource(seed))
 	span := len(base) + 1
 
 	for it := 0; it < iters; it++ {
+		if it > 0 && it%tabuHeartbeat == 0 {
+			fn.emit(Progress{Kind: ProgressIteration, Makespan: best.Makespan, Iteration: it})
+		}
 		type move struct {
 			task, delta, makespan int
 			sched                 Schedule
@@ -69,7 +85,9 @@ func Tabu(inst *Instance, seed int64, iters, neighborhood, tenure int) (Schedule
 		tabuUntil[bestMove.task] = it + tenure
 		if curSpan < best.Makespan {
 			best = bestMove.sched
+			fn.emit(Progress{Kind: ProgressIncumbent, Makespan: best.Makespan, Iteration: it})
 		}
 	}
+	fn.emit(Progress{Kind: ProgressDone, Makespan: best.Makespan, Iteration: iters})
 	return best, nil
 }

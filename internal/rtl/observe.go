@@ -1,0 +1,138 @@
+package rtl
+
+import (
+	"repro/internal/isa"
+	"repro/internal/telemetry"
+)
+
+// TeeObservers fans a run's event stream out to several observers in
+// argument order; nil entries are skipped. It returns nil when every
+// argument is nil, so RunInput.Observer stays cheap for unobserved runs.
+func TeeObservers(obs ...func(Event)) func(Event) {
+	live := make([]func(Event), 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(ev Event) {
+		for _, o := range live {
+			o(ev)
+		}
+	}
+}
+
+// Trace track ids used by RunTelemetry (the tid of the Chrome
+// trace_event entries). Track 0 is left to wall-clock pipeline spans.
+const (
+	TraceTrackMul       = 1 // multiplier issue slices
+	TraceTrackAdd       = 2 // adder issue slices
+	TraceTrackOccupancy = 9 // counter track sampling unit occupancy
+)
+
+// RunTelemetry converts datapath events into telemetry: one complete
+// trace slice per functional-unit issue (duration = the unit's pipeline
+// latency, one microsecond of trace time per cycle), occupancy counter
+// samples, and registry counters for issues, write-backs, forwarded
+// reads and elided writes. Attach Observe via RunInput.Observer (or
+// TeeObservers), then call Finish with the run's Stats to publish the
+// derived gauges and histograms.
+type RunTelemetry struct {
+	reg    *telemetry.Registry
+	rec    *telemetry.Recorder
+	mulLat int
+	addLat int
+}
+
+// NewRunTelemetry prepares an observer for one execution of p. Either
+// reg or rec may be nil to skip metrics or tracing respectively.
+func NewRunTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder, p *isa.Program) *RunTelemetry {
+	t := &RunTelemetry{reg: reg, rec: rec, mulLat: p.MulLatency, addLat: p.AddLatency}
+	if rec != nil {
+		rec.ThreadName(TraceTrackMul, "Fp2 multiplier")
+		rec.ThreadName(TraceTrackAdd, "Fp2 adder/subtractor")
+	}
+	return t
+}
+
+// Observe consumes one datapath event.
+func (t *RunTelemetry) Observe(ev Event) {
+	switch ev.Kind {
+	case EvIssue:
+		track, lat, unit := TraceTrackAdd, t.addLat, "add"
+		if ev.Unit == isa.UnitMul {
+			track, lat, unit = TraceTrackMul, t.mulLat, "mul"
+		}
+		if t.rec != nil {
+			t.rec.Slice(track, ev.Label, "issue", int64(ev.Cycle), int64(lat),
+				map[string]any{"dst": int(ev.Dst)})
+		}
+		if t.reg != nil {
+			t.reg.Counter("rtl.issues." + unit).Inc()
+			if ev.FwdA {
+				t.reg.Counter("rtl.forwarded_reads").Inc()
+			}
+			if ev.FwdB {
+				t.reg.Counter("rtl.forwarded_reads").Inc()
+			}
+		}
+	case EvWriteback:
+		if t.reg != nil {
+			if ev.Elided {
+				t.reg.Counter("rtl.elided_writes").Inc()
+			} else {
+				t.reg.Counter("rtl.reg_writes").Inc()
+			}
+		}
+		if t.rec != nil && ev.Elided {
+			unit := "add"
+			if ev.Unit == isa.UnitMul {
+				unit = "mul"
+			}
+			t.rec.Instant(TraceTrackOccupancy, "elided wb ("+unit+")", "wb", int64(ev.Cycle), nil)
+		}
+	}
+}
+
+// Finish publishes the run's summary statistics: utilization gauges,
+// stall/port-pressure counters, per-opcode issue counters, and the
+// occupancy counter-track samples bracketing the run.
+func (t *RunTelemetry) Finish(st Stats) {
+	if t.reg != nil {
+		t.reg.Gauge("rtl.cycles").Set(float64(st.Cycles))
+		t.reg.Gauge("rtl.mul_utilization").Set(st.MulUtilization)
+		t.reg.Gauge("rtl.add_utilization").Set(st.AddUtilization)
+		t.reg.Counter("rtl.stall_cycles").Add(int64(st.StallCycles))
+		readH := t.reg.Histogram("rtl.read_ports_per_cycle", 0, 1, 2, 3, 4)
+		for k, n := range st.ReadPortPressure {
+			for i := 0; i < n; i++ {
+				readH.Observe(float64(k))
+			}
+		}
+		writeH := t.reg.Histogram("rtl.write_ports_per_cycle", 0, 1, 2)
+		for k, n := range st.WritePortPressure {
+			for i := 0; i < n; i++ {
+				writeH.Observe(float64(k))
+			}
+		}
+		for op, n := range st.IssuesByOpcode {
+			t.reg.Counter("rtl.opcode." + op).Add(int64(n))
+		}
+	}
+	if t.rec != nil {
+		t.rec.CounterSample(TraceTrackOccupancy, "utilization", 0, map[string]any{
+			"mul_pct": int(100 * st.MulUtilization),
+			"add_pct": int(100 * st.AddUtilization),
+		})
+		t.rec.CounterSample(TraceTrackOccupancy, "utilization", int64(st.Cycles), map[string]any{
+			"mul_pct": 0,
+			"add_pct": 0,
+		})
+	}
+}

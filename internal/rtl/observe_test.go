@@ -1,0 +1,201 @@
+package rtl
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fp"
+	"repro/internal/fp2"
+	"repro/internal/isa"
+	"repro/internal/telemetry"
+)
+
+// tinyProgram builds a 3-instruction program by hand:
+//
+//	cycle 0: mul  r2 = a*b      (writes back at cycle 3)
+//	cycle 0: add  r3 = a+b      (writes back at cycle 1)
+//	cycle 4: add  r4 = r2+r3    (writes back at cycle 5)
+func tinyProgram() (*isa.Program, RunInput) {
+	p := &isa.Program{
+		NumRegs:    5,
+		Makespan:   5,
+		MulLatency: 3,
+		AddLatency: 1,
+		InputRegs:  map[string]uint16{"a": 0, "b": 1},
+		OutputRegs: map[string]uint16{"out": 4},
+		Instrs: []isa.Instr{
+			{Cycle: 0, Unit: isa.UnitMul, A: isa.Operand{Kind: isa.OpReg, Reg: 0}, B: isa.Operand{Kind: isa.OpReg, Reg: 1}, Dst: 2, Label: "t0:=a*b"},
+			{Cycle: 0, Unit: isa.UnitAdd, A: isa.Operand{Kind: isa.OpReg, Reg: 0}, B: isa.Operand{Kind: isa.OpReg, Reg: 1}, Dst: 3, Label: "t1:=a+b"},
+			{Cycle: 4, Unit: isa.UnitAdd, A: isa.Operand{Kind: isa.OpReg, Reg: 2}, B: isa.Operand{Kind: isa.OpReg, Reg: 3}, Dst: 4, Label: "t2:=t0+t1"},
+		},
+	}
+	in := RunInput{Inputs: map[string]fp2.Element{
+		"a": fp2.New(fp.SetLimbs(3, 0), fp.SetLimbs(1, 0)),
+		"b": fp2.New(fp.SetLimbs(5, 0), fp.SetLimbs(2, 0)),
+	}}
+	return p, in
+}
+
+func TestTeeObservers(t *testing.T) {
+	if TeeObservers(nil, nil) != nil {
+		t.Fatal("all-nil tee must be nil")
+	}
+	var a, b int
+	one := func(Event) { a++ }
+	two := func(Event) { b++ }
+	tee := TeeObservers(one, nil, two)
+	tee(Event{})
+	tee(Event{})
+	if a != 2 || b != 2 {
+		t.Fatalf("observers saw %d/%d events, want 2/2", a, b)
+	}
+}
+
+func TestTeeObserversInVCD(t *testing.T) {
+	p, in := tinyProgram()
+	var events int
+	in.Observer = func(Event) { events++ }
+	var vcd bytes.Buffer
+	if _, _, err := WriteVCD(p, in, &vcd); err != nil {
+		t.Fatal(err)
+	}
+	// 3 issues + 3 write-backs, seen by the chained observer while the
+	// VCD dumper observes the same run.
+	if events != 6 {
+		t.Fatalf("chained observer saw %d events, want 6", events)
+	}
+	if !bytes.Contains(vcd.Bytes(), []byte("mul_issue")) {
+		t.Fatal("VCD output missing signal declarations")
+	}
+}
+
+func TestRunExtendedStats(t *testing.T) {
+	p, in := tinyProgram()
+	_, st, err := Run(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MulIssues != 1 || st.AddIssues != 2 {
+		t.Fatalf("issues = %d mul / %d add", st.MulIssues, st.AddIssues)
+	}
+	wantMul := 1.0 / 5.0
+	wantAdd := 2.0 / 5.0
+	if st.MulUtilization != wantMul || st.AddUtilization != wantAdd {
+		t.Fatalf("utilization = %v/%v, want %v/%v", st.MulUtilization, st.AddUtilization, wantMul, wantAdd)
+	}
+	// Cycles 1, 2, 3, 5 issue nothing (loop runs cycles 0..5).
+	if st.StallCycles != 4 {
+		t.Fatalf("stall cycles = %d, want 4", st.StallCycles)
+	}
+	// Cycle 0 reads 4 ports, cycle 4 reads 2, the other 4 cycles read 0.
+	if st.ReadPortPressure != [5]int{4, 0, 1, 0, 1} {
+		t.Fatalf("read pressure = %v", st.ReadPortPressure)
+	}
+	// Write-backs at cycles 1, 3, 5: three cycles with 1 write each.
+	if st.WritePortPressure[1] != 3 || st.WritePortPressure[2] != 0 {
+		t.Fatalf("write pressure = %v", st.WritePortPressure)
+	}
+	if st.IssuesByOpcode["mul"] != 1 || st.IssuesByOpcode["add"] != 2 {
+		t.Fatalf("opcodes = %v", st.IssuesByOpcode)
+	}
+}
+
+// TestRunTelemetryTraceRoundTrip runs the tiny 3-instruction program
+// under the telemetry observer, writes the Chrome trace, parses it back
+// and checks there is exactly one complete slice per issue with the
+// unit's latency as its duration.
+func TestRunTelemetryTraceRoundTrip(t *testing.T) {
+	p, in := tinyProgram()
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder()
+	tel := NewRunTelemetry(reg, rec, p)
+	in.Observer = tel.Observe
+	_, st, err := Run(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel.Finish(st)
+
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := telemetry.ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type slice struct {
+		ts, dur int64
+		tid     int
+	}
+	got := map[string]slice{}
+	for _, ev := range evs {
+		if ev.Phase == telemetry.PhaseComplete && ev.Cat == "issue" {
+			got[ev.Name] = slice{ev.TS, ev.Dur, ev.TID}
+		}
+	}
+	want := map[string]slice{
+		"t0:=a*b":   {0, 3, TraceTrackMul},
+		"t1:=a+b":   {0, 1, TraceTrackAdd},
+		"t2:=t0+t1": {4, 1, TraceTrackAdd},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d issue slices, want %d: %v", len(got), len(want), got)
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Fatalf("slice %q = %+v, want %+v", name, got[name], w)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["rtl.issues.mul"] != 1 || snap.Counters["rtl.issues.add"] != 2 {
+		t.Fatalf("issue counters = %v", snap.Counters)
+	}
+	if snap.Gauges["rtl.add_utilization"] != 2.0/5.0 {
+		t.Fatalf("add utilization gauge = %v", snap.Gauges["rtl.add_utilization"])
+	}
+	if snap.Counters["rtl.reg_writes"] != 3 {
+		t.Fatalf("reg_writes = %d, want 3", snap.Counters["rtl.reg_writes"])
+	}
+	if h := snap.Histograms["rtl.read_ports_per_cycle"]; h.Count != 6 {
+		t.Fatalf("read-port histogram count = %d, want 6", h.Count)
+	}
+}
+
+// TestRunTelemetryForwardingAndElision checks the forwarded-read and
+// elided-write counters through the observer on a program that uses
+// both features.
+func TestRunTelemetryForwardingAndElision(t *testing.T) {
+	p, in := tinyProgram()
+	// Rewire the last add to read the adder forwarding port for operand
+	// B: t1 completes at cycle 1, so issue a consumer at cycle 1.
+	p.Instrs[2] = isa.Instr{
+		Cycle: 1, Unit: isa.UnitAdd,
+		A:   isa.Operand{Kind: isa.OpReg, Reg: 0},
+		B:   isa.Operand{Kind: isa.OpFwdAdd},
+		Dst: 4, Label: "t2:=a+fwd",
+	}
+	// Elide t0's write-back; nothing reads r2 anymore.
+	p.Instrs[0].NoWB = true
+	p.Makespan = 3
+
+	reg := telemetry.NewRegistry()
+	tel := NewRunTelemetry(reg, nil, p)
+	in.Observer = tel.Observe
+	_, st, err := Run(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel.Finish(st)
+	if st.ForwardedReads != 1 || st.ElidedWrites != 1 {
+		t.Fatalf("stats fwd/elide = %d/%d, want 1/1", st.ForwardedReads, st.ElidedWrites)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["rtl.forwarded_reads"] != 1 {
+		t.Fatalf("forwarded_reads counter = %d", snap.Counters["rtl.forwarded_reads"])
+	}
+	if snap.Counters["rtl.elided_writes"] != 1 {
+		t.Fatalf("elided_writes counter = %d", snap.Counters["rtl.elided_writes"])
+	}
+}

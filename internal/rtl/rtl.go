@@ -52,8 +52,15 @@ type Event struct {
 	Dst   uint16
 	// A, B are the resolved operand values (EvIssue only).
 	A, B fp2.Element
+	// FwdA, FwdB report operands sourced from the forwarding network
+	// instead of the register file (EvIssue only).
+	FwdA, FwdB bool
 	// Value is the produced result (EvWriteback only).
 	Value fp2.Element
+	// Elided marks a write-back absorbed by the elision pass: the value
+	// left the unit's output port but never reached the register file
+	// (EvWriteback only).
+	Elided bool
 	// Label is the debug label of the instruction (EvIssue only).
 	Label string
 }
@@ -69,6 +76,39 @@ type Stats struct {
 	ForwardedReads int
 	// MulUtilization is MulIssues / Cycles.
 	MulUtilization float64
+	// AddUtilization is AddIssues / Cycles.
+	AddUtilization float64
+	// StallCycles counts cycles in which neither unit issued (pipeline
+	// bubbles waiting on latency or port limits).
+	StallCycles int
+	// ReadPortPressure[k] counts cycles that consumed exactly k of the 4
+	// register-file read ports.
+	ReadPortPressure [5]int
+	// WritePortPressure[k] counts cycles that consumed exactly k of the
+	// 2 register-file write ports.
+	WritePortPressure [3]int
+	// IssuesByOpcode counts issues per opcode mnemonic ("mul", "add",
+	// "sub", "addsub.mixed", "addsub.dyn").
+	IssuesByOpcode map[string]int
+}
+
+// Opcode returns the mnemonic used as the IssuesByOpcode key for an
+// instruction: the unit plus, for the adder, how its lane commands are
+// produced.
+func Opcode(ins isa.Instr) string {
+	if ins.Unit == isa.UnitMul {
+		return "mul"
+	}
+	if ins.CmdMode == isa.CmdDynSign {
+		return "addsub.dyn"
+	}
+	switch {
+	case ins.CmdRe == isa.CmdAdd && ins.CmdIm == isa.CmdAdd:
+		return "add"
+	case ins.CmdRe == isa.CmdSub && ins.CmdIm == isa.CmdSub:
+		return "sub"
+	}
+	return "addsub.mixed"
 }
 
 // ErrHazard wraps all structural violations detected during execution.
@@ -104,6 +144,7 @@ func Run(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
 		written: make([]bool, p.NumRegs),
 		in:      in,
 	}
+	m.stats.IssuesByOpcode = map[string]int{}
 	// Program load: constants and inputs.
 	for _, c := range p.ConstRegs {
 		m.regs[c.Reg] = fp2.New(fp.SetLimbs(c.Value[0], c.Value[1]), fp.SetLimbs(c.Value[2], c.Value[3]))
@@ -149,8 +190,12 @@ func Run(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
 				return nil, Stats{}, fmt.Errorf("cycle %d op %q B: %w", cycle, ins.Label, err)
 			}
 			reads += ra + rb
+			m.stats.IssuesByOpcode[Opcode(ins)]++
 			if m.in.Observer != nil {
-				m.in.Observer(Event{Kind: EvIssue, Cycle: cycle, Unit: ins.Unit, Dst: ins.Dst, A: a, B: b, Label: ins.Label})
+				m.in.Observer(Event{
+					Kind: EvIssue, Cycle: cycle, Unit: ins.Unit, Dst: ins.Dst,
+					A: a, B: b, FwdA: isFwd(ins.A), FwdB: isFwd(ins.B), Label: ins.Label,
+				})
 			}
 			switch ins.Unit {
 			case isa.UnitMul:
@@ -182,6 +227,10 @@ func Run(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
 			return nil, Stats{}, fmt.Errorf("%w: %d register reads at cycle %d (4 ports)", ErrHazard, reads, cycle)
 		}
 		m.stats.RegReads += reads
+		m.stats.ReadPortPressure[reads]++
+		if !mulIssued && !addIssued {
+			m.stats.StallCycles++
+		}
 	}
 	// Drain any remaining completions (schedule validation guarantees
 	// everything completes by Makespan, so the pipes must be empty).
@@ -201,8 +250,14 @@ func Run(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
 	m.stats.Cycles = p.Makespan
 	if p.Makespan > 0 {
 		m.stats.MulUtilization = float64(m.stats.MulIssues) / float64(p.Makespan)
+		m.stats.AddUtilization = float64(m.stats.AddIssues) / float64(p.Makespan)
 	}
 	return out, m.stats, nil
+}
+
+// isFwd reports whether an operand reads a forwarding port.
+func isFwd(op isa.Operand) bool {
+	return op.Kind == isa.OpFwdMul || op.Kind == isa.OpFwdAdd
 }
 
 // writeback retires results whose completion is this cycle; it returns
@@ -232,7 +287,7 @@ func (m *machine) writeback(cycle int) (mulOut, addOut *fp2.Element, err error) 
 				writes++
 			}
 			if m.in.Observer != nil {
-				m.in.Observer(Event{Kind: EvWriteback, Cycle: cycle, Unit: unit, Dst: s.dst, Value: s.value})
+				m.in.Observer(Event{Kind: EvWriteback, Cycle: cycle, Unit: unit, Dst: s.dst, Value: s.value, Elided: s.noWB})
 			}
 		}
 		return next, out, nil
@@ -249,6 +304,7 @@ func (m *machine) writeback(cycle int) (mulOut, addOut *fp2.Element, err error) 
 		return nil, nil, fmt.Errorf("%w: %d register writes at cycle %d (2 ports)", ErrHazard, writes, cycle)
 	}
 	m.stats.RegWrites += writes
+	m.stats.WritePortPressure[writes]++
 	return mulOut, addOut, nil
 }
 

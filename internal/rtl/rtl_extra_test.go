@@ -2,6 +2,7 @@ package rtl
 
 import (
 	mrand "math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/curve"
@@ -51,7 +52,7 @@ func TestConstantStructure(t *testing.T) {
 			ref = st
 			continue
 		}
-		if st != ref {
+		if !reflect.DeepEqual(st, ref) {
 			t.Fatalf("execution statistics vary with the scalar: %+v vs %+v", st, ref)
 		}
 	}

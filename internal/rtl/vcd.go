@@ -48,11 +48,7 @@ func WriteVCD(p *isa.Program, in RunInput, w io.Writer) (map[string]fp2.Element,
 
 	cur := -1
 	issued := map[byte]bool{}
-	chain := in.Observer
-	in.Observer = func(ev Event) {
-		if chain != nil {
-			chain(ev)
-		}
+	dump := func(ev Event) {
 		if ev.Cycle != cur {
 			// Close the previous cycle: drop issue strobes that fired.
 			if cur >= 0 {
@@ -83,6 +79,7 @@ func WriteVCD(p *isa.Program, in RunInput, w io.Writer) (map[string]fp2.Element,
 			}
 		}
 	}
+	in.Observer = TeeObservers(in.Observer, dump)
 	out, st, err := Run(p, in)
 	if err != nil {
 		return nil, st, err

@@ -90,6 +90,11 @@ type Options struct {
 	// verifies the pass (an over-eager elision turns into a
 	// read-of-never-written-register error).
 	ElideWritebacks bool
+	// Progress, when non-nil, receives solver progress events
+	// (incumbent/bound improvements, node and iteration heartbeats) from
+	// the iterative methods (MethodBnB, MethodTabu), so long scheduling
+	// runs are no longer silent. Called synchronously; keep it cheap.
+	Progress jobshop.ProgressFunc
 }
 
 // Result is a complete scheduling outcome.
@@ -180,7 +185,7 @@ func Schedule(g *trace.Graph, res Resources, opts Options) (*Result, error) {
 		if budget == 0 {
 			budget = 2_000_000
 		}
-		r, err := jobshop.BranchAndBound(inst, budget)
+		r, err := jobshop.BranchAndBoundObserved(inst, budget, opts.Progress)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +211,7 @@ func Schedule(g *trace.Graph, res Resources, opts Options) (*Result, error) {
 		if iters == 0 {
 			iters = 300
 		}
-		s, err := jobshop.Tabu(inst, opts.Seed, iters, 0, 0)
+		s, err := jobshop.TabuObserved(inst, opts.Seed, iters, 0, 0, opts.Progress)
 		if err != nil {
 			return nil, err
 		}

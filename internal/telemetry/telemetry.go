@@ -1,0 +1,230 @@
+// Package telemetry is the repo's dependency-light observability core:
+// named counters, gauges and histograms behind a concurrent Registry
+// with a deterministic snapshot API, plus a trace-event Recorder (see
+// trace.go) that exports Chrome trace_event JSON loadable in Perfetto
+// or chrome://tracing.
+//
+// The package deliberately has no third-party dependencies and no
+// global state: every consumer (the RTL datapath observer, the
+// scheduler progress hooks, the core pipeline spans, the bench tools)
+// creates its own Registry/Recorder and owns its lifetime. All types
+// are safe for concurrent use.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the counter to stay monotonic; this is
+// not enforced so deltas computed by callers stay cheap).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value-wins float metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value (0 if never set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates observations into fixed buckets plus running
+// count/sum/min/max. Buckets are optional: a histogram created without
+// bounds still tracks the summary statistics.
+type Histogram struct {
+	mu     sync.Mutex
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+	bounds []float64 // sorted upper bounds; counts has len(bounds)+1 (last = overflow)
+	counts []int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if len(h.bounds) > 0 {
+		i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+		h.counts[i]++
+	}
+}
+
+// BucketCount is one histogram bucket in a snapshot. Le is the inclusive
+// upper bound; the last bucket of a bounded histogram is the overflow
+// bucket with Le = +Inf.
+type BucketCount struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON renders +Inf as the string "+Inf" (JSON has no Inf).
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Le    any   `json:"le"`
+		Count int64 `json:"count"`
+	}
+	a := alias{Le: b.Le, Count: b.Count}
+	if math.IsInf(b.Le, +1) {
+		a.Le = "+Inf"
+	}
+	return json.Marshal(a)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Min     float64       `json:"min"`
+	Max     float64       `json:"max"`
+	Mean    float64       `json:"mean"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+	}
+	for i, c := range h.counts {
+		le := math.Inf(+1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, BucketCount{Le: le, Count: c})
+	}
+	return s
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. Safe for concurrent use; all callers share one instance per name.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bucket upper bounds on first use (bounds are sorted; later
+// calls may omit them — the first registration wins).
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b}
+		if len(b) > 0 {
+			h.counts = make([]int64, len(b)+1)
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a deterministic point-in-time copy of a Registry: two
+// snapshots of the same state marshal to identical JSON (encoding/json
+// sorts map keys).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// WriteMetrics writes the flat JSON metrics dump (an indented Snapshot)
+// to w. Output is deterministic for a given registry state.
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Get-or-create on every iteration: exercises the
+				// registry lock as well as the counter itself.
+				reg.Counter("issues").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("issues").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("util")
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge = %v", g.Value())
+	}
+	g.Set(0.57)
+	if g.Value() != 0.57 {
+		t.Fatalf("gauge = %v, want 0.57", g.Value())
+	}
+	if reg.Gauge("util") != g {
+		t.Fatal("same name must return the same gauge")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Histogram("lat", 1, 4, 16).Observe(float64(i % 32))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := reg.Histogram("lat").snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	// Each worker observes i%32 for i in [0, perWorker); the sum is exact.
+	perWorkerSum := 0
+	for i := 0; i < perWorker; i++ {
+		perWorkerSum += i % 32
+	}
+	wantSum := float64(workers * perWorkerSum)
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+	if s.Min != 0 || s.Max != 31 {
+		t.Fatalf("min/max = %v/%v, want 0/31", s.Min, s.Max)
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", 10, 1, 100) // unsorted on purpose
+	for _, v := range []float64{0.5, 1, 2, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	want := []BucketCount{
+		{Le: 1, Count: 2},            // 0.5, 1
+		{Le: 10, Count: 2},           // 2, 10
+		{Le: 100, Count: 1},          // 11
+		{Le: math.Inf(+1), Count: 1}, // 1000
+	}
+	if !reflect.DeepEqual(s.Buckets, want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+}
+
+func TestSnapshotDeterminism(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b").Add(2)
+	reg.Counter("a").Add(1)
+	reg.Gauge("z").Set(3.5)
+	reg.Gauge("y").Set(-1)
+	reg.Histogram("h", 1, 2).Observe(1.5)
+	reg.Histogram("g").Observe(42)
+
+	s1, s2 := reg.Snapshot(), reg.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("snapshots differ: %+v vs %+v", s1, s2)
+	}
+	var b1, b2 bytes.Buffer
+	if err := reg.WriteMetrics(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteMetrics(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("metrics dumps differ:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	// Snapshots are copies: mutating the registry afterwards must not
+	// change an already-taken snapshot.
+	reg.Counter("a").Inc()
+	if s1.Counters["a"] != 1 {
+		t.Fatalf("snapshot mutated: a = %d", s1.Counters["a"])
+	}
+}
+
+func TestSnapshotHistogramSummary(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("m")
+	h.Observe(2)
+	h.Observe(4)
+	s := reg.Snapshot().Histograms["m"]
+	if s.Count != 2 || s.Sum != 6 || s.Mean != 3 || s.Min != 2 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if len(s.Buckets) != 0 {
+		t.Fatalf("unbounded histogram has buckets: %+v", s.Buckets)
+	}
+}

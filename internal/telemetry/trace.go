@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// The Recorder collects events in the Chrome trace_event format
+// (the "JSON Array Format" subset with a traceEvents wrapper object),
+// which Perfetto and chrome://tracing load directly. Two time domains
+// coexist:
+//
+//   - virtual time: cycle-accurate producers (the RTL observer) pass
+//     explicit timestamps, one microsecond per modelled cycle, via
+//     Slice/Instant/CounterSample;
+//   - wall-clock time: pipeline phases use StartSpan/End, stamped from
+//     the recorder's clock (time.Since(start) by default, overridable
+//     with SetClock for deterministic tests).
+//
+// Track (tid) constants are chosen by the producer; name tracks with
+// ThreadName so the viewer shows labels instead of numbers.
+
+// Phase constants of the trace_event format used here.
+const (
+	PhaseComplete = "X" // complete event: ts + dur
+	PhaseInstant  = "i" // instant event
+	PhaseCounter  = "C" // counter sample
+	PhaseMetadata = "M" // metadata (thread names)
+)
+
+// TraceEvent is one entry of the traceEvents array.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the on-disk wrapper object.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Recorder accumulates trace events. Safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	start  time.Time
+	now    func() int64 // microseconds since start
+}
+
+// NewRecorder returns a Recorder whose wall clock starts at zero now.
+func NewRecorder() *Recorder {
+	r := &Recorder{start: time.Now()}
+	r.now = func() int64 { return time.Since(r.start).Microseconds() }
+	return r
+}
+
+// SetClock replaces the wall-clock source (microseconds). Used by tests
+// and by producers that want a fully virtual time base for spans.
+func (r *Recorder) SetClock(f func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = f
+}
+
+func (r *Recorder) append(ev TraceEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+}
+
+// Slice records a complete event: a box from tsUS to tsUS+durUS on
+// track tid.
+func (r *Recorder) Slice(tid int, name, cat string, tsUS, durUS int64, args map[string]any) {
+	r.append(TraceEvent{Name: name, Cat: cat, Phase: PhaseComplete, TS: tsUS, Dur: durUS, TID: tid, Args: args})
+}
+
+// Instant records a zero-duration marker on track tid.
+func (r *Recorder) Instant(tid int, name, cat string, tsUS int64, args map[string]any) {
+	r.append(TraceEvent{Name: name, Cat: cat, Phase: PhaseInstant, TS: tsUS, TID: tid, Scope: "t", Args: args})
+}
+
+// CounterSample records a counter-track sample (rendered as a stacked
+// area chart by the viewers).
+func (r *Recorder) CounterSample(tid int, name string, tsUS int64, series map[string]any) {
+	r.append(TraceEvent{Name: name, Phase: PhaseCounter, TS: tsUS, TID: tid, Args: series})
+}
+
+// ThreadName labels track tid in the viewer.
+func (r *Recorder) ThreadName(tid int, name string) {
+	r.append(TraceEvent{Name: "thread_name", Phase: PhaseMetadata, TID: tid, Args: map[string]any{"name": name}})
+}
+
+// Span is an open wall-clock interval; End records it as a complete
+// event.
+type Span struct {
+	r     *Recorder
+	name  string
+	cat   string
+	tid   int
+	start int64
+}
+
+// StartSpan opens a wall-clock span on track tid.
+func (r *Recorder) StartSpan(tid int, name, cat string) *Span {
+	r.mu.Lock()
+	now := r.now()
+	r.mu.Unlock()
+	return &Span{r: r, name: name, cat: cat, tid: tid, start: now}
+}
+
+// End closes the span, recording a complete event with the measured
+// duration and the given args (may be nil).
+func (s *Span) End(args map[string]any) {
+	s.r.mu.Lock()
+	now := s.r.now()
+	s.r.mu.Unlock()
+	s.r.Slice(s.tid, s.name, s.cat, s.start, now-s.start, args)
+}
+
+// Events returns a copy of everything recorded so far, in record order.
+func (r *Recorder) Events() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]TraceEvent(nil), r.events...)
+}
+
+// WriteTrace writes the Chrome trace_event JSON file to w. Output is
+// byte-deterministic for a given event sequence (encoding/json sorts
+// the args map keys).
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	f := traceFile{TraceEvents: r.Events(), DisplayTimeUnit: "ms"}
+	if f.TraceEvents == nil {
+		f.TraceEvents = []TraceEvent{}
+	}
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ParseTrace reads a trace_event JSON file back (the wrapper-object
+// form written by WriteTrace). Used by tests and the CI smoke checker
+// to verify emitted traces without a browser.
+func ParseTrace(rd io.Reader) ([]TraceEvent, error) {
+	var f traceFile
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("telemetry: parse trace: %w", err)
+	}
+	return f.TraceEvents, nil
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// tinyProgramTrace records the timeline of a tiny 3-instruction program
+// (two multiplier issues, one adder issue) in pure virtual time, the
+// exact shape the RTL observer produces.
+func tinyProgramTrace() *Recorder {
+	r := NewRecorder()
+	r.ThreadName(1, "Fp2 multiplier")
+	r.ThreadName(2, "Fp2 adder/subtractor")
+	r.Slice(1, "t0 := P.x*P.y", "issue", 0, 3, map[string]any{"dst": 4})
+	r.Slice(2, "t1 := P.x+P.y", "issue", 0, 1, map[string]any{"dst": 5})
+	r.Slice(1, "t2 := t0*t1", "issue", 3, 3, map[string]any{"dst": 6})
+	r.Instant(2, "writeback t1", "wb", 1, nil)
+	r.CounterSample(9, "occupancy", 0, map[string]any{"mul": 1, "add": 1})
+	r.CounterSample(9, "occupancy", 3, map[string]any{"mul": 1, "add": 0})
+	return r
+}
+
+func TestGoldenTinyProgramTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tinyProgramTrace().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "tiny_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace JSON is not byte-stable against golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	// And a second render must be byte-identical to the first.
+	var again bytes.Buffer
+	if err := tinyProgramTrace().WriteTrace(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two renders of the same trace differ")
+	}
+}
+
+func TestParseTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tinyProgramTrace().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 8 {
+		t.Fatalf("parsed %d events, want 8", len(evs))
+	}
+	var slices, metas int
+	for _, ev := range evs {
+		switch ev.Phase {
+		case PhaseComplete:
+			slices++
+		case PhaseMetadata:
+			metas++
+		}
+	}
+	if slices != 3 || metas != 2 {
+		t.Fatalf("slices=%d metas=%d, want 3 and 2", slices, metas)
+	}
+	if evs[2].Name != "t0 := P.x*P.y" || evs[2].TS != 0 || evs[2].Dur != 3 {
+		t.Fatalf("first slice mangled: %+v", evs[2])
+	}
+}
+
+func TestSpanUsesClock(t *testing.T) {
+	r := NewRecorder()
+	now := int64(100)
+	r.SetClock(func() int64 { return now })
+	sp := r.StartSpan(0, "schedule", "core")
+	now = 350
+	sp.End(map[string]any{"ops": 28})
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	ev := evs[0]
+	if ev.Phase != PhaseComplete || ev.TS != 100 || ev.Dur != 250 {
+		t.Fatalf("span event = %+v, want ts=100 dur=250", ev)
+	}
+}
+
+func TestWriteTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRecorder().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("empty recorder produced %d events", len(evs))
+	}
+}

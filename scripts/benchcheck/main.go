@@ -1,0 +1,88 @@
+// Command benchcheck validates a fourq-bench -json report. It is the CI
+// smoke test for the machine-readable benchmark output: it asserts the
+// document parses, carries the expected schema, and that the latency
+// experiment recorded a real RTL run (positive cycle count, per-unit
+// utilization, and forwarding/elision counters).
+//
+//	go run ./cmd/fourq-bench -exp latency -json /tmp/bench.json
+//	go run ./scripts/benchcheck /tmp/bench.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck <bench.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+	if err := check(data); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: ok")
+}
+
+// report mirrors the subset of the fourq-bench/v1 schema the check
+// inspects.
+type report struct {
+	Schema      string `json:"schema"`
+	Experiments map[string]struct {
+		RTLStats *rtlStats `json:"rtl_stats"`
+	} `json:"experiments"`
+}
+
+type rtlStats struct {
+	Cycles         int     `json:"cycles"`
+	MulUtilization float64 `json:"mul_utilization"`
+	AddUtilization float64 `json:"add_utilization"`
+	ForwardedReads *int    `json:"forwarded_reads"`
+	ElidedWrites   *int    `json:"elided_writes"`
+}
+
+func check(data []byte) error {
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if r.Schema != "fourq-bench/v1" {
+		return fmt.Errorf("schema = %q, want fourq-bench/v1", r.Schema)
+	}
+	if len(r.Experiments) == 0 {
+		return fmt.Errorf("no experiments in report")
+	}
+	st := (*rtlStats)(nil)
+	for _, e := range r.Experiments {
+		if e.RTLStats != nil {
+			st = e.RTLStats
+			break
+		}
+	}
+	if st == nil {
+		return fmt.Errorf("no experiment carries rtl_stats (run -exp latency or -exp profile)")
+	}
+	if st.Cycles <= 0 {
+		return fmt.Errorf("rtl_stats.cycles = %d, want > 0", st.Cycles)
+	}
+	if st.MulUtilization <= 0 || st.MulUtilization > 1 {
+		return fmt.Errorf("rtl_stats.mul_utilization = %v, want in (0, 1]", st.MulUtilization)
+	}
+	if st.AddUtilization <= 0 || st.AddUtilization > 1 {
+		return fmt.Errorf("rtl_stats.add_utilization = %v, want in (0, 1]", st.AddUtilization)
+	}
+	if st.ForwardedReads == nil {
+		return fmt.Errorf("rtl_stats.forwarded_reads missing")
+	}
+	if st.ElidedWrites == nil {
+		return fmt.Errorf("rtl_stats.elided_writes missing")
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodReport = `{
+  "schema": "fourq-bench/v1",
+  "experiments": {
+    "latency": {
+      "cycles_functional": 3940,
+      "rtl_stats": {
+        "cycles": 3940,
+        "mul_utilization": 0.657,
+        "add_utilization": 0.526,
+        "forwarded_reads": 3393,
+        "elided_writes": 0
+      }
+    }
+  }
+}`
+
+func TestCheckGood(t *testing.T) {
+	if err := check([]byte(goodReport)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"garbage", "{not json", "parse"},
+		{"wrong schema", `{"schema":"v0","experiments":{}}`, "schema"},
+		{"no experiments", `{"schema":"fourq-bench/v1","experiments":{}}`, "no experiments"},
+		{"no rtl stats", `{"schema":"fourq-bench/v1","experiments":{"table1":{"makespan":23}}}`, "rtl_stats"},
+		{"zero cycles", strings.Replace(goodReport, `"cycles": 3940`, `"cycles": 0`, 1), "cycles"},
+		{"bad mul util", strings.Replace(goodReport, `"mul_utilization": 0.657`, `"mul_utilization": 0`, 1), "mul_utilization"},
+		{"bad add util", strings.Replace(goodReport, `"add_utilization": 0.526`, `"add_utilization": 1.5`, 1), "add_utilization"},
+		{"missing forwarded", strings.Replace(goodReport, `"forwarded_reads": 3393,`, ``, 1), "forwarded_reads"},
+		{"missing elided", strings.Replace(goodReport, `"elided_writes": 0`, `"unrelated": 0`, 1), "elided_writes"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := check([]byte(c.doc))
+			if err == nil {
+				t.Fatalf("check accepted %s", c.name)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
