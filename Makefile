@@ -1,11 +1,15 @@
 # Build/test/CI entry points. `make ci` is what the smoke pipeline runs:
-# vet + build + race-enabled tests, then an end-to-end check that
-# fourq-bench's machine-readable output carries real RTL statistics.
+# vet + build + race-enabled tests, a short-budget fuzz pass over the
+# arithmetic and recoding differential fuzzers, then an end-to-end check
+# that fourq-bench's machine-readable output carries real RTL statistics
+# and a healthy batch-engine throughput experiment.
 
 GO ?= go
 BENCH_JSON ?= /tmp/bench.json
+THROUGHPUT_JSON ?= /tmp/throughput.json
+FUZZTIME ?= 5s
 
-.PHONY: all build test vet race ci smoke clean
+.PHONY: all build test vet race fuzz-smoke ci smoke clean
 
 all: build
 
@@ -21,12 +25,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Short-budget fuzz smoke: one representative differential fuzzer per
+# package (go's -fuzz accepts a single target per run). Seed corpora in
+# testdata/fuzz/ run on every plain `go test`; this adds a few seconds
+# of coverage-guided input generation on top.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzArithVsBig$$' -fuzztime=$(FUZZTIME) ./internal/fp
+	$(GO) test -run='^$$' -fuzz='^FuzzMulVsBig$$' -fuzztime=$(FUZZTIME) ./internal/fp2
+	$(GO) test -run='^$$' -fuzz='^FuzzDecomposeRecodeRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/scalar
+
 smoke: build
 	$(GO) run ./cmd/fourq-bench -exp latency -json $(BENCH_JSON)
 	$(GO) run ./scripts/benchcheck $(BENCH_JSON)
+	$(GO) run ./cmd/fourq-bench -exp throughput -json $(THROUGHPUT_JSON)
+	$(GO) run ./scripts/benchcheck $(THROUGHPUT_JSON)
 
-ci: vet build race smoke
+ci: vet build race fuzz-smoke smoke
 
 clean:
 	$(GO) clean ./...
-	rm -f $(BENCH_JSON)
+	rm -f $(BENCH_JSON) $(THROUGHPUT_JSON)

@@ -8,7 +8,12 @@
 //	fourq-bench -exp table2    # E5: comparison to prior art
 //	fourq-bench -exp fig3      # E6: area breakdown
 //	fourq-bench -exp ablation  # E7: scheduler ablation
+//	fourq-bench -exp throughput# E8: batch-engine SM/s vs worker count
 //	fourq-bench -exp all       # everything
+//
+// A failing experiment in a multi-experiment run no longer aborts the
+// rest: remaining experiments execute, the JSON report records the
+// failure under "errors", and the process exits non-zero.
 //
 // Observability flags (see docs/OBSERVABILITY.md):
 //
@@ -28,6 +33,7 @@
 package main
 
 import (
+	"errors"
 	_ "expvar"
 	"flag"
 	"fmt"
@@ -43,7 +49,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: profile|table1|latency|fig4|table2|fig3|ablation|pareto|all")
+	exp := flag.String("exp", "all", "experiment: profile|table1|latency|throughput|fig4|table2|fig3|ablation|pareto|all")
 	full := flag.Bool("full", false, "include full-trace scheduler ablation (slow)")
 	jsonPath := flag.String("json", "", "write executed experiments' results as structured JSON to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event timeline of one scalar multiplication to this file")
@@ -95,40 +101,50 @@ func (b *bench) processor() (*core.Processor, error) {
 // the same schedule; a fixed one keeps the timeline reproducible).
 var traceScalar = scalar.Scalar{0x9E3779B97F4A7C15, 0xD1B54A32D192ED03, 0x2545F4914F6CDD1D, 0x27220A95FE9D3E8F}
 
+// step is one runnable experiment.
+type step struct {
+	name string
+	f    func() error
+}
+
 func run(exp string, full bool, jsonPath, tracePath string) error {
 	b := &bench{full: full, rep: newReport()}
-
-	ran := 0
-	do := func(name string, f func() error) error {
-		if exp != "all" && exp != name {
-			return nil
-		}
-		ran++
-		fmt.Printf("==== %s ====\n", name)
-		if err := f(); err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		fmt.Println()
-		return nil
-	}
-
-	steps := []struct {
-		name string
-		f    func() error
-	}{
+	steps := []step{
 		{"profile", b.profile},
 		{"table1", b.table1},
 		{"latency", b.latency},
+		{"throughput", b.throughput},
 		{"fig4", b.fig4},
 		{"table2", b.table2},
 		{"fig3", b.fig3},
 		{"ablation", b.ablation},
 		{"pareto", b.pareto},
 	}
+	return execute(b, steps, exp, jsonPath, tracePath)
+}
+
+// execute runs the selected experiments. A failing experiment no longer
+// aborts the run: the remaining experiments still execute and the JSON
+// report is still written (carrying the failure under "errors", so a
+// partial document is distinguishable from a clean one), but the
+// accumulated error is returned so the process exits non-zero.
+func execute(b *bench, steps []step, exp, jsonPath, tracePath string) error {
+	ran := 0
+	var errs []error
 	for _, s := range steps {
-		if err := do(s.name, s.f); err != nil {
-			return err
+		if exp != "all" && exp != s.name {
+			continue
 		}
+		ran++
+		fmt.Printf("==== %s ====\n", s.name)
+		if err := s.f(); err != nil {
+			err = fmt.Errorf("%s: %w", s.name, err)
+			fmt.Fprintln(os.Stderr, "fourq-bench:", err)
+			b.rep.fail(s.name, err)
+			errs = append(errs, err)
+			continue
+		}
+		fmt.Println()
 	}
 	if ran == 0 {
 		names := make([]string, len(steps))
@@ -139,40 +155,49 @@ func run(exp string, full bool, jsonPath, tracePath string) error {
 	}
 
 	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			return err
+		if err := writeRunTrace(b, tracePath); err != nil {
+			errs = append(errs, fmt.Errorf("trace: %w", err))
 		}
-		p, err := b.processor()
-		if err != nil {
-			f.Close()
-			return err
-		}
-		st, err := p.TraceScalarMult(traceScalar, f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fmt.Errorf("trace: %w", err)
-		}
-		fmt.Printf("wrote Chrome trace_event timeline (%d cycles, %d slices) to %s\n",
-			st.Cycles, st.MulIssues+st.AddIssues, tracePath)
 	}
 
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)
+		if err == nil {
+			err = b.rep.write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
 		if err != nil {
-			return err
+			errs = append(errs, fmt.Errorf("json: %w", err))
+		} else {
+			fmt.Printf("wrote structured results to %s\n", jsonPath)
 		}
-		err = b.rep.write(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fmt.Errorf("json: %w", err)
-		}
-		fmt.Printf("wrote structured results to %s\n", jsonPath)
 	}
+	return errors.Join(errs...)
+}
+
+// writeRunTrace executes one scalar multiplication under the telemetry
+// observer and writes its cycle-level timeline.
+func writeRunTrace(b *bench, tracePath string) error {
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	p, err := b.processor()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	st, err := p.TraceScalarMult(traceScalar, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote Chrome trace_event timeline (%d cycles, %d slices) to %s\n",
+		st.Cycles, st.MulIssues+st.AddIssues, tracePath)
 	return nil
 }
 

@@ -14,6 +14,11 @@ import (
 type report struct {
 	Schema      string         `json:"schema"`
 	Experiments map[string]any `json:"experiments"`
+	// Errors records experiments that failed mid-run, keyed by -exp
+	// name. Consumers (scripts/benchcheck) treat a non-empty map as a
+	// failed run even though the document itself parses: a partial
+	// report must never masquerade as a clean one.
+	Errors map[string]string `json:"errors,omitempty"`
 }
 
 func newReport() *report {
@@ -22,6 +27,13 @@ func newReport() *report {
 
 func (r *report) add(name string, v any) {
 	r.Experiments[name] = v
+}
+
+func (r *report) fail(name string, err error) {
+	if r.Errors == nil {
+		r.Errors = map[string]string{}
+	}
+	r.Errors[name] = err.Error()
 }
 
 func (r *report) write(w io.Writer) error {

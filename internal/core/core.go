@@ -85,11 +85,7 @@ func New(cfg Config) (*Processor, error) {
 		cfg.Resources = sched.DefaultResources()
 	}
 	if cfg.TraceScalar.IsZero() {
-		// Any fixed scalar with all four sub-scalars active.
-		cfg.TraceScalar = scalar.Scalar{
-			0x243F6A8885A308D3, 0x13198A2E03707344,
-			0xA4093822299F31D0, 0x082EFA98EC4E6C89,
-		}
+		cfg.TraceScalar = DefaultTraceScalar()
 	}
 	p := &Processor{cfg: cfg}
 

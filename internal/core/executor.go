@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/curve"
+	"repro/internal/rtl"
+	"repro/internal/scalar"
+	"repro/internal/sched"
+)
+
+// DefaultTraceScalar is the scalar used to seed trace recording when
+// Config.TraceScalar is zero: any fixed scalar with all four sub-scalars
+// active (the program is scalar-independent, a fixed default keeps
+// builds deterministic).
+func DefaultTraceScalar() scalar.Scalar {
+	return scalar.Scalar{
+		0x243F6A8885A308D3, 0x13198A2E03707344,
+		0xA4093822299F31D0, 0x082EFA98EC4E6C89,
+	}
+}
+
+// ConfigKey is the comparable identity of a Config: two Configs with the
+// same key build byte-identical processors, so caches (internal/engine)
+// can share one built instance between them. Incidental fields that do
+// not influence the built program — the telemetry recorder and the
+// scheduler progress callback — are deliberately excluded.
+type ConfigKey struct {
+	Resources   sched.Resources
+	Method      sched.Method
+	AnnealIters int
+	BnBBudget   int64
+	BlockSize   int
+	SchedSeed   int64
+	Elide       bool
+	TraceScalar scalar.Scalar
+}
+
+// CacheKey derives the comparable cache identity of c, normalizing the
+// defaulted fields so that Config{} and an explicitly spelled-out
+// default configuration map to the same key.
+func (c Config) CacheKey() ConfigKey {
+	res := c.Resources
+	if res == (sched.Resources{}) {
+		res = sched.DefaultResources()
+	}
+	ts := c.TraceScalar
+	if ts.IsZero() {
+		ts = DefaultTraceScalar()
+	}
+	return ConfigKey{
+		Resources:   res,
+		Method:      c.Sched.Method,
+		AnnealIters: c.Sched.AnnealIters,
+		BnBBudget:   c.Sched.BnBBudget,
+		BlockSize:   c.Sched.BlockSize,
+		SchedSeed:   c.Sched.Seed,
+		Elide:       c.Sched.ElideWritebacks,
+		TraceScalar: ts,
+	}
+}
+
+// Executor is a per-worker handle for running scalar multiplications on
+// a shared Processor. The processor's scheduled program is immutable
+// after New and rtl.Run builds a fresh machine per call, so any number
+// of Executors may run concurrently over one Processor without locking
+// the datapath model; each worker of a pool owns exactly one Executor
+// and its (unsynchronized) aggregate run statistics.
+type Executor struct {
+	p      *Processor
+	runs   int
+	cycles int64
+}
+
+// NewExecutor returns an independent executor over p.
+func (p *Processor) NewExecutor() *Executor { return &Executor{p: p} }
+
+// Runs returns the number of scalar multiplications this executor has
+// completed successfully.
+func (e *Executor) Runs() int { return e.runs }
+
+// Cycles returns the total modeled datapath cycles this executor has
+// executed.
+func (e *Executor) Cycles() int64 { return e.cycles }
+
+// ScalarMult executes [k]G bit-true on the RTL model.
+func (e *Executor) ScalarMult(k scalar.Scalar) (curve.Affine, rtl.Stats, error) {
+	return e.ScalarMultPoint(k, curve.GeneratorAffine())
+}
+
+// ScalarMultPoint executes [k]P on the RTL model.
+func (e *Executor) ScalarMultPoint(k scalar.Scalar, base curve.Affine) (curve.Affine, rtl.Stats, error) {
+	out, st, err := e.p.ScalarMultPoint(k, base)
+	if err != nil {
+		return out, st, err
+	}
+	e.runs++
+	e.cycles += int64(st.Cycles)
+	return out, st, nil
+}
+
+// ScalarMultChecked executes [k]P on the RTL model and cross-checks the
+// result against the pure functional curve model (the differential
+// oracle): a datapath divergence is returned as an error, never as a
+// wrong point.
+func (e *Executor) ScalarMultChecked(k scalar.Scalar, base curve.Affine) (curve.Affine, rtl.Stats, error) {
+	out, st, err := e.ScalarMultPoint(k, base)
+	if err != nil {
+		return out, st, err
+	}
+	want := curve.ScalarMult(k, curve.FromAffine(base)).Affine()
+	if !out.X.Equal(want.X) || !out.Y.Equal(want.Y) {
+		return out, st, fmt.Errorf("core: RTL result differs from functional model for k=%v", k)
+	}
+	return out, st, nil
+}

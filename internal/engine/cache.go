@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// The processor cache: building a core.Processor means recording two
+// scalar-multiplication traces and solving two job-shop scheduling
+// instances — tens of milliseconds at best, minutes with the exact
+// solver — while the built artifact is immutable and safely shared by
+// any number of concurrent executors. So processors are built once per
+// distinct core.ConfigKey and shared by every engine (and every caller
+// of CachedProcessor) in the process.
+var procCache = struct {
+	sync.Mutex
+	m map[core.ConfigKey]*cacheEntry
+}{m: map[core.ConfigKey]*cacheEntry{}}
+
+type cacheEntry struct {
+	once sync.Once
+	p    *core.Processor
+	err  error
+}
+
+// CachedProcessor returns the shared processor for cfg, building it on
+// first use. Concurrent callers with the same configuration coalesce
+// onto a single build (duplicate-suppression, not just memoization);
+// callers with different configurations build in parallel. A failed
+// build is cached too: retrying a configuration that cannot schedule
+// returns the same error without re-solving.
+//
+// Note the cache key deliberately ignores cfg.Telemetry and
+// cfg.Sched.Progress (see core.Config.CacheKey): only the first builder
+// of a configuration gets its observability hooks invoked.
+func CachedProcessor(cfg core.Config) (*core.Processor, error) {
+	key := cfg.CacheKey()
+	procCache.Lock()
+	ent, ok := procCache.m[key]
+	if !ok {
+		ent = &cacheEntry{}
+		procCache.m[key] = ent
+	}
+	procCache.Unlock()
+	ent.once.Do(func() {
+		ent.p, ent.err = core.New(cfg)
+	})
+	return ent.p, ent.err
+}
+
+// CacheSize reports the number of distinct configurations cached (built
+// or building). Exposed for tests and capacity accounting.
+func CacheSize() int {
+	procCache.Lock()
+	defer procCache.Unlock()
+	return len(procCache.m)
+}

@@ -1,0 +1,326 @@
+// Package engine is the serving layer over the modeled cryptoprocessor:
+// a concurrent batch scalar-multiplication service. One Engine owns a
+// pool of workers, each with an independent core.Executor over a shared
+// (immutable, cache-deduplicated) core.Processor, so many scalar
+// multiplications proceed in parallel without locking the datapath
+// model. Requests enter through Submit / SubmitBatch against a bounded
+// queue: when the queue is full the engine rejects with ErrQueueFull
+// (backpressure) instead of growing without bound, and a caller's
+// context cancellation abandons work that has not yet been claimed by a
+// worker.
+//
+// Every engine reports into an internal/telemetry Registry (queue depth
+// and in-flight gauges, submitted/completed/canceled/rejected counters,
+// an end-to-end latency histogram), and the counters reconcile exactly:
+// after the engine drains, submitted == completed + canceled.
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/rtl"
+	"repro/internal/scalar"
+	"repro/internal/telemetry"
+)
+
+var (
+	// ErrClosed is returned by submissions to a closed engine.
+	ErrClosed = errors.New("engine: closed")
+	// ErrQueueFull is the backpressure signal: the bounded queue cannot
+	// take the submission. Callers should retry later or shed load.
+	ErrQueueFull = errors.New("engine: queue full")
+)
+
+// Options sizes an Engine.
+type Options struct {
+	// Workers is the worker-pool size; each worker owns an independent
+	// RTL executor. Defaults to GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of accepted-but-unclaimed requests.
+	// Submissions beyond it fail fast with ErrQueueFull. Defaults to
+	// 4 * Workers.
+	QueueDepth int
+	// Registry receives the engine's metrics (a fresh registry is
+	// created when nil). Metric names are listed in docs/ENGINE.md.
+	Registry *telemetry.Registry
+	// Verify cross-checks every result against the pure functional
+	// curve model (the differential oracle). Roughly doubles the cost
+	// of a request; meant for soak tests and acceptance runs.
+	Verify bool
+}
+
+// Request is one scalar multiplication [K]Base. The zero-value Base
+// (which is not a curve point) selects the generator.
+type Request struct {
+	K    scalar.Scalar
+	Base curve.Affine
+}
+
+// Result carries the affine product and the datapath statistics of the
+// run that produced it. Err is set when the RTL model faulted or, under
+// Options.Verify, when the result failed the functional-model oracle.
+type Result struct {
+	Point curve.Affine
+	Stats rtl.Stats
+	Err   error
+}
+
+// Job lifecycle: a submitted job is pending until either a worker claims
+// it (then exactly one Result is delivered on done) or the submitter
+// cancels it (then nothing is ever sent on done).
+const (
+	jobPending int32 = iota
+	jobClaimed
+	jobCanceled
+)
+
+type job struct {
+	req   Request
+	state atomic.Int32
+	done  chan Result // buffered 1; sent exactly once iff claimed
+	enq   time.Time
+}
+
+// Engine is a concurrent batch scalar-multiplication service. Create
+// with New or NewWithProcessor; all methods are safe for concurrent use.
+type Engine struct {
+	proc *core.Processor
+	opts Options
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*job
+	closed bool
+
+	wg sync.WaitGroup
+
+	submitted *telemetry.Counter
+	completed *telemetry.Counter
+	failed    *telemetry.Counter
+	rejected  *telemetry.Counter
+	canceled  *telemetry.Counter
+	depth     *telemetry.Gauge
+	inFlight  *telemetry.Gauge
+	latency   *telemetry.Histogram
+}
+
+// New builds (or fetches from the process-wide cache — see
+// CachedProcessor) the processor for cfg and starts an engine over it.
+func New(cfg core.Config, opts Options) (*Engine, error) {
+	p, err := CachedProcessor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithProcessor(p, opts), nil
+}
+
+// NewWithProcessor starts an engine over an already-built processor.
+func NewWithProcessor(p *core.Processor, opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 4 * opts.Workers
+	}
+	if opts.Registry == nil {
+		opts.Registry = telemetry.NewRegistry()
+	}
+	reg := opts.Registry
+	e := &Engine{
+		proc:      p,
+		opts:      opts,
+		submitted: reg.Counter("engine.submitted"),
+		completed: reg.Counter("engine.completed"),
+		failed:    reg.Counter("engine.failed"),
+		rejected:  reg.Counter("engine.rejected"),
+		canceled:  reg.Counter("engine.canceled"),
+		depth:     reg.Gauge("engine.queue_depth"),
+		inFlight:  reg.Gauge("engine.in_flight"),
+		latency: reg.Histogram("engine.latency_seconds",
+			0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	for i := 0; i < opts.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker(p.NewExecutor())
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Processor returns the shared processor instance the engine runs on.
+func (e *Engine) Processor() *core.Processor { return e.proc }
+
+// Metrics returns the registry the engine reports into.
+func (e *Engine) Metrics() *telemetry.Registry { return e.opts.Registry }
+
+// Submit enqueues one request and waits for its result. It fails fast
+// with ErrQueueFull when the bounded queue cannot take the request and
+// with ErrClosed after Close. If ctx is done before a worker claims the
+// request, the request is abandoned and ctx.Err() returned; if a worker
+// has already claimed it, Submit delivers that worker's result (the
+// datapath run is milliseconds — results are never silently dropped).
+func (e *Engine) Submit(ctx context.Context, req Request) (Result, error) {
+	js, err := e.enqueue(ctx, req)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.await(ctx, js[0])
+}
+
+// SubmitBatch enqueues all requests as one unit — either the whole
+// batch is accepted or none of it is (an over-full queue rejects with
+// ErrQueueFull without partial enqueue) — then waits for every result.
+// The returned slice always has len(reqs) entries on acceptance;
+// per-request failures are carried in Result.Err, and the returned
+// error is the first of them (or ctx.Err() if the batch was cut short).
+func (e *Engine) SubmitBatch(ctx context.Context, reqs []Request) ([]Result, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	js, err := e.enqueue(ctx, reqs...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(js))
+	var firstErr error
+	for i, j := range js {
+		r, err := e.await(ctx, j)
+		if err != nil && r.Err == nil {
+			r.Err = err
+		}
+		out[i] = r
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return out, firstErr
+}
+
+// ScalarMult is a convenience Submit of [k]G.
+func (e *Engine) ScalarMult(ctx context.Context, k scalar.Scalar) (curve.Affine, error) {
+	r, err := e.Submit(ctx, Request{K: k})
+	return r.Point, err
+}
+
+// ScalarMultAffine submits [k]Base and returns the affine result. It is
+// the schnorrq.ScalarMulter backend, letting signature schemes route
+// their curve operations through the engine.
+func (e *Engine) ScalarMultAffine(ctx context.Context, k scalar.Scalar, base curve.Affine) (curve.Affine, error) {
+	r, err := e.Submit(ctx, Request{K: k, Base: base})
+	return r.Point, err
+}
+
+// Close stops accepting submissions, lets the workers drain the queue,
+// and waits for them to exit. Safe to call more than once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// enqueue atomically appends all reqs to the bounded queue. A context
+// that is already done never enqueues (deterministic: the datapath will
+// not run for a caller that has left); such requests touch no counter,
+// so the telemetry invariant submitted == completed + canceled is over
+// accepted requests only.
+func (e *Engine) enqueue(ctx context.Context, reqs ...Request) ([]*job, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	js := make([]*job, len(reqs))
+	for i, r := range reqs {
+		js[i] = &job{req: r, done: make(chan Result, 1), enq: now}
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(e.queue)+len(js) > e.opts.QueueDepth {
+		e.mu.Unlock()
+		e.rejected.Add(int64(len(js)))
+		return nil, ErrQueueFull
+	}
+	e.queue = append(e.queue, js...)
+	e.depth.Set(float64(len(e.queue)))
+	if len(js) == 1 {
+		e.cond.Signal()
+	} else {
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+	e.submitted.Add(int64(len(js)))
+	return js, nil
+}
+
+// await blocks until j resolves: a worker's result, or cancellation
+// while still pending.
+func (e *Engine) await(ctx context.Context, j *job) (Result, error) {
+	select {
+	case r := <-j.done:
+		return r, r.Err
+	case <-ctx.Done():
+		if j.state.CompareAndSwap(jobPending, jobCanceled) {
+			e.canceled.Inc()
+			return Result{}, ctx.Err()
+		}
+		// A worker won the race: its result is already being computed
+		// and will arrive; deliver it rather than losing it.
+		r := <-j.done
+		return r, r.Err
+	}
+}
+
+// worker pops jobs and executes them on its own executor.
+func (e *Engine) worker(ex *core.Executor) {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		j := e.queue[0]
+		e.queue = e.queue[1:]
+		e.depth.Set(float64(len(e.queue)))
+		e.mu.Unlock()
+
+		if !j.state.CompareAndSwap(jobPending, jobClaimed) {
+			continue // canceled while queued; the canceler accounted for it
+		}
+		e.inFlight.Add(1)
+		base := j.req.Base
+		if base == (curve.Affine{}) {
+			base = curve.GeneratorAffine()
+		}
+		var r Result
+		if e.opts.Verify {
+			r.Point, r.Stats, r.Err = ex.ScalarMultChecked(j.req.K, base)
+		} else {
+			r.Point, r.Stats, r.Err = ex.ScalarMultPoint(j.req.K, base)
+		}
+		e.inFlight.Add(-1)
+		e.latency.Observe(time.Since(j.enq).Seconds())
+		if r.Err != nil {
+			e.failed.Inc()
+		}
+		e.completed.Inc()
+		j.done <- r
+	}
+}

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/curve"
+	"repro/internal/scalar"
+)
+
+// TestStressMixedSubmitBatchCancel is the engine's race-condition soak:
+// many goroutines submit mixed single and batch requests while some
+// cancel their contexts at random points, against a deliberately
+// under-provisioned queue. It asserts that
+//
+//   - every delivered result is the correct point for its own request
+//     (no crossed or duplicated deliveries),
+//   - every request resolves exactly once (success, rejection, or
+//     cancellation — nothing lost, nothing double-counted), and
+//   - the telemetry counters reconcile exactly with what the callers
+//     observed: submitted == completed + canceled, rejected matches,
+//     and the queue and in-flight gauges return to zero.
+//
+// Run under -race (make race / make ci does).
+func TestStressMixedSubmitBatchCancel(t *testing.T) {
+	e := NewWithProcessor(testProcessor(t), Options{Workers: 4, QueueDepth: 8})
+
+	const (
+		goroutines = 8
+		opsEach    = 6
+	)
+	type outcome struct {
+		ok, rejected, canceled, failed int
+	}
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		tot outcome
+		// delivered counts successful results per scalar seed, to catch
+		// duplicated or crossed deliveries.
+		delivered = map[uint64]int{}
+	)
+	record := func(o outcome) {
+		mu.Lock()
+		tot.ok += o.ok
+		tot.rejected += o.rejected
+		tot.canceled += o.canceled
+		tot.failed += o.failed
+		mu.Unlock()
+	}
+	checkResult := func(t *testing.T, seed uint64, p curve.Affine) {
+		k := scalar.Scalar{seed, seed ^ 0xA5A5, seed << 7, 1}
+		want := oracle(k, curve.Affine{})
+		if !p.X.Equal(want.X) || !p.Y.Equal(want.Y) {
+			t.Errorf("result for seed %d is not its own oracle point", seed)
+			return
+		}
+		mu.Lock()
+		delivered[seed]++
+		mu.Unlock()
+	}
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 7919))
+			var o outcome
+			for i := 0; i < opsEach; i++ {
+				seed := uint64(g*1000 + i + 1)
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if rng.Intn(3) == 0 { // a third of the ops race a cancellation
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(4))*time.Millisecond)
+				}
+				if rng.Intn(2) == 0 {
+					k := scalar.Scalar{seed, seed ^ 0xA5A5, seed << 7, 1}
+					r, err := e.Submit(ctx, Request{K: k})
+					switch {
+					case err == nil:
+						o.ok++
+						checkResult(t, seed, r.Point)
+					case errors.Is(err, ErrQueueFull):
+						o.rejected++
+					case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+						o.canceled++
+					default:
+						o.failed++
+						t.Errorf("goroutine %d submit: %v", g, err)
+					}
+				} else {
+					n := 2 + rng.Intn(3)
+					reqs := make([]Request, n)
+					seeds := make([]uint64, n)
+					for j := range reqs {
+						seeds[j] = seed*100 + uint64(j)
+						reqs[j].K = scalar.Scalar{seeds[j], seeds[j] ^ 0xA5A5, seeds[j] << 7, 1}
+					}
+					out, err := e.SubmitBatch(ctx, reqs)
+					if err != nil && !errors.Is(err, ErrQueueFull) &&
+						!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+						o.failed++
+						t.Errorf("goroutine %d batch: %v", g, err)
+					}
+					if errors.Is(err, ErrQueueFull) {
+						o.rejected += n
+					} else {
+						for j, r := range out {
+							switch {
+							case r.Err == nil:
+								o.ok++
+								checkResult(t, seeds[j], r.Point)
+							case errors.Is(r.Err, context.DeadlineExceeded) || errors.Is(r.Err, context.Canceled):
+								o.canceled++
+							default:
+								o.failed++
+								t.Errorf("goroutine %d batch entry %d: %v", g, j, r.Err)
+							}
+						}
+					}
+				}
+				if cancel != nil {
+					cancel()
+				}
+			}
+			record(o)
+		}(g)
+	}
+	wg.Wait()
+	e.Close() // drains the queue and stops the workers
+
+	if tot.failed != 0 {
+		t.Fatalf("%d requests failed outright", tot.failed)
+	}
+	for seed, n := range delivered {
+		if n != 1 {
+			t.Errorf("seed %d delivered %d times", seed, n)
+		}
+	}
+
+	snap := e.Metrics().Snapshot()
+	submitted := snap.Counters["engine.submitted"]
+	completed := snap.Counters["engine.completed"]
+	canceled := snap.Counters["engine.canceled"]
+	rejected := snap.Counters["engine.rejected"]
+
+	// Callers saw ok results only for completed-successful jobs; jobs a
+	// worker claimed despite the caller's context expiring still count
+	// as completed (the result is delivered, see Engine.await), so
+	// caller-observed ok <= completed and the exact reconciliation is
+	// against submitted.
+	if submitted != completed+canceled {
+		t.Errorf("counter leak: submitted %d != completed %d + canceled %d", submitted, completed, canceled)
+	}
+	if rejected != int64(tot.rejected) {
+		t.Errorf("engine.rejected = %d, callers observed %d", rejected, tot.rejected)
+	}
+	// Callers additionally observe cancellations that never enqueued (a
+	// context already done at submission touches no counter), so the
+	// engine's count is a lower bound of the caller-side count.
+	if canceled > int64(tot.canceled) {
+		t.Errorf("engine.canceled = %d > callers observed %d", canceled, tot.canceled)
+	}
+	if int64(tot.ok) > completed {
+		t.Errorf("callers observed %d ok results but engine completed only %d", tot.ok, completed)
+	}
+	if got := snap.Gauges["engine.queue_depth"]; got != 0 {
+		t.Errorf("queue depth after drain = %v", got)
+	}
+	if got := snap.Gauges["engine.in_flight"]; got != 0 {
+		t.Errorf("in-flight after drain = %v", got)
+	}
+	if snap.Counters["engine.failed"] != 0 {
+		t.Errorf("engine.failed = %d", snap.Counters["engine.failed"])
+	}
+	if lat := snap.Histograms["engine.latency_seconds"]; lat.Count != completed {
+		t.Errorf("latency histogram count %d != completed %d", lat.Count, completed)
+	}
+}

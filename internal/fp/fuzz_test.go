@@ -1,0 +1,110 @@
+package fp
+
+import (
+	"math/big"
+	"testing"
+)
+
+// elemFromLimbs reduces an arbitrary 128-bit pattern into the field the
+// same way the fuzzer's reference does, so the two domains agree on the
+// input before the operation under test runs.
+func elemFromLimbs(lo, hi uint64) Element { return SetLimbs(lo, hi) }
+
+func refFromLimbs(lo, hi uint64) *big.Int {
+	v := new(big.Int).SetUint64(hi)
+	v.Lsh(v, 64)
+	v.Or(v, new(big.Int).SetUint64(lo))
+	return v.Mod(v, bigP)
+}
+
+// FuzzArithVsBig differentially tests every field operation against
+// math/big on fuzz-chosen limb patterns: the Mersenne-folding tricks in
+// Add/Sub/Mul/Sqr and the addition-chain inversion must agree with the
+// schoolbook mod-p reference bit for bit.
+func FuzzArithVsBig(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(0), uint64(2), uint64(0))
+	f.Add(^uint64(0), uint64(0x7FFFFFFFFFFFFFFF), ^uint64(0), uint64(0x7FFFFFFFFFFFFFFF)) // p vs p
+	f.Add(^uint64(0), ^uint64(0), uint64(1), uint64(0))                                   // high bit folding
+	f.Add(uint64(0xFFFFFFFFFFFFFFFE), uint64(0x7FFFFFFFFFFFFFFF), uint64(1), uint64(0))   // p-1 + 1
+
+	f.Fuzz(func(t *testing.T, alo, ahi, blo, bhi uint64) {
+		a, b := elemFromLimbs(alo, ahi), elemFromLimbs(blo, bhi)
+		ra, rb := refFromLimbs(alo, ahi), refFromLimbs(blo, bhi)
+		if toBig(a).Cmp(ra) != 0 {
+			t.Fatalf("SetLimbs(%#x,%#x) = %v, reference %v", alo, ahi, a, ra)
+		}
+
+		check := func(name string, got Element, want *big.Int) {
+			t.Helper()
+			if toBig(got).Cmp(want) != 0 {
+				t.Fatalf("%s: got %v, reference %v (a=%v b=%v)", name, toBig(got), want, ra, rb)
+			}
+		}
+		mod := func(v *big.Int) *big.Int { return v.Mod(v, bigP) }
+
+		check("Add", Add(a, b), mod(new(big.Int).Add(ra, rb)))
+		check("Sub", Sub(a, b), mod(new(big.Int).Sub(ra, rb)))
+		check("Neg", Neg(a), mod(new(big.Int).Neg(ra)))
+		check("Double", Double(a), mod(new(big.Int).Lsh(ra, 1)))
+		check("Mul", Mul(a, b), mod(new(big.Int).Mul(ra, rb)))
+		check("Sqr", Sqr(a), mod(new(big.Int).Mul(ra, ra)))
+		check("MulSmall", MulSmall(a, blo), mod(new(big.Int).Mul(ra, new(big.Int).SetUint64(blo))))
+
+		if !a.IsZero() {
+			inv := Inv(a)
+			check("Inv", inv, new(big.Int).ModInverse(ra, bigP))
+			if !Mul(a, inv).IsOne() {
+				t.Fatalf("a * Inv(a) != 1 for a=%v", a)
+			}
+		} else if !Inv(a).IsZero() {
+			t.Fatal("Inv(0) must be 0")
+		}
+	})
+}
+
+// FuzzEncodingRoundTrip checks that FromBytes accepts exactly the
+// canonical encodings and that accepted encodings round-trip.
+func FuzzEncodingRoundTrip(f *testing.F) {
+	z := Zero().Bytes()
+	f.Add(z[:])
+	one := One().Bytes()
+	f.Add(one[:])
+	pm1 := Sub(Zero(), One()).Bytes()
+	f.Add(pm1[:])
+	bad := make([]byte, Size)
+	for i := range bad {
+		bad[i] = 0xFF
+	}
+	f.Add(bad) // 2^128-1: non-canonical, must be rejected
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := FromBytes(data)
+		if err != nil {
+			if len(data) == Size {
+				// The only in-length rejections are values >= p.
+				v := new(big.Int).SetBytes(reverse(data))
+				if v.Cmp(bigP) < 0 {
+					t.Fatalf("canonical encoding %x rejected: %v", data, err)
+				}
+			}
+			return
+		}
+		if v := toBig(e); v.Cmp(bigP) >= 0 {
+			t.Fatalf("accepted non-canonical value %v", v)
+		}
+		re := e.Bytes()
+		if string(re[:]) != string(data) {
+			t.Fatalf("round trip changed encoding: %x -> %x", data, re)
+		}
+	})
+}
+
+func reverse(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		out[len(b)-1-i] = v
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package fp2
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/fp"
+)
+
+// bigPair is the math/big reference of a GF(p^2) element: real and
+// imaginary parts as integers mod p.
+type bigPair struct{ a, b *big.Int }
+
+func toBigPair(e Element) bigPair {
+	lift := func(x fp.Element) *big.Int {
+		lo, hi := x.Limbs()
+		v := new(big.Int).SetUint64(hi)
+		v.Lsh(v, 64)
+		return v.Or(v, new(big.Int).SetUint64(lo))
+	}
+	return bigPair{a: lift(e.A), b: lift(e.B)}
+}
+
+func modP(v *big.Int) *big.Int { return v.Mod(v, bigP) }
+
+// mulRef computes (a0 + b0*i)(a1 + b1*i) mod p with i^2 = -1 in the
+// schoolbook reference domain.
+func mulRef(x, y bigPair) bigPair {
+	re := new(big.Int).Mul(x.a, y.a)
+	re.Sub(re, new(big.Int).Mul(x.b, y.b))
+	im := new(big.Int).Mul(x.a, y.b)
+	im.Add(im, new(big.Int).Mul(x.b, y.a))
+	return bigPair{a: modP(re), b: modP(im)}
+}
+
+func pairEqual(got Element, want bigPair) bool {
+	g := toBigPair(got)
+	return g.a.Cmp(want.a) == 0 && g.b.Cmp(want.b) == 0
+}
+
+// FuzzMulVsBig differentially tests the three multiplier
+// implementations — software Karatsuba (Mul), schoolbook
+// (MulSchoolbook), and the bit-exact datapath stage model (MulAlg2,
+// Algorithm 2's lazy-reduction pipeline, which the cycle-accurate RTL
+// executes) — against a math/big reference on fuzz-chosen elements.
+func FuzzMulVsBig(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(1), uint64(0), uint64(0), uint64(0))
+	f.Add(^uint64(0), uint64(0x7FFFFFFFFFFFFFFE), ^uint64(0), uint64(0x7FFFFFFFFFFFFFFE),
+		^uint64(0), uint64(0x7FFFFFFFFFFFFFFE), ^uint64(0), uint64(0x7FFFFFFFFFFFFFFE)) // (p-1) everywhere
+	f.Add(uint64(2), uint64(0), uint64(3), uint64(0), uint64(5), uint64(0), uint64(7), uint64(0))
+
+	f.Fuzz(func(t *testing.T, xalo, xahi, xblo, xbhi, yalo, yahi, yblo, ybhi uint64) {
+		x := New(fp.SetLimbs(xalo, xahi), fp.SetLimbs(xblo, xbhi))
+		y := New(fp.SetLimbs(yalo, yahi), fp.SetLimbs(yblo, ybhi))
+		rx, ry := toBigPair(x), toBigPair(y)
+		want := mulRef(rx, ry)
+
+		if got := Mul(x, y); !pairEqual(got, want) {
+			t.Fatalf("Mul(%v, %v) = %v, reference (%v, %v)", x, y, got, want.a, want.b)
+		}
+		if got := MulSchoolbook(x, y); !pairEqual(got, want) {
+			t.Fatalf("MulSchoolbook diverges from reference for %v * %v", x, y)
+		}
+		if got := MulAlg2(x, y); !pairEqual(got, want) {
+			t.Fatalf("MulAlg2 (datapath model) diverges from reference for %v * %v", x, y)
+		}
+		if got := Sqr(x); !pairEqual(got, mulRef(rx, rx)) {
+			t.Fatalf("Sqr diverges from reference for %v", x)
+		}
+
+		// Additive ops against the same reference domain.
+		sum := bigPair{a: modP(new(big.Int).Add(rx.a, ry.a)), b: modP(new(big.Int).Add(rx.b, ry.b))}
+		if got := Add(x, y); !pairEqual(got, sum) {
+			t.Fatalf("Add diverges from reference")
+		}
+		diff := bigPair{a: modP(new(big.Int).Sub(rx.a, ry.a)), b: modP(new(big.Int).Sub(rx.b, ry.b))}
+		if got := Sub(x, y); !pairEqual(got, diff) {
+			t.Fatalf("Sub diverges from reference")
+		}
+	})
+}
+
+// FuzzInvVsBig checks inversion (conjugate-over-norm with the GF(p)
+// addition-chain inverse inside) against a reference built from
+// math/big's ModInverse, plus the defining identity x * x^-1 == 1.
+func FuzzInvVsBig(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(0), uint64(0), uint64(1), uint64(0)) // i
+	f.Add(uint64(3), uint64(7), ^uint64(0), uint64(0x7FFFFFFFFFFFFFFE))
+
+	f.Fuzz(func(t *testing.T, alo, ahi, blo, bhi uint64) {
+		x := New(fp.SetLimbs(alo, ahi), fp.SetLimbs(blo, bhi))
+		inv := Inv(x)
+		if x.IsZero() {
+			if !inv.IsZero() {
+				t.Fatal("Inv(0) must be 0")
+			}
+			return
+		}
+		if got := Mul(x, inv); !got.IsOne() {
+			t.Fatalf("x * Inv(x) = %v, want 1 (x = %v)", got, x)
+		}
+		// Reference: (a - b*i) * (a^2 + b^2)^-1 mod p.
+		rx := toBigPair(x)
+		norm := new(big.Int).Mul(rx.a, rx.a)
+		norm.Add(norm, new(big.Int).Mul(rx.b, rx.b))
+		normInv := new(big.Int).ModInverse(modP(norm), bigP)
+		want := bigPair{
+			a: modP(new(big.Int).Mul(rx.a, normInv)),
+			b: modP(new(big.Int).Mul(new(big.Int).Neg(rx.b), normInv)),
+		}
+		if !pairEqual(inv, want) {
+			t.Fatalf("Inv(%v) diverges from reference", x)
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package scalar
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzDecomposeRecodeRoundTrip drives the decode-recode round-trip
+// invariant on fuzz-chosen scalars: decomposing k and applying the
+// GLV-SAC recoding must yield signed digit rows that reconstruct each
+// sub-scalar exactly — i.e. for every row j,
+//
+//	a_j == sum_i ReconstructDigit(j, i) * 2^i
+//
+// with a_1 = k_0 (+1 when the parity correction fired), and the digit
+// encoding must stay within its domain (sign in {+1,-1}, index < 8,
+// all-nonzero digits as GLV-SAC guarantees).
+func FuzzDecomposeRecodeRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(2), uint64(0), uint64(0), uint64(0)) // even: correction path
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0))
+	f.Add(uint64(0xDEADBEEF), uint64(1)<<63, uint64(42), uint64(7))
+
+	f.Fuzz(func(t *testing.T, k0, k1, k2, k3 uint64) {
+		k := Scalar{k0, k1, k2, k3}
+		d := Decompose(k)
+
+		// Decomposition contract: pass-through limbs with a1 forced odd.
+		if d.A[0]&1 == 0 {
+			t.Fatalf("a1 = %#x is even after Decompose", d.A[0])
+		}
+		wantA0 := k0
+		if d.Corrected {
+			if k0&1 != 0 {
+				t.Fatal("correction fired on an odd scalar")
+			}
+			wantA0 = k0 + 1
+		}
+		if d.A[0] != wantA0 || d.A[1] != k1 || d.A[2] != k2 || d.A[3] != k3 {
+			t.Fatalf("Decompose(%v) = %+v, want limbs (%#x,%#x,%#x,%#x)", k, d, wantA0, k1, k2, k3)
+		}
+
+		r := Recode(d)
+		for i := 0; i < Digits; i++ {
+			if r.Sign[i] != 1 && r.Sign[i] != -1 {
+				t.Fatalf("digit %d sign %d outside {+1,-1}: GLV-SAC digits are all-nonzero", i, r.Sign[i])
+			}
+			if r.Index[i] > 7 {
+				t.Fatalf("digit %d table index %d out of range", i, r.Index[i])
+			}
+		}
+		if r.Sign[Digits-1] != 1 {
+			t.Fatal("top digit must be positive (a1 is odd and positive)")
+		}
+
+		// Round trip: each digit row reconstructs its sub-scalar. Rows
+		// can transiently exceed 64 bits, so reconstruct in big.Int.
+		for j := 0; j < 4; j++ {
+			sum := new(big.Int)
+			bit := new(big.Int)
+			for i := 0; i < Digits; i++ {
+				c := r.ReconstructDigit(j, i)
+				if c == 0 {
+					continue
+				}
+				bit.SetInt64(c)
+				bit.Lsh(bit, uint(i))
+				sum.Add(sum, bit)
+			}
+			want := new(big.Int).SetUint64(d.A[j])
+			if sum.Cmp(want) != 0 {
+				t.Fatalf("row %d reconstructs to %v, want %#x (k=%v)", j, sum, d.A[j], k)
+			}
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package schnorrq
+
+import (
+	"context"
+	"crypto/rand"
+	"testing"
+)
+
+// TestSignWithMatchesSign pins the backend-routed signing path to the
+// plain software path: same key, same message, byte-identical signature.
+func TestSignWithMatchesSign(t *testing.T) {
+	k, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("engine-routed signing must be bit-compatible")
+	want := k.Sign(msg)
+	got, err := k.SignWith(context.Background(), FuncScalarMulter{}, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("SignWith = %x, Sign = %x", got[:16], want[:16])
+	}
+}
+
+func TestVerifyWith(t *testing.T) {
+	ctx := context.Background()
+	k, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("message under test")
+	sig := k.Sign(msg)
+
+	ok, err := VerifyWith(ctx, FuncScalarMulter{}, &k.Public, msg, sig[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("valid signature rejected by backend verification")
+	}
+	ok, err = VerifyWith(ctx, FuncScalarMulter{}, &k.Public, []byte("tampered"), sig[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("tampered message accepted by backend verification")
+	}
+	bad := sig
+	bad[0] ^= 1
+	if ok, _ := VerifyWith(ctx, FuncScalarMulter{}, &k.Public, msg, bad[:]); ok {
+		t.Fatal("corrupted signature accepted")
+	}
+	if ok, _ := VerifyWith(ctx, FuncScalarMulter{}, &k.Public, msg, sig[:10]); ok {
+		t.Fatal("truncated signature accepted")
+	}
+}

@@ -43,6 +43,20 @@ type Gauge struct {
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add atomically adds delta to the gauge (delta may be negative), making
+// a Gauge usable as an up/down counter — e.g. queue depth or in-flight
+// work tracked from many goroutines. Implemented as a CAS loop over the
+// float bits; concurrent Adds never lose updates.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the last stored value (0 if never set).
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 

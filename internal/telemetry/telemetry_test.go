@@ -44,6 +44,29 @@ func TestGauge(t *testing.T) {
 	}
 }
 
+func TestGaugeAddConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("depth")
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Up/down pattern: every +2 is followed by a -1, so the
+				// final value detects any lost CAS update.
+				g.Add(2)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge after concurrent adds = %v, want %d", got, workers*perWorker)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	reg := NewRegistry()
 	const workers, perWorker = 8, 5000

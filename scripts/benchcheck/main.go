@@ -1,8 +1,10 @@
 // Command benchcheck validates a fourq-bench -json report. It is the CI
 // smoke test for the machine-readable benchmark output: it asserts the
-// document parses, carries the expected schema, and that the latency
-// experiment recorded a real RTL run (positive cycle count, per-unit
-// utilization, and forwarding/elision counters).
+// document parses, carries the expected schema, records no failed
+// experiments, and that the latency experiment recorded a real RTL run
+// (positive cycle count, per-unit utilization, and forwarding/elision
+// counters). When the throughput experiment is present its points must
+// be internally consistent (positive rates, oracle-verified results).
 //
 //	go run ./cmd/fourq-bench -exp latency -json /tmp/bench.json
 //	go run ./scripts/benchcheck /tmp/bench.json
@@ -12,6 +14,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 )
 
 func main() {
@@ -32,12 +36,12 @@ func main() {
 }
 
 // report mirrors the subset of the fourq-bench/v1 schema the check
-// inspects.
+// inspects. Experiments stay raw so each known experiment can be decoded
+// into its own shape.
 type report struct {
-	Schema      string `json:"schema"`
-	Experiments map[string]struct {
-		RTLStats *rtlStats `json:"rtl_stats"`
-	} `json:"experiments"`
+	Schema      string                     `json:"schema"`
+	Experiments map[string]json.RawMessage `json:"experiments"`
+	Errors      map[string]string          `json:"errors"`
 }
 
 type rtlStats struct {
@@ -48,6 +52,19 @@ type rtlStats struct {
 	ElidedWrites   *int    `json:"elided_writes"`
 }
 
+type throughputExp struct {
+	NumCPU      int `json:"num_cpu"`
+	SMsPerPoint int `json:"sms_per_point"`
+	Points      []struct {
+		Workers  int     `json:"workers"`
+		SMs      int     `json:"sms"`
+		SMPerSec float64 `json:"sm_per_sec"`
+		Speedup  float64 `json:"speedup"`
+		OracleOK bool    `json:"oracle_ok"`
+	} `json:"points"`
+	VerifiedAll bool `json:"verified_all"`
+}
+
 func check(data []byte) error {
 	var r report
 	if err := json.Unmarshal(data, &r); err != nil {
@@ -56,33 +73,90 @@ func check(data []byte) error {
 	if r.Schema != "fourq-bench/v1" {
 		return fmt.Errorf("schema = %q, want fourq-bench/v1", r.Schema)
 	}
+	// A partial report must never pass: any recorded experiment failure
+	// fails the whole check, even though the document itself parses.
+	if len(r.Errors) > 0 {
+		names := make([]string, 0, len(r.Errors))
+		for name := range r.Errors {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("report records failed experiments: %s", strings.Join(names, ", "))
+	}
 	if len(r.Experiments) == 0 {
 		return fmt.Errorf("no experiments in report")
 	}
 	st := (*rtlStats)(nil)
-	for _, e := range r.Experiments {
-		if e.RTLStats != nil {
+	for _, raw := range r.Experiments {
+		var e struct {
+			RTLStats *rtlStats `json:"rtl_stats"`
+		}
+		if err := json.Unmarshal(raw, &e); err == nil && e.RTLStats != nil {
 			st = e.RTLStats
 			break
 		}
 	}
-	if st == nil {
+	if tp, ok := r.Experiments["throughput"]; ok {
+		if err := checkThroughput(tp); err != nil {
+			return err
+		}
+	} else if st == nil {
 		return fmt.Errorf("no experiment carries rtl_stats (run -exp latency or -exp profile)")
 	}
-	if st.Cycles <= 0 {
-		return fmt.Errorf("rtl_stats.cycles = %d, want > 0", st.Cycles)
+	if st != nil {
+		if st.Cycles <= 0 {
+			return fmt.Errorf("rtl_stats.cycles = %d, want > 0", st.Cycles)
+		}
+		if st.MulUtilization <= 0 || st.MulUtilization > 1 {
+			return fmt.Errorf("rtl_stats.mul_utilization = %v, want in (0, 1]", st.MulUtilization)
+		}
+		if st.AddUtilization <= 0 || st.AddUtilization > 1 {
+			return fmt.Errorf("rtl_stats.add_utilization = %v, want in (0, 1]", st.AddUtilization)
+		}
+		if st.ForwardedReads == nil {
+			return fmt.Errorf("rtl_stats.forwarded_reads missing")
+		}
+		if st.ElidedWrites == nil {
+			return fmt.Errorf("rtl_stats.elided_writes missing")
+		}
 	}
-	if st.MulUtilization <= 0 || st.MulUtilization > 1 {
-		return fmt.Errorf("rtl_stats.mul_utilization = %v, want in (0, 1]", st.MulUtilization)
+	return nil
+}
+
+// checkThroughput validates the batch-engine experiment: every point
+// must report a positive rate for a positive worker count, carry the
+// advertised number of scalar multiplications, and have passed the
+// functional-model oracle check.
+func checkThroughput(raw json.RawMessage) error {
+	var tp throughputExp
+	if err := json.Unmarshal(raw, &tp); err != nil {
+		return fmt.Errorf("throughput: parse: %w", err)
 	}
-	if st.AddUtilization <= 0 || st.AddUtilization > 1 {
-		return fmt.Errorf("rtl_stats.add_utilization = %v, want in (0, 1]", st.AddUtilization)
+	if len(tp.Points) == 0 {
+		return fmt.Errorf("throughput: no points")
 	}
-	if st.ForwardedReads == nil {
-		return fmt.Errorf("rtl_stats.forwarded_reads missing")
+	if tp.SMsPerPoint <= 0 {
+		return fmt.Errorf("throughput: sms_per_point = %d, want > 0", tp.SMsPerPoint)
 	}
-	if st.ElidedWrites == nil {
-		return fmt.Errorf("rtl_stats.elided_writes missing")
+	if !tp.VerifiedAll {
+		return fmt.Errorf("throughput: verified_all = false")
+	}
+	for i, p := range tp.Points {
+		if p.Workers < 1 {
+			return fmt.Errorf("throughput point %d: workers = %d, want >= 1", i, p.Workers)
+		}
+		if p.SMs != tp.SMsPerPoint {
+			return fmt.Errorf("throughput point %d: sms = %d, want %d", i, p.SMs, tp.SMsPerPoint)
+		}
+		if p.SMPerSec <= 0 {
+			return fmt.Errorf("throughput point %d: sm_per_sec = %v, want > 0", i, p.SMPerSec)
+		}
+		if p.Speedup <= 0 {
+			return fmt.Errorf("throughput point %d: speedup = %v, want > 0", i, p.Speedup)
+		}
+		if !p.OracleOK {
+			return fmt.Errorf("throughput point %d: oracle_ok = false", i)
+		}
 	}
 	return nil
 }

@@ -27,11 +27,47 @@ func TestCheckGood(t *testing.T) {
 	}
 }
 
+const goodThroughput = `{
+  "schema": "fourq-bench/v1",
+  "experiments": {
+    "throughput": {
+      "num_cpu": 4,
+      "sms_per_point": 24,
+      "points": [
+        {"workers": 1, "sms": 24, "sm_per_sec": 410.2, "speedup": 1, "oracle_ok": true},
+        {"workers": 4, "sms": 24, "sm_per_sec": 433.8, "speedup": 1.06, "oracle_ok": true}
+      ],
+      "verified_all": true
+    }
+  }
+}`
+
+func TestCheckThroughputGood(t *testing.T) {
+	if err := check([]byte(goodThroughput)); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCheckRejects(t *testing.T) {
 	cases := []struct {
 		name, doc, wantErr string
 	}{
 		{"garbage", "{not json", "parse"},
+		// Regression for the exit-code satellite: a report carrying an
+		// errors map is a partial run and must fail validation even when
+		// the successful experiments look healthy.
+		{"failed experiments", strings.Replace(goodReport, `"experiments"`,
+			`"errors": {"throughput": "synthetic failure"}, "experiments"`, 1), "failed experiments"},
+		{"throughput no points", strings.Replace(goodThroughput,
+			`"points": [
+        {"workers": 1, "sms": 24, "sm_per_sec": 410.2, "speedup": 1, "oracle_ok": true},
+        {"workers": 4, "sms": 24, "sm_per_sec": 433.8, "speedup": 1.06, "oracle_ok": true}
+      ]`, `"points": []`, 1), "no points"},
+		{"throughput zero rate", strings.Replace(goodThroughput, `"sm_per_sec": 433.8`, `"sm_per_sec": 0`, 1), "sm_per_sec"},
+		{"throughput bad workers", strings.Replace(goodThroughput, `"workers": 4`, `"workers": 0`, 1), "workers"},
+		{"throughput sms mismatch", strings.Replace(goodThroughput, `"workers": 4, "sms": 24`, `"workers": 4, "sms": 12`, 1), "sms"},
+		{"throughput oracle fail", strings.Replace(goodThroughput, `"speedup": 1.06, "oracle_ok": true`, `"speedup": 1.06, "oracle_ok": false`, 1), "oracle_ok"},
+		{"throughput unverified", strings.Replace(goodThroughput, `"verified_all": true`, `"verified_all": false`, 1), "verified_all"},
 		{"wrong schema", `{"schema":"v0","experiments":{}}`, "schema"},
 		{"no experiments", `{"schema":"fourq-bench/v1","experiments":{}}`, "no experiments"},
 		{"no rtl stats", `{"schema":"fourq-bench/v1","experiments":{"table1":{"makespan":23}}}`, "rtl_stats"},
