@@ -1,15 +1,19 @@
 # Build/test/CI entry points. `make ci` is what the smoke pipeline runs:
-# vet + build + race-enabled tests, a short-budget fuzz pass over the
-# arithmetic and recoding differential fuzzers, then an end-to-end check
-# that fourq-bench's machine-readable output carries real RTL statistics
-# and a healthy batch-engine throughput experiment.
+# vet + build + race-enabled tests (plus a dedicated -race pass over the
+# concurrency-heavy engine and fault packages with a higher -count, the
+# paths the robustness machinery exercises hardest), a short-budget fuzz
+# pass over the arithmetic and recoding differential fuzzers, then an
+# end-to-end check that fourq-bench's machine-readable output carries
+# real RTL statistics, a healthy batch-engine throughput experiment, and
+# a reconciled fault-injection campaign.
 
 GO ?= go
 BENCH_JSON ?= /tmp/bench.json
 THROUGHPUT_JSON ?= /tmp/throughput.json
+FAULTS_JSON ?= /tmp/faults.json
 FUZZTIME ?= 5s
 
-.PHONY: all build test vet race fuzz-smoke ci smoke clean
+.PHONY: all build test vet race race-robust fuzz-smoke ci smoke clean
 
 all: build
 
@@ -25,6 +29,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race hunt over the retry/quarantine/breaker machinery and the
+# fault injector: repeated runs shake out interleavings a single -race
+# pass can miss.
+race-robust:
+	$(GO) test -race -count=3 ./internal/engine ./internal/fault
+
 # Short-budget fuzz smoke: one representative differential fuzzer per
 # package (go's -fuzz accepts a single target per run). Seed corpora in
 # testdata/fuzz/ run on every plain `go test`; this adds a few seconds
@@ -39,9 +49,11 @@ smoke: build
 	$(GO) run ./scripts/benchcheck $(BENCH_JSON)
 	$(GO) run ./cmd/fourq-bench -exp throughput -json $(THROUGHPUT_JSON)
 	$(GO) run ./scripts/benchcheck $(THROUGHPUT_JSON)
+	$(GO) run ./cmd/fourq-bench -exp faults -json $(FAULTS_JSON)
+	$(GO) run ./scripts/benchcheck $(FAULTS_JSON)
 
-ci: vet build race fuzz-smoke smoke
+ci: vet build race race-robust fuzz-smoke smoke
 
 clean:
 	$(GO) clean ./...
-	rm -f $(BENCH_JSON) $(THROUGHPUT_JSON)
+	rm -f $(BENCH_JSON) $(THROUGHPUT_JSON) $(FAULTS_JSON)

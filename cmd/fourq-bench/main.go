@@ -9,6 +9,7 @@
 //	fourq-bench -exp fig3      # E6: area breakdown
 //	fourq-bench -exp ablation  # E7: scheduler ablation
 //	fourq-bench -exp throughput# E8: batch-engine SM/s vs worker count
+//	fourq-bench -exp faults    # E9: fault-injection detection coverage
 //	fourq-bench -exp all       # everything
 //
 // A failing experiment in a multi-experiment run no longer aborts the
@@ -49,7 +50,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: profile|table1|latency|throughput|fig4|table2|fig3|ablation|pareto|all")
+	exp := flag.String("exp", "all", "experiment: profile|table1|latency|throughput|fig4|table2|fig3|ablation|pareto|faults|all")
 	full := flag.Bool("full", false, "include full-trace scheduler ablation (slow)")
 	jsonPath := flag.String("json", "", "write executed experiments' results as structured JSON to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event timeline of one scalar multiplication to this file")
@@ -119,6 +120,7 @@ func run(exp string, full bool, jsonPath, tracePath string) error {
 		{"fig3", b.fig3},
 		{"ablation", b.ablation},
 		{"pareto", b.pareto},
+		{"faults", b.faults},
 	}
 	return execute(b, steps, exp, jsonPath, tracePath)
 }

@@ -203,12 +203,24 @@ func (p *Processor) ScalarMult(k scalar.Scalar) (curve.Affine, rtl.Stats, error)
 // ScalarMultPoint executes [k]P on the RTL model for an arbitrary base
 // point (the program is generic: the base point is an input).
 func (p *Processor) ScalarMultPoint(k scalar.Scalar, base curve.Affine) (curve.Affine, rtl.Stats, error) {
+	return p.ScalarMultPointInjected(k, base, nil)
+}
+
+// ScalarMultPointInjected executes [k]P with a fault injector attached
+// to the datapath model (see rtl.Injector and internal/fault). A nil
+// injector is the plain fault-free run. The returned error reports
+// structural hazards the corrupted run tripped; value corruption that
+// stays architecturally plausible is returned as a (possibly wrong)
+// point — classifying it is the caller's job (see ValidateAffine and
+// fault.Campaign).
+func (p *Processor) ScalarMultPointInjected(k scalar.Scalar, base curve.Affine, inj rtl.Injector) (curve.Affine, rtl.Stats, error) {
 	dec := scalar.Decompose(k)
 	rec := scalar.Recode(dec)
 	out, st, err := rtl.Run(p.funcProg, rtl.RunInput{
 		Inputs:    map[string]fp2.Element{"P.x": base.X, "P.y": base.Y},
 		Rec:       rec,
 		Corrected: dec.Corrected,
+		Injector:  inj,
 	})
 	if err != nil {
 		return curve.Affine{}, st, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/curve"
@@ -8,6 +9,72 @@ import (
 	"repro/internal/scalar"
 	"repro/internal/sched"
 )
+
+// Result-validation errors. ErrOffCurve and ErrDegenerate come from the
+// cheap structural checks (no recompute); ErrOracleMismatch from the
+// full functional-model recompute. All three mean the datapath produced
+// a wrong word — callers (internal/engine) treat them as detected
+// faults and retry or degrade rather than deliver the point.
+var (
+	// ErrOffCurve: the decoded result does not satisfy the curve
+	// equation. A random register upset almost never lands back on the
+	// curve, so this single check catches the bulk of silent datapath
+	// corruption at the cost of a few field multiplications.
+	ErrOffCurve = errors.New("core: result validation: point not on curve")
+	// ErrDegenerate: the result decoded to the all-zero word, the
+	// affine image of a Z=0 projective point (the final inversion of a
+	// zeroed denominator). (0,0) is not on the curve, but the distinct
+	// error preserves the root cause.
+	ErrDegenerate = errors.New("core: result validation: degenerate zero point (Z=0 image)")
+	// ErrOracleMismatch: the RTL result differs from the pure
+	// functional curve model.
+	ErrOracleMismatch = errors.New("core: RTL result differs from functional oracle")
+)
+
+// Validate selects the end-of-scalar-multiplication result checks. The
+// zero value is ValidateOnCurve: cheap structural validation is the
+// default, opting *out* of self-checking is explicit.
+type Validate uint8
+
+const (
+	// ValidateOnCurve runs the cheap structural checks: the decoded
+	// point is non-degenerate and on the curve. No recompute; cost is a
+	// handful of field multiplications against thousands of modeled
+	// cycles per run.
+	ValidateOnCurve Validate = iota
+	// ValidateNone delivers the raw datapath output unchecked.
+	ValidateNone
+	// ValidateOracle adds a full functional-model recompute (the
+	// differential oracle). Roughly doubles the cost of a run; catches
+	// even corruption that lands on a valid curve point.
+	ValidateOracle
+)
+
+// String names the validation level (used in reports and logs).
+func (v Validate) String() string {
+	switch v {
+	case ValidateOnCurve:
+		return "oncurve"
+	case ValidateNone:
+		return "none"
+	case ValidateOracle:
+		return "oracle"
+	}
+	return fmt.Sprintf("validate(%d)", uint8(v))
+}
+
+// ValidateAffine runs the cheap structural result checks on a decoded
+// scalar-multiplication output: the hardware analog is an end-of-SM
+// self-test that needs no second scalar multiplication.
+func ValidateAffine(a curve.Affine) error {
+	if a.X.IsZero() && a.Y.IsZero() {
+		return ErrDegenerate
+	}
+	if !a.IsOnCurveAffine() {
+		return ErrOffCurve
+	}
+	return nil
+}
 
 // DefaultTraceScalar is the scalar used to seed trace recording when
 // Config.TraceScalar is zero: any fixed scalar with all four sub-scalars
@@ -68,12 +135,18 @@ func (c Config) CacheKey() ConfigKey {
 // and its (unsynchronized) aggregate run statistics.
 type Executor struct {
 	p      *Processor
+	inj    rtl.Injector
 	runs   int
 	cycles int64
 }
 
 // NewExecutor returns an independent executor over p.
 func (p *Processor) NewExecutor() *Executor { return &Executor{p: p} }
+
+// SetInjector attaches a datapath fault injector to every subsequent
+// run of this executor (nil detaches). The injector is confined to this
+// executor's goroutine; the shared processor is never mutated.
+func (e *Executor) SetInjector(inj rtl.Injector) { e.inj = inj }
 
 // Runs returns the number of scalar multiplications this executor has
 // completed successfully.
@@ -90,7 +163,7 @@ func (e *Executor) ScalarMult(k scalar.Scalar) (curve.Affine, rtl.Stats, error) 
 
 // ScalarMultPoint executes [k]P on the RTL model.
 func (e *Executor) ScalarMultPoint(k scalar.Scalar, base curve.Affine) (curve.Affine, rtl.Stats, error) {
-	out, st, err := e.p.ScalarMultPoint(k, base)
+	out, st, err := e.p.ScalarMultPointInjected(k, base, e.inj)
 	if err != nil {
 		return out, st, err
 	}
@@ -99,18 +172,33 @@ func (e *Executor) ScalarMultPoint(k scalar.Scalar, base curve.Affine) (curve.Af
 	return out, st, nil
 }
 
-// ScalarMultChecked executes [k]P on the RTL model and cross-checks the
-// result against the pure functional curve model (the differential
-// oracle): a datapath divergence is returned as an error, never as a
-// wrong point.
-func (e *Executor) ScalarMultChecked(k scalar.Scalar, base curve.Affine) (curve.Affine, rtl.Stats, error) {
+// ScalarMultValidated executes [k]P on the RTL model and applies the
+// selected end-of-SM result checks. Validation failures come back as
+// wrapped ErrOffCurve / ErrDegenerate / ErrOracleMismatch errors (with
+// the raw point still returned for diagnosis); a structural hazard in
+// the run itself is returned unchanged.
+func (e *Executor) ScalarMultValidated(k scalar.Scalar, base curve.Affine, v Validate) (curve.Affine, rtl.Stats, error) {
 	out, st, err := e.ScalarMultPoint(k, base)
-	if err != nil {
+	if err != nil || v == ValidateNone {
 		return out, st, err
 	}
-	want := curve.ScalarMult(k, curve.FromAffine(base)).Affine()
-	if !out.X.Equal(want.X) || !out.Y.Equal(want.Y) {
-		return out, st, fmt.Errorf("core: RTL result differs from functional model for k=%v", k)
+	if err := ValidateAffine(out); err != nil {
+		return out, st, fmt.Errorf("%w (k=%v)", err, k)
+	}
+	if v == ValidateOracle {
+		want := curve.ScalarMult(k, curve.FromAffine(base)).Affine()
+		if !out.X.Equal(want.X) || !out.Y.Equal(want.Y) {
+			return out, st, fmt.Errorf("%w (k=%v)", ErrOracleMismatch, k)
+		}
 	}
 	return out, st, nil
+}
+
+// ScalarMultChecked executes [k]P on the RTL model and cross-checks the
+// result against the pure functional curve model (the differential
+// oracle): a datapath divergence is returned as an error (wrapping
+// ErrOracleMismatch or the structural checks' sentinels), never as a
+// wrong point.
+func (e *Executor) ScalarMultChecked(k scalar.Scalar, base curve.Affine) (curve.Affine, rtl.Stats, error) {
+	return e.ScalarMultValidated(k, base, ValidateOracle)
 }

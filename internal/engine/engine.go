@@ -13,6 +13,19 @@
 // and in-flight gauges, submitted/completed/canceled/rejected counters,
 // an end-to-end latency histogram), and the counters reconcile exactly:
 // after the engine drains, submitted == completed + canceled.
+//
+// The engine is self-checking and degrades gracefully when the modeled
+// datapath misbehaves (internal/fault can make it misbehave on demand).
+// Every RTL result passes end-of-run validation (Options.Validate,
+// on-curve by default); a rejected result is retried with exponential
+// backoff and seeded jitter (bounded by Options.MaxAttempts), a worker
+// that keeps producing detected faults is quarantined onto the software
+// path, and a circuit breaker trips the whole pool off the RTL path
+// when the recent detected-fault rate crosses a threshold. The last
+// rung of the ladder is a per-request software fallback, so an accepted
+// request is always answered, and always answered correctly — a sick
+// datapath costs throughput and Result.Backend provenance, never
+// answers. See docs/FAULTS.md for the full detection/degradation model.
 package engine
 
 import (
@@ -52,8 +65,67 @@ type Options struct {
 	Registry *telemetry.Registry
 	// Verify cross-checks every result against the pure functional
 	// curve model (the differential oracle). Roughly doubles the cost
-	// of a request; meant for soak tests and acceptance runs.
+	// of a request; meant for soak tests and acceptance runs. It is
+	// shorthand for Validate = core.ValidateOracle and wins over
+	// Validate when set.
 	Verify bool
+	// Validate selects the end-of-run check applied to every RTL
+	// result. The zero value is core.ValidateOnCurve: self-checking is
+	// the default, and core.ValidateNone must be asked for explicitly.
+	Validate core.Validate
+	// MaxAttempts bounds RTL tries per request (first try included)
+	// before the request falls back to the software backend. Default 3.
+	MaxAttempts int
+	// BackoffBase / BackoffMax shape the exponential backoff slept
+	// between RTL retries (base << attempt, capped at max, with seeded
+	// jitter). Defaults 200µs / 10ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BackoffSeed seeds the per-worker jitter streams; retry timing is
+	// deterministic per (seed, worker).
+	BackoffSeed int64
+	// Clock drives backoff sleeps and breaker cooldowns; tests inject a
+	// fake. Defaults to the real time.
+	Clock Clock
+	// QuarantineAfter permanently moves a worker onto the software
+	// backend after that many consecutive detected-fault runs (a worker
+	// whose datapath instance keeps lying is presumed defective, not
+	// unlucky). 0 defaults to 16; negative disables quarantine.
+	QuarantineAfter int
+	// BreakerWindow is the sliding window (in RTL attempts, pool-wide)
+	// over which the circuit breaker measures the detected-fault rate.
+	// 0 defaults to 64; negative disables the breaker.
+	BreakerWindow int
+	// BreakerThreshold is the detected-fault fraction of a full window
+	// at which the breaker opens and the pool degrades to the software
+	// backend. Defaults to 0.5.
+	BreakerThreshold float64
+	// BreakerCooldown is how long an open breaker waits before letting
+	// one half-open probe back onto the RTL path. Defaults to 100ms.
+	BreakerCooldown time.Duration
+	// Injector, when non-nil, arms worker i's executor with
+	// Injector(i) — the fault-campaign hook (see internal/fault).
+	Injector func(worker int) rtl.Injector
+}
+
+// Backend identifies which datapath produced a Result.
+type Backend uint8
+
+const (
+	// BackendRTL: the cycle-accurate RTL model produced (and validation
+	// accepted) the result.
+	BackendRTL Backend = iota
+	// BackendSoftware: the functional curve model produced the result —
+	// the request fell through retry, quarantine, or an open breaker.
+	BackendSoftware
+)
+
+// String names the backend as used in logs and reports.
+func (b Backend) String() string {
+	if b == BackendSoftware {
+		return "software"
+	}
+	return "rtl"
 }
 
 // Request is one scalar multiplication [K]Base. The zero-value Base
@@ -64,12 +136,15 @@ type Request struct {
 }
 
 // Result carries the affine product and the datapath statistics of the
-// run that produced it. Err is set when the RTL model faulted or, under
-// Options.Verify, when the result failed the functional-model oracle.
+// run that produced it (Stats is zero for BackendSoftware results).
+// Attempts counts RTL tries made for the request — 0 when the worker
+// was quarantined or the breaker was open before the first try.
 type Result struct {
-	Point curve.Affine
-	Stats rtl.Stats
-	Err   error
+	Point    curve.Affine
+	Stats    rtl.Stats
+	Backend  Backend
+	Attempts int
+	Err      error
 }
 
 // Job lifecycle: a submitted job is pending until either a worker claims
@@ -91,8 +166,11 @@ type job struct {
 // Engine is a concurrent batch scalar-multiplication service. Create
 // with New or NewWithProcessor; all methods are safe for concurrent use.
 type Engine struct {
-	proc *core.Processor
-	opts Options
+	proc     *core.Processor
+	opts     Options
+	validate core.Validate
+	clock    Clock
+	brk      *breaker
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -101,14 +179,28 @@ type Engine struct {
 
 	wg sync.WaitGroup
 
-	submitted *telemetry.Counter
-	completed *telemetry.Counter
-	failed    *telemetry.Counter
-	rejected  *telemetry.Counter
-	canceled  *telemetry.Counter
-	depth     *telemetry.Gauge
-	inFlight  *telemetry.Gauge
-	latency   *telemetry.Histogram
+	submitted   *telemetry.Counter
+	completed   *telemetry.Counter
+	failed      *telemetry.Counter
+	rejected    *telemetry.Counter
+	canceled    *telemetry.Counter
+	retries     *telemetry.Counter
+	valFailed   *telemetry.Counter
+	fallbacks   *telemetry.Counter
+	quarantined *telemetry.Counter
+	depth       *telemetry.Gauge
+	inFlight    *telemetry.Gauge
+	latency     *telemetry.Histogram
+}
+
+// workerState is one pool member: an executor plus its local failure
+// accounting. Only its owning goroutine touches it.
+type workerState struct {
+	id           int
+	ex           *core.Executor
+	rng          jitterRNG
+	consecFaults int
+	quarantined  bool
 }
 
 // New builds (or fetches from the process-wide cache — see
@@ -132,24 +224,69 @@ func NewWithProcessor(p *core.Processor, opts Options) *Engine {
 	if opts.Registry == nil {
 		opts.Registry = telemetry.NewRegistry()
 	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 200 * time.Microsecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 10 * time.Millisecond
+	}
+	if opts.Clock == nil {
+		opts.Clock = realClock{}
+	}
+	if opts.QuarantineAfter == 0 {
+		opts.QuarantineAfter = 16
+	}
+	if opts.BreakerWindow == 0 {
+		opts.BreakerWindow = 64
+	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 0.5
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 100 * time.Millisecond
+	}
 	reg := opts.Registry
 	e := &Engine{
-		proc:      p,
-		opts:      opts,
-		submitted: reg.Counter("engine.submitted"),
-		completed: reg.Counter("engine.completed"),
-		failed:    reg.Counter("engine.failed"),
-		rejected:  reg.Counter("engine.rejected"),
-		canceled:  reg.Counter("engine.canceled"),
-		depth:     reg.Gauge("engine.queue_depth"),
-		inFlight:  reg.Gauge("engine.in_flight"),
+		proc:        p,
+		opts:        opts,
+		validate:    opts.Validate,
+		clock:       opts.Clock,
+		submitted:   reg.Counter("engine.submitted"),
+		completed:   reg.Counter("engine.completed"),
+		failed:      reg.Counter("engine.failed"),
+		rejected:    reg.Counter("engine.rejected"),
+		canceled:    reg.Counter("engine.canceled"),
+		retries:     reg.Counter("engine.retries"),
+		valFailed:   reg.Counter("engine.validation_failed"),
+		fallbacks:   reg.Counter("engine.fallback_completed"),
+		quarantined: reg.Counter("engine.workers_quarantined"),
+		depth:       reg.Gauge("engine.queue_depth"),
+		inFlight:    reg.Gauge("engine.in_flight"),
 		latency: reg.Histogram("engine.latency_seconds",
 			0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5),
 	}
+	if opts.Verify {
+		e.validate = core.ValidateOracle
+	}
+	if opts.BreakerWindow > 0 {
+		e.brk = newBreaker(opts.BreakerWindow, opts.BreakerThreshold, opts.BreakerCooldown, reg)
+	}
 	e.cond = sync.NewCond(&e.mu)
 	for i := 0; i < opts.Workers; i++ {
+		ex := p.NewExecutor()
+		if opts.Injector != nil {
+			ex.SetInjector(opts.Injector(i))
+		}
+		w := &workerState{
+			id:  i,
+			ex:  ex,
+			rng: jitterRNG(uint64(opts.BackoffSeed) ^ uint64(i+1)*0x9E3779B97F4A7C15),
+		}
 		e.wg.Add(1)
-		go e.worker(p.NewExecutor())
+		go e.worker(w)
 	}
 	return e
 }
@@ -221,13 +358,19 @@ func (e *Engine) ScalarMultAffine(ctx context.Context, k scalar.Scalar, base cur
 }
 
 // Close stops accepting submissions, lets the workers drain the queue,
-// and waits for them to exit. Safe to call more than once.
+// and waits for them to exit. It is idempotent and safe to race with
+// itself and with in-flight Submit/SubmitBatch calls: a submission
+// either loses the race and gets ErrClosed, or wins it and is fully
+// served before the workers exit (the drain loop never abandons an
+// accepted job).
 func (e *Engine) Close() {
 	e.mu.Lock()
-	e.closed = true
-	e.cond.Broadcast()
+	if !e.closed {
+		e.closed = true
+		e.cond.Broadcast()
+	}
 	e.mu.Unlock()
-	e.wg.Wait()
+	e.wg.Wait() // safe for any number of concurrent waiters
 }
 
 // enqueue atomically appends all reqs to the bounded queue. A context
@@ -285,7 +428,7 @@ func (e *Engine) await(ctx context.Context, j *job) (Result, error) {
 }
 
 // worker pops jobs and executes them on its own executor.
-func (e *Engine) worker(ex *core.Executor) {
+func (e *Engine) worker(w *workerState) {
 	defer e.wg.Done()
 	for {
 		e.mu.Lock()
@@ -305,16 +448,7 @@ func (e *Engine) worker(ex *core.Executor) {
 			continue // canceled while queued; the canceler accounted for it
 		}
 		e.inFlight.Add(1)
-		base := j.req.Base
-		if base == (curve.Affine{}) {
-			base = curve.GeneratorAffine()
-		}
-		var r Result
-		if e.opts.Verify {
-			r.Point, r.Stats, r.Err = ex.ScalarMultChecked(j.req.K, base)
-		} else {
-			r.Point, r.Stats, r.Err = ex.ScalarMultPoint(j.req.K, base)
-		}
+		r := e.execute(w, j.req)
 		e.inFlight.Add(-1)
 		e.latency.Observe(time.Since(j.enq).Seconds())
 		if r.Err != nil {
@@ -323,4 +457,54 @@ func (e *Engine) worker(ex *core.Executor) {
 		e.completed.Inc()
 		j.done <- r
 	}
+}
+
+// execute runs one request down the degradation ladder: validated RTL
+// attempts with backoff between them, quarantine when this worker's
+// consecutive-fault streak crosses the limit, the pool-wide breaker
+// gating every attempt, and finally the functional software backend —
+// which always answers, so execute never returns a Result.Err for a
+// datapath fault.
+func (e *Engine) execute(w *workerState, req Request) Result {
+	base := req.Base
+	if base == (curve.Affine{}) {
+		base = curve.GeneratorAffine()
+	}
+	var r Result
+	if !w.quarantined {
+		for attempt := 0; attempt < e.opts.MaxAttempts; attempt++ {
+			if !e.brk.allowRTL(e.clock.Now()) {
+				break
+			}
+			pt, st, err := w.ex.ScalarMultValidated(req.K, base, e.validate)
+			r.Attempts++
+			if err == nil {
+				e.brk.record(false, e.clock.Now())
+				w.consecFaults = 0
+				r.Point, r.Stats, r.Backend = pt, st, BackendRTL
+				return r
+			}
+			// A detected fault: the validated result never leaves the
+			// worker, only the failure accounting does.
+			e.valFailed.Inc()
+			e.brk.record(true, e.clock.Now())
+			w.consecFaults++
+			if e.opts.QuarantineAfter > 0 && w.consecFaults >= e.opts.QuarantineAfter {
+				w.quarantined = true
+				e.quarantined.Inc()
+				break
+			}
+			if attempt+1 < e.opts.MaxAttempts {
+				e.retries.Inc()
+				e.clock.Sleep(backoffDelay(e.opts.BackoffBase, e.opts.BackoffMax, attempt, &w.rng))
+			}
+		}
+	}
+	// Degraded path: the functional curve model is the trusted backend
+	// of last resort, so no accepted request is ever dropped or answered
+	// wrongly — at worst it loses RTL provenance and cycle statistics.
+	e.fallbacks.Inc()
+	r.Point = curve.ScalarMult(req.K, curve.FromAffine(base)).Affine()
+	r.Backend = BackendSoftware
+	return r
 }

@@ -32,6 +32,11 @@ type RunInput struct {
 	// write-back, in cycle order. Used by the VCD dumper and the
 	// switching-activity model.
 	Observer func(Event)
+	// Injector, when non-nil, is consulted at the fault-injection hook
+	// points of every cycle (see the Injector interface for the exact
+	// ordering). Used by internal/fault to model SEUs, stuck-at faults
+	// and control-ROM corruption.
+	Injector Injector
 }
 
 // EventKind tags an observed datapath event.
@@ -171,6 +176,9 @@ func Run(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
 	}
 
 	for cycle := 0; cycle <= p.Makespan; cycle++ {
+		if in.Injector != nil {
+			in.Injector.BeginCycle(cycle, regWindow{m})
+		}
 		// Write-back phase: results completing this cycle reach the
 		// register file (write-through) and the forwarding ports.
 		mulOut, addOut, err := m.writeback(cycle)
@@ -181,11 +189,17 @@ func Run(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
 		reads := 0
 		var mulIssued, addIssued bool
 		for _, ins := range byCycle[cycle] {
-			a, ra, err := m.resolve(ins, ins.A, mulOut, addOut)
+			if in.Injector != nil {
+				var ok bool
+				if ins, ok = in.Injector.Fetch(cycle, ins); !ok {
+					continue // corrupted valid bit: the slot never issues
+				}
+			}
+			a, ra, err := m.resolve(cycle, ins, ins.A, mulOut, addOut)
 			if err != nil {
 				return nil, Stats{}, fmt.Errorf("cycle %d op %q A: %w", cycle, ins.Label, err)
 			}
-			b, rb, err := m.resolve(ins, ins.B, mulOut, addOut)
+			b, rb, err := m.resolve(cycle, ins, ins.B, mulOut, addOut)
 			if err != nil {
 				return nil, Stats{}, fmt.Errorf("cycle %d op %q B: %w", cycle, ins.Label, err)
 			}
@@ -278,16 +292,27 @@ func (m *machine) writeback(cycle int) (mulOut, addOut *fp2.Element, err error) 
 				return nil, nil, fmt.Errorf("%w: two results on one unit at cycle %d", ErrHazard, cycle)
 			}
 			v := s.value
+			if m.in.Injector != nil {
+				// A pipeline-output-register fault corrupts both the
+				// forwarding port and the register-file write.
+				v = m.in.Injector.Retire(cycle, unit, s.dst, v)
+			}
 			out = &v
 			if s.noWB {
 				m.stats.ElidedWrites++
 			} else {
-				m.regs[s.dst] = s.value
+				// A corrupted control word (ROM fault) can aim a write
+				// anywhere in the 9-bit address space; a real register
+				// file would silently alias, our model fails loudly.
+				if int(s.dst) >= len(m.regs) {
+					return nil, nil, fmt.Errorf("%w: write to register %d out of range at cycle %d", ErrHazard, s.dst, cycle)
+				}
+				m.regs[s.dst] = v
 				m.written[s.dst] = true
 				writes++
 			}
 			if m.in.Observer != nil {
-				m.in.Observer(Event{Kind: EvWriteback, Cycle: cycle, Unit: unit, Dst: s.dst, Value: s.value, Elided: s.noWB})
+				m.in.Observer(Event{Kind: EvWriteback, Cycle: cycle, Unit: unit, Dst: s.dst, Value: v, Elided: s.noWB})
 			}
 		}
 		return next, out, nil
@@ -310,7 +335,7 @@ func (m *machine) writeback(cycle int) (mulOut, addOut *fp2.Element, err error) 
 
 // resolve produces the operand value and the number of register-file
 // read ports it consumed.
-func (m *machine) resolve(ins isa.Instr, op isa.Operand, mulOut, addOut *fp2.Element) (fp2.Element, int, error) {
+func (m *machine) resolve(cycle int, ins isa.Instr, op isa.Operand, mulOut, addOut *fp2.Element) (fp2.Element, int, error) {
 	readReg := func(r uint16) (fp2.Element, error) {
 		if int(r) >= len(m.regs) {
 			return fp2.Element{}, fmt.Errorf("%w: register %d out of range", ErrHazard, r)
@@ -329,13 +354,21 @@ func (m *machine) resolve(ins isa.Instr, op isa.Operand, mulOut, addOut *fp2.Ele
 			return fp2.Element{}, 0, fmt.Errorf("%w: forwarding from idle multiplier", ErrHazard)
 		}
 		m.stats.ForwardedReads++
-		return *mulOut, 0, nil
+		v := *mulOut
+		if m.in.Injector != nil {
+			v = m.in.Injector.Forward(cycle, isa.UnitMul, v)
+		}
+		return v, 0, nil
 	case isa.OpFwdAdd:
 		if addOut == nil {
 			return fp2.Element{}, 0, fmt.Errorf("%w: forwarding from idle adder", ErrHazard)
 		}
 		m.stats.ForwardedReads++
-		return *addOut, 0, nil
+		v := *addOut
+		if m.in.Injector != nil {
+			v = m.in.Injector.Forward(cycle, isa.UnitAdd, v)
+		}
+		return v, 0, nil
 	case isa.OpTable:
 		if op.Digit >= scalar.Digits {
 			return fp2.Element{}, 0, fmt.Errorf("%w: table digit %d", ErrHazard, op.Digit)

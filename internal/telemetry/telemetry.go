@@ -47,11 +47,22 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // a Gauge usable as an up/down counter — e.g. queue depth or in-flight
 // work tracked from many goroutines. Implemented as a CAS loop over the
 // float bits; concurrent Adds never lose updates.
+//
+// A gauge used as an up/down counter must never report a negative level
+// from a stray extra decrement (a "-1 in-flight" reading is always a
+// bug upstream, and dashboards treat it as one), so Add clamps at zero
+// when the step would take a non-negative gauge below it. Gauges that
+// legitimately hold negative values (set via Set, or decremented from
+// an already-negative level) pass through untouched.
 func (g *Gauge) Add(delta float64) {
 	for {
 		old := g.bits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + delta)
-		if g.bits.CompareAndSwap(old, next) {
+		cur := math.Float64frombits(old)
+		next := cur + delta
+		if cur >= 0 && next < 0 {
+			next = 0
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(next)) {
 			return
 		}
 	}

@@ -67,6 +67,85 @@ func TestGaugeAddConcurrent(t *testing.T) {
 	}
 }
 
+func TestGaugeAddUnderflowClamp(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("inflight")
+	// A stray decrement on an empty up/down gauge must clamp, not
+	// report "-1 in flight".
+	g.Add(-1)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("stray decrement: gauge = %v, want 0", got)
+	}
+	g.Add(3)
+	g.Add(-5) // overshooting decrement clamps at the floor
+	if got := g.Value(); got != 0 {
+		t.Fatalf("overshoot decrement: gauge = %v, want 0", got)
+	}
+	// Explicitly negative gauges (thermometer-style, placed via Set)
+	// keep full signed semantics: the clamp only guards the
+	// non-negative up/down-counter use.
+	g.Set(-4)
+	g.Add(-1)
+	if got := g.Value(); got != -5 {
+		t.Fatalf("negative gauge decrement: gauge = %v, want -5", got)
+	}
+	g.Add(2)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("negative gauge increment: gauge = %v, want -3", got)
+	}
+}
+
+// TestGaugeUnderflowClampContended hammers the CAS loop with balanced
+// traffic plus deliberate stray decrements while a reader polls: the
+// clamp must hold the never-negative invariant at every instant, not
+// just at rest.
+func TestGaugeUnderflowClampContended(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("inflight")
+	stop := make(chan struct{})
+	negSeen := make(chan float64, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if v := g.Value(); v < 0 {
+					select {
+					case negSeen <- v:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	const workers, perWorker = 8, 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.Add(1)
+				g.Add(-1)
+				if i%16 == 0 {
+					g.Add(-1) // the stray decrement the clamp exists for
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	select {
+	case v := <-negSeen:
+		t.Fatalf("reader observed negative gauge %v under contention", v)
+	default:
+	}
+	if got := g.Value(); got < 0 {
+		t.Fatalf("gauge settled negative: %v", got)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	reg := NewRegistry()
 	const workers, perWorker = 8, 5000

@@ -5,6 +5,11 @@
 // (positive cycle count, per-unit utilization, and forwarding/elision
 // counters). When the throughput experiment is present its points must
 // be internally consistent (positive rates, oracle-verified results).
+// When the faults experiment is present its outcome tallies must
+// reconcile with the trial count, and a report quoting a silent-
+// corruption rate without the campaign metadata (seed, trials, sites,
+// validation level) is rejected outright: an unreproducible fault rate
+// is not evidence.
 //
 //	go run ./cmd/fourq-bench -exp latency -json /tmp/bench.json
 //	go run ./scripts/benchcheck /tmp/bench.json
@@ -96,11 +101,19 @@ func check(data []byte) error {
 			break
 		}
 	}
-	if tp, ok := r.Experiments["throughput"]; ok {
+	tp, hasThroughput := r.Experiments["throughput"]
+	if hasThroughput {
 		if err := checkThroughput(tp); err != nil {
 			return err
 		}
-	} else if st == nil {
+	}
+	fa, hasFaults := r.Experiments["faults"]
+	if hasFaults {
+		if err := checkFaults(fa); err != nil {
+			return err
+		}
+	}
+	if st == nil && !hasThroughput && !hasFaults {
 		return fmt.Errorf("no experiment carries rtl_stats (run -exp latency or -exp profile)")
 	}
 	if st != nil {
@@ -157,6 +170,77 @@ func checkThroughput(raw json.RawMessage) error {
 		if !p.OracleOK {
 			return fmt.Errorf("throughput point %d: oracle_ok = false", i)
 		}
+	}
+	return nil
+}
+
+type faultsExp struct {
+	Campaign *struct {
+		Seed       *int64   `json:"seed"`
+		Trials     int      `json:"trials"`
+		Sites      []string `json:"sites"`
+		Validation string   `json:"validation"`
+	} `json:"campaign"`
+	Detected          int      `json:"detected"`
+	Silent            int      `json:"silent"`
+	Masked            int      `json:"masked"`
+	DetectionCoverage *float64 `json:"detection_coverage"`
+	BySite            map[string]struct {
+		Trials   int `json:"trials"`
+		Detected int `json:"detected"`
+		Silent   int `json:"silent"`
+		Masked   int `json:"masked"`
+	} `json:"by_site"`
+}
+
+// checkFaults validates the fault-injection campaign: the report must
+// carry the full replay recipe (seed, trials, sites, validation level)
+// before any corruption rate is believed, and every tally must
+// reconcile with the advertised trial count.
+func checkFaults(raw json.RawMessage) error {
+	var fa faultsExp
+	if err := json.Unmarshal(raw, &fa); err != nil {
+		return fmt.Errorf("faults: parse: %w", err)
+	}
+	// The ordering matters: a silent-corruption rate without the
+	// campaign metadata is unreproducible and rejected before anything
+	// else is even looked at.
+	switch {
+	case fa.Campaign == nil:
+		return fmt.Errorf("faults: outcome tallies without campaign metadata (unreproducible; record seed/trials/sites/validation)")
+	case fa.Campaign.Seed == nil:
+		return fmt.Errorf("faults: campaign metadata missing the seed")
+	case fa.Campaign.Trials <= 0:
+		return fmt.Errorf("faults: campaign.trials = %d, want > 0", fa.Campaign.Trials)
+	case len(fa.Campaign.Sites) == 0:
+		return fmt.Errorf("faults: campaign.sites empty")
+	case fa.Campaign.Validation == "":
+		return fmt.Errorf("faults: campaign.validation missing (which detector was classified against?)")
+	}
+	if got := fa.Detected + fa.Silent + fa.Masked; got != fa.Campaign.Trials {
+		return fmt.Errorf("faults: detected+silent+masked = %d, want trials = %d", got, fa.Campaign.Trials)
+	}
+	if fa.DetectionCoverage == nil {
+		return fmt.Errorf("faults: detection_coverage missing")
+	}
+	if c := *fa.DetectionCoverage; c < 0 || c > 1 {
+		return fmt.Errorf("faults: detection_coverage = %v, want in [0, 1]", c)
+	}
+	var siteTrials, siteDetected, siteSilent, siteMasked int
+	for site, tally := range fa.BySite {
+		if tally.Detected+tally.Silent+tally.Masked != tally.Trials {
+			return fmt.Errorf("faults: site %q tally does not reconcile", site)
+		}
+		siteTrials += tally.Trials
+		siteDetected += tally.Detected
+		siteSilent += tally.Silent
+		siteMasked += tally.Masked
+	}
+	if siteTrials != fa.Campaign.Trials || siteDetected != fa.Detected ||
+		siteSilent != fa.Silent || siteMasked != fa.Masked {
+		return fmt.Errorf("faults: by_site totals (%d/%d/%d/%d) disagree with the campaign totals (%d/%d/%d/%d)",
+			siteTrials, siteDetected, siteSilent, siteMasked,
+			fa.Campaign.Trials, fa.Detected, fa.Silent, fa.Masked)
 	}
 	return nil
 }

@@ -48,6 +48,30 @@ func TestCheckThroughputGood(t *testing.T) {
 	}
 }
 
+const goodFaults = `{
+  "schema": "fourq-bench/v1",
+  "experiments": {
+    "faults": {
+      "campaign": {"seed": 999447, "trials": 8, "sites": ["regfile", "rom"], "validation": "oncurve"},
+      "detected": 3,
+      "silent": 1,
+      "masked": 4,
+      "detection_coverage": 0.75,
+      "by_site": {
+        "regfile": {"trials": 5, "detected": 2, "silent": 1, "masked": 2},
+        "rom": {"trials": 3, "detected": 1, "silent": 0, "masked": 2}
+      },
+      "trial_log": []
+    }
+  }
+}`
+
+func TestCheckFaultsGood(t *testing.T) {
+	if err := check([]byte(goodFaults)); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCheckRejects(t *testing.T) {
 	cases := []struct {
 		name, doc, wantErr string
@@ -76,6 +100,21 @@ func TestCheckRejects(t *testing.T) {
 		{"bad add util", strings.Replace(goodReport, `"add_utilization": 0.526`, `"add_utilization": 1.5`, 1), "add_utilization"},
 		{"missing forwarded", strings.Replace(goodReport, `"forwarded_reads": 3393,`, ``, 1), "forwarded_reads"},
 		{"missing elided", strings.Replace(goodReport, `"elided_writes": 0`, `"unrelated": 0`, 1), "elided_writes"},
+		// The faults campaign: a silent-corruption rate without the full
+		// replay recipe is unreproducible and must be rejected.
+		{"faults no campaign", strings.Replace(goodFaults,
+			`"campaign": {"seed": 999447, "trials": 8, "sites": ["regfile", "rom"], "validation": "oncurve"},`,
+			``, 1), "campaign metadata"},
+		{"faults no seed", strings.Replace(goodFaults, `"seed": 999447, `, ``, 1), "seed"},
+		{"faults zero trials", strings.Replace(goodFaults, `"trials": 8,`, `"trials": 0,`, 1), "trials"},
+		{"faults no sites", strings.Replace(goodFaults, `"sites": ["regfile", "rom"]`, `"sites": []`, 1), "sites"},
+		{"faults no validation", strings.Replace(goodFaults, `"validation": "oncurve"`, `"validation": ""`, 1), "validation"},
+		{"faults tally mismatch", strings.Replace(goodFaults, `"masked": 4,`, `"masked": 5,`, 1), "detected+silent+masked"},
+		{"faults coverage range", strings.Replace(goodFaults, `"detection_coverage": 0.75,`, `"detection_coverage": 1.75,`, 1), "detection_coverage"},
+		{"faults coverage missing", strings.Replace(goodFaults, `"detection_coverage": 0.75,`, ``, 1), "detection_coverage"},
+		{"faults site mismatch", strings.Replace(goodFaults,
+			`"rom": {"trials": 3, "detected": 1, "silent": 0, "masked": 2}`,
+			`"rom": {"trials": 3, "detected": 0, "silent": 1, "masked": 2}`, 1), "by_site"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
