@@ -2,18 +2,25 @@
 # vet + build + race-enabled tests (plus a dedicated -race pass over the
 # concurrency-heavy engine and fault packages with a higher -count, the
 # paths the robustness machinery exercises hardest), a short-budget fuzz
-# pass over the arithmetic and recoding differential fuzzers, then an
+# pass over the arithmetic and recoding differential fuzzers, an
 # end-to-end check that fourq-bench's machine-readable output carries
 # real RTL statistics, a healthy batch-engine throughput experiment, and
-# a reconciled fault-injection campaign.
+# a reconciled fault-injection campaign, and finally the perf-regression
+# gate: a fresh latency+throughput run compared against the committed
+# BENCH_rtl.json baseline (refresh it with `make bench-record` after a
+# deliberate perf change; TOLERANCE sets the allowed fractional SM/s
+# drop).
 
 GO ?= go
 BENCH_JSON ?= /tmp/bench.json
 THROUGHPUT_JSON ?= /tmp/throughput.json
 FAULTS_JSON ?= /tmp/faults.json
+COMPARE_JSON ?= /tmp/bench_compare.json
+BENCH_BASELINE ?= BENCH_rtl.json
+TOLERANCE ?= 0.10
 FUZZTIME ?= 5s
 
-.PHONY: all build test vet race race-robust fuzz-smoke ci smoke clean
+.PHONY: all build test vet race race-robust fuzz-smoke ci smoke bench-record bench-compare clean
 
 all: build
 
@@ -52,8 +59,22 @@ smoke: build
 	$(GO) run ./cmd/fourq-bench -exp faults -json $(FAULTS_JSON)
 	$(GO) run ./scripts/benchcheck $(FAULTS_JSON)
 
-ci: vet build race race-robust fuzz-smoke smoke
+# Record the committed performance baseline: one report carrying the
+# latency experiment (with host single-thread compiled vs interpreted
+# SM/s) and the batch-engine throughput sweep, validated before it
+# lands in the tree.
+bench-record: build
+	$(GO) run ./cmd/fourq-bench -exp latency,throughput -json $(BENCH_BASELINE)
+	$(GO) run ./scripts/benchcheck $(BENCH_BASELINE)
+
+# Perf-regression gate: a fresh run of the same experiments must stay
+# within TOLERANCE of every SM/s metric in the committed baseline.
+bench-compare: build
+	$(GO) run ./cmd/fourq-bench -exp latency,throughput -json $(COMPARE_JSON)
+	$(GO) run ./scripts/benchcheck -baseline $(BENCH_BASELINE) -tolerance $(TOLERANCE) $(COMPARE_JSON)
+
+ci: vet build race race-robust fuzz-smoke smoke bench-compare
 
 clean:
 	$(GO) clean ./...
-	rm -f $(BENCH_JSON) $(THROUGHPUT_JSON) $(FAULTS_JSON)
+	rm -f $(BENCH_JSON) $(THROUGHPUT_JSON) $(FAULTS_JSON) $(COMPARE_JSON)

@@ -90,15 +90,19 @@ func TestTableISchedule(t *testing.T) {
 // ---------------------------------------------------------------------- E3
 
 // BenchmarkScalarMultASIC executes full scalar multiplications on the
-// cycle-accurate RTL model and reports the cycle count and the modelled
-// silicon latency at 1.2 V.
+// cycle-accurate RTL model (the compiled execution plan, through a
+// per-benchmark executor as the serving engine runs it) and reports the
+// cycle count and the modelled silicon latency at 1.2 V. ReportAllocs
+// guards the tentpole property: steady state is allocation-free.
 func BenchmarkScalarMultASIC(b *testing.B) {
 	p := processor(b)
+	ex := p.NewExecutor()
 	rng := mrand.New(mrand.NewSource(3))
 	k := randScalar(rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := p.ScalarMult(k); err != nil {
+		if _, _, err := ex.ScalarMult(k); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -109,6 +113,24 @@ func BenchmarkScalarMultASIC(b *testing.B) {
 	}
 	b.ReportMetric(float64(p.CyclesEndoModeled()), "cycles/SM")
 	b.ReportMetric(m.Latency(1.2)*1e6, "us@1.2V")
+}
+
+// BenchmarkScalarMultInterpreted runs the same workload through the
+// reference cycle-by-cycle interpreter — the pre-compilation execution
+// path. The ratio to BenchmarkScalarMultASIC is the measured win of the
+// ahead-of-time execution plan (also recorded by `make bench-record`
+// via fourq-bench's latency experiment).
+func BenchmarkScalarMultInterpreted(b *testing.B) {
+	p := processor(b)
+	rng := mrand.New(mrand.NewSource(3))
+	k := randScalar(rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.ScalarMultInterpreted(k); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // ---------------------------------------------------------------------- E4

@@ -12,6 +12,11 @@
 //	fourq-bench -exp faults    # E9: fault-injection detection coverage
 //	fourq-bench -exp all       # everything
 //
+// -exp accepts a comma-separated list (e.g. -exp latency,throughput) so
+// a single JSON report can carry exactly the experiments a consumer
+// needs; `make bench-record` uses this to write the committed
+// performance baseline BENCH_rtl.json.
+//
 // A failing experiment in a multi-experiment run no longer aborts the
 // rest: remaining experiments execute, the JSON report records the
 // failure under "errors", and the process exits non-zero.
@@ -42,6 +47,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/jobshop"
@@ -50,7 +56,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: profile|table1|latency|throughput|fig4|table2|fig3|ablation|pareto|faults|all")
+	exp := flag.String("exp", "all", "comma-separated experiments: profile|table1|latency|throughput|fig4|table2|fig3|ablation|pareto|faults|all")
 	full := flag.Bool("full", false, "include full-trace scheduler ablation (slow)")
 	jsonPath := flag.String("json", "", "write executed experiments' results as structured JSON to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event timeline of one scalar multiplication to this file")
@@ -125,19 +131,46 @@ func run(exp string, full bool, jsonPath, tracePath string) error {
 	return execute(b, steps, exp, jsonPath, tracePath)
 }
 
-// execute runs the selected experiments. A failing experiment no longer
-// aborts the run: the remaining experiments still execute and the JSON
-// report is still written (carrying the failure under "errors", so a
-// partial document is distinguishable from a clean one), but the
-// accumulated error is returned so the process exits non-zero.
+// execute runs the selected experiments (exp is a comma-separated list;
+// "all" selects everything). A failing experiment no longer aborts the
+// run: the remaining experiments still execute and the JSON report is
+// still written (carrying the failure under "errors", so a partial
+// document is distinguishable from a clean one), but the accumulated
+// error is returned so the process exits non-zero.
 func execute(b *bench, steps []step, exp, jsonPath, tracePath string) error {
-	ran := 0
+	known := func(name string) bool {
+		for _, s := range steps {
+			if s.name == name {
+				return true
+			}
+		}
+		return false
+	}
+	all := false
+	selected := make(map[string]bool)
+	for _, name := range strings.Split(exp, ",") {
+		name = strings.TrimSpace(name)
+		switch {
+		case name == "all":
+			all = true
+		case known(name):
+			selected[name] = true
+		default:
+			names := make([]string, len(steps))
+			for i, s := range steps {
+				names[i] = s.name
+			}
+			return fmt.Errorf("unknown experiment %q (valid: %s, all)", name, strings.Join(names, ", "))
+		}
+	}
+	if !all && len(selected) == 0 {
+		return fmt.Errorf("no experiment selected")
+	}
 	var errs []error
 	for _, s := range steps {
-		if exp != "all" && exp != s.name {
+		if !all && !selected[s.name] {
 			continue
 		}
-		ran++
 		fmt.Printf("==== %s ====\n", s.name)
 		if err := s.f(); err != nil {
 			err = fmt.Errorf("%s: %w", s.name, err)
@@ -147,13 +180,6 @@ func execute(b *bench, steps []step, exp, jsonPath, tracePath string) error {
 			continue
 		}
 		fmt.Println()
-	}
-	if ran == 0 {
-		names := make([]string, len(steps))
-		for i, s := range steps {
-			names[i] = s.name
-		}
-		return fmt.Errorf("unknown experiment %q (valid: %s, all)", exp, strings.Join(names, ", "))
 	}
 
 	if tracePath != "" {
@@ -316,6 +342,29 @@ func (b *bench) latency() error {
 		return err
 	}
 	fmt.Println("RTL-vs-library verification: 2/2 scalar multiplications bit-exact")
+
+	// Host-side single-thread SM/s, compiled execution plan vs the
+	// reference interpreter: the measured win of the ahead-of-time
+	// compile. Recorded in the report so benchcheck's compare mode can
+	// gate regressions against the committed baseline.
+	ex := p.NewExecutor()
+	compiledRate, err := measureRate(func() error {
+		_, _, err := ex.ScalarMult(traceScalar)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	interpretedRate, err := measureRate(func() error {
+		_, _, err := p.ScalarMultInterpreted(traceScalar)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	speedup := compiledRate / interpretedRate
+	fmt.Printf("host single-thread SM/s: compiled plan %.0f, interpreter %.0f (%.2fx)\n",
+		compiledRate, interpretedRate, speedup)
 	b.rep.add("latency", map[string]any{
 		"cycles_functional":   p.CyclesFunctional(),
 		"cycles_endo_modeled": p.CyclesEndoModeled(),
@@ -323,8 +372,37 @@ func (b *bench) latency() error {
 		"latency_us_1v20":     m.Latency(1.2) * 1e6,
 		"latency_us_0v32":     m.Latency(0.32) * 1e6,
 		"rtl_stats":           rst,
+		"single_thread": map[string]any{
+			"compiled_sm_per_sec":    compiledRate,
+			"interpreted_sm_per_sec": interpretedRate,
+			"speedup":                speedup,
+		},
 	})
 	return nil
+}
+
+// measureRate times fn in a loop (one warm-up call first) until at
+// least 250ms and 8 iterations have elapsed, returning iterations per
+// second.
+func measureRate(fn func() error) (float64, error) {
+	if err := fn(); err != nil { // warm-up
+		return 0, err
+	}
+	const (
+		minRuns = 8
+		minDur  = 250 * time.Millisecond
+	)
+	start := time.Now()
+	runs := 0
+	for {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		runs++
+		if d := time.Since(start); runs >= minRuns && d >= minDur {
+			return float64(runs) / d.Seconds(), nil
+		}
+	}
 }
 
 func (b *bench) fig4() error {

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/curve"
 	"repro/internal/fp2"
@@ -62,6 +63,23 @@ type Processor struct {
 	endoResult *sched.Result
 	stats      trace.Stats
 	sections   []SectionSpan
+	// Compiled execution plans (rtl.Compile output) for both programs,
+	// built once at New: the paper's chip fixes its ROM/FSM controller at
+	// tape-out, and the model mirrors that by discharging validation,
+	// hazard analysis and statistics ahead of every run.
+	funcCompiled *rtl.CompiledProgram
+	endoCompiled *rtl.CompiledProgram
+	// Pre-resolved input/output registers ({P.x, P.y} -> {x, y} for the
+	// functional program, P0..P3 coordinates for the endo workload), so
+	// runs bind operands without building maps.
+	funcIn  [2]uint16
+	funcOut [2]uint16
+	endoIn  [8]uint16
+	endoOut [2]uint16
+	// Machine pools for the Processor-level convenience entry points;
+	// per-worker Executors own a dedicated machine instead.
+	funcPool sync.Pool
+	endoPool sync.Pool
 }
 
 // SectionSpan reports where a trace section landed in the schedule.
@@ -142,7 +160,56 @@ func New(cfg Config) (*Processor, error) {
 		return nil, fmt.Errorf("core: endo schedule: %w", err)
 	}
 	p.endoProg, p.endoResult = er.Program, er
+
+	// Ahead-of-time compilation of both microprograms: one-time
+	// validation + static hazard analysis + precomputed statistics.
+	if err := phase("compile/functional", map[string]any{"instrs": len(p.funcProg.Instrs)}, func() (err error) {
+		p.funcCompiled, err = rtl.Compile(p.funcProg)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: compile: %w", err)
+	}
+	if err := phase("compile/endo", map[string]any{"instrs": len(p.endoProg.Instrs)}, func() (err error) {
+		p.endoCompiled, err = rtl.Compile(p.endoProg)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: endo compile: %w", err)
+	}
+	if err := resolveRegs(p.funcCompiled, []string{"P.x", "P.y"}, p.funcIn[:], []string{"x", "y"}, p.funcOut[:]); err != nil {
+		return nil, err
+	}
+	endoNames := make([]string, 0, 8)
+	for j := 0; j < 4; j++ {
+		endoNames = append(endoNames, fmt.Sprintf("P%d.x", j), fmt.Sprintf("P%d.y", j))
+	}
+	if err := resolveRegs(p.endoCompiled, endoNames, p.endoIn[:], []string{"x", "y"}, p.endoOut[:]); err != nil {
+		return nil, err
+	}
+	p.funcPool.New = func() any { return p.funcCompiled.NewMachine() }
+	p.endoPool.New = func() any { return p.endoCompiled.NewMachine() }
 	return p, nil
+}
+
+// resolveRegs resolves named program inputs and outputs to registers.
+func resolveRegs(cp *rtl.CompiledProgram, inNames []string, in []uint16, outNames []string, out []uint16) error {
+	if cp.NumInputs() != len(inNames) {
+		return fmt.Errorf("core: program has %d inputs, expected %d", cp.NumInputs(), len(inNames))
+	}
+	for i, name := range inNames {
+		r, ok := cp.InputReg(name)
+		if !ok {
+			return fmt.Errorf("core: program missing input %q", name)
+		}
+		in[i] = r
+	}
+	for i, name := range outNames {
+		r, ok := cp.OutputReg(name)
+		if !ok {
+			return fmt.Errorf("core: program missing output %q", name)
+		}
+		out[i] = r
+	}
+	return nil
 }
 
 // sectionSpans computes the schedule footprint of each trace section.
@@ -184,6 +251,10 @@ func (p *Processor) CyclesEndoModeled() int { return p.endoProg.Makespan + EndoS
 // Program returns the functional microprogram.
 func (p *Processor) Program() *isa.Program { return p.funcProg }
 
+// Compiled returns the compiled execution plan of the functional
+// microprogram (immutable, safe to share).
+func (p *Processor) Compiled() *rtl.CompiledProgram { return p.funcCompiled }
+
 // EndoProgram returns the endo-workload microprogram.
 func (p *Processor) EndoProgram() *isa.Program { return p.endoProg }
 
@@ -216,11 +287,31 @@ func (p *Processor) ScalarMultPoint(k scalar.Scalar, base curve.Affine) (curve.A
 func (p *Processor) ScalarMultPointInjected(k scalar.Scalar, base curve.Affine, inj rtl.Injector) (curve.Affine, rtl.Stats, error) {
 	dec := scalar.Decompose(k)
 	rec := scalar.Recode(dec)
-	out, st, err := rtl.Run(p.funcProg, rtl.RunInput{
-		Inputs:    map[string]fp2.Element{"P.x": base.X, "P.y": base.Y},
+	m := p.funcPool.Get().(*rtl.Machine)
+	defer p.funcPool.Put(m)
+	st, err := m.Run(rtl.RunInput{
+		Bound:     []rtl.Binding{{Reg: p.funcIn[0], Val: base.X}, {Reg: p.funcIn[1], Val: base.Y}},
 		Rec:       rec,
 		Corrected: dec.Corrected,
 		Injector:  inj,
+	})
+	if err != nil {
+		return curve.Affine{}, st, err
+	}
+	return curve.Affine{X: m.Reg(p.funcOut[0]), Y: m.Reg(p.funcOut[1])}, st, nil
+}
+
+// ScalarMultInterpreted executes [k]G on the reference cycle-by-cycle
+// interpreter (rtl.Interpret), bypassing the compiled plan. It is the
+// semantic baseline of the differential equivalence suite and the
+// pre-compilation comparison point of the latency benchmark.
+func (p *Processor) ScalarMultInterpreted(k scalar.Scalar) (curve.Affine, rtl.Stats, error) {
+	g := curve.GeneratorAffine()
+	dec := scalar.Decompose(k)
+	out, st, err := rtl.Interpret(p.funcProg, rtl.RunInput{
+		Inputs:    map[string]fp2.Element{"P.x": g.X, "P.y": g.Y},
+		Rec:       scalar.Recode(dec),
+		Corrected: dec.Corrected,
 	})
 	if err != nil {
 		return curve.Affine{}, st, err
@@ -235,17 +326,19 @@ func (p *Processor) ScalarMultEndo(k scalar.Scalar, base curve.Affine) (curve.Af
 	dec := scalar.Decompose(k)
 	rec := scalar.Recode(dec)
 	mb := curve.NewMultiBase(curve.FromAffine(base))
-	inputs := map[string]fp2.Element{}
+	bound := make([]rtl.Binding, 8)
 	for j := 0; j < 4; j++ {
 		a := mb.P[j].Affine()
-		inputs[fmt.Sprintf("P%d.x", j)] = a.X
-		inputs[fmt.Sprintf("P%d.y", j)] = a.Y
+		bound[2*j] = rtl.Binding{Reg: p.endoIn[2*j], Val: a.X}
+		bound[2*j+1] = rtl.Binding{Reg: p.endoIn[2*j+1], Val: a.Y}
 	}
-	out, st, err := rtl.Run(p.endoProg, rtl.RunInput{Inputs: inputs, Rec: rec, Corrected: dec.Corrected})
+	m := p.endoPool.Get().(*rtl.Machine)
+	defer p.endoPool.Put(m)
+	st, err := m.Run(rtl.RunInput{Bound: bound, Rec: rec, Corrected: dec.Corrected})
 	if err != nil {
 		return curve.Affine{}, st, err
 	}
-	return curve.Affine{X: out["x"], Y: out["y"]}, st, nil
+	return curve.Affine{X: m.Reg(p.endoOut[0]), Y: m.Reg(p.endoOut[1])}, st, nil
 }
 
 // TraceScalarMult executes [k]G bit-true on the RTL model under the
@@ -261,7 +354,9 @@ func (p *Processor) TraceScalarMult(k scalar.Scalar, w io.Writer) (rtl.Stats, er
 	tel := rtl.NewRunTelemetry(reg, rec, p.funcProg)
 	dec := scalar.Decompose(k)
 	g := curve.GeneratorAffine()
-	out, st, err := rtl.Run(p.funcProg, rtl.RunInput{
+	m := p.funcPool.Get().(*rtl.Machine)
+	defer p.funcPool.Put(m)
+	st, err := m.Run(rtl.RunInput{
 		Inputs:    map[string]fp2.Element{"P.x": g.X, "P.y": g.Y},
 		Rec:       scalar.Recode(dec),
 		Corrected: dec.Corrected,
@@ -272,7 +367,7 @@ func (p *Processor) TraceScalarMult(k scalar.Scalar, w io.Writer) (rtl.Stats, er
 	}
 	tel.Finish(st)
 	want := curve.ScalarMult(k, curve.Generator()).Affine()
-	if !out["x"].Equal(want.X) || !out["y"].Equal(want.Y) {
+	if !m.Reg(p.funcOut[0]).Equal(want.X) || !m.Reg(p.funcOut[1]).Equal(want.Y) {
 		return st, fmt.Errorf("core: traced run differs from library for k=%v", k)
 	}
 	return st, rec.WriteTrace(w)

@@ -128,20 +128,31 @@ func (c Config) CacheKey() ConfigKey {
 }
 
 // Executor is a per-worker handle for running scalar multiplications on
-// a shared Processor. The processor's scheduled program is immutable
-// after New and rtl.Run builds a fresh machine per call, so any number
-// of Executors may run concurrently over one Processor without locking
-// the datapath model; each worker of a pool owns exactly one Executor
-// and its (unsynchronized) aggregate run statistics.
+// a shared Processor. The processor's compiled program is immutable
+// after New and each Executor owns a dedicated rtl.Machine (register
+// file, pipeline value slots) plus a fixed input-binding buffer, so any
+// number of Executors may run concurrently over one Processor without
+// locking the datapath model, and a steady-state ScalarMult on the
+// fast path (no injector) performs zero heap allocations. Each worker
+// of a pool owns exactly one Executor and its (unsynchronized)
+// aggregate run statistics. An Executor is not safe for concurrent use.
 type Executor struct {
 	p      *Processor
+	m      *rtl.Machine
+	bound  [2]rtl.Binding
 	inj    rtl.Injector
 	runs   int
 	cycles int64
 }
 
-// NewExecutor returns an independent executor over p.
-func (p *Processor) NewExecutor() *Executor { return &Executor{p: p} }
+// NewExecutor returns an independent executor over p with its own
+// reusable datapath machine.
+func (p *Processor) NewExecutor() *Executor {
+	e := &Executor{p: p, m: p.funcCompiled.NewMachine()}
+	e.bound[0].Reg = p.funcIn[0]
+	e.bound[1].Reg = p.funcIn[1]
+	return e
+}
 
 // SetInjector attaches a datapath fault injector to every subsequent
 // run of this executor (nil detaches). The injector is confined to this
@@ -161,15 +172,26 @@ func (e *Executor) ScalarMult(k scalar.Scalar) (curve.Affine, rtl.Stats, error) 
 	return e.ScalarMultPoint(k, curve.GeneratorAffine())
 }
 
-// ScalarMultPoint executes [k]P on the RTL model.
+// ScalarMultPoint executes [k]P on the RTL model, reusing this
+// executor's machine. With no injector attached this is the compiled
+// fast path and allocates nothing; note the returned Stats then carry
+// the program's shared read-only IssuesByOpcode map.
 func (e *Executor) ScalarMultPoint(k scalar.Scalar, base curve.Affine) (curve.Affine, rtl.Stats, error) {
-	out, st, err := e.p.ScalarMultPointInjected(k, base, e.inj)
+	dec := scalar.Decompose(k)
+	e.bound[0].Val = base.X
+	e.bound[1].Val = base.Y
+	st, err := e.m.Run(rtl.RunInput{
+		Bound:     e.bound[:],
+		Rec:       scalar.Recode(dec),
+		Corrected: dec.Corrected,
+		Injector:  e.inj,
+	})
 	if err != nil {
-		return out, st, err
+		return curve.Affine{}, st, err
 	}
 	e.runs++
 	e.cycles += int64(st.Cycles)
-	return out, st, nil
+	return curve.Affine{X: e.m.Reg(e.p.funcOut[0]), Y: e.m.Reg(e.p.funcOut[1])}, st, nil
 }
 
 // ScalarMultValidated executes [k]P on the RTL model and applies the

@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/fp2"
+	"repro/internal/rtl"
+	"repro/internal/scalar"
+)
+
+// TestCampaignInterpreterParity is the injector half of the
+// compiled/interpreted equivalence suite: a seeded campaign classified
+// through the production path (executor over a reusable machine, which
+// takes the interpreted slow path once an injector is attached) must
+// agree trial for trial — same detected/silent/masked counts, same
+// per-trial outcome — with an independent replay of every recorded
+// fault through rtl.Interpret, the reference interpreter.
+func TestCampaignInterpreterParity(t *testing.T) {
+	p := testProc(t)
+	cfg := CampaignConfig{Seed: 0xC0DE, Trials: 48}
+	rep, err := Campaign(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k := core.DefaultTraceScalar()
+	base := curve.GeneratorAffine()
+	want := curve.ScalarMult(k, curve.FromAffine(base)).Affine()
+	dec := scalar.Decompose(k)
+	rec := scalar.Recode(dec)
+	prog := p.Program()
+
+	var detected, silent, masked int
+	for i, tr := range rep.Trials {
+		out, _, err := rtl.Interpret(prog, rtl.RunInput{
+			Inputs:    map[string]fp2.Element{"P.x": base.X, "P.y": base.Y},
+			Rec:       rec,
+			Corrected: dec.Corrected,
+			Injector:  NewInjector([]Fault{tr.Fault}, nil),
+		})
+		var got Outcome
+		switch {
+		case err != nil:
+			got = OutcomeDetected
+		case core.ValidateAffine(curve.Affine{X: out["x"], Y: out["y"]}) != nil:
+			got = OutcomeDetected
+		case !out["x"].Equal(want.X) || !out["y"].Equal(want.Y):
+			got = OutcomeSilent
+		default:
+			got = OutcomeMasked
+		}
+		if got != tr.Outcome {
+			t.Fatalf("trial %d (%v): campaign classified %q, interpreter replay %q",
+				i, tr.Fault, tr.Outcome, got)
+		}
+		switch got {
+		case OutcomeDetected:
+			detected++
+		case OutcomeSilent:
+			silent++
+		default:
+			masked++
+		}
+	}
+	if detected != rep.Detected || silent != rep.Silent || masked != rep.Masked {
+		t.Fatalf("tallies differ: campaign %d/%d/%d, interpreter replay %d/%d/%d",
+			rep.Detected, rep.Silent, rep.Masked, detected, silent, masked)
+	}
+}

@@ -9,6 +9,27 @@
 // violations (double issue, port over-subscription, reads of never
 // written registers, forwarding from an idle unit), so a corrupted
 // schedule cannot silently produce a result.
+//
+// Execution comes in two forms:
+//
+//   - Compile + Machine: an ahead-of-time pass (Compile) validates the
+//     immutable program once, hoists every data-independent check and
+//     statistic out of the cycle loop, and produces a dense execution
+//     plan; a reusable Machine then runs scalar multiplications with
+//     zero steady-state heap allocations. This mirrors the paper's
+//     hardware, whose ROM/FSM controller is fixed at tape-out: the
+//     schedule's structural properties are facts of the program, not of
+//     any particular run (Section III-C).
+//   - Interpret: the reference cycle-by-cycle interpreter, which decodes
+//     and checks every instruction as it executes. It is the semantic
+//     baseline the compiled plan is differentially tested against, and
+//     the path every observed (Observer) or fault-injected (Injector)
+//     run takes, so event ordering and injection hook semantics are
+//     byte-for-byte those of the original interpreter.
+//
+// Run remains the convenience entry point: it compiles the program and
+// executes it on a fresh machine, dispatching to the fast compiled loop
+// when no Observer or Injector is attached.
 package rtl
 
 import (
@@ -21,21 +42,35 @@ import (
 	"repro/internal/scalar"
 )
 
+// Binding is one register-bound external input: the allocation-free
+// alternative to RunInput.Inputs. Resolve the register once with
+// CompiledProgram.InputReg and reuse the binding across runs.
+type Binding struct {
+	Reg uint16
+	Val fp2.Element
+}
+
 // RunInput carries the per-run data: external inputs, and the recoded
 // scalar digits + correction flag that drive the runtime table indexing
 // and dynamic sign commands.
 type RunInput struct {
-	Inputs    map[string]fp2.Element
+	Inputs map[string]fp2.Element
+	// Bound, when non-nil, supplies the external inputs by register
+	// instead of by name and takes precedence over Inputs. It must cover
+	// every program input exactly once (resolve registers with
+	// CompiledProgram.InputReg); the steady-state serving path uses it to
+	// avoid building a map per scalar multiplication.
+	Bound     []Binding
 	Rec       scalar.Recoded
 	Corrected bool
 	// Observer, when non-nil, receives one Event per issue and per
 	// write-back, in cycle order. Used by the VCD dumper and the
-	// switching-activity model.
+	// switching-activity model. Forces the interpreted path.
 	Observer func(Event)
 	// Injector, when non-nil, is consulted at the fault-injection hook
 	// points of every cycle (see the Injector interface for the exact
 	// ordering). Used by internal/fault to model SEUs, stuck-at faults
-	// and control-ROM corruption.
+	// and control-ROM corruption. Forces the interpreted path.
 	Injector Injector
 }
 
@@ -71,6 +106,12 @@ type Event struct {
 }
 
 // Stats summarizes an execution.
+//
+// Every field is a property of the schedule, not of the data flowing
+// through it (the fixed-FSM design's side-channel guarantee), so the
+// compiled fast path precomputes the whole struct at Compile time. On
+// that path IssuesByOpcode is a single map shared by every run of the
+// program — treat it as read-only.
 type Stats struct {
 	Cycles         int
 	MulIssues      int
@@ -97,26 +138,45 @@ type Stats struct {
 	IssuesByOpcode map[string]int
 }
 
-// Opcode returns the mnemonic used as the IssuesByOpcode key for an
-// instruction: the unit plus, for the adder, how its lane commands are
-// produced.
-func Opcode(ins isa.Instr) string {
+// Opcode ids: the dense index space behind the IssuesByOpcode mnemonics.
+// The interpreter counts issues in a fixed-size array indexed by these
+// and materializes the map once at run end; the compiled path counts
+// them at Compile time.
+const (
+	opcodeMul = iota
+	opcodeAdd
+	opcodeSub
+	opcodeAddSubMixed
+	opcodeAddSubDyn
+	numOpcodes
+)
+
+var opcodeNames = [numOpcodes]string{"mul", "add", "sub", "addsub.mixed", "addsub.dyn"}
+
+// opcodeID returns the dense opcode index for an instruction.
+func opcodeID(ins isa.Instr) uint8 {
 	if ins.Unit == isa.UnitMul {
-		return "mul"
+		return opcodeMul
 	}
 	if ins.CmdMode == isa.CmdDynSign {
-		return "addsub.dyn"
+		return opcodeAddSubDyn
 	}
 	switch {
 	case ins.CmdRe == isa.CmdAdd && ins.CmdIm == isa.CmdAdd:
-		return "add"
+		return opcodeAdd
 	case ins.CmdRe == isa.CmdSub && ins.CmdIm == isa.CmdSub:
-		return "sub"
+		return opcodeSub
 	}
-	return "addsub.mixed"
+	return opcodeAddSubMixed
 }
 
-// ErrHazard wraps all structural violations detected during execution.
+// Opcode returns the mnemonic used as the IssuesByOpcode key for an
+// instruction: the unit plus, for the adder, how its lane commands are
+// produced.
+func Opcode(ins isa.Instr) string { return opcodeNames[opcodeID(ins)] }
+
+// ErrHazard wraps all structural violations detected during execution
+// (and, for schedule-level hazards, at Compile time).
 var ErrHazard = errors.New("rtl: structural hazard")
 
 type pipeSlot struct {
@@ -127,41 +187,138 @@ type pipeSlot struct {
 	value      fp2.Element
 }
 
-// machine is the datapath state.
+// machine is the interpreter's datapath state. Buffers are reusable
+// across runs (run resets them), which is how Machine's slow path avoids
+// re-allocating when an Observer or Injector forces interpretation.
 type machine struct {
-	prog    *isa.Program
-	regs    []fp2.Element
-	written []bool
-	in      RunInput
-	mulPipe []pipeSlot // in-flight multiplier results
-	addPipe []pipeSlot
-	stats   Stats
+	prog         *isa.Program
+	regs         []fp2.Element
+	written      []bool
+	in           RunInput
+	mulPipe      []pipeSlot // in-flight multiplier results
+	addPipe      []pipeSlot
+	byCycle      [][]isa.Instr
+	opcodeCounts [numOpcodes]int
+	stats        Stats
 }
 
-// Run executes the program and returns the named outputs.
-func Run(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
-	if err := p.Validate(); err != nil {
-		return nil, Stats{}, err
-	}
-	m := &machine{
+// newInterpreter builds interpreter state for p. byCycle groups the
+// instruction stream by issue cycle, preserving the program's intra-cycle
+// order (which fixes the observer event order within a cycle).
+func newInterpreter(p *isa.Program) *machine {
+	return &machine{
 		prog:    p,
 		regs:    make([]fp2.Element, p.NumRegs),
 		written: make([]bool, p.NumRegs),
-		in:      in,
+		byCycle: buildByCycle(p),
 	}
-	m.stats.IssuesByOpcode = map[string]int{}
+}
+
+// buildByCycle groups instructions by issue cycle in program order.
+func buildByCycle(p *isa.Program) [][]isa.Instr {
+	byCycle := make([][]isa.Instr, p.Makespan+1)
+	for _, ins := range p.Instrs {
+		byCycle[ins.Cycle] = append(byCycle[ins.Cycle], ins)
+	}
+	return byCycle
+}
+
+// Run executes the program and returns the named outputs. It is a thin
+// compile-then-execute wrapper: the program is validated and planned
+// once (Compile), then run on a fresh Machine — the fast compiled loop
+// when no Observer/Injector is attached, the reference interpreter
+// otherwise. Callers executing the same program many times should
+// Compile once and reuse a Machine instead.
+func Run(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
+	cp, err := Compile(p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	m := cp.NewMachine()
+	st, err := m.Run(in)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	// The compiled path shares one opcode map across runs; Run's contract
+	// predates that, so hand each caller an independent copy.
+	st.IssuesByOpcode = cloneOpcodeMap(st.IssuesByOpcode)
+	out := make(map[string]fp2.Element, len(p.OutputRegs))
+	for name, reg := range p.OutputRegs {
+		out[name] = m.Reg(reg)
+	}
+	return out, st, nil
+}
+
+func cloneOpcodeMap(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// Interpret executes the program on the reference cycle-by-cycle
+// interpreter, bypassing the compiled plan entirely. It is the semantic
+// baseline: the differential suite runs scalars through both Interpret
+// and the compiled Machine and requires identical outputs, statistics,
+// observer event streams and injection behavior. It allocates per call;
+// use Compile + Machine for steady-state execution.
+func Interpret(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	m := newInterpreter(p)
+	st, err := m.run(in)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make(map[string]fp2.Element, len(p.OutputRegs))
+	for name, reg := range p.OutputRegs {
+		out[name] = m.regs[reg]
+	}
+	return out, st, nil
+}
+
+// run executes one interpreted pass over the program, resetting the
+// machine's reusable buffers first. The caller has already validated the
+// program.
+func (m *machine) run(in RunInput) (Stats, error) {
+	p := m.prog
+	m.in = in
+	m.stats = Stats{}
+	for i := range m.opcodeCounts {
+		m.opcodeCounts[i] = 0
+	}
+	m.mulPipe = m.mulPipe[:0]
+	m.addPipe = m.addPipe[:0]
+	for i := range m.written {
+		m.written[i] = false
+	}
 	// Program load: constants and inputs.
 	for _, c := range p.ConstRegs {
 		m.regs[c.Reg] = fp2.New(fp.SetLimbs(c.Value[0], c.Value[1]), fp.SetLimbs(c.Value[2], c.Value[3]))
 		m.written[c.Reg] = true
 	}
-	for name, reg := range p.InputRegs {
-		v, ok := in.Inputs[name]
-		if !ok {
-			return nil, Stats{}, fmt.Errorf("rtl: missing input %q", name)
+	if in.Bound != nil {
+		if len(in.Bound) != len(p.InputRegs) {
+			return Stats{}, fmt.Errorf("rtl: %d bound inputs for a program with %d inputs", len(in.Bound), len(p.InputRegs))
 		}
-		m.regs[reg] = v
-		m.written[reg] = true
+		for _, b := range in.Bound {
+			if int(b.Reg) >= len(m.regs) {
+				return Stats{}, fmt.Errorf("rtl: bound input register %d out of range", b.Reg)
+			}
+			m.regs[b.Reg] = b.Val
+			m.written[b.Reg] = true
+		}
+	} else {
+		for name, reg := range p.InputRegs {
+			v, ok := in.Inputs[name]
+			if !ok {
+				return Stats{}, fmt.Errorf("rtl: missing input %q", name)
+			}
+			m.regs[reg] = v
+			m.written[reg] = true
+		}
 	}
 
 	mulII := p.MulII
@@ -169,11 +326,6 @@ func Run(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
 		mulII = 1
 	}
 	lastMulIssue := -1 << 30
-	// Group instructions by cycle.
-	byCycle := make([][]isa.Instr, p.Makespan+1)
-	for _, ins := range p.Instrs {
-		byCycle[ins.Cycle] = append(byCycle[ins.Cycle], ins)
-	}
 
 	for cycle := 0; cycle <= p.Makespan; cycle++ {
 		if in.Injector != nil {
@@ -183,12 +335,12 @@ func Run(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
 		// register file (write-through) and the forwarding ports.
 		mulOut, addOut, err := m.writeback(cycle)
 		if err != nil {
-			return nil, Stats{}, err
+			return Stats{}, err
 		}
 		// Issue phase.
 		reads := 0
 		var mulIssued, addIssued bool
-		for _, ins := range byCycle[cycle] {
+		for _, ins := range m.byCycle[cycle] {
 			if in.Injector != nil {
 				var ok bool
 				if ins, ok = in.Injector.Fetch(cycle, ins); !ok {
@@ -197,14 +349,14 @@ func Run(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
 			}
 			a, ra, err := m.resolve(cycle, ins, ins.A, mulOut, addOut)
 			if err != nil {
-				return nil, Stats{}, fmt.Errorf("cycle %d op %q A: %w", cycle, ins.Label, err)
+				return Stats{}, fmt.Errorf("cycle %d op %q A: %w", cycle, ins.Label, err)
 			}
 			b, rb, err := m.resolve(cycle, ins, ins.B, mulOut, addOut)
 			if err != nil {
-				return nil, Stats{}, fmt.Errorf("cycle %d op %q B: %w", cycle, ins.Label, err)
+				return Stats{}, fmt.Errorf("cycle %d op %q B: %w", cycle, ins.Label, err)
 			}
 			reads += ra + rb
-			m.stats.IssuesByOpcode[Opcode(ins)]++
+			m.opcodeCounts[opcodeID(ins)]++
 			if m.in.Observer != nil {
 				m.in.Observer(Event{
 					Kind: EvIssue, Cycle: cycle, Unit: ins.Unit, Dst: ins.Dst,
@@ -214,10 +366,10 @@ func Run(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
 			switch ins.Unit {
 			case isa.UnitMul:
 				if mulIssued {
-					return nil, Stats{}, fmt.Errorf("%w: multiplier double issue at cycle %d", ErrHazard, cycle)
+					return Stats{}, fmt.Errorf("%w: multiplier double issue at cycle %d", ErrHazard, cycle)
 				}
 				if cycle < lastMulIssue+mulII {
-					return nil, Stats{}, fmt.Errorf("%w: multiplier II=%d violated at cycle %d", ErrHazard, mulII, cycle)
+					return Stats{}, fmt.Errorf("%w: multiplier II=%d violated at cycle %d", ErrHazard, mulII, cycle)
 				}
 				lastMulIssue = cycle
 				mulIssued = true
@@ -226,19 +378,19 @@ func Run(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
 				m.mulPipe = append(m.mulPipe, pipeSlot{true, cycle + p.MulLatency, ins.Dst, ins.NoWB, result})
 			case isa.UnitAdd:
 				if addIssued {
-					return nil, Stats{}, fmt.Errorf("%w: adder double issue at cycle %d", ErrHazard, cycle)
+					return Stats{}, fmt.Errorf("%w: adder double issue at cycle %d", ErrHazard, cycle)
 				}
 				addIssued = true
 				m.stats.AddIssues++
 				result, err := m.addsub(ins, a, b)
 				if err != nil {
-					return nil, Stats{}, err
+					return Stats{}, err
 				}
 				m.addPipe = append(m.addPipe, pipeSlot{true, cycle + p.AddLatency, ins.Dst, ins.NoWB, result})
 			}
 		}
 		if reads > 4 {
-			return nil, Stats{}, fmt.Errorf("%w: %d register reads at cycle %d (4 ports)", ErrHazard, reads, cycle)
+			return Stats{}, fmt.Errorf("%w: %d register reads at cycle %d (4 ports)", ErrHazard, reads, cycle)
 		}
 		m.stats.RegReads += reads
 		m.stats.ReadPortPressure[reads]++
@@ -246,27 +398,39 @@ func Run(p *isa.Program, in RunInput) (map[string]fp2.Element, Stats, error) {
 			m.stats.StallCycles++
 		}
 	}
-	// Drain any remaining completions (schedule validation guarantees
-	// everything completes by Makespan, so the pipes must be empty).
-	for _, s := range append(m.mulPipe, m.addPipe...) {
+	// Drain check: schedule validation guarantees everything completes by
+	// Makespan, so the pipes must be empty. Checked pipe by pipe — no
+	// concatenated scratch slice.
+	for _, s := range m.mulPipe {
 		if s.valid {
-			return nil, Stats{}, fmt.Errorf("%w: result still in flight after makespan", ErrHazard)
+			return Stats{}, fmt.Errorf("%w: result still in flight after makespan", ErrHazard)
+		}
+	}
+	for _, s := range m.addPipe {
+		if s.valid {
+			return Stats{}, fmt.Errorf("%w: result still in flight after makespan", ErrHazard)
 		}
 	}
 
-	out := map[string]fp2.Element{}
 	for name, reg := range p.OutputRegs {
 		if !m.written[reg] {
-			return nil, Stats{}, fmt.Errorf("rtl: output %q register %d never written", name, reg)
+			return Stats{}, fmt.Errorf("rtl: output %q register %d never written", name, reg)
 		}
-		out[name] = m.regs[reg]
 	}
 	m.stats.Cycles = p.Makespan
 	if p.Makespan > 0 {
 		m.stats.MulUtilization = float64(m.stats.MulIssues) / float64(p.Makespan)
 		m.stats.AddUtilization = float64(m.stats.AddIssues) / float64(p.Makespan)
 	}
-	return out, m.stats, nil
+	// Materialize the opcode map from the dense counters, nonzero entries
+	// only (exactly the keys the per-issue map increments used to carry).
+	m.stats.IssuesByOpcode = make(map[string]int, numOpcodes)
+	for id, n := range m.opcodeCounts {
+		if n > 0 {
+			m.stats.IssuesByOpcode[opcodeNames[id]] = n
+		}
+	}
+	return m.stats, nil
 }
 
 // isFwd reports whether an operand reads a forwarding port.

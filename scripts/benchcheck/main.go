@@ -11,12 +11,21 @@
 // validation level) is rejected outright: an unreproducible fault rate
 // is not evidence.
 //
+// With -baseline it additionally runs in compare mode: the SM/s metrics
+// shared by the report and the baseline (the throughput experiment's
+// peak rate, the latency experiment's single-thread compiled rate) must
+// not have regressed by more than -tolerance (default 10%). This is the
+// perf-regression gate `make bench-compare` runs against the committed
+// BENCH_rtl.json.
+//
 //	go run ./cmd/fourq-bench -exp latency -json /tmp/bench.json
 //	go run ./scripts/benchcheck /tmp/bench.json
+//	go run ./scripts/benchcheck -baseline BENCH_rtl.json /tmp/bench.json
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -24,11 +33,14 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck <bench.json>")
+	baseline := flag.String("baseline", "", "baseline report to compare SM/s metrics against (fails on regression)")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional SM/s regression vs the baseline")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-baseline base.json] [-tolerance 0.10] <bench.json>")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(os.Args[1])
+	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
@@ -36,6 +48,17 @@ func main() {
 	if err := check(data); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		base, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+		if err := compare(base, data, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("benchcheck: ok")
 }
@@ -170,6 +193,86 @@ func checkThroughput(raw json.RawMessage) error {
 		if !p.OracleOK {
 			return fmt.Errorf("throughput point %d: oracle_ok = false", i)
 		}
+	}
+	return nil
+}
+
+// smRates extracts the comparable throughput metrics from a report,
+// keyed by a human-readable metric name: the throughput experiment's
+// peak SM/s over the worker sweep, and the latency experiment's
+// single-thread compiled-plan SM/s. Reports predating a metric simply
+// do not contribute it.
+func smRates(data []byte) (map[string]float64, error) {
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	rates := make(map[string]float64)
+	if raw, ok := r.Experiments["throughput"]; ok {
+		var tp throughputExp
+		if err := json.Unmarshal(raw, &tp); err != nil {
+			return nil, fmt.Errorf("throughput: parse: %w", err)
+		}
+		peak := 0.0
+		for _, p := range tp.Points {
+			if p.SMPerSec > peak {
+				peak = p.SMPerSec
+			}
+		}
+		if peak > 0 {
+			rates["throughput peak sm_per_sec"] = peak
+		}
+	}
+	if raw, ok := r.Experiments["latency"]; ok {
+		var la struct {
+			SingleThread *struct {
+				Compiled float64 `json:"compiled_sm_per_sec"`
+			} `json:"single_thread"`
+		}
+		if err := json.Unmarshal(raw, &la); err != nil {
+			return nil, fmt.Errorf("latency: parse: %w", err)
+		}
+		if la.SingleThread != nil && la.SingleThread.Compiled > 0 {
+			rates["latency single-thread compiled sm_per_sec"] = la.SingleThread.Compiled
+		}
+	}
+	return rates, nil
+}
+
+// compare is the perf-regression gate: every SM/s metric present in
+// both the baseline and the current report must be at least
+// baseline*(1-tol). Two reports with no metric in common are an error —
+// a gate that compares nothing must not pass silently.
+func compare(base, cur []byte, tol float64) error {
+	baseRates, err := smRates(base)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	curRates, err := smRates(cur)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(baseRates))
+	for name := range baseRates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	compared := 0
+	for _, name := range names {
+		c, ok := curRates[name]
+		if !ok {
+			continue
+		}
+		b := baseRates[name]
+		compared++
+		if floor := b * (1 - tol); c < floor {
+			return fmt.Errorf("regression: %s = %.1f, below %.1f (baseline %.1f - %.0f%% tolerance)",
+				name, c, floor, b, 100*tol)
+		}
+		fmt.Printf("benchcheck: %s %.1f vs baseline %.1f (%+.1f%%)\n", name, c, b, 100*(c/b-1))
+	}
+	if compared == 0 {
+		return fmt.Errorf("no SM/s metric shared by the report and the baseline (need throughput points or latency single_thread)")
 	}
 	return nil
 }

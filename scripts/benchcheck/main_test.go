@@ -72,6 +72,92 @@ func TestCheckFaultsGood(t *testing.T) {
 	}
 }
 
+// baselineReport carries both comparable SM/s metrics: the throughput
+// peak (433.8, at 4 workers) and the latency single-thread compiled
+// rate (2200).
+const baselineReport = `{
+  "schema": "fourq-bench/v1",
+  "experiments": {
+    "latency": {
+      "cycles_functional": 3940,
+      "rtl_stats": {
+        "cycles": 3940,
+        "mul_utilization": 0.657,
+        "add_utilization": 0.526,
+        "forwarded_reads": 3393,
+        "elided_writes": 0
+      },
+      "single_thread": {
+        "compiled_sm_per_sec": 2200,
+        "interpreted_sm_per_sec": 400,
+        "speedup": 5.5
+      }
+    },
+    "throughput": {
+      "num_cpu": 4,
+      "sms_per_point": 24,
+      "points": [
+        {"workers": 1, "sms": 24, "sm_per_sec": 410.2, "speedup": 1, "oracle_ok": true},
+        {"workers": 4, "sms": 24, "sm_per_sec": 433.8, "speedup": 1.06, "oracle_ok": true}
+      ],
+      "verified_all": true
+    }
+  }
+}`
+
+func TestCompare(t *testing.T) {
+	base := []byte(baselineReport)
+	cases := []struct {
+		name    string
+		cur     string
+		tol     float64
+		wantErr string // empty = must pass
+	}{
+		{"identical", baselineReport, 0.10, ""},
+		{"small dip within tolerance", strings.Replace(baselineReport,
+			`"compiled_sm_per_sec": 2200`, `"compiled_sm_per_sec": 2050`, 1), 0.10, ""},
+		{"single-thread regression", strings.Replace(baselineReport,
+			`"compiled_sm_per_sec": 2200`, `"compiled_sm_per_sec": 1500`, 1), 0.10, "single-thread"},
+		{"throughput regression", strings.Replace(strings.Replace(baselineReport,
+			`"sm_per_sec": 433.8`, `"sm_per_sec": 310`, 1),
+			`"sm_per_sec": 410.2`, `"sm_per_sec": 300`, 1), 0.10, "throughput"},
+		{"tight tolerance trips", strings.Replace(baselineReport,
+			`"compiled_sm_per_sec": 2200`, `"compiled_sm_per_sec": 2100`, 1), 0.01, "regression"},
+		{"no shared metric", goodFaults, 0.10, "no SM/s metric"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := compare(base, []byte(c.cur), c.tol)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("compare failed: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("compare accepted %s", c.name)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestCompareLegacyBaseline: a baseline written before the single_thread
+// block existed still gates on the metrics it does carry.
+func TestCompareLegacyBaseline(t *testing.T) {
+	if err := compare([]byte(goodThroughput), []byte(baselineReport), 0.10); err != nil {
+		t.Fatalf("legacy baseline with only throughput should compare cleanly: %v", err)
+	}
+	slow := strings.Replace(strings.Replace(baselineReport,
+		`"sm_per_sec": 433.8`, `"sm_per_sec": 110`, 1),
+		`"sm_per_sec": 410.2`, `"sm_per_sec": 100`, 1)
+	if err := compare([]byte(goodThroughput), []byte(slow), 0.10); err == nil {
+		t.Fatal("throughput regression vs legacy baseline not caught")
+	}
+}
+
 func TestCheckRejects(t *testing.T) {
 	cases := []struct {
 		name, doc, wantErr string
