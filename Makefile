@@ -4,9 +4,11 @@
 # paths the robustness machinery exercises hardest), a short-budget fuzz
 # pass over the arithmetic and recoding differential fuzzers, an
 # end-to-end check that fourq-bench's machine-readable output carries
-# real RTL statistics, a healthy batch-engine throughput experiment, and
-# a reconciled fault-injection campaign, and finally the perf-regression
-# gate: a fresh latency+throughput run compared against the committed
+# real RTL statistics, a healthy batch-engine throughput experiment, a
+# reconciled fault-injection campaign, and a lane-batch smoke (the
+# race-enabled engine coalescing tests plus a width-2 lockstep sweep),
+# and finally the perf-regression gate: a fresh
+# latency+throughput+batch run compared against the committed
 # BENCH_rtl.json baseline (refresh it with `make bench-record` after a
 # deliberate perf change; TOLERANCE sets the allowed fractional SM/s
 # drop).
@@ -14,13 +16,14 @@
 GO ?= go
 BENCH_JSON ?= /tmp/bench.json
 THROUGHPUT_JSON ?= /tmp/throughput.json
+BATCH_JSON ?= /tmp/batch.json
 FAULTS_JSON ?= /tmp/faults.json
 COMPARE_JSON ?= /tmp/bench_compare.json
 BENCH_BASELINE ?= BENCH_rtl.json
 TOLERANCE ?= 0.10
 FUZZTIME ?= 5s
 
-.PHONY: all build test vet race race-robust fuzz-smoke ci smoke bench-record bench-compare clean
+.PHONY: all build test vet race race-robust fuzz-smoke ci smoke lane-smoke bench-record bench-compare clean
 
 all: build
 
@@ -59,22 +62,32 @@ smoke: build
 	$(GO) run ./cmd/fourq-bench -exp faults -json $(FAULTS_JSON)
 	$(GO) run ./scripts/benchcheck $(FAULTS_JSON)
 
+# Lane-batch smoke: the race-enabled coalescing/lockstep engine tests,
+# then a cheap width-2 lockstep sweep through the real bench binary so
+# CI exercises the -exp batch path end to end (full widths are swept by
+# bench-record/bench-compare).
+lane-smoke: build
+	$(GO) test -race -run 'Lane|Coalesc' -count=1 ./internal/engine ./internal/core ./internal/rtl
+	$(GO) run ./cmd/fourq-bench -exp batch -lanes 1,2 -json $(BATCH_JSON)
+	$(GO) run ./scripts/benchcheck $(BATCH_JSON)
+
 # Record the committed performance baseline: one report carrying the
 # latency experiment (with host single-thread compiled vs interpreted
-# SM/s) and the batch-engine throughput sweep, validated before it
-# lands in the tree.
+# SM/s), the batch-engine throughput sweep, and the lockstep lane-width
+# sweep, validated before it lands in the tree.
 bench-record: build
-	$(GO) run ./cmd/fourq-bench -exp latency,throughput -json $(BENCH_BASELINE)
+	$(GO) run ./cmd/fourq-bench -exp latency,throughput,batch -json $(BENCH_BASELINE)
 	$(GO) run ./scripts/benchcheck $(BENCH_BASELINE)
 
 # Perf-regression gate: a fresh run of the same experiments must stay
-# within TOLERANCE of every SM/s metric in the committed baseline.
+# within TOLERANCE of every SM/s metric in the committed baseline
+# (including the lockstep peak lane rate).
 bench-compare: build
-	$(GO) run ./cmd/fourq-bench -exp latency,throughput -json $(COMPARE_JSON)
+	$(GO) run ./cmd/fourq-bench -exp latency,throughput,batch -json $(COMPARE_JSON)
 	$(GO) run ./scripts/benchcheck -baseline $(BENCH_BASELINE) -tolerance $(TOLERANCE) $(COMPARE_JSON)
 
-ci: vet build race race-robust fuzz-smoke smoke bench-compare
+ci: vet build race race-robust fuzz-smoke smoke lane-smoke bench-compare
 
 clean:
 	$(GO) clean ./...
-	rm -f $(BENCH_JSON) $(THROUGHPUT_JSON) $(FAULTS_JSON) $(COMPARE_JSON)
+	rm -f $(BENCH_JSON) $(THROUGHPUT_JSON) $(BATCH_JSON) $(FAULTS_JSON) $(COMPARE_JSON)

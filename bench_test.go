@@ -5,6 +5,7 @@ package fourqasic
 // "Per-experiment index", for the mapping.
 
 import (
+	"fmt"
 	"math/big"
 	mrand "math/rand"
 	"sync"
@@ -113,6 +114,47 @@ func BenchmarkScalarMultASIC(b *testing.B) {
 	}
 	b.ReportMetric(float64(p.CyclesEndoModeled()), "cycles/SM")
 	b.ReportMetric(m.Latency(1.2)*1e6, "us@1.2V")
+}
+
+// BenchmarkScalarMultLanes executes scalar multiplications in lockstep
+// lane batches (the SIMT-style amortization of the static schedule —
+// see docs/PERF.md, "Lane batching") at widths 1/2/4/8. ns/op is per
+// scalar multiplication, so the width-to-width ratio is the lockstep
+// speedup; ReportAllocs guards the zero-alloc steady state.
+func BenchmarkScalarMultLanes(b *testing.B) {
+	p := processor(b)
+	rng := mrand.New(mrand.NewSource(5))
+	for _, width := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("width%d", width), func(b *testing.B) {
+			ex := p.NewExecutor()
+			ks := make([]scalar.Scalar, width)
+			bases := make([]curve.Affine, width)
+			outs := make([]curve.Affine, width)
+			errs := make([]error, width)
+			for l := range ks {
+				ks[l] = randScalar(rng)
+				bases[l] = curve.GeneratorAffine()
+			}
+			if _, err := ex.ScalarMultLanes(ks, bases, outs, errs); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			// b.N counts SMs and each batch runs `width` of them, so
+			// ns/op reads as per-SM cost across widths.
+			for i := 0; i < b.N; i += width {
+				if _, err := ex.ScalarMultLanes(ks, bases, outs, errs); err != nil {
+					b.Fatal(err)
+				}
+				for l := range errs {
+					if errs[l] != nil {
+						b.Fatal(errs[l])
+					}
+				}
+			}
+			b.StopTimer()
+		})
+	}
 }
 
 // BenchmarkScalarMultInterpreted runs the same workload through the

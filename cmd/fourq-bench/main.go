@@ -56,8 +56,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: profile|table1|latency|throughput|fig4|table2|fig3|ablation|pareto|faults|all")
+	exp := flag.String("exp", "all", "comma-separated experiments: profile|table1|latency|throughput|batch|fig4|table2|fig3|ablation|pareto|faults|all")
 	full := flag.Bool("full", false, "include full-trace scheduler ablation (slow)")
+	lanes := flag.String("lanes", "1,2,4,8", "ascending lockstep lane widths swept by -exp batch")
 	jsonPath := flag.String("json", "", "write executed experiments' results as structured JSON to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event timeline of one scalar multiplication to this file")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
@@ -73,7 +74,7 @@ func main() {
 		fmt.Printf("debug server (pprof + expvar) on http://%s/debug/pprof\n", *debugAddr)
 	}
 
-	if err := run(*exp, *full, *jsonPath, *tracePath); err != nil {
+	if err := run(*exp, *full, *lanes, *jsonPath, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "fourq-bench:", err)
 		os.Exit(1)
 	}
@@ -82,9 +83,10 @@ func main() {
 // bench carries the shared state of one invocation: the lazily built
 // processor and the accumulating JSON report.
 type bench struct {
-	full bool
-	proc *core.Processor
-	rep  *report
+	full  bool
+	lanes []int // lockstep widths swept by -exp batch
+	proc  *core.Processor
+	rep   *report
 }
 
 // processor builds the full trace->schedule->emit pipeline on first use
@@ -114,13 +116,18 @@ type step struct {
 	f    func() error
 }
 
-func run(exp string, full bool, jsonPath, tracePath string) error {
-	b := &bench{full: full, rep: newReport()}
+func run(exp string, full bool, lanes, jsonPath, tracePath string) error {
+	widths, err := parseLanes(lanes)
+	if err != nil {
+		return fmt.Errorf("-lanes: %w", err)
+	}
+	b := &bench{full: full, lanes: widths, rep: newReport()}
 	steps := []step{
 		{"profile", b.profile},
 		{"table1", b.table1},
 		{"latency", b.latency},
 		{"throughput", b.throughput},
+		{"batch", b.batch},
 		{"fig4", b.fig4},
 		{"table2", b.table2},
 		{"fig3", b.fig3},

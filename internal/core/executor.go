@@ -143,6 +143,8 @@ type Executor struct {
 	inj    rtl.Injector
 	runs   int
 	cycles int64
+	// ls is the lazily-grown lockstep lane state (ScalarMultLanes).
+	ls *laneState
 }
 
 // NewExecutor returns an independent executor over p with its own

@@ -106,6 +106,21 @@ type Options struct {
 	// Injector, when non-nil, arms worker i's executor with
 	// Injector(i) — the fault-campaign hook (see internal/fault).
 	Injector func(worker int) rtl.Injector
+	// LaneWidth > 1 turns on request coalescing: each worker drains up
+	// to LaneWidth queued jobs and executes them in one lockstep pass of
+	// the compiled schedule (core.Executor.ScalarMultLanes), amortizing
+	// the schedule walk across the batch. Results and errors stay
+	// per-request and are delivered exactly-once through the same job
+	// plumbing; a lane that fails validation re-enters the retry ladder
+	// alone. Default 1 (no coalescing).
+	LaneWidth int
+	// FlushDeadline bounds how long a lane worker waits for lane-mates
+	// when it holds a partial batch: once it expires the batch runs at
+	// whatever width it reached, so a lone request is never held hostage.
+	// Driven by Clock (tests inject a fake). Defaults to 200µs when
+	// LaneWidth > 1; negative disables waiting (run immediately with
+	// whatever was queued).
+	FlushDeadline time.Duration
 }
 
 // Backend identifies which datapath produced a Result.
@@ -188,6 +203,8 @@ type Engine struct {
 	valFailed   *telemetry.Counter
 	fallbacks   *telemetry.Counter
 	quarantined *telemetry.Counter
+	laneRuns    *telemetry.Counter
+	laneLanes   *telemetry.Counter
 	depth       *telemetry.Gauge
 	inFlight    *telemetry.Gauge
 	latency     *telemetry.Histogram
@@ -201,6 +218,13 @@ type workerState struct {
 	rng          jitterRNG
 	consecFaults int
 	quarantined  bool
+	// Lane-coalescing scratch, sized to Options.LaneWidth once at
+	// construction so the steady-state batch path allocates nothing.
+	jobs  []*job
+	ks    []scalar.Scalar
+	bases []curve.Affine
+	outs  []curve.Affine
+	lerrs []error
 }
 
 // New builds (or fetches from the process-wide cache — see
@@ -248,6 +272,12 @@ func NewWithProcessor(p *core.Processor, opts Options) *Engine {
 	if opts.BreakerCooldown <= 0 {
 		opts.BreakerCooldown = 100 * time.Millisecond
 	}
+	if opts.LaneWidth <= 0 {
+		opts.LaneWidth = 1
+	}
+	if opts.FlushDeadline == 0 && opts.LaneWidth > 1 {
+		opts.FlushDeadline = 200 * time.Microsecond
+	}
 	reg := opts.Registry
 	e := &Engine{
 		proc:        p,
@@ -263,6 +293,8 @@ func NewWithProcessor(p *core.Processor, opts Options) *Engine {
 		valFailed:   reg.Counter("engine.validation_failed"),
 		fallbacks:   reg.Counter("engine.fallback_completed"),
 		quarantined: reg.Counter("engine.workers_quarantined"),
+		laneRuns:    reg.Counter("engine.lane_runs"),
+		laneLanes:   reg.Counter("engine.lane_lanes"),
 		depth:       reg.Gauge("engine.queue_depth"),
 		inFlight:    reg.Gauge("engine.in_flight"),
 		latency: reg.Histogram("engine.latency_seconds",
@@ -286,7 +318,16 @@ func NewWithProcessor(p *core.Processor, opts Options) *Engine {
 			rng: jitterRNG(uint64(opts.BackoffSeed) ^ uint64(i+1)*0x9E3779B97F4A7C15),
 		}
 		e.wg.Add(1)
-		go e.worker(w)
+		if lw := opts.LaneWidth; lw > 1 {
+			w.jobs = make([]*job, 0, lw)
+			w.ks = make([]scalar.Scalar, 0, lw)
+			w.bases = make([]curve.Affine, 0, lw)
+			w.outs = make([]curve.Affine, lw)
+			w.lerrs = make([]error, lw)
+			go e.workerLanes(w)
+		} else {
+			go e.worker(w)
+		}
 	}
 	return e
 }
@@ -448,14 +489,152 @@ func (e *Engine) worker(w *workerState) {
 			continue // canceled while queued; the canceler accounted for it
 		}
 		e.inFlight.Add(1)
-		r := e.execute(w, j.req)
-		e.inFlight.Add(-1)
-		e.latency.Observe(time.Since(j.enq).Seconds())
-		if r.Err != nil {
-			e.failed.Inc()
+		e.deliver(j, e.execute(w, j.req))
+	}
+}
+
+// deliver resolves one claimed job: exactly one Result on done, with
+// the in-flight/latency/completion accounting of the single-job loop.
+func (e *Engine) deliver(j *job, r Result) {
+	e.inFlight.Add(-1)
+	e.latency.Observe(time.Since(j.enq).Seconds())
+	if r.Err != nil {
+		e.failed.Inc()
+	}
+	e.completed.Inc()
+	j.done <- r
+}
+
+// workerLanes is the coalescing worker loop (Options.LaneWidth > 1):
+// drain up to LaneWidth jobs, run them in one lockstep pass, deliver
+// per lane.
+func (e *Engine) workerLanes(w *workerState) {
+	defer e.wg.Done()
+	for {
+		jobs := e.collect(w)
+		if len(jobs) == 0 {
+			return
 		}
-		e.completed.Inc()
-		j.done <- r
+		e.inFlight.Add(float64(len(jobs)))
+		e.executeLanes(w, jobs)
+	}
+}
+
+// collect claims up to LaneWidth queued jobs for one lockstep batch.
+// It blocks for the first job like the single-job loop; holding a
+// partial batch it then waits for lane-mates in FlushDeadline/4 slices
+// of injected-Clock sleep, giving up at the flush deadline (or at once
+// when the deadline is negative, or when the engine closes) — so a
+// lone request pays at most the deadline, never an unbounded wait.
+// Returns an empty slice when the engine is closed and drained.
+func (e *Engine) collect(w *workerState) []*job {
+	lw := e.opts.LaneWidth
+	w.jobs = w.jobs[:0]
+	e.mu.Lock()
+	for len(e.queue) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.queue) == 0 && e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.popClaim(w, lw)
+	closed := e.closed
+	e.mu.Unlock()
+	if len(w.jobs) >= lw || closed || e.opts.FlushDeadline < 0 {
+		if len(w.jobs) == 0 {
+			// Everything popped had been canceled; go back to blocking.
+			return e.collect(w)
+		}
+		return w.jobs
+	}
+	deadline := e.clock.Now().Add(e.opts.FlushDeadline)
+	slice := e.opts.FlushDeadline / 4
+	if slice <= 0 {
+		slice = e.opts.FlushDeadline
+	}
+	for len(w.jobs) < lw {
+		e.clock.Sleep(slice)
+		e.mu.Lock()
+		e.popClaim(w, lw)
+		closed = e.closed
+		e.mu.Unlock()
+		if closed || !e.clock.Now().Before(deadline) {
+			break
+		}
+	}
+	if len(w.jobs) == 0 {
+		return e.collect(w)
+	}
+	return w.jobs
+}
+
+// popClaim moves queued jobs into w.jobs (up to max), claiming each;
+// jobs canceled while queued are dropped — the canceler accounted for
+// them. Caller holds e.mu.
+func (e *Engine) popClaim(w *workerState, max int) {
+	for len(w.jobs) < max && len(e.queue) > 0 {
+		j := e.queue[0]
+		e.queue = e.queue[1:]
+		if j.state.CompareAndSwap(jobPending, jobClaimed) {
+			w.jobs = append(w.jobs, j)
+		}
+	}
+	e.depth.Set(float64(len(e.queue)))
+}
+
+// executeLanes runs one claimed batch. The fast path is a single
+// lockstep pass counted as RTL attempt #1 for every lane; a lane
+// rejected by validation re-enters the per-request degradation ladder
+// (executeFrom with one attempt spent), so retry, quarantine, breaker,
+// and software-fallback semantics stay per request. Batches of one, a
+// quarantined worker, or a breaker refusing the batch all route through
+// the unchanged single-job ladder.
+func (e *Engine) executeLanes(w *workerState, jobs []*job) {
+	n := len(jobs)
+	if n == 1 || w.quarantined || !e.brk.allowRTL(e.clock.Now()) {
+		for _, j := range jobs {
+			e.deliver(j, e.execute(w, j.req))
+		}
+		return
+	}
+	w.ks, w.bases = w.ks[:0], w.bases[:0]
+	for _, j := range jobs {
+		base := j.req.Base
+		if base == (curve.Affine{}) {
+			base = curve.GeneratorAffine()
+		}
+		w.ks = append(w.ks, j.req.K)
+		w.bases = append(w.bases, base)
+	}
+	st, err := w.ex.ScalarMultLanesValidated(w.ks, w.bases, w.outs[:n], w.lerrs[:n], e.validate)
+	if err != nil {
+		// Whole-batch refusal (cannot happen with well-formed scratch
+		// buffers); serve every job individually rather than dropping any.
+		for _, j := range jobs {
+			e.deliver(j, e.execute(w, j.req))
+		}
+		return
+	}
+	e.laneRuns.Inc()
+	e.laneLanes.Add(int64(n))
+	for i, j := range jobs {
+		if w.lerrs[i] == nil {
+			e.brk.record(false, e.clock.Now())
+			w.consecFaults = 0
+			e.deliver(j, Result{Point: w.outs[i], Stats: st, Backend: BackendRTL, Attempts: 1})
+			continue
+		}
+		// A detected fault in this lane only: same accounting as the
+		// single-job ladder's failed attempt, then that ladder continues.
+		e.valFailed.Inc()
+		e.brk.record(true, e.clock.Now())
+		w.consecFaults++
+		if e.opts.QuarantineAfter > 0 && w.consecFaults >= e.opts.QuarantineAfter {
+			w.quarantined = true
+			e.quarantined.Inc()
+		}
+		e.deliver(j, e.executeFrom(w, j.req, 1))
 	}
 }
 
@@ -466,13 +645,27 @@ func (e *Engine) worker(w *workerState) {
 // which always answers, so execute never returns a Result.Err for a
 // datapath fault.
 func (e *Engine) execute(w *workerState, req Request) Result {
+	return e.executeFrom(w, req, 0)
+}
+
+// executeFrom is execute with `prior` RTL attempts already spent on the
+// request (the lane path's lockstep pass counts as one): the returned
+// Attempts includes them, the remaining tries continue the same
+// MaxAttempts budget, and re-entering with prior > 0 first pays the
+// backoff a single-path run would have slept after that failed attempt.
+func (e *Engine) executeFrom(w *workerState, req Request, prior int) Result {
 	base := req.Base
 	if base == (curve.Affine{}) {
 		base = curve.GeneratorAffine()
 	}
 	var r Result
+	r.Attempts = prior
 	if !w.quarantined {
-		for attempt := 0; attempt < e.opts.MaxAttempts; attempt++ {
+		if prior > 0 && prior < e.opts.MaxAttempts {
+			e.retries.Inc()
+			e.clock.Sleep(backoffDelay(e.opts.BackoffBase, e.opts.BackoffMax, prior-1, &w.rng))
+		}
+		for attempt := prior; attempt < e.opts.MaxAttempts; attempt++ {
 			if !e.brk.allowRTL(e.clock.Now()) {
 				break
 			}

@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"context"
+	mrand "math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/curve"
+	"repro/internal/fault"
+	"repro/internal/rtl"
+	"repro/internal/scalar"
+	"repro/internal/telemetry"
+)
+
+func randReq(rng *mrand.Rand) Request {
+	var k scalar.Scalar
+	for i := range k {
+		k[i] = rng.Uint64()
+	}
+	req := Request{K: k}
+	if rng.Intn(2) == 1 {
+		var b scalar.Scalar
+		for i := range b {
+			b[i] = rng.Uint64()
+		}
+		req.Base = curve.ScalarMultBinary(b, curve.Generator()).Affine()
+	}
+	return req
+}
+
+func wantPoint(req Request) curve.Affine {
+	base := req.Base
+	if base == (curve.Affine{}) {
+		base = curve.GeneratorAffine()
+	}
+	return curve.ScalarMult(req.K, curve.FromAffine(base)).Affine()
+}
+
+// TestEngineCoalescing drives a coalescing engine (LaneWidth 4) with a
+// mixed fixed/variable-base load: every result must be correct and RTL-
+// backed, the lockstep path must actually be taken, and the telemetry
+// must reconcile exactly after drain.
+func TestEngineCoalescing(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := NewWithProcessor(testProcessor(t), Options{
+		Workers: 2, QueueDepth: 64, LaneWidth: 4, Registry: reg,
+	})
+	rng := mrand.New(mrand.NewSource(31415))
+	const jobs = 24
+	reqs := make([]Request, jobs)
+	for i := range reqs {
+		reqs[i] = randReq(rng)
+	}
+	results, err := e.SubmitBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+		want := wantPoint(reqs[i])
+		if !r.Point.X.Equal(want.X) || !r.Point.Y.Equal(want.Y) {
+			t.Fatalf("request %d: wrong point", i)
+		}
+		if r.Backend != BackendRTL || r.Attempts != 1 {
+			t.Fatalf("request %d: backend %v attempts %d, want RTL/1", i, r.Backend, r.Attempts)
+		}
+	}
+	e.Close()
+	get := func(name string) int64 { return reg.Counter(name).Value() }
+	if got := get("engine.submitted"); got != jobs {
+		t.Fatalf("submitted = %d, want %d", got, jobs)
+	}
+	if get("engine.submitted") != get("engine.completed")+get("engine.canceled") {
+		t.Fatal("telemetry does not reconcile: submitted != completed + canceled")
+	}
+	laneRuns, laneLanes := get("engine.lane_runs"), get("engine.lane_lanes")
+	if laneRuns < 1 || laneLanes < 2 {
+		t.Fatalf("lockstep path unused: lane_runs=%d lane_lanes=%d", laneRuns, laneLanes)
+	}
+	if laneLanes > jobs {
+		t.Fatalf("lane_lanes=%d exceeds submitted jobs %d", laneLanes, jobs)
+	}
+	if v := reg.Gauge("engine.in_flight").Value(); v != 0 {
+		t.Fatalf("in_flight = %v after drain, want 0", v)
+	}
+}
+
+// TestEngineFlushDeadline pins the lone-request guarantee with an
+// injected clock: a worker holding a partial batch waits for lane-mates
+// only in FlushDeadline/4 slices up to the deadline, then runs — so a
+// single submission completes after a bounded (fake) wait, and with a
+// negative deadline it never waits at all.
+func TestEngineFlushDeadline(t *testing.T) {
+	clk := newFakeClock()
+	e := NewWithProcessor(testProcessor(t), Options{
+		Workers: 1, LaneWidth: 4, FlushDeadline: time.Millisecond, Clock: clk,
+	})
+	defer e.Close()
+	req := randReq(mrand.New(mrand.NewSource(7)))
+	r, err := e.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantPoint(req)
+	if !r.Point.X.Equal(want.X) || !r.Point.Y.Equal(want.Y) {
+		t.Fatal("lone coalesced request returned a wrong point")
+	}
+	var waited time.Duration
+	for _, d := range clk.Sleeps() {
+		if d != 250*time.Microsecond {
+			t.Fatalf("flush wait slept %v, want FlushDeadline/4 slices", d)
+		}
+		waited += d
+	}
+	if waited == 0 {
+		t.Fatal("partial batch ran without consulting the flush deadline")
+	}
+	if waited > 2*time.Millisecond {
+		t.Fatalf("lone request held for %v of fake time, deadline was 1ms", waited)
+	}
+
+	// Negative deadline: run immediately, no flush sleeps at all.
+	clk2 := newFakeClock()
+	e2 := NewWithProcessor(testProcessor(t), Options{
+		Workers: 1, LaneWidth: 4, FlushDeadline: -1, Clock: clk2,
+	})
+	defer e2.Close()
+	if _, err := e2.Submit(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(clk2.Sleeps()); n != 0 {
+		t.Fatalf("negative FlushDeadline slept %d times, want 0", n)
+	}
+}
+
+// TestEngineLaneFaultIsolation arms a one-shot guaranteed-detected
+// fault on a coalescing engine: exactly one request of the batch pays a
+// retry, every request still gets the correct RTL-backed answer, and
+// the batch accounting reflects one detected fault.
+func TestEngineLaneFaultIsolation(t *testing.T) {
+	p := testProcessor(t)
+	f := seuFault(t, p)
+	reg := telemetry.NewRegistry()
+	e := NewWithProcessor(p, Options{
+		Workers: 1, QueueDepth: 8, LaneWidth: 4, Verify: true, Registry: reg,
+		Injector: func(int) rtl.Injector {
+			return fault.NewInjector([]fault.Fault{f}, reg).SetBudget(1)
+		},
+	})
+	rng := mrand.New(mrand.NewSource(99))
+	reqs := make([]Request, 4)
+	for i := range reqs {
+		reqs[i] = randReq(rng)
+	}
+	results, err := e.SubmitBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	retried := 0
+	for i, r := range results {
+		want := wantPoint(reqs[i])
+		if !r.Point.X.Equal(want.X) || !r.Point.Y.Equal(want.Y) {
+			t.Fatalf("request %d: wrong point", i)
+		}
+		if r.Backend != BackendRTL {
+			t.Fatalf("request %d: backend %v, want RTL", i, r.Backend)
+		}
+		if r.Attempts > 1 {
+			retried++
+		}
+	}
+	if retried != 1 {
+		t.Fatalf("%d requests retried, want exactly the faulted lane", retried)
+	}
+	if got := reg.Counter("engine.validation_failed").Value(); got != 1 {
+		t.Fatalf("validation_failed = %d, want 1", got)
+	}
+	if got := reg.Counter("engine.retries").Value(); got != 1 {
+		t.Fatalf("retries = %d, want 1", got)
+	}
+}
+
+// TestEngineCoalescingCancellation: a request canceled while queued is
+// skipped by the batch claim and never delivered, and the counters
+// still reconcile.
+func TestEngineCoalescingCancellation(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := NewWithProcessor(testProcessor(t), Options{
+		Workers: 1, QueueDepth: 16, LaneWidth: 4, Registry: reg,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Submit(ctx, randReq(mrand.New(mrand.NewSource(1)))); err == nil {
+		t.Fatal("submit with a done context must not run")
+	}
+	r, err := e.Submit(context.Background(), randReq(mrand.New(mrand.NewSource(2))))
+	if err != nil || r.Err != nil {
+		t.Fatalf("live submission failed: %v / %v", err, r.Err)
+	}
+	e.Close()
+	get := func(name string) int64 { return reg.Counter(name).Value() }
+	if get("engine.submitted") != get("engine.completed")+get("engine.canceled") {
+		t.Fatal("telemetry does not reconcile after cancellation")
+	}
+}
+
+// TestEngineCoalescedEqualsSingle runs the same workload through a
+// coalescing engine and a classic single-job engine sharing one
+// processor: byte-identical points either way.
+func TestEngineCoalescedEqualsSingle(t *testing.T) {
+	p := testProcessor(t)
+	lanes := NewWithProcessor(p, Options{Workers: 1, QueueDepth: 32, LaneWidth: 4})
+	single := NewWithProcessor(p, Options{Workers: 1, QueueDepth: 32})
+	defer lanes.Close()
+	defer single.Close()
+	rng := mrand.New(mrand.NewSource(2718))
+	reqs := make([]Request, 9)
+	for i := range reqs {
+		reqs[i] = randReq(rng)
+	}
+	rl, err := lanes.SubmitBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := single.SubmitBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if !rl[i].Point.X.Equal(rs[i].Point.X) || !rl[i].Point.Y.Equal(rs[i].Point.Y) {
+			t.Fatalf("request %d: coalesced and single-job engines disagree", i)
+		}
+	}
+}

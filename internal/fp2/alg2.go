@@ -191,6 +191,123 @@ func MulAlg2Trace(x, y Element) Alg2Trace {
 	return tr
 }
 
+// mulAlg2Lean is MulAlg2 with the pipeline-trace bookkeeping stripped:
+// the same stages in the same order on the same lazy-reduction domains,
+// fused so every intermediate stays in registers instead of being
+// written into an Alg2Trace. Outputs are bit-identical to MulAlg2 by
+// construction (TestMulAlg2RowsMatchesTrace pins it exhaustively over
+// random and edge-case inputs).
+func mulAlg2Lean(x, y Element) Element {
+	x0lo, x0hi := x.A.Limbs()
+	x1lo, x1hi := x.B.Limbs()
+	y0lo, y0hi := y.A.Limbs()
+	y1lo, y1hi := y.B.Limbs()
+
+	// Stage 1: t0 = x0*y0 and t1 = x1*y1 (mulWide flattened into limb
+	// variables so every intermediate stays in registers), plus the
+	// Karatsuba pre-additions t2 = x0+x1, t3 = y0+y1.
+	var c, c2 uint64
+	h00, l00 := bits.Mul64(x0lo, y0lo)
+	h01, l01 := bits.Mul64(x0lo, y0hi)
+	h10, l10 := bits.Mul64(x0hi, y0lo)
+	h11, l11 := bits.Mul64(x0hi, y0hi)
+	t00 := l00
+	t01, c := bits.Add64(h00, l01, 0)
+	t02, c2 := bits.Add64(h01, l11, c)
+	t03 := h11 + c2
+	t01, c = bits.Add64(t01, l10, 0)
+	t02, c2 = bits.Add64(t02, h10, c)
+	t03 += c2
+
+	h00, l00 = bits.Mul64(x1lo, y1lo)
+	h01, l01 = bits.Mul64(x1lo, y1hi)
+	h10, l10 = bits.Mul64(x1hi, y1lo)
+	h11, l11 = bits.Mul64(x1hi, y1hi)
+	t10 := l00
+	t11, c := bits.Add64(h00, l01, 0)
+	t12, c2 := bits.Add64(h01, l11, c)
+	t13 := h11 + c2
+	t11, c = bits.Add64(t11, l10, 0)
+	t12, c2 = bits.Add64(t12, h10, c)
+	t13 += c2
+
+	t2lo, c := bits.Add64(x0lo, x1lo, 0)
+	t2hi, _ := bits.Add64(x0hi, x1hi, c)
+	t3lo, c := bits.Add64(y0lo, y1lo, 0)
+	t3hi, _ := bits.Add64(y0hi, y1hi, c)
+
+	// Stage 2: t4 = t0 - t1 (signed), t5 = t0 + t1, t6 = t2 * t3.
+	var bw uint64
+	t40, bw := bits.Sub64(t00, t10, 0)
+	t41, bw := bits.Sub64(t01, t11, bw)
+	t42, bw := bits.Sub64(t02, t12, bw)
+	t43, bw := bits.Sub64(t03, t13, bw)
+
+	t50, c := bits.Add64(t00, t10, 0)
+	t51, c := bits.Add64(t01, t11, c)
+	t52, c := bits.Add64(t02, t12, c)
+	t53, _ := bits.Add64(t03, t13, c)
+
+	h00, l00 = bits.Mul64(t2lo, t3lo)
+	h01, l01 = bits.Mul64(t2lo, t3hi)
+	h10, l10 = bits.Mul64(t2hi, t3lo)
+	h11, l11 = bits.Mul64(t2hi, t3hi)
+	t60 := l00
+	t61, c := bits.Add64(h00, l01, 0)
+	t62, c2 := bits.Add64(h01, l11, c)
+	t63 := h11 + c2
+	t61, c = bits.Add64(t61, l10, 0)
+	t62, c2 = bits.Add64(t62, h10, c)
+	t63 += c2
+
+	// Stage 3: lift t4 into the non-negative 254-bit domain by adding
+	// p*(2^127+1) = 2^254-1 when negative; t8 = t6 - t5 (the cross term,
+	// always non-negative).
+	if bw != 0 {
+		t40, c = bits.Add64(t40, ^uint64(0), 0)
+		t41, c = bits.Add64(t41, ^uint64(0), c)
+		t42, c = bits.Add64(t42, ^uint64(0), c)
+		t43, _ = bits.Add64(t43, 0x3FFFFFFFFFFFFFFF, c)
+	}
+	t80, bw := bits.Sub64(t60, t50, 0)
+	t81, bw := bits.Sub64(t61, t51, bw)
+	t82, bw := bits.Sub64(t62, t52, bw)
+	t83, _ := bits.Sub64(t63, t53, bw)
+
+	// Stage 4: Mersenne folds — fold254 for t4, fold256 for t8.
+	z0lo, c := bits.Add64(t40, t41>>63|t42<<1, 0)
+	z0hi, _ := bits.Add64(t41&mask127le, t42>>63|t43<<1, c)
+
+	top2 := t83 >> 62
+	t83 &= 0x3FFFFFFFFFFFFFFF
+	z1lo, c := bits.Add64(t80, t81>>63|t82<<1, 0)
+	z1hi, _ := bits.Add64(t81&mask127le, t82>>63|t83<<1, c)
+	z1lo, c = bits.Add64(z1lo, top2, 0)
+	z1hi += c
+
+	// Stage 5: final conditional subtractions into canonical form.
+	return Element{A: condSubP(z0lo, z0hi), B: condSubP(z1lo, z1hi)}
+}
+
+// mask127le keeps the low 63 bits of a high limb (bit 127 of the wide
+// value), mirroring fold254's masking.
+const mask127le = 0x7FFFFFFFFFFFFFFF
+
+// MulAlg2Rows computes dst[i] = a[i] * b[i] with the Algorithm 2
+// multiplier for whole operand rows (the lockstep lane machine's mul
+// kernel, see internal/rtl). Results are bit-identical to per-element
+// MulAlg2 — same stages, same lazy-reduction domains — without
+// materializing a pipeline trace per product, which is what makes the
+// batched path cheaper than N scalar calls. dst, a and b must have the
+// same length.
+func MulAlg2Rows(dst, a, b []Element) {
+	_ = dst[len(a)-1] // one bounds check, then the loop body elides them
+	_ = b[len(a)-1]
+	for i := range a {
+		dst[i] = mulAlg2Lean(a[i], b[i])
+	}
+}
+
 // FpMulCount reports the number of GF(p) multiplier instances Algorithm 2
 // uses (3, versus 4 for the schoolbook datapath); used by the area model.
 const FpMulCount = 3

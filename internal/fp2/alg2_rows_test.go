@@ -1,0 +1,89 @@
+package fp2
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"repro/internal/fp"
+)
+
+// TestMulAlg2RowsMatchesTrace pins the lean row kernel to the traced
+// Algorithm 2 model bit for bit: random elements plus the lazy-
+// reduction edge cases (zero, one, maximal limbs — the inputs that
+// exercise T4's sign lift and condSubP's double subtraction).
+func TestMulAlg2RowsMatchesTrace(t *testing.T) {
+	pm1 := fp.SetLimbs(^uint64(0)-1, ^uint64(0)>>1) // p - 1
+	edges := []Element{
+		{},
+		New(fp.One(), fp.Zero()),
+		New(fp.Zero(), fp.One()),
+		New(pm1, pm1),
+		New(pm1, fp.Zero()),
+		New(fp.Zero(), pm1),
+		New(fp.One(), pm1),
+	}
+	rng := mrand.New(mrand.NewSource(97))
+	var a, b []Element
+	for _, x := range edges {
+		for _, y := range edges {
+			a = append(a, x)
+			b = append(b, y)
+		}
+	}
+	for i := 0; i < 512; i++ {
+		a = append(a, randElement(rng))
+		b = append(b, randElement(rng))
+	}
+	dst := make([]Element, len(a))
+	MulAlg2Rows(dst, a, b)
+	for i := range a {
+		want := MulAlg2(a[i], b[i])
+		if !dst[i].Equal(want) {
+			t.Fatalf("pair %d: row kernel %v != traced MulAlg2 %v for %v * %v",
+				i, dst[i], want, a[i], b[i])
+		}
+	}
+}
+
+// FuzzMulAlg2RowsEquivalence fuzzes the lean kernel against the traced
+// model over arbitrary limb patterns (SetLimbs canonicalizes them).
+func FuzzMulAlg2RowsEquivalence(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0),
+		uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0),
+		^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, a0, a1, a2, a3, b0, b1, b2, b3 uint64) {
+		a := New(fp.SetLimbs(a0, a1), fp.SetLimbs(a2, a3))
+		b := New(fp.SetLimbs(b0, b1), fp.SetLimbs(b2, b3))
+		var dst [1]Element
+		MulAlg2Rows(dst[:], []Element{a}, []Element{b})
+		if want := MulAlg2(a, b); !dst[0].Equal(want) {
+			t.Fatalf("row kernel %v != traced MulAlg2 %v for %v * %v", dst[0], want, a, b)
+		}
+	})
+}
+
+func BenchmarkMulAlg2Rows(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(5))
+	const n = 8
+	var av, bv, dst [n]Element
+	for i := range av {
+		av[i] = randElement(rng)
+		bv[i] = randElement(rng)
+	}
+	b.Run("traced-scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i += n {
+			for l := 0; l < n; l++ {
+				dst[l] = MulAlg2(av[l], bv[l])
+			}
+		}
+	})
+	b.Run("lean-rows", func(b *testing.B) {
+		for i := 0; i < b.N; i += n {
+			MulAlg2Rows(dst[:], av[:], bv[:])
+		}
+	})
+	sinkRows = dst
+}
+
+var sinkRows [8]Element

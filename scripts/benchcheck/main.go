@@ -5,6 +5,10 @@
 // (positive cycle count, per-unit utilization, and forwarding/elision
 // counters). When the throughput experiment is present its points must
 // be internally consistent (positive rates, oracle-verified results).
+// When the batch experiment is present its lockstep lane-width sweep
+// must exist, be oracle-verified, and be monotone in SM/s — a wider
+// batch measuring slower is only accepted when the report carries a
+// note saying why.
 // When the faults experiment is present its outcome tallies must
 // reconcile with the trial count, and a report quoting a silent-
 // corruption rate without the campaign metadata (seed, trials, sites,
@@ -13,7 +17,8 @@
 //
 // With -baseline it additionally runs in compare mode: the SM/s metrics
 // shared by the report and the baseline (the throughput experiment's
-// peak rate, the latency experiment's single-thread compiled rate) must
+// peak rate, the latency experiment's single-thread compiled rate, the
+// batch experiment's peak lockstep lane rate) must
 // not have regressed by more than -tolerance (default 10%). This is the
 // perf-regression gate `make bench-compare` runs against the committed
 // BENCH_rtl.json.
@@ -80,6 +85,25 @@ type rtlStats struct {
 	ElidedWrites   *int    `json:"elided_writes"`
 }
 
+type batchExp struct {
+	LaneWidths []struct {
+		Width    int     `json:"width"`
+		SMPerSec float64 `json:"sm_per_sec"`
+		Speedup  float64 `json:"speedup"`
+		OracleOK bool    `json:"oracle_ok"`
+	} `json:"lane_widths"`
+	PeakLaneSMPerSec float64 `json:"peak_lane_sm_per_sec"`
+	Engine           *struct {
+		LaneWidth int     `json:"lane_width"`
+		SMPerSec  float64 `json:"sm_per_sec"`
+		LaneRuns  int64   `json:"lane_runs"`
+		LaneLanes int64   `json:"lane_lanes"`
+		OracleOK  bool    `json:"oracle_ok"`
+	} `json:"engine"`
+	Note        string `json:"note"`
+	VerifiedAll bool   `json:"verified_all"`
+}
+
 type throughputExp struct {
 	NumCPU      int `json:"num_cpu"`
 	SMsPerPoint int `json:"sms_per_point"`
@@ -136,7 +160,13 @@ func check(data []byte) error {
 			return err
 		}
 	}
-	if st == nil && !hasThroughput && !hasFaults {
+	ba, hasBatch := r.Experiments["batch"]
+	if hasBatch {
+		if err := checkBatch(ba); err != nil {
+			return err
+		}
+	}
+	if st == nil && !hasThroughput && !hasFaults && !hasBatch {
 		return fmt.Errorf("no experiment carries rtl_stats (run -exp latency or -exp profile)")
 	}
 	if st != nil {
@@ -197,6 +227,65 @@ func checkThroughput(raw json.RawMessage) error {
 	return nil
 }
 
+// checkBatch validates the lockstep lane-batching experiment: the
+// lane-width sweep must be present, every point oracle-verified with a
+// positive rate at an ascending width, and the sweep monotone in SM/s
+// — a wider batch that measures slower is only accepted when the
+// report says why (the "note" field). The engine point, when present,
+// must prove the lockstep path actually served lanes.
+func checkBatch(raw json.RawMessage) error {
+	var ba batchExp
+	if err := json.Unmarshal(raw, &ba); err != nil {
+		return fmt.Errorf("batch: parse: %w", err)
+	}
+	if len(ba.LaneWidths) == 0 {
+		return fmt.Errorf("batch: no lane_widths points (the lane sweep is the experiment)")
+	}
+	if !ba.VerifiedAll {
+		return fmt.Errorf("batch: verified_all = false")
+	}
+	peak := 0.0
+	for i, p := range ba.LaneWidths {
+		if p.Width < 1 {
+			return fmt.Errorf("batch point %d: width = %d, want >= 1", i, p.Width)
+		}
+		if i > 0 && p.Width <= ba.LaneWidths[i-1].Width {
+			return fmt.Errorf("batch point %d: width %d not ascending", i, p.Width)
+		}
+		if p.SMPerSec <= 0 {
+			return fmt.Errorf("batch point %d: sm_per_sec = %v, want > 0", i, p.SMPerSec)
+		}
+		if p.Speedup <= 0 {
+			return fmt.Errorf("batch point %d: speedup = %v, want > 0", i, p.Speedup)
+		}
+		if !p.OracleOK {
+			return fmt.Errorf("batch point %d: oracle_ok = false", i)
+		}
+		if i > 0 && p.SMPerSec < ba.LaneWidths[i-1].SMPerSec && ba.Note == "" {
+			return fmt.Errorf("batch: sm_per_sec drops at width %d with no note explaining it", p.Width)
+		}
+		if p.SMPerSec > peak {
+			peak = p.SMPerSec
+		}
+	}
+	if ba.PeakLaneSMPerSec != peak {
+		return fmt.Errorf("batch: peak_lane_sm_per_sec = %v, but the sweep's maximum is %v", ba.PeakLaneSMPerSec, peak)
+	}
+	if e := ba.Engine; e != nil {
+		if e.SMPerSec <= 0 {
+			return fmt.Errorf("batch engine: sm_per_sec = %v, want > 0", e.SMPerSec)
+		}
+		if e.LaneRuns < 1 || e.LaneLanes < int64(e.LaneWidth) {
+			return fmt.Errorf("batch engine: lockstep path unused (lane_runs=%d lane_lanes=%d, width %d)",
+				e.LaneRuns, e.LaneLanes, e.LaneWidth)
+		}
+		if !e.OracleOK {
+			return fmt.Errorf("batch engine: oracle_ok = false")
+		}
+	}
+	return nil
+}
+
 // smRates extracts the comparable throughput metrics from a report,
 // keyed by a human-readable metric name: the throughput experiment's
 // peak SM/s over the worker sweep, and the latency experiment's
@@ -234,6 +323,15 @@ func smRates(data []byte) (map[string]float64, error) {
 		}
 		if la.SingleThread != nil && la.SingleThread.Compiled > 0 {
 			rates["latency single-thread compiled sm_per_sec"] = la.SingleThread.Compiled
+		}
+	}
+	if raw, ok := r.Experiments["batch"]; ok {
+		var ba batchExp
+		if err := json.Unmarshal(raw, &ba); err != nil {
+			return nil, fmt.Errorf("batch: parse: %w", err)
+		}
+		if ba.PeakLaneSMPerSec > 0 {
+			rates["batch peak lane sm_per_sec"] = ba.PeakLaneSMPerSec
 		}
 	}
 	return rates, nil

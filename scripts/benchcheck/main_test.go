@@ -48,6 +48,47 @@ func TestCheckThroughputGood(t *testing.T) {
 	}
 }
 
+const goodBatch = `{
+  "schema": "fourq-bench/v1",
+  "experiments": {
+    "batch": {
+      "num_cpu": 4,
+      "lane_widths": [
+        {"width": 1, "sm_per_sec": 2900.0, "speedup": 1, "oracle_ok": true},
+        {"width": 2, "sm_per_sec": 4800.0, "speedup": 1.66, "oracle_ok": true},
+        {"width": 4, "sm_per_sec": 7000.0, "speedup": 2.41, "oracle_ok": true}
+      ],
+      "peak_lane_sm_per_sec": 7000.0,
+      "engine": {"lane_width": 4, "workers": 1, "sms": 32, "sm_per_sec": 3800.0, "lane_runs": 8, "lane_lanes": 32, "oracle_ok": true},
+      "verified_all": true
+    }
+  }
+}`
+
+func TestCheckBatchGood(t *testing.T) {
+	if err := check([]byte(goodBatch)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckBatchNonMonotoneNote: a sweep that dips at a wider width is
+// rejected bare but accepted once the report explains the dip.
+func TestCheckBatchNonMonotoneNote(t *testing.T) {
+	dip := strings.Replace(strings.Replace(goodBatch,
+		`"sm_per_sec": 7000.0, "speedup": 2.41`, `"sm_per_sec": 4500.0, "speedup": 1.55`, 1),
+		`"peak_lane_sm_per_sec": 7000.0`, `"peak_lane_sm_per_sec": 4800.0`, 1)
+	if err := check([]byte(dip)); err == nil {
+		t.Fatal("non-monotone sweep without a note accepted")
+	} else if !strings.Contains(err.Error(), "no note") {
+		t.Fatalf("error %q does not mention the missing note", err)
+	}
+	noted := strings.Replace(dip, `"verified_all": true`,
+		`"note": "host scheduling noise at width 4", "verified_all": true`, 1)
+	if err := check([]byte(noted)); err != nil {
+		t.Fatalf("noted non-monotone sweep rejected: %v", err)
+	}
+}
+
 const goodFaults = `{
   "schema": "fourq-bench/v1",
   "experiments": {
@@ -144,6 +185,28 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestCompareBatchMetric: the lockstep peak lane rate participates in
+// compare mode — a regression beyond tolerance fails the gate, and a
+// baseline predating the batch experiment simply does not contribute
+// the metric.
+func TestCompareBatchMetric(t *testing.T) {
+	if err := compare([]byte(goodBatch), []byte(goodBatch), 0.10); err != nil {
+		t.Fatalf("identical batch reports must compare cleanly: %v", err)
+	}
+	slow := strings.Replace(strings.Replace(goodBatch,
+		`"sm_per_sec": 7000.0, "speedup": 2.41`, `"sm_per_sec": 4500.0, "speedup": 1.55`, 1),
+		`"peak_lane_sm_per_sec": 7000.0`, `"peak_lane_sm_per_sec": 4800.0`, 1)
+	slow = strings.Replace(slow, `"verified_all": true`,
+		`"note": "synthetic regression", "verified_all": true`, 1)
+	err := compare([]byte(goodBatch), []byte(slow), 0.10)
+	if err == nil {
+		t.Fatal("31% lane-rate regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "batch peak lane") {
+		t.Fatalf("error %q does not name the lane metric", err)
+	}
+}
+
 // TestCompareLegacyBaseline: a baseline written before the single_thread
 // block existed still gates on the metrics it does carry.
 func TestCompareLegacyBaseline(t *testing.T) {
@@ -201,6 +264,19 @@ func TestCheckRejects(t *testing.T) {
 		{"faults site mismatch", strings.Replace(goodFaults,
 			`"rom": {"trials": 3, "detected": 1, "silent": 0, "masked": 2}`,
 			`"rom": {"trials": 3, "detected": 0, "silent": 1, "masked": 2}`, 1), "by_site"},
+		// The batch lane sweep: a block without the sweep carries no
+		// evidence the lockstep path was measured at all.
+		{"batch no lane widths", strings.Replace(goodBatch, `"lane_widths": [
+        {"width": 1, "sm_per_sec": 2900.0, "speedup": 1, "oracle_ok": true},
+        {"width": 2, "sm_per_sec": 4800.0, "speedup": 1.66, "oracle_ok": true},
+        {"width": 4, "sm_per_sec": 7000.0, "speedup": 2.41, "oracle_ok": true}
+      ]`, `"lane_widths": []`, 1), "no lane_widths"},
+		{"batch zero rate", strings.Replace(goodBatch, `"sm_per_sec": 2900.0`, `"sm_per_sec": 0`, 1), "sm_per_sec"},
+		{"batch oracle fail", strings.Replace(goodBatch, `"speedup": 2.41, "oracle_ok": true`, `"speedup": 2.41, "oracle_ok": false`, 1), "oracle_ok"},
+		{"batch unverified", strings.Replace(goodBatch, `"verified_all": true`, `"verified_all": false`, 1), "verified_all"},
+		{"batch widths not ascending", strings.Replace(goodBatch, `{"width": 2, `, `{"width": 1, `, 1), "ascending"},
+		{"batch wrong peak", strings.Replace(goodBatch, `"peak_lane_sm_per_sec": 7000.0`, `"peak_lane_sm_per_sec": 9000.0`, 1), "peak_lane_sm_per_sec"},
+		{"batch engine lanes unused", strings.Replace(goodBatch, `"lane_runs": 8, "lane_lanes": 32`, `"lane_runs": 0, "lane_lanes": 0`, 1), "lockstep path unused"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
