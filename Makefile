@@ -5,8 +5,10 @@
 # pass over the arithmetic and recoding differential fuzzers, an
 # end-to-end check that fourq-bench's machine-readable output carries
 # real RTL statistics, a healthy batch-engine throughput experiment, a
-# reconciled fault-injection campaign, and a lane-batch smoke (the
+# reconciled fault-injection campaign, a lane-batch smoke (the
 # race-enabled engine coalescing tests plus a width-2 lockstep sweep),
+# an observability smoke (race-enabled span/flight-recorder tests plus a
+# linted end-to-end Prometheus scrape through fourq-sign -metrics),
 # and finally the perf-regression gate: a fresh
 # latency+throughput+batch run compared against the committed
 # BENCH_rtl.json baseline (refresh it with `make bench-record` after a
@@ -22,8 +24,9 @@ COMPARE_JSON ?= /tmp/bench_compare.json
 BENCH_BASELINE ?= BENCH_rtl.json
 TOLERANCE ?= 0.10
 FUZZTIME ?= 5s
+OBS_METRICS ?= /tmp/obs_metrics.prom
 
-.PHONY: all build test vet race race-robust fuzz-smoke ci smoke lane-smoke bench-record bench-compare clean
+.PHONY: all build test vet race race-robust fuzz-smoke ci smoke lane-smoke obs-smoke bench-record bench-compare clean
 
 all: build
 
@@ -71,6 +74,16 @@ lane-smoke: build
 	$(GO) run ./cmd/fourq-bench -exp batch -lanes 1,2 -json $(BATCH_JSON)
 	$(GO) run ./scripts/benchcheck $(BATCH_JSON)
 
+# Observability smoke: the race-enabled span/flight-recorder/exposition
+# tests (including the zero-alloc guarantee of the tracing-disabled hot
+# path), then an end-to-end scrape check — fourq-sign writes its
+# engine's Prometheus exposition and promlint validates it.
+obs-smoke: build
+	$(GO) test -race -count=1 -run 'Span|Trace|Flight|Sampling|Prometheus|Handler|DebugMux|Quantile|SumCount|PromName|ZeroAlloc|LaneFill' ./internal/telemetry ./internal/engine
+	$(GO) test -count=1 ./scripts/promlint
+	$(GO) run ./cmd/fourq-sign -workers 2 -metrics $(OBS_METRICS)
+	$(GO) run ./scripts/promlint $(OBS_METRICS)
+
 # Record the committed performance baseline: one report carrying the
 # latency experiment (with host single-thread compiled vs interpreted
 # SM/s), the batch-engine throughput sweep, and the lockstep lane-width
@@ -86,8 +99,8 @@ bench-compare: build
 	$(GO) run ./cmd/fourq-bench -exp latency,throughput,batch -json $(COMPARE_JSON)
 	$(GO) run ./scripts/benchcheck -baseline $(BENCH_BASELINE) -tolerance $(TOLERANCE) $(COMPARE_JSON)
 
-ci: vet build race race-robust fuzz-smoke smoke lane-smoke bench-compare
+ci: vet build race race-robust fuzz-smoke smoke lane-smoke obs-smoke bench-compare
 
 clean:
 	$(GO) clean ./...
-	rm -f $(BENCH_JSON) $(THROUGHPUT_JSON) $(BATCH_JSON) $(FAULTS_JSON) $(COMPARE_JSON)
+	rm -f $(BENCH_JSON) $(THROUGHPUT_JSON) $(BATCH_JSON) $(FAULTS_JSON) $(COMPARE_JSON) $(OBS_METRICS)

@@ -30,8 +30,10 @@
 //	                    model and write its cycle-level timeline as
 //	                    Chrome trace_event JSON (open in Perfetto or
 //	                    chrome://tracing)
-//	-debug-addr <addr>  serve net/http/pprof and expvar on addr (e.g.
-//	                    "localhost:6060") for profiling long sweeps
+//	-debug-addr <addr>  serve the unified debug surface on addr (e.g.
+//	                    "localhost:6060"): net/http/pprof, expvar,
+//	                    /metrics (Prometheus) and /debug/telemetry
+//	                    for profiling long sweeps
 //
 // The processor (the full trace -> schedule -> emit build) is
 // constructed lazily: cheap experiments that do not need it (table1,
@@ -40,11 +42,8 @@ package main
 
 import (
 	"errors"
-	_ "expvar"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -53,6 +52,7 @@ import (
 	"repro/internal/jobshop"
 	"repro/internal/scalar"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -61,17 +61,15 @@ func main() {
 	lanes := flag.String("lanes", "1,2,4,8", "ascending lockstep lane widths swept by -exp batch")
 	jsonPath := flag.String("json", "", "write executed experiments' results as structured JSON to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event timeline of one scalar multiplication to this file")
-	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar, /metrics and /debug on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *debugAddr != "" {
-		go func() {
-			// DefaultServeMux carries the pprof and expvar handlers.
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "fourq-bench: debug server:", err)
-			}
-		}()
-		fmt.Printf("debug server (pprof + expvar) on http://%s/debug/pprof\n", *debugAddr)
+		// The experiments create their own per-engine registries (their
+		// tests assert exact counter values), so the served registry is
+		// the process-level one; pprof and expvar are the main draw when
+		// profiling a long sweep.
+		telemetry.ServeDebug(*debugAddr, telemetry.NewRegistry(), telemetry.NewFlightRecorder(0))
 	}
 
 	if err := run(*exp, *full, *lanes, *jsonPath, *tracePath); err != nil {

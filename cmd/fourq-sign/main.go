@@ -4,6 +4,12 @@
 // served by the concurrent batch engine (cycle-accurate RTL workers),
 // and report what the modelled ASIC would achieve for the same
 // operations.
+//
+// Observability (see docs/OBSERVABILITY.md): -debug-addr serves the
+// unified debug surface (pprof, expvar, /metrics, /debug/telemetry,
+// /debug/flightrecorder) over the engine's own registry and flight
+// recorder; -metrics writes the engine's Prometheus text exposition to
+// a file at exit (the `make obs-smoke` hook).
 package main
 
 import (
@@ -20,21 +26,31 @@ import (
 	"repro/internal/ecdsa"
 	"repro/internal/engine"
 	"repro/internal/schnorrq"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	msg := flag.String("msg", "priority vehicle approaching: clear intersection 7", "message to sign")
 	asic := flag.Bool("asic", true, "also report modelled ASIC timing")
 	workers := flag.Int("workers", runtime.NumCPU(), "engine worker pool size for the SchnorrQ section")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar, /metrics and /debug on this address (e.g. localhost:6060)")
+	metricsPath := flag.String("metrics", "", "write the engine's Prometheus text exposition to this file at exit")
 	flag.Parse()
 
-	if err := run(*msg, *asic, *workers); err != nil {
+	if err := run(*msg, *asic, *workers, *debugAddr, *metricsPath); err != nil {
 		fmt.Fprintln(os.Stderr, "fourq-sign:", err)
 		os.Exit(1)
 	}
 }
 
-func run(msg string, asic bool, workers int) error {
+func run(msg string, asic bool, workers int, debugAddr, metricsPath string) error {
+	// One registry + flight recorder for the whole process: the SchnorrQ
+	// engine reports into them, and the debug surface serves them live.
+	reg := telemetry.NewRegistry()
+	fr := telemetry.NewFlightRecorder(0)
+	if debugAddr != "" {
+		telemetry.ServeDebug(debugAddr, reg, fr)
+	}
 	fmt.Println("generating FourQ key pair...")
 	t0 := time.Now()
 	priv, err := ecdsa.GenerateKey(rand.Reader)
@@ -69,8 +85,23 @@ func run(msg string, asic bool, workers int) error {
 	}
 	fmt.Println("  tampered message correctly rejected")
 
-	if err := schnorrqOverEngine(msg, workers); err != nil {
+	if err := schnorrqOverEngine(msg, workers, reg, fr); err != nil {
 		return err
+	}
+
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		err = telemetry.WritePrometheus(f, reg.Snapshot())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		fmt.Printf("wrote Prometheus exposition to %s\n", metricsPath)
 	}
 
 	if asic {
@@ -103,9 +134,11 @@ func run(msg string, asic bool, workers int) error {
 // every scalar multiplication runs through the batch engine: the nonce
 // commitment [r]G during signing, and [s]G plus [h]A during
 // verification, are each executed on a cycle-accurate RTL worker.
-func schnorrqOverEngine(msg string, workers int) error {
+func schnorrqOverEngine(msg string, workers int, reg *telemetry.Registry, fr *telemetry.FlightRecorder) error {
 	fmt.Printf("SchnorrQ over the batch engine (%d worker(s), RTL executors):\n", workers)
-	eng, err := engine.New(core.Config{}, engine.Options{Workers: workers})
+	eng, err := engine.New(core.Config{}, engine.Options{
+		Workers: workers, Registry: reg, FlightRecorder: fr,
+	})
 	if err != nil {
 		return err
 	}

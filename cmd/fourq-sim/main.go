@@ -3,17 +3,15 @@
 // and reports cycle counts plus modelled latency and energy at a chosen
 // supply voltage.
 //
-// Pass -debug-addr (e.g. "localhost:6060") to serve net/http/pprof and
-// expvar while the simulation runs; see docs/OBSERVABILITY.md.
+// Pass -debug-addr (e.g. "localhost:6060") to serve the unified debug
+// surface (net/http/pprof, expvar, /metrics, /debug/telemetry) while
+// the simulation runs; see docs/OBSERVABILITY.md.
 package main
 
 import (
-	_ "expvar"
 	"flag"
 	"fmt"
 	"math/big"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 
 	"repro/internal/core"
@@ -21,6 +19,7 @@ import (
 	"repro/internal/fp2"
 	"repro/internal/rtl"
 	"repro/internal/scalar"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -29,17 +28,11 @@ func main() {
 	trials := flag.Int("verify", 4, "number of random verification runs")
 	vcdPath := flag.String("vcd", "", "dump a waveform of the run to this VCD file")
 	powerCSV := flag.String("power", "", "dump the per-cycle switching-activity trace (CSV) to this file")
-	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar, /metrics and /debug on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *debugAddr != "" {
-		go func() {
-			// DefaultServeMux carries the pprof and expvar handlers.
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "fourq-sim: debug server:", err)
-			}
-		}()
-		fmt.Printf("debug server (pprof + expvar) on http://%s/debug/pprof\n", *debugAddr)
+		telemetry.ServeDebug(*debugAddr, telemetry.NewRegistry(), telemetry.NewFlightRecorder(0))
 	}
 
 	if err := run(*kHex, *vdd, *trials, *vcdPath, *powerCSV); err != nil {

@@ -31,7 +31,11 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -121,6 +125,25 @@ type Options struct {
 	// LaneWidth > 1; negative disables waiting (run immediately with
 	// whatever was queued).
 	FlushDeadline time.Duration
+	// Trace, when non-nil, receives per-request lifecycle spans —
+	// admission, queue wait, lane fill, each execute attempt, the
+	// validation verdict, delivery — as Chrome trace_event slices (track
+	// 0 is the queue timeline, track w+1 is worker w). nil disables
+	// tracing entirely, and the disabled path allocates nothing.
+	Trace *telemetry.Recorder
+	// TraceSampleRate is the fraction of requests traced when Trace is
+	// set: 1 traces every request, 0.25 every fourth (deterministic
+	// 1-in-stride sampling, stride = round(1/rate), shared across
+	// submitters). <= 0 defaults to 1.
+	TraceSampleRate float64
+	// FlightRecorder receives structured lifecycle events (admit,
+	// execute, retry, fallback, deliver, lane runs, breaker and
+	// quarantine transitions) and is snapshotted into a post-mortem dump
+	// automatically on anomalies: validation failure, lane error,
+	// breaker trip, worker quarantine. nil creates a private
+	// DefaultFlightSize recorder; either way it is reachable via
+	// Engine.Flight.
+	FlightRecorder *telemetry.FlightRecorder
 }
 
 // Backend identifies which datapath produced a Result.
@@ -173,9 +196,12 @@ const (
 
 type job struct {
 	req   Request
+	id    uint64 // engine-assigned request id (1-based, monotone)
 	state atomic.Int32
 	done  chan Result // buffered 1; sent exactly once iff claimed
 	enq   time.Time
+	claim time.Time // stamped by the claiming worker (queue exit)
+	span  *reqSpan  // nil when unsampled or tracing is off
 }
 
 // Engine is a concurrent batch scalar-multiplication service. Create
@@ -186,6 +212,12 @@ type Engine struct {
 	validate core.Validate
 	clock    Clock
 	brk      *breaker
+
+	trace       *telemetry.Recorder
+	traceStride uint64
+	traceCtr    atomic.Uint64
+	reqSeq      atomic.Uint64
+	fr          *telemetry.FlightRecorder
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -205,9 +237,15 @@ type Engine struct {
 	quarantined *telemetry.Counter
 	laneRuns    *telemetry.Counter
 	laneLanes   *telemetry.Counter
+	flushHits   *telemetry.Counter
 	depth       *telemetry.Gauge
 	inFlight    *telemetry.Gauge
+	laneFill    *telemetry.Gauge
+	active      *telemetry.Gauge
 	latency     *telemetry.Histogram
+	queueWait   *telemetry.Histogram
+	laneFillH   *telemetry.Histogram
+	execH       *telemetry.Histogram
 }
 
 // workerState is one pool member: an executor plus its local failure
@@ -218,6 +256,7 @@ type workerState struct {
 	rng          jitterRNG
 	consecFaults int
 	quarantined  bool
+	stateGauge   *telemetry.Gauge // engine.worker_<id>_state: 0 active, 1 quarantined
 	// Lane-coalescing scratch, sized to Options.LaneWidth once at
 	// construction so the steady-state batch path allocates nothing.
 	jobs  []*job
@@ -278,12 +317,25 @@ func NewWithProcessor(p *core.Processor, opts Options) *Engine {
 	if opts.FlushDeadline == 0 && opts.LaneWidth > 1 {
 		opts.FlushDeadline = 200 * time.Microsecond
 	}
+	if opts.FlightRecorder == nil {
+		opts.FlightRecorder = telemetry.NewFlightRecorder(0)
+	}
+	stride := uint64(1)
+	if opts.Trace != nil && opts.TraceSampleRate > 0 && opts.TraceSampleRate < 1 {
+		stride = uint64(math.Round(1 / opts.TraceSampleRate))
+		if stride < 1 {
+			stride = 1
+		}
+	}
 	reg := opts.Registry
 	e := &Engine{
 		proc:        p,
 		opts:        opts,
 		validate:    opts.Validate,
 		clock:       opts.Clock,
+		trace:       opts.Trace,
+		traceStride: stride,
+		fr:          opts.FlightRecorder,
 		submitted:   reg.Counter("engine.submitted"),
 		completed:   reg.Counter("engine.completed"),
 		failed:      reg.Counter("engine.failed"),
@@ -295,16 +347,50 @@ func NewWithProcessor(p *core.Processor, opts Options) *Engine {
 		quarantined: reg.Counter("engine.workers_quarantined"),
 		laneRuns:    reg.Counter("engine.lane_runs"),
 		laneLanes:   reg.Counter("engine.lane_lanes"),
+		flushHits:   reg.Counter("engine.flush_deadline_hits"),
 		depth:       reg.Gauge("engine.queue_depth"),
 		inFlight:    reg.Gauge("engine.in_flight"),
+		laneFill:    reg.Gauge("engine.lane_fill_ratio"),
+		active:      reg.Gauge("engine.workers_active"),
 		latency: reg.Histogram("engine.latency_seconds",
 			0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5),
+		queueWait: reg.Histogram("engine.queue_wait_seconds",
+			0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1),
+		laneFillH: reg.Histogram("engine.lane_fill_seconds",
+			0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1),
+		execH: reg.Histogram("engine.execute_seconds",
+			0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25),
 	}
 	if opts.Verify {
 		e.validate = core.ValidateOracle
 	}
 	if opts.BreakerWindow > 0 {
 		e.brk = newBreaker(opts.BreakerWindow, opts.BreakerThreshold, opts.BreakerCooldown, reg)
+		// A breaker transition is exactly the moment a post-mortem wants
+		// the events leading up to it, so trips snapshot the flight ring.
+		e.brk.onTrip = func() {
+			e.fr.Record("breaker_open", -1, 0, 0, "")
+			e.fr.Anomaly("breaker_open")
+		}
+		e.brk.onClose = func() {
+			e.fr.Record("breaker_close", -1, 0, 0, "")
+		}
+	}
+	// Dump metadata: enough of the engine's configuration that an
+	// anomaly dump is interpretable (and replayable) on its own.
+	e.fr.SetMeta("workers", opts.Workers)
+	e.fr.SetMeta("queue_depth", opts.QueueDepth)
+	e.fr.SetMeta("lane_width", opts.LaneWidth)
+	e.fr.SetMeta("max_attempts", opts.MaxAttempts)
+	e.fr.SetMeta("backoff_seed", opts.BackoffSeed)
+	e.fr.SetMeta("quarantine_after", opts.QuarantineAfter)
+	e.fr.SetMeta("breaker_window", opts.BreakerWindow)
+	e.active.Set(float64(opts.Workers))
+	if e.trace != nil {
+		e.trace.ThreadName(traceQueueTID, "engine queue")
+		for i := 0; i < opts.Workers; i++ {
+			e.trace.ThreadName(workerTID(i), fmt.Sprintf("engine worker %d", i))
+		}
 	}
 	e.cond = sync.NewCond(&e.mu)
 	for i := 0; i < opts.Workers; i++ {
@@ -313,21 +399,28 @@ func NewWithProcessor(p *core.Processor, opts Options) *Engine {
 			ex.SetInjector(opts.Injector(i))
 		}
 		w := &workerState{
-			id:  i,
-			ex:  ex,
-			rng: jitterRNG(uint64(opts.BackoffSeed) ^ uint64(i+1)*0x9E3779B97F4A7C15),
+			id:         i,
+			ex:         ex,
+			rng:        jitterRNG(uint64(opts.BackoffSeed) ^ uint64(i+1)*0x9E3779B97F4A7C15),
+			stateGauge: reg.Gauge(fmt.Sprintf("engine.worker_%d_state", i)),
 		}
+		w.stateGauge.Set(0)
 		e.wg.Add(1)
+		run := e.worker
 		if lw := opts.LaneWidth; lw > 1 {
 			w.jobs = make([]*job, 0, lw)
 			w.ks = make([]scalar.Scalar, 0, lw)
 			w.bases = make([]curve.Affine, 0, lw)
 			w.outs = make([]curve.Affine, lw)
 			w.lerrs = make([]error, lw)
-			go e.workerLanes(w)
-		} else {
-			go e.worker(w)
+			run = e.workerLanes
 		}
+		// Label the worker goroutine so CPU profiles taken off the debug
+		// endpoint attribute samples to pool members.
+		go func(w *workerState, run func(*workerState)) {
+			pprof.Do(context.Background(), pprof.Labels("engine_worker", strconv.Itoa(w.id)),
+				func(context.Context) { run(w) })
+		}(w, run)
 	}
 	return e
 }
@@ -340,6 +433,12 @@ func (e *Engine) Processor() *core.Processor { return e.proc }
 
 // Metrics returns the registry the engine reports into.
 func (e *Engine) Metrics() *telemetry.Registry { return e.opts.Registry }
+
+// Flight returns the engine's flight recorder (always non-nil: the
+// engine creates a private one when Options.FlightRecorder is nil).
+// Serve it over HTTP with telemetry.ServeDebug, or inspect Dumps after
+// a failure.
+func (e *Engine) Flight() *telemetry.FlightRecorder { return e.fr }
 
 // Submit enqueues one request and waits for its result. It fails fast
 // with ErrQueueFull when the bounded queue cannot take the request and
@@ -426,7 +525,13 @@ func (e *Engine) enqueue(ctx context.Context, reqs ...Request) ([]*job, error) {
 	now := time.Now()
 	js := make([]*job, len(reqs))
 	for i, r := range reqs {
-		js[i] = &job{req: r, done: make(chan Result, 1), enq: now}
+		j := &job{req: r, id: e.reqSeq.Add(1), done: make(chan Result, 1), enq: now}
+		// Span and flight stamps happen before the job is visible to
+		// workers, so the claim side never races the admission write.
+		j.span = e.newSpan()
+		e.spanAdmit(j)
+		e.fr.Record("admit", -1, j.id, 0, "")
+		js[i] = j
 	}
 	e.mu.Lock()
 	if e.closed {
@@ -436,6 +541,10 @@ func (e *Engine) enqueue(ctx context.Context, reqs ...Request) ([]*job, error) {
 	if len(e.queue)+len(js) > e.opts.QueueDepth {
 		e.mu.Unlock()
 		e.rejected.Add(int64(len(js)))
+		for _, j := range js {
+			e.spanReject(j)
+			e.fr.Record("reject", -1, j.id, 0, "queue_full")
+		}
 		return nil, ErrQueueFull
 	}
 	e.queue = append(e.queue, js...)
@@ -488,8 +597,9 @@ func (e *Engine) worker(w *workerState) {
 		if !j.state.CompareAndSwap(jobPending, jobClaimed) {
 			continue // canceled while queued; the canceler accounted for it
 		}
+		e.claimJob(j)
 		e.inFlight.Add(1)
-		e.deliver(j, e.execute(w, j.req))
+		e.deliver(j, e.execute(w, j))
 	}
 }
 
@@ -502,6 +612,8 @@ func (e *Engine) deliver(j *job, r Result) {
 		e.failed.Inc()
 	}
 	e.completed.Inc()
+	e.spanDeliver(j, r)
+	e.fr.Record("deliver", -1, j.id, r.Attempts, r.Backend.String())
 	j.done <- r
 }
 
@@ -563,6 +675,11 @@ func (e *Engine) collect(w *workerState) []*job {
 			break
 		}
 	}
+	if n := len(w.jobs); n > 0 && n < lw && !closed {
+		// The flush deadline expired on a partial batch: the batch runs
+		// under-full rather than holding its requests hostage.
+		e.flushHits.Inc()
+	}
 	if len(w.jobs) == 0 {
 		return e.collect(w)
 	}
@@ -577,6 +694,7 @@ func (e *Engine) popClaim(w *workerState, max int) {
 		j := e.queue[0]
 		e.queue = e.queue[1:]
 		if j.state.CompareAndSwap(jobPending, jobClaimed) {
+			e.claimJob(j)
 			w.jobs = append(w.jobs, j)
 		}
 	}
@@ -592,9 +710,17 @@ func (e *Engine) popClaim(w *workerState, max int) {
 // the unchanged single-job ladder.
 func (e *Engine) executeLanes(w *workerState, jobs []*job) {
 	n := len(jobs)
+	// Lane-occupancy accounting for every dispatch, full or partial: how
+	// well coalescing is filling the datapath, and how long the batch
+	// waited for lane-mates (earliest claim to dispatch).
+	e.laneFill.Set(float64(n) / float64(e.opts.LaneWidth))
+	e.laneFillH.Observe(time.Since(jobs[0].claim).Seconds())
+	for _, j := range jobs {
+		e.spanLaneFill(j, w.id, n)
+	}
 	if n == 1 || w.quarantined || !e.brk.allowRTL(e.clock.Now()) {
 		for _, j := range jobs {
-			e.deliver(j, e.execute(w, j.req))
+			e.deliver(j, e.execute(w, j))
 		}
 		return
 	}
@@ -607,18 +733,24 @@ func (e *Engine) executeLanes(w *workerState, jobs []*job) {
 		w.ks = append(w.ks, j.req.K)
 		w.bases = append(w.bases, base)
 	}
+	startUS := e.spanNowUS(jobs)
+	t0 := time.Now()
 	st, err := w.ex.ScalarMultLanesValidated(w.ks, w.bases, w.outs[:n], w.lerrs[:n], e.validate)
+	e.execH.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		// Whole-batch refusal (cannot happen with well-formed scratch
 		// buffers); serve every job individually rather than dropping any.
 		for _, j := range jobs {
-			e.deliver(j, e.execute(w, j.req))
+			e.deliver(j, e.execute(w, j))
 		}
 		return
 	}
 	e.laneRuns.Inc()
 	e.laneLanes.Add(int64(n))
+	e.fr.Record("lane_run", w.id, 0, 1, fmt.Sprintf("lanes=%d", n))
 	for i, j := range jobs {
+		e.spanExecute(j, w.id, 1, BackendRTL, startUS, w.lerrs[i] == nil)
+		e.spanValidate(j, w.id, w.lerrs[i] == nil)
 		if w.lerrs[i] == nil {
 			e.brk.record(false, e.clock.Now())
 			w.consecFaults = 0
@@ -628,13 +760,14 @@ func (e *Engine) executeLanes(w *workerState, jobs []*job) {
 		// A detected fault in this lane only: same accounting as the
 		// single-job ladder's failed attempt, then that ladder continues.
 		e.valFailed.Inc()
+		e.fr.Record("lane_error", w.id, j.id, 1, w.lerrs[i].Error())
+		e.fr.Anomaly("lane_error")
 		e.brk.record(true, e.clock.Now())
 		w.consecFaults++
 		if e.opts.QuarantineAfter > 0 && w.consecFaults >= e.opts.QuarantineAfter {
-			w.quarantined = true
-			e.quarantined.Inc()
+			e.noteQuarantine(w)
 		}
-		e.deliver(j, e.executeFrom(w, j.req, 1))
+		e.deliver(j, e.executeFrom(w, j, 1))
 	}
 }
 
@@ -644,8 +777,20 @@ func (e *Engine) executeLanes(w *workerState, jobs []*job) {
 // gating every attempt, and finally the functional software backend —
 // which always answers, so execute never returns a Result.Err for a
 // datapath fault.
-func (e *Engine) execute(w *workerState, req Request) Result {
-	return e.executeFrom(w, req, 0)
+func (e *Engine) execute(w *workerState, j *job) Result {
+	return e.executeFrom(w, j, 0)
+}
+
+// noteQuarantine flags a worker's permanent move to the software
+// backend on every surface at once: counters, the pool-size and
+// per-worker gauges, the flight ring, and an automatic anomaly dump.
+func (e *Engine) noteQuarantine(w *workerState) {
+	w.quarantined = true
+	e.quarantined.Inc()
+	e.active.Add(-1)
+	w.stateGauge.Set(1)
+	e.fr.Record("worker_quarantined", w.id, 0, 0, "")
+	e.fr.Anomaly("worker_quarantined")
 }
 
 // executeFrom is execute with `prior` RTL attempts already spent on the
@@ -653,7 +798,8 @@ func (e *Engine) execute(w *workerState, req Request) Result {
 // Attempts includes them, the remaining tries continue the same
 // MaxAttempts budget, and re-entering with prior > 0 first pays the
 // backoff a single-path run would have slept after that failed attempt.
-func (e *Engine) executeFrom(w *workerState, req Request, prior int) Result {
+func (e *Engine) executeFrom(w *workerState, j *job, prior int) Result {
+	req := j.req
 	base := req.Base
 	if base == (curve.Affine{}) {
 		base = curve.GeneratorAffine()
@@ -663,32 +809,46 @@ func (e *Engine) executeFrom(w *workerState, req Request, prior int) Result {
 	if !w.quarantined {
 		if prior > 0 && prior < e.opts.MaxAttempts {
 			e.retries.Inc()
+			e.fr.Record("retry", w.id, j.id, prior, "")
 			e.clock.Sleep(backoffDelay(e.opts.BackoffBase, e.opts.BackoffMax, prior-1, &w.rng))
 		}
 		for attempt := prior; attempt < e.opts.MaxAttempts; attempt++ {
 			if !e.brk.allowRTL(e.clock.Now()) {
 				break
 			}
+			var startUS int64
+			if j.span != nil {
+				startUS = e.trace.NowUS()
+			}
+			t0 := time.Now()
 			pt, st, err := w.ex.ScalarMultValidated(req.K, base, e.validate)
+			e.execH.Observe(time.Since(t0).Seconds())
 			r.Attempts++
+			e.spanExecute(j, w.id, r.Attempts, BackendRTL, startUS, err == nil)
+			e.spanValidate(j, w.id, err == nil)
 			if err == nil {
+				e.fr.Record("execute", w.id, j.id, r.Attempts, "")
 				e.brk.record(false, e.clock.Now())
 				w.consecFaults = 0
 				r.Point, r.Stats, r.Backend = pt, st, BackendRTL
 				return r
 			}
 			// A detected fault: the validated result never leaves the
-			// worker, only the failure accounting does.
+			// worker, only the failure accounting does. The flight record
+			// lands before the breaker sees the outcome, so a trip's
+			// anomaly dump always contains the attempt that caused it.
 			e.valFailed.Inc()
+			e.fr.Record("validation_failed", w.id, j.id, r.Attempts, err.Error())
+			e.fr.Anomaly("validation_failed")
 			e.brk.record(true, e.clock.Now())
 			w.consecFaults++
 			if e.opts.QuarantineAfter > 0 && w.consecFaults >= e.opts.QuarantineAfter {
-				w.quarantined = true
-				e.quarantined.Inc()
+				e.noteQuarantine(w)
 				break
 			}
 			if attempt+1 < e.opts.MaxAttempts {
 				e.retries.Inc()
+				e.fr.Record("retry", w.id, j.id, r.Attempts, "")
 				e.clock.Sleep(backoffDelay(e.opts.BackoffBase, e.opts.BackoffMax, attempt, &w.rng))
 			}
 		}
@@ -697,7 +857,15 @@ func (e *Engine) executeFrom(w *workerState, req Request, prior int) Result {
 	// of last resort, so no accepted request is ever dropped or answered
 	// wrongly — at worst it loses RTL provenance and cycle statistics.
 	e.fallbacks.Inc()
+	var startUS int64
+	if j.span != nil {
+		startUS = e.trace.NowUS()
+	}
+	t0 := time.Now()
 	r.Point = curve.ScalarMult(req.K, curve.FromAffine(base)).Affine()
+	e.execH.Observe(time.Since(t0).Seconds())
 	r.Backend = BackendSoftware
+	e.spanExecute(j, w.id, r.Attempts, BackendSoftware, startUS, true)
+	e.fr.Record("fallback", w.id, j.id, r.Attempts, "")
 	return r
 }

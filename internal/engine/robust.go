@@ -74,19 +74,29 @@ type breaker struct {
 	openedAt  time.Time
 	probing   bool
 
-	openGauge *telemetry.Gauge
-	openedC   *telemetry.Counter
+	// onTrip / onClose fire (under mu) the moment the breaker opens or a
+	// clean probe closes it — the engine hooks the flight recorder here
+	// so a trip snapshots the events that caused it. Never reacquire
+	// breaker state from inside.
+	onTrip  func()
+	onClose func()
+
+	openGauge  *telemetry.Gauge
+	probeGauge *telemetry.Gauge
+	openedC    *telemetry.Counter
 }
 
 func newBreaker(window int, threshold float64, cooldown time.Duration, reg *telemetry.Registry) *breaker {
 	b := &breaker{
-		window:    make([]bool, window),
-		threshold: threshold,
-		cooldown:  cooldown,
-		openGauge: reg.Gauge("engine.breaker_open"),
-		openedC:   reg.Counter("engine.breaker_opened"),
+		window:     make([]bool, window),
+		threshold:  threshold,
+		cooldown:   cooldown,
+		openGauge:  reg.Gauge("engine.breaker_open"),
+		probeGauge: reg.Gauge("engine.breaker_probing"),
+		openedC:    reg.Counter("engine.breaker_opened"),
 	}
 	b.openGauge.Set(0)
+	b.probeGauge.Set(0)
 	return b
 }
 
@@ -103,6 +113,7 @@ func (b *breaker) allowRTL(now time.Time) bool {
 	}
 	if !b.probing && now.Sub(b.openedAt) >= b.cooldown {
 		b.probing = true
+		b.probeGauge.Set(1)
 		return true
 	}
 	return false
@@ -118,6 +129,7 @@ func (b *breaker) record(faulty bool, now time.Time) {
 	defer b.mu.Unlock()
 	if b.probing {
 		b.probing = false
+		b.probeGauge.Set(0)
 		if faulty {
 			b.openedAt = now
 			return
@@ -128,6 +140,9 @@ func (b *breaker) record(faulty bool, now time.Time) {
 			b.window[i] = false
 		}
 		b.openGauge.Set(0)
+		if b.onClose != nil {
+			b.onClose()
+		}
 		return
 	}
 	if b.open {
@@ -150,6 +165,9 @@ func (b *breaker) record(faulty bool, now time.Time) {
 		b.openedAt = now
 		b.openedC.Inc()
 		b.openGauge.Set(1)
+		if b.onTrip != nil {
+			b.onTrip()
+		}
 	}
 }
 

@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder is the post-mortem half of the observability
+// layer: a fixed-size lock-free ring buffer of recent structured events
+// that producers append to continuously and cheaply, and that is
+// snapshotted into an immutable dump the moment an anomaly fires
+// (validation failure, breaker trip, quarantine, lane error — whatever
+// the producer deems dump-worthy). The ring means the recorder is
+// always on without ever growing; the dumps mean the events *leading
+// up to* a failure survive even though the ring keeps rolling, so a
+// post-mortem needs no always-on tracing. Dumps carry caller-set
+// metadata (seed, configuration) so a dump is replayable on its own.
+
+// FlightEvent is one structured entry of the flight-recorder ring.
+// Producers fill the semantic fields; Seq and TimeUS are stamped by
+// Record.
+type FlightEvent struct {
+	// Seq is the global record ordinal (0-based); consecutive in a
+	// snapshot unless the ring wrapped.
+	Seq uint64 `json:"seq"`
+	// TimeUS is microseconds since the recorder was created (or the
+	// injected clock's reading).
+	TimeUS int64 `json:"t_us"`
+	// Kind names the event ("execute", "validation_failed",
+	// "breaker_open", ...).
+	Kind string `json:"kind"`
+	// Worker is the producing worker's id, -1 when not worker-bound.
+	Worker int `json:"worker"`
+	// Req is the request id the event belongs to, 0 when none.
+	Req uint64 `json:"req,omitempty"`
+	// Attempt is the 1-based RTL attempt number, 0 when not an attempt.
+	Attempt int `json:"attempt,omitempty"`
+	// Detail carries free-form context (an error string, a backend name).
+	Detail string `json:"detail,omitempty"`
+}
+
+// FlightDump is one snapshot of the ring, taken by Anomaly (or on
+// demand). Events are in Seq order, oldest first.
+type FlightDump struct {
+	// Reason is the anomaly that triggered the dump ("breaker_open",
+	// "worker_quarantined", ...; "on_demand" for explicit snapshots).
+	Reason string `json:"reason"`
+	// TimeUS is the recorder clock at dump time.
+	TimeUS int64 `json:"t_us"`
+	// Meta is the caller-set context (seed, config) at dump time.
+	Meta map[string]any `json:"meta,omitempty"`
+	// Events is the ring's contents at dump time.
+	Events []FlightEvent `json:"events"`
+}
+
+// FlightRecorder is the fixed-size lock-free event ring plus its bounded
+// dump history. Record is wait-free for concurrent producers (one
+// atomic fetch-add plus one atomic pointer store); Events and Anomaly
+// observe a consistent-enough snapshot without stopping writers. The
+// zero value is not usable; call NewFlightRecorder.
+type FlightRecorder struct {
+	slots []atomic.Pointer[FlightEvent]
+	head  atomic.Uint64 // next sequence number to assign
+
+	start time.Time
+	nowUS atomic.Pointer[func() int64] // injectable clock (tests)
+
+	mu       sync.Mutex
+	meta     map[string]any
+	dumps    []FlightDump
+	maxDumps int
+}
+
+// DefaultFlightSize is the ring capacity used when NewFlightRecorder is
+// given a non-positive size.
+const DefaultFlightSize = 512
+
+// defaultMaxDumps bounds the retained anomaly-dump history: a storm of
+// anomalies keeps the most recent dumps and drops the oldest, so the
+// recorder's memory stays bounded no matter how sick the producer is.
+const defaultMaxDumps = 8
+
+// NewFlightRecorder returns a flight recorder whose ring holds the last
+// `size` events (DefaultFlightSize when size <= 0).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightSize
+	}
+	f := &FlightRecorder{
+		slots:    make([]atomic.Pointer[FlightEvent], size),
+		start:    time.Now(),
+		meta:     map[string]any{},
+		maxDumps: defaultMaxDumps,
+	}
+	clock := func() int64 { return time.Since(f.start).Microseconds() }
+	f.nowUS.Store(&clock)
+	return f
+}
+
+// SetClock replaces the microsecond clock (deterministic tests).
+func (f *FlightRecorder) SetClock(now func() int64) { f.nowUS.Store(&now) }
+
+// SetMeta attaches (or overwrites) one metadata key included in every
+// subsequent dump — seeds, pool sizes, validation levels: whatever a
+// post-mortem needs to replay the run.
+func (f *FlightRecorder) SetMeta(key string, value any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.meta[key] = value
+}
+
+// Cap returns the ring capacity.
+func (f *FlightRecorder) Cap() int { return len(f.slots) }
+
+// Record appends one event to the ring, overwriting the oldest entry
+// when full. Safe for any number of concurrent producers and never
+// blocks: slot claim is an atomic fetch-add and publication an atomic
+// pointer store.
+func (f *FlightRecorder) Record(kind string, worker int, req uint64, attempt int, detail string) {
+	seq := f.head.Add(1) - 1
+	ev := &FlightEvent{
+		Seq:     seq,
+		TimeUS:  (*f.nowUS.Load())(),
+		Kind:    kind,
+		Worker:  worker,
+		Req:     req,
+		Attempt: attempt,
+		Detail:  detail,
+	}
+	f.slots[seq%uint64(len(f.slots))].Store(ev)
+}
+
+// Events returns the ring's current contents in Seq order, oldest
+// first. Concurrent writers may overwrite slots mid-read; every
+// returned event is internally consistent (publication is a single
+// pointer store), stale reads are simply dropped.
+func (f *FlightRecorder) Events() []FlightEvent {
+	head := f.head.Load()
+	out := make([]FlightEvent, 0, len(f.slots))
+	min := uint64(0)
+	if head > uint64(len(f.slots)) {
+		min = head - uint64(len(f.slots))
+	}
+	for i := range f.slots {
+		ev := f.slots[i].Load()
+		// A slot can hold an event newer than the head we read (a racing
+		// writer) or be about to be overwritten; keep only events from
+		// the window [min, head).
+		if ev != nil && ev.Seq >= min && ev.Seq < head {
+			out = append(out, *ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Anomaly snapshots the ring into a dump tagged with the given reason,
+// appends it to the bounded dump history, and returns it. This is the
+// automatic post-mortem hook: producers call it the moment something
+// dump-worthy happens, so the events leading up to the anomaly are
+// preserved before the ring rolls over them.
+func (f *FlightRecorder) Anomaly(reason string) FlightDump {
+	d := FlightDump{
+		Reason: reason,
+		TimeUS: (*f.nowUS.Load())(),
+		Events: f.Events(),
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d.Meta = make(map[string]any, len(f.meta))
+	for k, v := range f.meta {
+		d.Meta[k] = v
+	}
+	f.dumps = append(f.dumps, d)
+	if len(f.dumps) > f.maxDumps {
+		f.dumps = append(f.dumps[:0], f.dumps[len(f.dumps)-f.maxDumps:]...)
+	}
+	return d
+}
+
+// Dumps returns the retained anomaly dumps, oldest first (at most the
+// recorder's bound; older dumps are dropped).
+func (f *FlightRecorder) Dumps() []FlightDump {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]FlightDump(nil), f.dumps...)
+}
+
+// flightDoc is the on-wire shape of WriteJSON: the live ring, the
+// retained anomaly dumps, and the metadata.
+type flightDoc struct {
+	Meta   map[string]any `json:"meta,omitempty"`
+	Events []FlightEvent  `json:"events"`
+	Dumps  []FlightDump   `json:"dumps"`
+}
+
+// WriteJSON writes the full recorder state — current ring contents,
+// metadata, and every retained anomaly dump — as indented JSON. This is
+// what /debug/flightrecorder serves.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	doc := flightDoc{Events: f.Events(), Dumps: f.Dumps()}
+	if doc.Events == nil {
+		doc.Events = []FlightEvent{}
+	}
+	if doc.Dumps == nil {
+		doc.Dumps = []FlightDump{}
+	}
+	f.mu.Lock()
+	doc.Meta = make(map[string]any, len(f.meta))
+	for k, v := range f.meta {
+		doc.Meta[k] = v
+	}
+	f.mu.Unlock()
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

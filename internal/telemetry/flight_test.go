@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRingOrderAndWraparound(t *testing.T) {
+	f := NewFlightRecorder(4)
+	var tick int64
+	f.SetClock(func() int64 { tick++; return tick })
+	for i := 0; i < 7; i++ {
+		f.Record(fmt.Sprintf("ev%d", i), i, uint64(i), 0, "")
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring of 4 holds %d events after 7 records", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(3 + i) // events 3..6 survive
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d: seq = %d, want %d (oldest-first order)", i, ev.Seq, wantSeq)
+		}
+		if ev.Kind != fmt.Sprintf("ev%d", wantSeq) {
+			t.Fatalf("event %d: kind = %q", i, ev.Kind)
+		}
+	}
+	if evs[0].TimeUS >= evs[3].TimeUS {
+		t.Fatal("timestamps not monotone across the snapshot")
+	}
+}
+
+func TestFlightRecorderDefaultSize(t *testing.T) {
+	if got := NewFlightRecorder(0).Cap(); got != DefaultFlightSize {
+		t.Fatalf("default ring capacity = %d, want %d", got, DefaultFlightSize)
+	}
+}
+
+// TestFlightRecorderConcurrentRecord hammers Record from many
+// goroutines while a reader snapshots: no race (run under -race), every
+// surviving event internally consistent.
+func TestFlightRecorderConcurrentRecord(t *testing.T) {
+	f := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Record("w", g, uint64(g*1000+i), i, "detail")
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, ev := range f.Events() {
+					if ev.Kind != "w" {
+						t.Errorf("torn event: %+v", ev)
+						return
+					}
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	evs := f.Events()
+	if len(evs) != 64 {
+		t.Fatalf("full ring snapshot has %d events, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("snapshot not sequential at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestFlightRecorderAnomalyDumps(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.SetMeta("seed", int64(42))
+	f.SetMeta("workers", 3)
+	f.Record("execute", 0, 7, 1, "")
+	f.Record("validation_failed", 0, 7, 1, "off-curve")
+	d := f.Anomaly("validation_failed")
+	if d.Reason != "validation_failed" {
+		t.Fatalf("dump reason = %q", d.Reason)
+	}
+	if len(d.Events) != 2 || d.Events[1].Detail != "off-curve" {
+		t.Fatalf("dump did not capture the ring: %+v", d.Events)
+	}
+	if d.Meta["seed"] != int64(42) || d.Meta["workers"] != 3 {
+		t.Fatalf("dump meta missing seed/config: %v", d.Meta)
+	}
+
+	// The dump is immutable: later records must not leak into it.
+	f.Record("later", 1, 8, 0, "")
+	if got := f.Dumps(); len(got) != 1 || len(got[0].Events) != 2 {
+		t.Fatalf("retained dump changed after later records: %+v", got)
+	}
+
+	// The history is bounded: a storm keeps only the most recent dumps.
+	for i := 0; i < 3*defaultMaxDumps; i++ {
+		f.Anomaly(fmt.Sprintf("storm%d", i))
+	}
+	dumps := f.Dumps()
+	if len(dumps) != defaultMaxDumps {
+		t.Fatalf("dump history holds %d, want the %d most recent", len(dumps), defaultMaxDumps)
+	}
+	if dumps[len(dumps)-1].Reason != fmt.Sprintf("storm%d", 3*defaultMaxDumps-1) {
+		t.Fatalf("newest dump is %q", dumps[len(dumps)-1].Reason)
+	}
+}
+
+func TestFlightRecorderWriteJSON(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.SetMeta("lane_width", 4)
+	f.Record("admit", -1, 1, 0, "")
+	f.Anomaly("breaker_open")
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Meta   map[string]any `json:"meta"`
+		Events []FlightEvent  `json:"events"`
+		Dumps  []FlightDump   `json:"dumps"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v", err)
+	}
+	if len(doc.Events) != 1 || doc.Events[0].Kind != "admit" {
+		t.Fatalf("events = %+v", doc.Events)
+	}
+	if len(doc.Dumps) != 1 || doc.Dumps[0].Reason != "breaker_open" {
+		t.Fatalf("dumps = %+v", doc.Dumps)
+	}
+	if doc.Meta["lane_width"] != float64(4) { // JSON numbers decode as float64
+		t.Fatalf("meta = %v", doc.Meta)
+	}
+	if doc.Dumps[0].Meta["lane_width"] != float64(4) {
+		t.Fatalf("dump meta = %v", doc.Dumps[0].Meta)
+	}
+}

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The unified HTTP debug surface: one handler serving the Prometheus
+// text exposition of a Registry (/metrics), the JSON metrics snapshot
+// (/debug/telemetry), and the flight recorder's ring + anomaly dumps
+// (/debug/flightrecorder), designed to be mounted next to net/http/pprof
+// and expvar. ServeDebug does exactly that mounting and is what every
+// command's -debug-addr flag runs.
+
+// promName sanitizes a metric name for the Prometheus exposition
+// format: [a-zA-Z_:][a-zA-Z0-9_:]*. The repo's dotted names map
+// predictably ("engine.queue_depth" -> "engine_queue_depth").
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promFloat formats a sample value the way Prometheus expects,
+// including the spelled-out specials.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per metric, counters and
+// gauges as single samples, histograms as cumulative le-labelled
+// buckets plus _sum and _count. Output is deterministic for a given
+// snapshot (names are sorted), so it is golden-testable and lintable.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		// Snapshot buckets hold per-bucket counts; the exposition wants
+		// cumulative ones. A bucketless histogram still exposes the
+		// mandatory +Inf bucket so every histogram is well-formed.
+		var cum int64
+		sawInf := false
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if math.IsInf(b.Le, +1) {
+				sawInf = true
+				cum = h.Count // by construction; be explicit for the reader
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(b.Le), cum); err != nil {
+				return err
+			}
+		}
+		if !sawInf {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewHandler returns the unified debug handler for a registry and an
+// optional flight recorder (nil disables /debug/flightrecorder):
+//
+//	/metrics               Prometheus text exposition
+//	/debug/telemetry       JSON metrics snapshot (Registry.WriteMetrics)
+//	/debug/flightrecorder  flight-recorder ring + anomaly dumps (JSON)
+func NewHandler(reg *Registry, fr *FlightRecorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, reg.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		if fr == nil {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := fr.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// NewDebugMux is NewHandler plus the standard profiling surface:
+// net/http/pprof under /debug/pprof/ and expvar under /debug/vars, all
+// on one mux so a single -debug-addr serves everything.
+func NewDebugMux(reg *Registry, fr *FlightRecorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	h := NewHandler(reg, fr)
+	mux.Handle("/metrics", h)
+	mux.Handle("/debug/telemetry", h)
+	mux.Handle("/debug/flightrecorder", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// ServeDebug serves the full debug surface (NewDebugMux) on addr in a
+// background goroutine and returns immediately — the shape every
+// command's -debug-addr flag wants. Serving errors are reported to
+// stderr rather than returned: the debug server is best-effort and must
+// never take the real workload down with it.
+func ServeDebug(addr string, reg *Registry, fr *FlightRecorder) {
+	mux := NewDebugMux(reg, fr)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry: debug server:", err)
+		}
+	}()
+	fmt.Printf("debug server (pprof + expvar + /metrics + /debug) on http://%s/\n", addr)
+}

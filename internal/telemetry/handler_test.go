@@ -1,0 +1,218 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("engine.submitted").Add(5)
+	reg.Gauge("engine.queue_depth").Set(2.5)
+	h := reg.Histogram("engine.latency_seconds", 0.001, 0.01, 0.1)
+	for _, v := range []float64{0.0005, 0.002, 0.05, 3} {
+		h.Observe(v)
+	}
+	reg.Histogram("engine.boundless").Observe(7)
+	return reg
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, testRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE engine_submitted counter\nengine_submitted 5\n",
+		"# TYPE engine_queue_depth gauge\nengine_queue_depth 2.5\n",
+		"# TYPE engine_latency_seconds histogram\n",
+		`engine_latency_seconds_bucket{le="0.001"} 1`,
+		`engine_latency_seconds_bucket{le="0.01"} 2`,
+		`engine_latency_seconds_bucket{le="0.1"} 3`,
+		`engine_latency_seconds_bucket{le="+Inf"} 4`,
+		"engine_latency_seconds_count 4",
+		// A histogram registered without bounds still exposes the
+		// mandatory +Inf bucket.
+		`engine_boundless_bucket{le="+Inf"} 1`,
+		"engine_boundless_sum 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, ".") && strings.Contains(out, "engine.") {
+		t.Error("unsanitized dotted metric name leaked into the exposition")
+	}
+
+	// Deterministic: a second snapshot of the same state is byte-equal.
+	var buf2 bytes.Buffer
+	if err := WritePrometheus(&buf2, testRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("exposition is not deterministic")
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"engine.queue_depth": "engine_queue_depth",
+		"rtl.opcode.MUL":     "rtl_opcode_MUL",
+		"9lives":             "_lives",
+		"a-b c":              "a_b_c",
+		"ok:name_1":          "ok:name_1",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := testRegistry()
+	fr := NewFlightRecorder(8)
+	fr.Record("admit", -1, 1, 0, "")
+	fr.Anomaly("breaker_open")
+	h := NewHandler(reg, fr)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	if rec := get("/metrics"); rec.Code != 200 ||
+		!strings.Contains(rec.Body.String(), "engine_submitted 5") {
+		t.Fatalf("/metrics: code %d body %q", rec.Code, rec.Body.String())
+	} else if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+
+	rec := get("/debug/telemetry")
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/debug/telemetry does not parse: %v", err)
+	}
+	if snap.Counters["engine.submitted"] != 5 {
+		t.Fatalf("/debug/telemetry counters = %v", snap.Counters)
+	}
+
+	rec = get("/debug/flightrecorder")
+	var doc struct {
+		Events []FlightEvent `json:"events"`
+		Dumps  []FlightDump  `json:"dumps"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/debug/flightrecorder does not parse: %v", err)
+	}
+	if len(doc.Events) != 1 || len(doc.Dumps) != 1 {
+		t.Fatalf("/debug/flightrecorder = %+v", doc)
+	}
+
+	// No recorder attached: honest 404, not an empty 200.
+	if rec := get("/debug/flightrecorder"); rec.Code != 200 {
+		t.Fatalf("with recorder: code %d", rec.Code)
+	}
+	none := NewHandler(reg, nil)
+	rec = httptest.NewRecorder()
+	none.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flightrecorder", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil recorder: code %d, want 404", rec.Code)
+	}
+}
+
+func TestDebugMuxMountsProfilingSurface(t *testing.T) {
+	mux := NewDebugMux(testRegistry(), nil)
+	for _, path := range []string{"/metrics", "/debug/telemetry", "/debug/vars", "/debug/pprof/cmdline"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Errorf("%s: code %d, want 200", path, rec.Code)
+		}
+	}
+}
+
+func TestHistogramSumCountAccessors(t *testing.T) {
+	var h Histogram
+	if h.Sum() != 0 || h.Count() != 0 {
+		t.Fatal("fresh histogram accessors not zero")
+	}
+	h.Observe(1.5)
+	h.Observe(2.5)
+	if h.Sum() != 4 || h.Count() != 2 {
+		t.Fatalf("Sum/Count = %v/%v, want 4/2", h.Sum(), h.Count())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+
+	// Empty: no estimate to give.
+	empty := reg.Histogram("empty", 1, 2).snapshot()
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram p50 = %v, want NaN", got)
+	}
+
+	// Bucketless: summary stats only, quantiles unavailable.
+	nb := reg.Histogram("nobounds")
+	nb.Observe(3)
+	if got := nb.snapshot().Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("bucketless histogram p50 = %v, want NaN", got)
+	}
+
+	// Single bucket populated: interpolation clamps to the exact
+	// min/max, never past real data.
+	single := reg.Histogram("single", 10, 20)
+	for _, v := range []float64{4, 5, 6} {
+		single.Observe(v)
+	}
+	s := single.snapshot()
+	if got := s.Quantile(0.5); got < 4 || got > 6 {
+		t.Fatalf("single-bucket p50 = %v, want within [4, 6]", got)
+	}
+	if got := s.Quantile(0); got != 4 {
+		t.Fatalf("q=0 = %v, want the exact min", got)
+	}
+	if got := s.Quantile(1); got != 6 {
+		t.Fatalf("q=1 = %v, want the exact max", got)
+	}
+
+	// Overflow bucket: a rank past the last finite bound answers the
+	// tracked max instead of inventing a value beyond +Inf.
+	over := reg.Histogram("overflow", 1, 2)
+	over.Observe(0.5)
+	over.Observe(1.5)
+	over.Observe(100) // overflow
+	o := over.snapshot()
+	if got := o.Quantile(0.99); got != 100 {
+		t.Fatalf("overflow p99 = %v, want the tracked max 100", got)
+	}
+	if got := o.Quantile(0.25); got <= 0 || got > 1 {
+		t.Fatalf("p25 = %v, want inside the first bucket", got)
+	}
+
+	// Uniform fill across buckets: the median lands mid-range.
+	u := reg.Histogram("uniform", 1, 2, 3, 4)
+	for i := 0; i < 4; i++ {
+		u.Observe(float64(i) + 0.5)
+	}
+	us := u.snapshot()
+	if got := us.Quantile(0.5); got < 1 || got > 3 {
+		t.Fatalf("uniform p50 = %v, want near 2", got)
+	}
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if got := us.Quantile(q); !math.IsNaN(got) {
+			t.Fatalf("Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+	// p50/p95/p99 are monotone.
+	p50, p95, p99 := us.Quantile(0.5), us.Quantile(0.95), us.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+}

@@ -102,6 +102,20 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Sum returns the running total of every observed sample.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Count returns the number of samples observed so far.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
 // BucketCount is one histogram bucket in a snapshot. Le is the inclusive
 // upper bound; the last bucket of a bounded histogram is the overflow
 // bucket with Le = +Inf.
@@ -123,6 +137,27 @@ func (b BucketCount) MarshalJSON() ([]byte, error) {
 	return json.Marshal(a)
 }
 
+// UnmarshalJSON is the inverse of MarshalJSON: it accepts both plain
+// numbers and the string "+Inf" for Le, so snapshots round-trip through
+// JSON (the /debug/telemetry endpoint is consumed programmatically).
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var a struct {
+		Le    any   `json:"le"`
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	b.Count = a.Count
+	switch le := a.Le.(type) {
+	case string:
+		b.Le = math.Inf(+1)
+	case float64:
+		b.Le = le
+	}
+	return nil
+}
+
 // HistogramSnapshot is a point-in-time copy of a Histogram.
 type HistogramSnapshot struct {
 	Count   int64         `json:"count"`
@@ -131,6 +166,56 @@ type HistogramSnapshot struct {
 	Max     float64       `json:"max"`
 	Mean    float64       `json:"mean"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution by linear interpolation inside the containing bucket.
+// The estimate is clamped to the exact [Min, Max] the histogram tracked,
+// so single-bucket and overflow-bucket observations never extrapolate
+// past real data: a rank landing in the +Inf overflow bucket answers
+// Max, q=0 answers Min and q=1 answers Max exactly. An empty histogram,
+// a histogram without buckets, or a q outside [0, 1] answers NaN.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	if q == 0 {
+		return s.Min
+	}
+	if q == 1 {
+		return s.Max
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	lower := s.Min
+	for _, b := range s.Buckets {
+		prev := cum
+		cum += b.Count
+		if float64(cum) >= rank {
+			if math.IsInf(b.Le, +1) {
+				return s.Max // overflow bucket: all we know is the max
+			}
+			v := b.Le
+			if b.Count > 0 {
+				v = lower + (b.Le-lower)*(rank-float64(prev))/float64(b.Count)
+			}
+			return clamp(v, s.Min, s.Max)
+		}
+		if !math.IsInf(b.Le, +1) {
+			lower = b.Le
+		}
+	}
+	return s.Max
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {

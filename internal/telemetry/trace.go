@@ -73,6 +73,17 @@ func (r *Recorder) SetClock(f func() int64) {
 	r.now = f
 }
 
+// NowUS returns the recorder's current timestamp in microseconds (its
+// wall clock unless SetClock replaced it). Producers that stamp slices
+// with explicit timestamps — e.g. a request span whose stages end on
+// different goroutines — read the clock here so every stage shares the
+// recorder's time base.
+func (r *Recorder) NowUS() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.now()
+}
+
 func (r *Recorder) append(ev TraceEvent) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,0 +1,271 @@
+// Command promlint validates a Prometheus text exposition (format
+// 0.0.4) file, as written by telemetry.WritePrometheus and served on
+// /metrics. It is the CI lint for the scrape surface: every sample line
+// must parse (metric name charset, label syntax, float value including
+// the spelled-out +Inf/-Inf/NaN), every sample must be preceded by
+// exactly one # TYPE declaration of a known type, counters must be
+// non-negative, histograms must expose cumulative non-decreasing
+// buckets ending in a mandatory +Inf bucket that equals _count, plus
+// _sum and _count samples, and no sample may appear twice.
+//
+//	go run ./cmd/fourq-sign -metrics /tmp/metrics.prom
+//	go run ./scripts/promlint /tmp/metrics.prom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: promlint <metrics.prom>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	if err := check(data); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	fmt.Println("promlint: ok")
+}
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// sampleRE splits one sample line into name, optional {labels}, value.
+var sampleRE = regexp.MustCompile(`^([^{\s]+)(\{[^}]*\})?\s+(\S+)$`)
+
+// sample is one parsed exposition line.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// parseValue accepts what the exposition format does: Go float syntax
+// plus the spelled-out specials.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses `{k1="v1",k2="v2"}` (no escaped quotes — the
+// repo's emitter never produces them, and the lint is strict).
+func parseLabels(s string) (map[string]string, error) {
+	body := strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
+	labels := map[string]string{}
+	if body == "" {
+		return labels, nil
+	}
+	for _, pair := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("label pair %q has no '='", pair)
+		}
+		if !nameRE.MatchString(k) {
+			return nil, fmt.Errorf("bad label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' || strings.ContainsAny(v[1:len(v)-1], `"\`) {
+			return nil, fmt.Errorf("label value %s is not a plain quoted string", v)
+		}
+		if _, dup := labels[k]; dup {
+			return nil, fmt.Errorf("duplicate label %q", k)
+		}
+		labels[k] = v[1 : len(v)-1]
+	}
+	return labels, nil
+}
+
+// sampleKey identifies a sample for duplicate detection: name plus the
+// sorted label set.
+func sampleKey(s sample) string {
+	keys := make([]string, 0, len(s.labels))
+	for k := range s.labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, `{%s=%q}`, k, s.labels[k])
+	}
+	return b.String()
+}
+
+// baseName maps a sample name to the metric it belongs to: histogram
+// series (_bucket/_sum/_count) roll up to their declared base metric,
+// everything else is its own base.
+func baseName(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+func check(data []byte) error {
+	types := map[string]string{}     // metric -> declared type
+	seen := map[string]int{}         // sample key -> first line
+	samples := map[string][]sample{} // base metric -> samples in order
+	for i, raw := range strings.Split(string(data), "\n") {
+		n := i + 1
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment %q", n, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !nameRE.MatchString(name) {
+					return fmt.Errorf("line %d: bad metric name %q in TYPE", n, name)
+				}
+				if !validTypes[typ] {
+					return fmt.Errorf("line %d: unknown metric type %q", n, typ)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", n, name)
+				}
+				if len(samples[name]) > 0 {
+					return fmt.Errorf("line %d: TYPE for %q after its samples", n, name)
+				}
+				types[name] = typ
+			}
+			continue // HELP and free comments pass through
+		}
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: unparseable sample %q", n, line)
+		}
+		s := sample{name: m[1], line: n}
+		if !nameRE.MatchString(s.name) {
+			return fmt.Errorf("line %d: bad metric name %q", n, s.name)
+		}
+		var err error
+		if s.labels, err = parseLabels(m[2]); m[2] != "" && err != nil {
+			return fmt.Errorf("line %d: %v", n, err)
+		}
+		if s.value, err = parseValue(m[3]); err != nil {
+			return fmt.Errorf("line %d: bad sample value %q", n, m[3])
+		}
+		base := baseName(s.name, types)
+		if _, ok := types[base]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", n, s.name)
+		}
+		key := sampleKey(s)
+		if first, dup := seen[key]; dup {
+			return fmt.Errorf("line %d: duplicate sample %s (first at line %d)", n, key, first)
+		}
+		seen[key] = n
+		samples[base] = append(samples[base], s)
+	}
+
+	names := make([]string, 0, len(types))
+	for name := range types {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := samples[name]
+		if len(ss) == 0 {
+			return fmt.Errorf("metric %q: TYPE declared but no samples", name)
+		}
+		switch types[name] {
+		case "counter":
+			for _, s := range ss {
+				if s.value < 0 {
+					return fmt.Errorf("line %d: counter %q is negative (%v)", s.line, name, s.value)
+				}
+			}
+		case "histogram":
+			if err := checkHistogram(name, ss); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkHistogram enforces the well-formedness of one histogram family:
+// cumulative non-decreasing buckets in increasing le order, a final
+// +Inf bucket equal to _count, and the _sum/_count pair present.
+func checkHistogram(name string, ss []sample) error {
+	var buckets []sample
+	var sum, count *sample
+	for i := range ss {
+		s := ss[i]
+		switch s.name {
+		case name + "_bucket":
+			if _, ok := s.labels["le"]; !ok {
+				return fmt.Errorf("line %d: %s without an le label", s.line, s.name)
+			}
+			buckets = append(buckets, s)
+		case name + "_sum":
+			sum = &ss[i]
+		case name + "_count":
+			count = &ss[i]
+		default:
+			return fmt.Errorf("line %d: unexpected histogram series %q", s.line, s.name)
+		}
+	}
+	if len(buckets) == 0 {
+		return fmt.Errorf("histogram %q has no buckets", name)
+	}
+	if sum == nil || count == nil {
+		return fmt.Errorf("histogram %q is missing _sum or _count", name)
+	}
+	prevLe := math.Inf(-1)
+	prev := -1.0
+	for _, b := range buckets {
+		le, err := parseValue(b.labels["le"])
+		if err != nil || math.IsNaN(le) {
+			return fmt.Errorf("line %d: bad le %q", b.line, b.labels["le"])
+		}
+		if le <= prevLe {
+			return fmt.Errorf("line %d: bucket le %v not increasing (previous %v)", b.line, le, prevLe)
+		}
+		if b.value < prev {
+			return fmt.Errorf("line %d: bucket counts not cumulative (%v after %v)", b.line, b.value, prev)
+		}
+		if b.value < 0 || b.value != math.Trunc(b.value) {
+			return fmt.Errorf("line %d: bucket count %v is not a non-negative integer", b.line, b.value)
+		}
+		prevLe, prev = le, b.value
+	}
+	last := buckets[len(buckets)-1]
+	if !math.IsInf(prevLe, +1) {
+		return fmt.Errorf("histogram %q is missing the +Inf bucket", name)
+	}
+	if last.value != count.value {
+		return fmt.Errorf("histogram %q: +Inf bucket (%v) != _count (%v)", name, last.value, count.value)
+	}
+	return nil
+}

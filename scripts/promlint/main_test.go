@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// expo builds a real exposition through the production writer, so the
+// lint and the emitter are tested against each other.
+func expo(t *testing.T) string {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Counter("engine.submitted").Add(7)
+	reg.Gauge("engine.queue_depth").Set(1.5)
+	h := reg.Histogram("engine.latency_seconds", 0.001, 0.01, 0.1)
+	for _, v := range []float64{0.0005, 0.002, 0.05, 3} {
+		h.Observe(v)
+	}
+	reg.Histogram("engine.boundless").Observe(2)
+	var buf bytes.Buffer
+	if err := telemetry.WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestCheckAcceptsWritePrometheusOutput(t *testing.T) {
+	if err := check([]byte(expo(t))); err != nil {
+		t.Fatalf("lint rejects the production emitter's output: %v", err)
+	}
+}
+
+func TestCheckAcceptsCommentsAndBlankLines(t *testing.T) {
+	doc := "# HELP x something\n# a free comment\n\n# TYPE x counter\nx 1\n"
+	if err := check([]byte(doc)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the error
+	}{
+		{"sample without TYPE", "engine_submitted 5\n", "no preceding TYPE"},
+		{"TYPE after samples", "# TYPE x counter\nx 1\n# TYPE x counter\n", "duplicate TYPE"},
+		{"unknown type", "# TYPE x sparkline\nx 1\n", "unknown metric type"},
+		{"bad name", "# TYPE 9lives counter\n9lives 1\n", "bad metric name"},
+		{"dotted name", "# TYPE engine.submitted counter\nengine.submitted 5\n", "bad metric name"},
+		{"bad value", "# TYPE x gauge\nx fast\n", "bad sample value"},
+		{"negative counter", "# TYPE x counter\nx -3\n", "negative"},
+		{"duplicate sample", "# TYPE x gauge\nx 1\nx 2\n", "duplicate sample"},
+		{"bad label syntax", "# TYPE h histogram\nh_bucket{le=0.1} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.05\nh_count 1\n", "quoted string"},
+		{
+			"non-cumulative buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 4\n",
+			"not cumulative",
+		},
+		{
+			"unsorted le",
+			"# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+			"not increasing",
+		},
+		{
+			"missing +Inf bucket",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"+Inf",
+		},
+		{
+			"+Inf disagrees with count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+			"_count",
+		},
+		{
+			"missing sum",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"_sum",
+		},
+		{"bucket without le", "# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n", "le label"},
+		{"declared but empty", "# TYPE x counter\n", "no samples"},
+	}
+	for _, tc := range cases {
+		err := check([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: lint accepted the document", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
