@@ -9,6 +9,11 @@
 # race-enabled engine coalescing tests plus a width-2 lockstep sweep),
 # an observability smoke (race-enabled span/flight-recorder tests plus a
 # linted end-to-end Prometheus scrape through fourq-sign -metrics),
+# a serve smoke (race-enabled tests of the sharded signing service plus
+# an end-to-end fourq-loadgen drive of a live fourq-serve: steady run
+# gated against the committed BENCH_serve.json, overload run that must
+# shed 503s without ever saturating an engine queue, linted /metrics
+# scrape, graceful SIGTERM drain),
 # and finally the perf-regression gate: a fresh
 # latency+throughput+batch run compared against the committed
 # BENCH_rtl.json baseline (refresh it with `make bench-record` after a
@@ -26,7 +31,9 @@ TOLERANCE ?= 0.10
 FUZZTIME ?= 5s
 OBS_METRICS ?= /tmp/obs_metrics.prom
 
-.PHONY: all build test vet race race-robust fuzz-smoke ci smoke lane-smoke obs-smoke bench-record bench-compare clean
+SERVE_BASELINE ?= BENCH_serve.json
+
+.PHONY: all build test vet race race-robust fuzz-smoke ci smoke lane-smoke obs-smoke serve-smoke serve-record bench-record bench-compare clean
 
 all: build
 
@@ -84,6 +91,21 @@ obs-smoke: build
 	$(GO) run ./cmd/fourq-sign -workers 2 -metrics $(OBS_METRICS)
 	$(GO) run ./scripts/promlint $(OBS_METRICS)
 
+# Serve smoke: the race-enabled service tests (end-to-end mixed traffic
+# against the software oracle, fake-clock drain, malformed-input
+# rejection), then the live harness in scripts/serve_smoke.sh — a real
+# fourq-serve driven by fourq-loadgen, with the steady run gated against
+# the committed BENCH_serve.json and the overload run required to shed
+# cleanly before any engine queue saturates.
+serve-smoke: build
+	$(GO) test -race -count=1 ./internal/serve
+	SERVE_BASELINE=$(SERVE_BASELINE) sh ./scripts/serve_smoke.sh
+
+# Refresh the committed service baseline from a steady loadgen run
+# (validated by benchcheck inside the harness before it lands).
+serve-record: build
+	SERVE_BENCH_OUT=$(SERVE_BASELINE) SERVE_BASELINE=$(SERVE_BASELINE) sh ./scripts/serve_smoke.sh
+
 # Record the committed performance baseline: one report carrying the
 # latency experiment (with host single-thread compiled vs interpreted
 # SM/s), the batch-engine throughput sweep, and the lockstep lane-width
@@ -99,7 +121,7 @@ bench-compare: build
 	$(GO) run ./cmd/fourq-bench -exp latency,throughput,batch -json $(COMPARE_JSON)
 	$(GO) run ./scripts/benchcheck -baseline $(BENCH_BASELINE) -tolerance $(TOLERANCE) $(COMPARE_JSON)
 
-ci: vet build race race-robust fuzz-smoke smoke lane-smoke obs-smoke bench-compare
+ci: vet build race race-robust fuzz-smoke smoke lane-smoke obs-smoke serve-smoke bench-compare
 
 clean:
 	$(GO) clean ./...

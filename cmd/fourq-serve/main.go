@@ -1,0 +1,140 @@
+// Command fourq-serve runs the sharded FourQ signing/verification
+// service (internal/serve): an HTTP/JSON API for scalar multiplication,
+// SchnorrQ sign/verify and batch verification, dispatched least-loaded
+// across several engine shards, with weighted admission control that
+// sheds load (503) before any engine queue can saturate.
+//
+// The PR 6 observability surface (/metrics, /debug/telemetry,
+// /debug/flightrecorder, /debug/pprof/) is served on the same address.
+//
+// SIGTERM or SIGINT triggers a graceful drain: the server stops
+// admitting (new requests get 503 "draining"), waits up to
+// -drain-timeout for every in-flight request to be answered, flushes
+// the engine lanes, and exits 0. A second signal, or the deadline,
+// forces exit (the deadline path exits 1 so orchestrators can tell a
+// clean drain from a forced one).
+//
+// Tenant enforcement is off by default; -tenants installs per-tenant
+// token buckets, e.g. -tenants "alice=100:200,bob=10:10" (rate
+// requests/s and burst per tenant, X-Tenant request header selects).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7414", "listen address for the API and debug surface")
+	shards := flag.Int("shards", 2, "engine shards (least-loaded dispatch)")
+	workers := flag.Int("workers", 0, "workers per shard (0 = GOMAXPROCS)")
+	laneWidth := flag.Int("lane-width", 4, "engine lane width per shard (1 disables coalescing)")
+	queueDepth := flag.Int("queue-depth", 0, "engine queue depth per shard (0 = default)")
+	maxBatch := flag.Int("max-batch", 64, "largest accepted batch-verify item count")
+	shedHW := flag.Float64("shed-highwater", 0.8, "admission sheds at this fraction of a shard's queue capacity")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
+	tenants := flag.String("tenants", "", "per-tenant limits, \"name=rate:burst,...\" (empty disables tenant enforcement)")
+	flag.Parse()
+
+	if err := run(*addr, *shards, *workers, *laneWidth, *queueDepth, *maxBatch, *shedHW, *drainTimeout, *tenants); err != nil {
+		fmt.Fprintln(os.Stderr, "fourq-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// parseTenants parses "name=rate:burst,..." into the serve option map.
+func parseTenants(s string) (map[string]serve.TenantLimit, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]serve.TenantLimit{}
+	for _, ent := range strings.Split(s, ",") {
+		name, lim, ok := strings.Cut(strings.TrimSpace(ent), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenants: %q is not name=rate:burst", ent)
+		}
+		rateStr, burstStr, ok := strings.Cut(lim, ":")
+		if !ok {
+			return nil, fmt.Errorf("tenants: %q is not name=rate:burst", ent)
+		}
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tenants: %q: bad rate: %v", ent, err)
+		}
+		burst, err := strconv.Atoi(burstStr)
+		if err != nil {
+			return nil, fmt.Errorf("tenants: %q: bad burst: %v", ent, err)
+		}
+		out[name] = serve.TenantLimit{Rate: rate, Burst: burst}
+	}
+	return out, nil
+}
+
+func run(addr string, shards, workers, laneWidth, queueDepth, maxBatch int, shedHW float64, drainTimeout time.Duration, tenantSpec string) error {
+	tenants, err := parseTenants(tenantSpec)
+	if err != nil {
+		return err
+	}
+	s, err := serve.New(serve.Options{
+		Shards: shards,
+		Engine: engine.Options{
+			Workers:    workers,
+			LaneWidth:  laneWidth,
+			QueueDepth: queueDepth,
+		},
+		Tenants:       tenants,
+		MaxBatch:      maxBatch,
+		ShedHighWater: shedHW,
+	})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fourq-serve: listening on http://%s (%d shards, lane width %d)\n",
+		l.Addr(), s.Shards(), laneWidth)
+	fmt.Printf("fourq-serve: API under /v1/, health at /healthz, metrics at /metrics\n")
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigs:
+		fmt.Printf("fourq-serve: %v — draining (deadline %v)\n", sig, drainTimeout)
+		s.StartDrain()
+		// A second signal forces immediate shutdown.
+		forced := make(chan struct{})
+		go func() {
+			<-sigs
+			close(forced)
+			s.Close()
+		}()
+		err := s.AwaitDrain(drainTimeout)
+		select {
+		case <-forced:
+			return fmt.Errorf("forced shutdown on second signal")
+		default:
+		}
+		if err != nil {
+			return fmt.Errorf("drain: %w (in-flight requests were answered on open connections)", err)
+		}
+		fmt.Println("fourq-serve: drained cleanly")
+		return nil
+	}
+}

@@ -64,6 +64,13 @@ type Options struct {
 	// Submissions beyond it fail fast with ErrQueueFull. Defaults to
 	// 4 * Workers.
 	QueueDepth int
+	// MetricsNamespace prefixes every metric the engine registers
+	// ("engine" when empty). A serving layer running several engine
+	// shards against one shared Registry gives each shard its own
+	// namespace ("engine.shard0", "engine.shard1", ...) so per-shard
+	// counters never collide. Metric names in docs/ENGINE.md are listed
+	// under the default namespace.
+	MetricsNamespace string
 	// Registry receives the engine's metrics (a fresh registry is
 	// created when nil). Metric names are listed in docs/ENGINE.md.
 	Registry *telemetry.Registry
@@ -219,6 +226,12 @@ type Engine struct {
 	reqSeq      atomic.Uint64
 	fr          *telemetry.FlightRecorder
 
+	// load counts accepted-but-unresolved requests (queued plus claimed
+	// in-flight): +1 per accepted submission, -1 on delivery or
+	// cancellation. It is the cheap shard-load signal a dispatcher reads
+	// on every request, so it lives outside the mutex-guarded queue.
+	load atomic.Int64
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []*job
@@ -327,6 +340,10 @@ func NewWithProcessor(p *core.Processor, opts Options) *Engine {
 			stride = 1
 		}
 	}
+	ns := opts.MetricsNamespace
+	if ns == "" {
+		ns = "engine"
+	}
 	reg := opts.Registry
 	e := &Engine{
 		proc:        p,
@@ -336,36 +353,36 @@ func NewWithProcessor(p *core.Processor, opts Options) *Engine {
 		trace:       opts.Trace,
 		traceStride: stride,
 		fr:          opts.FlightRecorder,
-		submitted:   reg.Counter("engine.submitted"),
-		completed:   reg.Counter("engine.completed"),
-		failed:      reg.Counter("engine.failed"),
-		rejected:    reg.Counter("engine.rejected"),
-		canceled:    reg.Counter("engine.canceled"),
-		retries:     reg.Counter("engine.retries"),
-		valFailed:   reg.Counter("engine.validation_failed"),
-		fallbacks:   reg.Counter("engine.fallback_completed"),
-		quarantined: reg.Counter("engine.workers_quarantined"),
-		laneRuns:    reg.Counter("engine.lane_runs"),
-		laneLanes:   reg.Counter("engine.lane_lanes"),
-		flushHits:   reg.Counter("engine.flush_deadline_hits"),
-		depth:       reg.Gauge("engine.queue_depth"),
-		inFlight:    reg.Gauge("engine.in_flight"),
-		laneFill:    reg.Gauge("engine.lane_fill_ratio"),
-		active:      reg.Gauge("engine.workers_active"),
-		latency: reg.Histogram("engine.latency_seconds",
+		submitted:   reg.Counter(ns + ".submitted"),
+		completed:   reg.Counter(ns + ".completed"),
+		failed:      reg.Counter(ns + ".failed"),
+		rejected:    reg.Counter(ns + ".rejected"),
+		canceled:    reg.Counter(ns + ".canceled"),
+		retries:     reg.Counter(ns + ".retries"),
+		valFailed:   reg.Counter(ns + ".validation_failed"),
+		fallbacks:   reg.Counter(ns + ".fallback_completed"),
+		quarantined: reg.Counter(ns + ".workers_quarantined"),
+		laneRuns:    reg.Counter(ns + ".lane_runs"),
+		laneLanes:   reg.Counter(ns + ".lane_lanes"),
+		flushHits:   reg.Counter(ns + ".flush_deadline_hits"),
+		depth:       reg.Gauge(ns + ".queue_depth"),
+		inFlight:    reg.Gauge(ns + ".in_flight"),
+		laneFill:    reg.Gauge(ns + ".lane_fill_ratio"),
+		active:      reg.Gauge(ns + ".workers_active"),
+		latency: reg.Histogram(ns+".latency_seconds",
 			0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5),
-		queueWait: reg.Histogram("engine.queue_wait_seconds",
+		queueWait: reg.Histogram(ns+".queue_wait_seconds",
 			0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1),
-		laneFillH: reg.Histogram("engine.lane_fill_seconds",
+		laneFillH: reg.Histogram(ns+".lane_fill_seconds",
 			0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1),
-		execH: reg.Histogram("engine.execute_seconds",
+		execH: reg.Histogram(ns+".execute_seconds",
 			0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25),
 	}
 	if opts.Verify {
 		e.validate = core.ValidateOracle
 	}
 	if opts.BreakerWindow > 0 {
-		e.brk = newBreaker(opts.BreakerWindow, opts.BreakerThreshold, opts.BreakerCooldown, reg)
+		e.brk = newBreaker(opts.BreakerWindow, opts.BreakerThreshold, opts.BreakerCooldown, reg, ns)
 		// A breaker transition is exactly the moment a post-mortem wants
 		// the events leading up to it, so trips snapshot the flight ring.
 		e.brk.onTrip = func() {
@@ -402,7 +419,7 @@ func NewWithProcessor(p *core.Processor, opts Options) *Engine {
 			id:         i,
 			ex:         ex,
 			rng:        jitterRNG(uint64(opts.BackoffSeed) ^ uint64(i+1)*0x9E3779B97F4A7C15),
-			stateGauge: reg.Gauge(fmt.Sprintf("engine.worker_%d_state", i)),
+			stateGauge: reg.Gauge(fmt.Sprintf("%s.worker_%d_state", ns, i)),
 		}
 		w.stateGauge.Set(0)
 		e.wg.Add(1)
@@ -427,6 +444,17 @@ func NewWithProcessor(p *core.Processor, opts Options) *Engine {
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Load reports the number of accepted requests not yet resolved (queued
+// plus claimed in-flight). It is the dispatch signal a sharding layer
+// reads per request: monotone under contention (atomic, no queue lock)
+// and exact at quiescence.
+func (e *Engine) Load() int64 { return e.load.Load() }
+
+// QueueCap returns the bounded queue's capacity (Options.QueueDepth
+// after defaulting) — the denominator an admission controller needs to
+// shed load before Submit starts returning ErrQueueFull.
+func (e *Engine) QueueCap() int { return e.opts.QueueDepth }
 
 // Processor returns the shared processor instance the engine runs on.
 func (e *Engine) Processor() *core.Processor { return e.proc }
@@ -556,6 +584,7 @@ func (e *Engine) enqueue(ctx context.Context, reqs ...Request) ([]*job, error) {
 	}
 	e.mu.Unlock()
 	e.submitted.Add(int64(len(js)))
+	e.load.Add(int64(len(js)))
 	return js, nil
 }
 
@@ -568,6 +597,7 @@ func (e *Engine) await(ctx context.Context, j *job) (Result, error) {
 	case <-ctx.Done():
 		if j.state.CompareAndSwap(jobPending, jobCanceled) {
 			e.canceled.Inc()
+			e.load.Add(-1)
 			return Result{}, ctx.Err()
 		}
 		// A worker won the race: its result is already being computed
@@ -606,6 +636,7 @@ func (e *Engine) worker(w *workerState) {
 // deliver resolves one claimed job: exactly one Result on done, with
 // the in-flight/latency/completion accounting of the single-job loop.
 func (e *Engine) deliver(j *job, r Result) {
+	e.load.Add(-1)
 	e.inFlight.Add(-1)
 	e.latency.Observe(time.Since(j.enq).Seconds())
 	if r.Err != nil {

@@ -86,14 +86,14 @@ type breaker struct {
 	openedC    *telemetry.Counter
 }
 
-func newBreaker(window int, threshold float64, cooldown time.Duration, reg *telemetry.Registry) *breaker {
+func newBreaker(window int, threshold float64, cooldown time.Duration, reg *telemetry.Registry, ns string) *breaker {
 	b := &breaker{
 		window:     make([]bool, window),
 		threshold:  threshold,
 		cooldown:   cooldown,
-		openGauge:  reg.Gauge("engine.breaker_open"),
-		probeGauge: reg.Gauge("engine.breaker_probing"),
-		openedC:    reg.Counter("engine.breaker_opened"),
+		openGauge:  reg.Gauge(ns + ".breaker_open"),
+		probeGauge: reg.Gauge(ns + ".breaker_probing"),
+		openedC:    reg.Counter(ns + ".breaker_opened"),
 	}
 	b.openGauge.Set(0)
 	b.probeGauge.Set(0)

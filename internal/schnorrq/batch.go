@@ -1,8 +1,10 @@
 package schnorrq
 
 import (
+	"context"
 	"errors"
 	"io"
+	"sync"
 
 	"repro/internal/curve"
 	"repro/internal/scalar"
@@ -18,6 +20,12 @@ import (
 // which is how a roadside unit would keep up with dense traffic. If the
 // batch fails, fall back to one-by-one verification to isolate the bad
 // message.
+//
+// Two execution paths share the same combination (batchTerms):
+// BatchVerify evaluates it with the in-process multi-scalar ladder, and
+// BatchVerifyWith routes every term through a pluggable ScalarMulter —
+// the same backend seam SignWith/VerifyWith use — so batch verification
+// can ride the modeled accelerator instead of bypassing it.
 
 // BatchItem pairs a message with its signature and signer.
 type BatchItem struct {
@@ -29,28 +37,35 @@ type BatchItem struct {
 // errBadBatch reports a malformed batch entry.
 var errBadBatch = errors.New("schnorrq: malformed batch entry")
 
-// BatchVerify checks all items together; randomness for the weights is
-// drawn from rand. An empty batch verifies trivially.
-func BatchVerify(rand io.Reader, items []BatchItem) (bool, error) {
-	if len(items) == 0 {
-		return true, nil
-	}
-	var (
-		sSum    scalar.Scalar // sum z_i * s_i
-		scalars []scalar.Scalar
-		points  []curve.Point
-	)
+// batchTerms is the parsed random linear combination of a batch: the
+// generator coefficient sum z_i*s_i plus the per-signature term pairs
+// ([z_i*h_i]A_i and [z_i](-R_i)) ready for any multi-scalar evaluator.
+type batchTerms struct {
+	sSum    scalar.Scalar
+	scalars []scalar.Scalar
+	points  []curve.Point
+}
+
+// collectBatchTerms parses and weighs every item. The bool mirrors the
+// verification verdict for structurally invalid signatures (bad point or
+// non-canonical scalar encodings reject the batch without error, exactly
+// as a single Verify answers false); the error reports misuse (nil
+// public key, wrong-length signature) or a randomness failure.
+func collectBatchTerms(rand io.Reader, items []BatchItem) (batchTerms, bool, error) {
+	var bt batchTerms
+	bt.scalars = make([]scalar.Scalar, 0, 2*len(items))
+	bt.points = make([]curve.Point, 0, 2*len(items))
 	for i, it := range items {
 		if it.Pub == nil || len(it.Sig) != SignatureSize {
-			return false, errBadBatch
+			return bt, false, errBadBatch
 		}
 		R, err := curve.FromBytes(it.Sig[:curve.Size])
 		if err != nil {
-			return false, nil // invalid encoding: batch rejects
+			return bt, false, nil // invalid encoding: batch rejects
 		}
 		s, err := scalar.FromBytes(it.Sig[curve.Size:])
 		if err != nil || s.Big().Cmp(scalar.Order()) >= 0 {
-			return false, nil
+			return bt, false, nil
 		}
 		h := hashToScalar(it.Sig[:curve.Size], it.Pub.enc[:], it.Msg)
 
@@ -59,7 +74,7 @@ func BatchVerify(rand io.Reader, items []BatchItem) (bool, error) {
 			// 128-bit random weight.
 			var buf [16]byte
 			if _, err := io.ReadFull(rand, buf[:]); err != nil {
-				return false, err
+				return bt, false, err
 			}
 			var zs scalar.Scalar
 			for j := 0; j < 8; j++ {
@@ -72,15 +87,70 @@ func BatchVerify(rand io.Reader, items []BatchItem) (bool, error) {
 			z = zs
 		}
 
-		sSum = scalar.AddModN(sSum, scalar.MulModN(z, s))
-		scalars = append(scalars, scalar.MulModN(z, h))
-		points = append(points, it.Pub.A)
-		scalars = append(scalars, z)
-		points = append(points, R.Neg())
+		bt.sSum = scalar.AddModN(bt.sSum, scalar.MulModN(z, s))
+		bt.scalars = append(bt.scalars, scalar.MulModN(z, h))
+		bt.points = append(bt.points, it.Pub.A)
+		bt.scalars = append(bt.scalars, z)
+		bt.points = append(bt.points, R.Neg())
+	}
+	return bt, true, nil
+}
+
+// BatchVerify checks all items together; randomness for the weights is
+// drawn from rand. An empty batch verifies trivially.
+func BatchVerify(rand io.Reader, items []BatchItem) (bool, error) {
+	if len(items) == 0 {
+		return true, nil
+	}
+	bt, ok, err := collectBatchTerms(rand, items)
+	if !ok || err != nil {
+		return false, err
 	}
 	total := curve.Add(
-		curve.ScalarMult(sSum, curve.Generator()),
-		curve.MultiScalarMult(scalars, points),
+		curve.ScalarMult(bt.sSum, curve.Generator()),
+		curve.MultiScalarMult(bt.scalars, bt.points),
 	)
+	return total.IsIdentity(), nil
+}
+
+// BatchVerifyWith checks all items together like BatchVerify, but
+// computes every scalar multiplication of the combination — [sum z_i
+// s_i]G plus the 2n per-signature terms — on the backend. The terms are
+// submitted concurrently, so an engine-backed ScalarMulter coalesces
+// them into lockstep lanes instead of serializing 2n+1 round trips. The
+// bool is the verdict; the error reports a backend failure (on which the
+// verdict is meaningless).
+func BatchVerifyWith(ctx context.Context, rand io.Reader, sm ScalarMulter, items []BatchItem) (bool, error) {
+	if len(items) == 0 {
+		return true, nil
+	}
+	bt, ok, err := collectBatchTerms(rand, items)
+	if !ok || err != nil {
+		return false, err
+	}
+	terms := make([]curve.Affine, len(bt.scalars)+1)
+	errs := make([]error, len(bt.scalars)+1)
+	var wg sync.WaitGroup
+	wg.Add(len(bt.scalars) + 1)
+	go func() {
+		defer wg.Done()
+		terms[0], errs[0] = sm.ScalarMultAffine(ctx, bt.sSum, curve.GeneratorAffine())
+	}()
+	for i := range bt.scalars {
+		go func(i int) {
+			defer wg.Done()
+			terms[i+1], errs[i+1] = sm.ScalarMultAffine(ctx, bt.scalars[i], bt.points[i].Affine())
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return false, err
+		}
+	}
+	total := curve.Identity()
+	for _, t := range terms {
+		total = curve.Add(total, curve.FromAffine(t))
+	}
 	return total.IsIdentity(), nil
 }

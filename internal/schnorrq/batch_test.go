@@ -1,8 +1,11 @@
 package schnorrq
 
 import (
+	"context"
 	"crypto/rand"
 	"testing"
+
+	"repro/internal/curve"
 )
 
 func makeBatch(t testing.TB, n int) []BatchItem {
@@ -93,6 +96,92 @@ func TestBatchAgreesWithSingleVerify(t *testing.T) {
 	ok, err := BatchVerify(rand.Reader, items)
 	if err != nil || !ok {
 		t.Fatal("batch disagrees with single verification")
+	}
+}
+
+// TestBatchVerifyWithDifferential pins BatchVerifyWith (every term of
+// the combination routed through a ScalarMulter backend) to per-
+// signature verification and to the in-process BatchVerify, over valid
+// batches and every forgery mode the functional path catches.
+func TestBatchVerifyWithDifferential(t *testing.T) {
+	ctx := context.Background()
+	sm := FuncScalarMulter{}
+
+	for _, n := range []int{1, 2, 5} {
+		items := makeBatch(t, n)
+		ok, err := BatchVerifyWith(ctx, rand.Reader, sm, items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single := true
+		for _, it := range items {
+			single = single && Verify(it.Pub, it.Msg, it.Sig)
+		}
+		if ok != single {
+			t.Fatalf("n=%d: BatchVerifyWith=%v, per-signature verify=%v", n, ok, single)
+		}
+		if !ok {
+			t.Fatalf("n=%d: valid batch rejected", n)
+		}
+	}
+
+	for corrupt := 0; corrupt < 3; corrupt++ {
+		items := makeBatch(t, 4)
+		switch corrupt {
+		case 0:
+			items[2].Msg = []byte("tampered")
+		case 1:
+			sig := append([]byte(nil), items[3].Sig...)
+			sig[len(sig)-5] ^= 1
+			items[3].Sig = sig
+		case 2:
+			items[0].Sig, items[1].Sig = items[1].Sig, items[0].Sig
+		}
+		ok, err := BatchVerifyWith(ctx, rand.Reader, sm, items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("corrupted batch (mode %d) accepted by backend path", corrupt)
+		}
+		// The corrupted item also fails per-signature verification on the
+		// same backend: the two granularities must agree on the verdict.
+		anyBad := false
+		for _, it := range items {
+			single, err := VerifyWith(ctx, sm, it.Pub, it.Msg, it.Sig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			anyBad = anyBad || !single
+		}
+		if !anyBad {
+			t.Fatalf("mode %d: batch rejected but every signature verifies individually", corrupt)
+		}
+	}
+}
+
+func TestBatchVerifyWithEmptyAndMalformed(t *testing.T) {
+	ctx := context.Background()
+	sm := FuncScalarMulter{}
+	if ok, err := BatchVerifyWith(ctx, rand.Reader, sm, nil); err != nil || !ok {
+		t.Fatal("empty batch should verify")
+	}
+	items := makeBatch(t, 2)
+	items[1].Sig = items[1].Sig[:10]
+	if _, err := BatchVerifyWith(ctx, rand.Reader, sm, items); err == nil {
+		t.Fatal("truncated signature not reported as malformed")
+	}
+	// A structurally valid but non-canonical s rejects without error,
+	// matching BatchVerify.
+	items = makeBatch(t, 2)
+	sig := append([]byte(nil), items[1].Sig...)
+	for i := curve.Size; i < len(sig); i++ {
+		sig[i] = 0xFF
+	}
+	items[1].Sig = sig
+	ok, err := BatchVerifyWith(ctx, rand.Reader, sm, items)
+	if err != nil || ok {
+		t.Fatalf("non-canonical s: ok=%v err=%v, want rejected without error", ok, err)
 	}
 }
 

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// fakeClock implements serve.Clock with manually advanced time, so the
+// drain tests can prove which exit path AwaitDrain took: the idle
+// signal (clock never advanced) or the deadline (clock advanced past
+// it).
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []fakeTimer
+}
+
+type fakeTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	at := c.now.Add(d)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.timers = append(c.timers, fakeTimer{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves time forward and fires every timer that came due.
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	kept := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.at.After(c.now) {
+			t.ch <- c.now
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	c.timers = kept
+}
+
+func (c *fakeClock) pendingTimers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+// waitFor polls cond with a real-time safety deadline (the fake clock
+// governs the code under test, not the test harness itself).
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGracefulDrain is the drain regression test on a fake clock:
+// requests pinned in flight when StartDrain fires must complete with
+// real answers, new requests must be refused with 503 "draining", and
+// AwaitDrain must return — and the listener close — because the server
+// went idle, not because a deadline passed (the fake clock is never
+// advanced).
+func TestGracefulDrain(t *testing.T) {
+	clk := newFakeClock()
+	ts := startServer(t, Options{
+		Shards: 1,
+		Engine: engine.Options{Workers: 2},
+		Clock:  clk,
+	})
+	gate := make(chan struct{})
+	ts.s.setHoldGate(gate)
+
+	f := newFixture(t, 1)
+	sb := f.scalars[0].Bytes()
+	req := ScalarMultRequest{Scalar: hex.EncodeToString(sb[:])}
+
+	const inFlight = 4
+	type result struct {
+		status int
+		body   []byte
+	}
+	results := make(chan result, inFlight)
+	var wg sync.WaitGroup
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body := ts.post(t, "/v1/scalarmult", "", req)
+			results <- result{status, body}
+		}()
+	}
+	waitFor(t, "requests to pin at the gate", func() bool { return ts.s.Inflight() == inFlight })
+
+	ts.s.StartDrain()
+	if !ts.s.Draining() {
+		t.Fatal("Draining() false after StartDrain")
+	}
+	// Admission is closed: a new request gets a clean 503 "draining"
+	// while the pinned ones are still in flight.
+	status, body := ts.post(t, "/v1/scalarmult", "", req)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d, want 503: %s", status, body)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error != "draining" {
+		t.Fatalf("drain refusal body = %s, want {\"error\":\"draining\"}", body)
+	}
+	if got := ts.s.Inflight(); got != inFlight {
+		t.Fatalf("refused request changed inflight: %d", got)
+	}
+
+	// Release the pinned requests and complete the drain. The fake
+	// clock never advances, so a nil return proves AwaitDrain exited on
+	// the idle signal, not the deadline.
+	close(gate)
+	if err := ts.s.AwaitDrain(30 * time.Second); err != nil {
+		t.Fatalf("AwaitDrain: %v", err)
+	}
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.status != http.StatusOK {
+			t.Fatalf("in-flight request dropped during drain: status %d: %s", r.status, r.body)
+		}
+		var resp ScalarMultResponse
+		if err := json.Unmarshal(r.body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Point != f.points[0] {
+			t.Fatalf("drained request answered wrong: %s", resp.Point)
+		}
+	}
+
+	// The listener is closed: Serve returned its clean sentinel and new
+	// connections fail at the transport.
+	select {
+	case err := <-ts.serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+	// A fresh connection (not a pooled keep-alive one) must be refused.
+	if c, err := net.DialTimeout("tcp", strings.TrimPrefix(ts.base, "http://"), time.Second); err == nil {
+		c.Close()
+		t.Fatal("listener still accepting connections after drain")
+	}
+
+	snap := ts.s.Metrics().Snapshot()
+	if n := snap.Counters["serve.ok"]; n != inFlight {
+		t.Errorf("serve.ok = %d, want %d", n, inFlight)
+	}
+	if n := snap.Counters["serve.drain_refused"]; n != 1 {
+		t.Errorf("serve.drain_refused = %d, want 1", n)
+	}
+	if ts.s.Inflight() != 0 {
+		t.Errorf("inflight = %d after drain", ts.s.Inflight())
+	}
+}
+
+// TestDrainTimeout covers the deadline path: with a request stuck in
+// flight, advancing the fake clock past the timeout makes AwaitDrain
+// return ErrDrainTimeout — and the straggler still receives an HTTP
+// answer on its open connection rather than being dropped.
+func TestDrainTimeout(t *testing.T) {
+	clk := newFakeClock()
+	ts := startServer(t, Options{
+		Shards: 1,
+		Engine: engine.Options{Workers: 1},
+		Clock:  clk,
+	})
+	gate := make(chan struct{})
+	ts.s.setHoldGate(gate)
+
+	f := newFixture(t, 1)
+	sb := f.scalars[0].Bytes()
+	req := ScalarMultRequest{Scalar: hex.EncodeToString(sb[:])}
+
+	straggler := make(chan int, 1)
+	go func() {
+		status, _ := ts.post(t, "/v1/scalarmult", "", req)
+		straggler <- status
+	}()
+	waitFor(t, "straggler to pin at the gate", func() bool { return ts.s.Inflight() == 1 })
+
+	ts.s.StartDrain()
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- ts.s.AwaitDrain(5 * time.Second) }()
+	waitFor(t, "AwaitDrain to arm its deadline", func() bool { return clk.pendingTimers() > 0 })
+
+	clk.Advance(5 * time.Second)
+	select {
+	case err := <-drainErr:
+		if !errors.Is(err, ErrDrainTimeout) {
+			t.Fatalf("AwaitDrain = %v, want ErrDrainTimeout", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("AwaitDrain did not return after the deadline fired")
+	}
+
+	// The engines are closed, but the straggler's connection is still
+	// open: releasing it must yield a clean HTTP answer (degraded to 503
+	// since its shard is gone), never a dropped connection.
+	close(gate)
+	select {
+	case status := <-straggler:
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("straggler status = %d, want 503", status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("straggler never answered")
+	}
+	if ts.s.Inflight() != 0 {
+		t.Errorf("inflight = %d after straggler release", ts.s.Inflight())
+	}
+}

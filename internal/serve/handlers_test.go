@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/scalar"
+	"repro/internal/schnorrq"
+)
+
+// orderHex is the group order N encoded exactly as a request scalar
+// (32 bytes little-endian): structurally valid hex of the right length,
+// but non-canonical.
+func orderHex(t *testing.T) string {
+	t.Helper()
+	nb := scalar.Order().Bytes() // big-endian
+	var le [scalar.Size]byte
+	for i, b := range nb {
+		le[len(nb)-1-i] = b
+	}
+	return hex.EncodeToString(le[:])
+}
+
+// TestHandlersRejectMalformedInput is the malformed-input table: every
+// structurally invalid request must be refused at the HTTP layer with
+// the documented status, and none of them may reach an engine queue —
+// the per-shard submitted counters stay exactly zero.
+func TestHandlersRejectMalformedInput(t *testing.T) {
+	s, err := New(Options{
+		Shards:   2,
+		Engine:   engine.Options{Workers: 1},
+		MaxBatch: 4,
+		Tenants: map[string]TenantLimit{
+			"alice": {Rate: 1e6, Burst: 1 << 20},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler()
+
+	f64 := strings.Repeat("ff", 32) // 32 bytes of 0xFF: bad scalar (>= N) and bad point (y >= p)
+	goodScalar := "01" + strings.Repeat("00", 31) // the scalar 1, little-endian
+	goodSeed := strings.Repeat("02", schnorrq.SeedSize)
+	// A structurally valid verify item so batch tests can isolate one
+	// bad element.
+	var seed [schnorrq.SeedSize]byte
+	seed[0] = 9
+	key, err := schnorrq.NewKeyFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := key.Public.Bytes()
+	sig := key.Sign([]byte{1, 2, 3})
+	goodItem := VerifyRequest{
+		Pub: hex.EncodeToString(pub[:]),
+		Msg: "010203",
+		Sig: hex.EncodeToString(sig[:]),
+	}
+	itemJSON := func(v VerifyRequest) string {
+		b, _ := json.Marshal(v)
+		return string(b)
+	}
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		tenant string
+		body   string
+		status int
+		errSub string // substring the JSON error must contain
+	}{
+		{"bad json", "POST", "/v1/scalarmult", "alice", `{"scalar":`, 400, "json"},
+		{"scalar bad hex", "POST", "/v1/scalarmult", "alice", `{"scalar":"zz"}`, 400, "invalid hex"},
+		{"scalar wrong length", "POST", "/v1/scalarmult", "alice", `{"scalar":"abcd"}`, 400, "want 32"},
+		{"scalar non-canonical ff", "POST", "/v1/scalarmult", "alice", `{"scalar":"` + f64 + `"}`, 400, "non-canonical"},
+		{"scalar equals order", "POST", "/v1/scalarmult", "alice", `{"scalar":"` + orderHex(t) + `"}`, 400, "non-canonical"},
+		{"base not on curve", "POST", "/v1/scalarmult", "alice", `{"scalar":"` + goodScalar + `","base":"` + f64 + `"}`, 400, "base"},
+		{"seed wrong length", "POST", "/v1/sign", "alice", `{"seed":"abcd","msg":"00"}`, 400, "seed"},
+		{"sign msg bad hex", "POST", "/v1/sign", "alice", `{"seed":"` + goodSeed + `","msg":"xyz"}`, 400, "invalid hex"},
+		{"verify pub invalid", "POST", "/v1/verify", "alice", `{"pub":"` + f64 + `","msg":"00","sig":"` + goodItem.Sig + `"}`, 400, "pub"},
+		{"verify sig truncated", "POST", "/v1/verify", "alice", `{"pub":"` + goodItem.Pub + `","msg":"00","sig":"abcd"}`, 400, "sig"},
+		{"batch empty", "POST", "/v1/batch/verify", "alice", `{"items":[]}`, 400, "empty batch"},
+		{"batch oversized", "POST", "/v1/batch/verify", "alice",
+			`{"items":[` + strings.TrimSuffix(strings.Repeat(itemJSON(goodItem)+",", 5), ",") + `]}`, 400, "max batch"},
+		{"batch one bad item", "POST", "/v1/batch/verify", "alice",
+			`{"items":[` + itemJSON(goodItem) + `,{"pub":"` + f64 + `","msg":"00","sig":"` + goodItem.Sig + `"}]}`, 400, "items[1]"},
+		{"unknown tenant", "POST", "/v1/scalarmult", "mallory", `{"scalar":"` + goodScalar + `"}`, 403, "unknown tenant"},
+		{"missing tenant header", "POST", "/v1/scalarmult", "", `{"scalar":"` + goodScalar + `"}`, 403, "unknown tenant"},
+		{"wrong method", "GET", "/v1/sign", "alice", "", 405, "POST"},
+		{"unknown endpoint", "POST", "/v1/nope", "alice", `{}`, 404, "unknown endpoint"},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+			if tc.tenant != "" {
+				req.Header.Set(headerTenant, tc.tenant)
+			}
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, req)
+			if rr.Code != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", rr.Code, tc.status, rr.Body.String())
+			}
+			var e ErrorResponse
+			if err := json.Unmarshal(rr.Body.Bytes(), &e); err != nil {
+				t.Fatalf("non-JSON error body: %s", rr.Body.String())
+			}
+			if !strings.Contains(e.Error, tc.errSub) {
+				t.Fatalf("error %q does not mention %q", e.Error, tc.errSub)
+			}
+		})
+	}
+
+	// The defining property of front-door validation: none of the above
+	// ever occupied an engine queue slot.
+	snap := s.Metrics().Snapshot()
+	for i := 0; i < s.Shards(); i++ {
+		if n := snap.Counters[fmt.Sprintf("engine.shard%d.submitted", i)]; n != 0 {
+			t.Errorf("engine shard %d saw %d submissions from malformed requests", i, n)
+		}
+	}
+	if n := snap.Counters["serve.ok"]; n != 0 {
+		t.Errorf("serve.ok = %d, want 0", n)
+	}
+	if n := snap.Counters["serve.bad_request"]; n == 0 {
+		t.Error("serve.bad_request never incremented")
+	}
+	if s.Inflight() != 0 {
+		t.Errorf("inflight = %d, want 0", s.Inflight())
+	}
+}
+
+// TestHandlersWellFormedCryptoInvalid pins the status-code contract's
+// other half: a well-formed request whose signature is simply wrong is
+// a 200 {"valid": false} verdict, not an HTTP error.
+func TestHandlersWellFormedCryptoInvalid(t *testing.T) {
+	s, err := New(Options{Shards: 1, Engine: engine.Options{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var seed [schnorrq.SeedSize]byte
+	seed[0] = 11
+	key, err := schnorrq.NewKeyFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := key.Public.Bytes()
+	sig := key.Sign([]byte("signed message"))
+	body, _ := json.Marshal(VerifyRequest{
+		Pub: hex.EncodeToString(pub[:]),
+		Msg: hex.EncodeToString([]byte("a different message")),
+		Sig: hex.EncodeToString(sig[:]),
+	})
+	req := httptest.NewRequest(http.MethodPost, "/v1/verify", strings.NewReader(string(body)))
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200: %s", rr.Code, rr.Body.String())
+	}
+	var resp VerifyResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Valid {
+		t.Fatal("wrong signature reported valid")
+	}
+}

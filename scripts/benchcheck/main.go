@@ -14,6 +14,12 @@
 // corruption rate without the campaign metadata (seed, trials, sites,
 // validation level) is rejected outright: an unreproducible fault rate
 // is not evidence.
+// When the serve experiment is present (fourq-loadgen -json) it must
+// carry the latency percentiles (p50/p95/p99, ordered) and the
+// shed-rate metadata, its request tallies must reconcile with the
+// offered total, and a run where nothing succeeded is rejected — a
+// goodput figure with no successful requests behind it is not a
+// measurement.
 //
 // With -baseline it additionally runs in compare mode: the SM/s metrics
 // shared by the report and the baseline (the throughput experiment's
@@ -166,7 +172,13 @@ func check(data []byte) error {
 			return err
 		}
 	}
-	if st == nil && !hasThroughput && !hasFaults && !hasBatch {
+	sv, hasServe := r.Experiments["serve"]
+	if hasServe {
+		if err := checkServe(sv); err != nil {
+			return err
+		}
+	}
+	if st == nil && !hasThroughput && !hasFaults && !hasBatch && !hasServe {
 		return fmt.Errorf("no experiment carries rtl_stats (run -exp latency or -exp profile)")
 	}
 	if st != nil {
@@ -286,6 +298,71 @@ func checkBatch(raw json.RawMessage) error {
 	return nil
 }
 
+type serveExp struct {
+	OfferedRPS      float64             `json:"offered_rps"`
+	DurationSeconds float64             `json:"duration_seconds"`
+	Requests        map[string]int      `json:"requests"`
+	ShedRate        *float64            `json:"shed_rate"`
+	LatencyMS       map[string]*float64 `json:"latency_ms"`
+	GoodputRPS      float64             `json:"goodput_rps"`
+	GoodputSMPerSec float64             `json:"goodput_sm_per_sec"`
+}
+
+// checkServe validates the fourq-loadgen service benchmark. The two
+// non-negotiables are the latency percentiles and the shed-rate
+// metadata: a service benchmark quoting goodput without saying what
+// latency the survivors paid, or how much offered load was refused, is
+// cherry-picking.
+func checkServe(raw json.RawMessage) error {
+	var sv serveExp
+	if err := json.Unmarshal(raw, &sv); err != nil {
+		return fmt.Errorf("serve: parse: %w", err)
+	}
+	if sv.OfferedRPS <= 0 {
+		return fmt.Errorf("serve: offered_rps = %v, want > 0", sv.OfferedRPS)
+	}
+	if sv.DurationSeconds <= 0 {
+		return fmt.Errorf("serve: duration_seconds = %v, want > 0", sv.DurationSeconds)
+	}
+	total, ok := sv.Requests["total"], sv.Requests["ok"]
+	if sv.Requests == nil || total <= 0 {
+		return fmt.Errorf("serve: requests.total = %d, want > 0", total)
+	}
+	if ok <= 0 {
+		return fmt.Errorf("serve: requests.ok = %d — a run with no successful request is not a measurement", ok)
+	}
+	if sum := ok + sv.Requests["shed"] + sv.Requests["rate_limited"] + sv.Requests["failed"]; sum != total {
+		return fmt.Errorf("serve: request tallies sum to %d, want total = %d", sum, total)
+	}
+	if sv.ShedRate == nil {
+		return fmt.Errorf("serve: shed_rate missing (overload behavior is part of the result)")
+	}
+	if r := *sv.ShedRate; r < 0 || r > 1 {
+		return fmt.Errorf("serve: shed_rate = %v, want in [0, 1]", r)
+	}
+	var prev float64
+	for _, q := range []string{"p50", "p95", "p99"} {
+		p := sv.LatencyMS[q]
+		if p == nil {
+			return fmt.Errorf("serve: latency_ms.%s missing (percentiles are required)", q)
+		}
+		if *p <= 0 {
+			return fmt.Errorf("serve: latency_ms.%s = %v, want > 0", q, *p)
+		}
+		if *p < prev {
+			return fmt.Errorf("serve: latency_ms.%s = %v below a lower percentile (%v)", q, *p, prev)
+		}
+		prev = *p
+	}
+	if sv.GoodputRPS <= 0 {
+		return fmt.Errorf("serve: goodput_rps = %v, want > 0", sv.GoodputRPS)
+	}
+	if sv.GoodputSMPerSec <= 0 {
+		return fmt.Errorf("serve: goodput_sm_per_sec = %v, want > 0", sv.GoodputSMPerSec)
+	}
+	return nil
+}
+
 // smRates extracts the comparable throughput metrics from a report,
 // keyed by a human-readable metric name: the throughput experiment's
 // peak SM/s over the worker sweep, and the latency experiment's
@@ -332,6 +409,15 @@ func smRates(data []byte) (map[string]float64, error) {
 		}
 		if ba.PeakLaneSMPerSec > 0 {
 			rates["batch peak lane sm_per_sec"] = ba.PeakLaneSMPerSec
+		}
+	}
+	if raw, ok := r.Experiments["serve"]; ok {
+		var sv serveExp
+		if err := json.Unmarshal(raw, &sv); err != nil {
+			return nil, fmt.Errorf("serve: parse: %w", err)
+		}
+		if sv.GoodputSMPerSec > 0 {
+			rates["serve goodput sm_per_sec"] = sv.GoodputSMPerSec
 		}
 	}
 	return rates, nil

@@ -113,6 +113,86 @@ func TestCheckFaultsGood(t *testing.T) {
 	}
 }
 
+const goodServe = `{
+  "schema": "fourq-bench/v1",
+  "experiments": {
+    "serve": {
+      "target": "http://127.0.0.1:7414",
+      "offered_rps": 300,
+      "duration_seconds": 5,
+      "mix": "scalarmult=4,sign=2,verify=3,batch=1",
+      "batch_size": 4,
+      "requests": {"total": 1500, "ok": 1350, "shed": 140, "rate_limited": 10, "failed": 0},
+      "shed_rate": 0.0933,
+      "latency_ms": {"p50": 2.6, "p95": 6.2, "p99": 8.8},
+      "goodput_rps": 270.0,
+      "goodput_sm_per_sec": 560.5
+    }
+  }
+}`
+
+func TestCheckServeGood(t *testing.T) {
+	if err := check([]byte(goodServe)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckServeRejects: the serve experiment's non-negotiables — a
+// report without the latency percentiles or the shed-rate metadata
+// (or with tallies that do not reconcile) must fail validation.
+func TestCheckServeRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"missing percentile", strings.Replace(goodServe,
+			`"p95": 6.2, `, ``, 1), "latency_ms.p95"},
+		{"missing latency block", strings.Replace(goodServe,
+			`"latency_ms": {"p50": 2.6, "p95": 6.2, "p99": 8.8},`, ``, 1), "latency_ms.p50"},
+		{"missing shed rate", strings.Replace(goodServe,
+			`"shed_rate": 0.0933,`, ``, 1), "shed_rate"},
+		{"shed rate out of range", strings.Replace(goodServe,
+			`"shed_rate": 0.0933`, `"shed_rate": 1.5`, 1), "shed_rate"},
+		{"unordered percentiles", strings.Replace(goodServe,
+			`"p99": 8.8`, `"p99": 1.0`, 1), "below a lower percentile"},
+		{"tallies do not reconcile", strings.Replace(goodServe,
+			`"shed": 140`, `"shed": 100`, 1), "tallies"},
+		{"nothing succeeded", strings.Replace(strings.Replace(goodServe,
+			`"ok": 1350`, `"ok": 0`, 1),
+			`"shed": 140`, `"shed": 1490`, 1), "no successful request"},
+		{"zero goodput", strings.Replace(goodServe,
+			`"goodput_sm_per_sec": 560.5`, `"goodput_sm_per_sec": 0`, 1), "goodput_sm_per_sec"},
+		{"zero offered", strings.Replace(goodServe,
+			`"offered_rps": 300`, `"offered_rps": 0`, 1), "offered_rps"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := check([]byte(c.doc))
+			if err == nil {
+				t.Fatalf("check accepted %s", c.name)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestCompareServeMetric: service goodput participates in compare mode.
+func TestCompareServeMetric(t *testing.T) {
+	if err := compare([]byte(goodServe), []byte(goodServe), 0.10); err != nil {
+		t.Fatalf("identical serve reports must compare cleanly: %v", err)
+	}
+	slow := strings.Replace(goodServe,
+		`"goodput_sm_per_sec": 560.5`, `"goodput_sm_per_sec": 400`, 1)
+	err := compare([]byte(goodServe), []byte(slow), 0.10)
+	if err == nil {
+		t.Fatal("28% serve goodput regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "serve goodput") {
+		t.Fatalf("error %q does not name the serve metric", err)
+	}
+}
+
 // baselineReport carries both comparable SM/s metrics: the throughput
 // peak (433.8, at 4 workers) and the latency single-thread compiled
 // rate (2200).
