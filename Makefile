@@ -14,6 +14,10 @@
 # gated against the committed BENCH_serve.json, overload run that must
 # shed 503s without ever saturating an engine queue, linted /metrics
 # scrape, graceful SIGTERM drain),
+# a chaos smoke (race-enabled deterministic failure campaigns — a
+# poisoned shard, a stalled shard, clock skew, saturation, drain racing
+# a fault — against a real in-process server, gated against the
+# committed BENCH_chaos.json),
 # and finally the perf-regression gate: a fresh
 # latency+throughput+batch run compared against the committed
 # BENCH_rtl.json baseline (refresh it with `make bench-record` after a
@@ -32,8 +36,11 @@ FUZZTIME ?= 5s
 OBS_METRICS ?= /tmp/obs_metrics.prom
 
 SERVE_BASELINE ?= BENCH_serve.json
+CHAOS_JSON ?= /tmp/chaos.json
+CHAOS_BASELINE ?= BENCH_chaos.json
+CHAOS_SEED ?= 1
 
-.PHONY: all build test vet race race-robust fuzz-smoke ci smoke lane-smoke obs-smoke serve-smoke serve-record bench-record bench-compare clean
+.PHONY: all build test vet race race-robust fuzz-smoke ci smoke lane-smoke obs-smoke serve-smoke serve-record chaos-smoke chaos-record bench-record bench-compare clean
 
 all: build
 
@@ -101,6 +108,24 @@ serve-smoke: build
 	$(GO) test -race -count=1 ./internal/serve
 	SERVE_BASELINE=$(SERVE_BASELINE) sh ./scripts/serve_smoke.sh
 
+# Chaos smoke: the race-enabled failure campaigns of internal/chaos
+# (seed pinned inside the test), then a fresh fourq-chaos run at the
+# committed seed — the process exits non-zero on any invariant breach —
+# validated by benchcheck alongside the committed BENCH_chaos.json, so
+# CI fails if either the live campaign or the recorded baseline stops
+# holding the invariants (exactly-once, zero mis-answers,
+# shed-before-backpressure, bounded recovery).
+chaos-smoke: build
+	$(GO) test -race -count=1 ./internal/chaos ./internal/fault
+	$(GO) run ./cmd/fourq-chaos -seed $(CHAOS_SEED) -requests 60 -q -json $(CHAOS_JSON)
+	$(GO) run ./scripts/benchcheck $(CHAOS_JSON)
+	$(GO) run ./scripts/benchcheck $(CHAOS_BASELINE)
+
+# Refresh the committed chaos baseline (validated before it lands).
+chaos-record: build
+	$(GO) run ./cmd/fourq-chaos -seed $(CHAOS_SEED) -requests 60 -json $(CHAOS_BASELINE)
+	$(GO) run ./scripts/benchcheck $(CHAOS_BASELINE)
+
 # Refresh the committed service baseline from a steady loadgen run
 # (validated by benchcheck inside the harness before it lands).
 serve-record: build
@@ -121,8 +146,8 @@ bench-compare: build
 	$(GO) run ./cmd/fourq-bench -exp latency,throughput,batch -json $(COMPARE_JSON)
 	$(GO) run ./scripts/benchcheck -baseline $(BENCH_BASELINE) -tolerance $(TOLERANCE) $(COMPARE_JSON)
 
-ci: vet build race race-robust fuzz-smoke smoke lane-smoke obs-smoke serve-smoke bench-compare
+ci: vet build race race-robust fuzz-smoke smoke lane-smoke obs-smoke serve-smoke chaos-smoke bench-compare
 
 clean:
 	$(GO) clean ./...
-	rm -f $(BENCH_JSON) $(THROUGHPUT_JSON) $(BATCH_JSON) $(FAULTS_JSON) $(COMPARE_JSON) $(OBS_METRICS)
+	rm -f $(BENCH_JSON) $(THROUGHPUT_JSON) $(BATCH_JSON) $(FAULTS_JSON) $(COMPARE_JSON) $(OBS_METRICS) $(CHAOS_JSON)

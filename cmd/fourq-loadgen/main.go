@@ -12,6 +12,14 @@
 // scrapes the server's /metrics at the end of the run, which lets the
 // smoke harness assert on the server's own counters without needing
 // curl in the image.
+//
+// -fault-window "start,end" marks the interval (offsets from run
+// start) in which a fault is being injected on the server side — e.g.
+// a chaos campaign arming an injector, or an operator killing a shard.
+// The report then splits goodput, tallies, and latency percentiles
+// into before/during/after phases keyed by each request's launch time,
+// so degradation under the fault and recovery after it are measured
+// separately instead of averaged away.
 package main
 
 import (
@@ -46,9 +54,10 @@ func main() {
 	jsonPath := flag.String("json", "", "write the fourq-bench/v1 report to this file")
 	metricsOut := flag.String("metrics-out", "", "scrape the server's /metrics into this file after the run")
 	expName := flag.String("exp", "serve", "experiment name in the report")
+	faultWindow := flag.String("fault-window", "", "\"start,end\" offsets of the server-side fault window (e.g. \"2s,3s\"); splits the report into before/during/after phases")
 	flag.Parse()
 
-	if err := run(*target, *rps, *duration, *mix, *batchSize, *tenant, *timeout, *waitReady, *jsonPath, *metricsOut, *expName); err != nil {
+	if err := run(*target, *rps, *duration, *mix, *batchSize, *tenant, *timeout, *waitReady, *jsonPath, *metricsOut, *expName, *faultWindow); err != nil {
 		fmt.Fprintln(os.Stderr, "fourq-loadgen:", err)
 		os.Exit(1)
 	}
@@ -139,12 +148,40 @@ func parseMix(mix string, ops []opKind) ([]opKind, error) {
 	return sched, nil
 }
 
-// outcome tallies one request's fate.
+// outcome tallies one request's fate. at is the launch offset from run
+// start — the phase key when a fault window is configured.
 type outcome struct {
 	status  int
 	latency time.Duration
 	smCost  int
+	at      time.Duration
 	err     error
+}
+
+// phaseStats is one fault-window phase's share of the run.
+type phaseStats struct {
+	Seconds    float64            `json:"seconds"`
+	Requests   map[string]int     `json:"requests"`
+	LatencyMS  map[string]float64 `json:"latency_ms"`
+	GoodputRPS float64            `json:"goodput_rps"`
+}
+
+// parseFaultWindow parses "start,end" run offsets.
+func parseFaultWindow(spec string, duration time.Duration) (start, end time.Duration, err error) {
+	sStr, eStr, ok := strings.Cut(spec, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("fault-window: %q is not \"start,end\"", spec)
+	}
+	if start, err = time.ParseDuration(strings.TrimSpace(sStr)); err != nil {
+		return 0, 0, fmt.Errorf("fault-window start: %w", err)
+	}
+	if end, err = time.ParseDuration(strings.TrimSpace(eStr)); err != nil {
+		return 0, 0, fmt.Errorf("fault-window end: %w", err)
+	}
+	if start < 0 || end <= start || end > duration {
+		return 0, 0, fmt.Errorf("fault-window: need 0 <= start < end <= duration (%v), got [%v, %v]", duration, start, end)
+	}
+	return start, end, nil
 }
 
 // serveStats is the experiments.<name> payload of the report —
@@ -160,6 +197,10 @@ type serveStats struct {
 	LatencyMS       map[string]float64 `json:"latency_ms"`
 	GoodputRPS      float64            `json:"goodput_rps"`
 	GoodputSMPerSec float64            `json:"goodput_sm_per_sec"`
+	// FaultWindow and Phases are present only when -fault-window was
+	// given: the window spec and the before/during/after split.
+	FaultWindow string                 `json:"fault_window,omitempty"`
+	Phases      map[string]*phaseStats `json:"phases,omitempty"`
 }
 
 func percentileMS(sorted []time.Duration, q float64) float64 {
@@ -196,9 +237,16 @@ func waitHealthy(client *http.Client, target string, deadline time.Duration) err
 	}
 }
 
-func run(target string, rps float64, duration time.Duration, mix string, batchSize int, tenant string, timeout, waitReady time.Duration, jsonPath, metricsOut, expName string) error {
+func run(target string, rps float64, duration time.Duration, mix string, batchSize int, tenant string, timeout, waitReady time.Duration, jsonPath, metricsOut, expName, faultWindow string) error {
 	if rps <= 0 {
 		return fmt.Errorf("rps must be positive")
+	}
+	var fwStart, fwEnd time.Duration
+	if faultWindow != "" {
+		var err error
+		if fwStart, fwEnd, err = parseFaultWindow(faultWindow, duration); err != nil {
+			return err
+		}
 	}
 	ops, err := buildOps(batchSize)
 	if err != nil {
@@ -244,9 +292,10 @@ loop:
 				go func(o opKind) {
 					defer wg.Done()
 					t0 := time.Now()
+					at := t0.Sub(start)
 					req, err := http.NewRequest(http.MethodPost, target+o.path, bytes.NewReader(o.body))
 					if err != nil {
-						outcomes <- outcome{err: err}
+						outcomes <- outcome{err: err, at: at}
 						return
 					}
 					req.Header.Set("Content-Type", "application/json")
@@ -255,12 +304,12 @@ loop:
 					}
 					resp, err := client.Do(req)
 					if err != nil {
-						outcomes <- outcome{err: err}
+						outcomes <- outcome{err: err, at: at}
 						return
 					}
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
-					outcomes <- outcome{status: resp.StatusCode, latency: time.Since(t0), smCost: o.smCost}
+					outcomes <- outcome{status: resp.StatusCode, latency: time.Since(t0), smCost: o.smCost, at: at}
 				}(o)
 			}
 		}
@@ -277,23 +326,65 @@ loop:
 		Requests:        map[string]int{"total": 0, "ok": 0, "shed": 0, "rate_limited": 0, "failed": 0},
 		LatencyMS:       map[string]float64{},
 	}
+	phaseOf := func(at time.Duration) string {
+		switch {
+		case at < fwStart:
+			return "before"
+		case at < fwEnd:
+			return "during"
+		default:
+			return "after"
+		}
+	}
+	var phaseLat map[string][]time.Duration
+	if faultWindow != "" {
+		stats.FaultWindow = faultWindow
+		stats.Phases = map[string]*phaseStats{
+			"before": {Seconds: fwStart.Seconds()},
+			"during": {Seconds: (fwEnd - fwStart).Seconds()},
+			"after":  {Seconds: (duration - fwEnd).Seconds()},
+		}
+		for _, ph := range stats.Phases {
+			ph.Requests = map[string]int{"total": 0, "ok": 0, "shed": 0, "rate_limited": 0, "failed": 0}
+			ph.LatencyMS = map[string]float64{}
+		}
+		phaseLat = map[string][]time.Duration{}
+	}
 	var okLat []time.Duration
 	smDone := 0
 	for o := range outcomes {
+		var ph *phaseStats
+		var phName string
+		if stats.Phases != nil {
+			phName = phaseOf(o.at)
+			ph = stats.Phases[phName]
+		}
 		stats.Requests["total"]++
+		if ph != nil {
+			ph.Requests["total"]++
+		}
+		bump := func(key string) {
+			stats.Requests[key]++
+			if ph != nil {
+				ph.Requests[key]++
+			}
+		}
 		switch {
 		case o.err != nil:
-			stats.Requests["failed"]++
+			bump("failed")
 		case o.status == http.StatusOK:
-			stats.Requests["ok"]++
+			bump("ok")
 			okLat = append(okLat, o.latency)
 			smDone += o.smCost
+			if ph != nil {
+				phaseLat[phName] = append(phaseLat[phName], o.latency)
+			}
 		case o.status == http.StatusServiceUnavailable:
-			stats.Requests["shed"]++
+			bump("shed")
 		case o.status == http.StatusTooManyRequests:
-			stats.Requests["rate_limited"]++
+			bump("rate_limited")
 		default:
-			stats.Requests["failed"]++
+			bump("failed")
 		}
 	}
 	if stats.Requests["total"] == 0 {
@@ -306,6 +397,16 @@ loop:
 	stats.ShedRate = float64(stats.Requests["shed"]) / float64(stats.Requests["total"])
 	stats.GoodputRPS = float64(stats.Requests["ok"]) / duration.Seconds()
 	stats.GoodputSMPerSec = float64(smDone) / duration.Seconds()
+	for name, ph := range stats.Phases {
+		lat := phaseLat[name]
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		ph.LatencyMS["p50"] = percentileMS(lat, 0.50)
+		ph.LatencyMS["p95"] = percentileMS(lat, 0.95)
+		ph.LatencyMS["p99"] = percentileMS(lat, 0.99)
+		if ph.Seconds > 0 {
+			ph.GoodputRPS = float64(ph.Requests["ok"]) / ph.Seconds
+		}
+	}
 
 	fmt.Printf("fourq-loadgen: %d offered (%0.f rps over %v), %d ok, %d shed (%.1f%%), %d throttled, %d failed\n",
 		stats.Requests["total"], rps, duration,
@@ -314,6 +415,14 @@ loop:
 	fmt.Printf("fourq-loadgen: latency p50=%.2fms p95=%.2fms p99=%.2fms, goodput %.1f req/s (%.1f SM/s)\n",
 		stats.LatencyMS["p50"], stats.LatencyMS["p95"], stats.LatencyMS["p99"],
 		stats.GoodputRPS, stats.GoodputSMPerSec)
+
+	for _, name := range []string{"before", "during", "after"} {
+		if ph := stats.Phases[name]; ph != nil {
+			fmt.Printf("fourq-loadgen: %-6s %5.1fs: %4d ok, %4d shed, %3d throttled, %3d failed, goodput %.1f req/s, p99 %.2fms\n",
+				name, ph.Seconds, ph.Requests["ok"], ph.Requests["shed"],
+				ph.Requests["rate_limited"], ph.Requests["failed"], ph.GoodputRPS, ph.LatencyMS["p99"])
+		}
+	}
 
 	if stats.Requests["ok"] == 0 {
 		return fmt.Errorf("no request succeeded")

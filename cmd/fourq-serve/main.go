@@ -17,6 +17,16 @@
 // Tenant enforcement is off by default; -tenants installs per-tenant
 // token buckets, e.g. -tenants "alice=100:200,bob=10:10" (rate
 // requests/s and burst per tenant, X-Tenant request header selects).
+// -default-tenant "rate:burst" opens tenancy to unknown X-Tenant
+// values through dynamically created buckets in a bounded LRU map
+// (-tenant-cache) instead of 403.
+//
+// Failure-domain controls (see docs/FAULTS.md): the shard supervisor
+// samples per-shard health every -supervisor-interval and ejects+
+// rebuilds a shard after -eject-after consecutive unhealthy samples;
+// -hedge-delay enables hedged dispatch (a stalled request is re-run
+// speculatively on a different healthy shard, first answer wins, at
+// most -hedge-budget concurrent hedges).
 package main
 
 import (
@@ -44,12 +54,65 @@ func main() {
 	shedHW := flag.Float64("shed-highwater", 0.8, "admission sheds at this fraction of a shard's queue capacity")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
 	tenants := flag.String("tenants", "", "per-tenant limits, \"name=rate:burst,...\" (empty disables tenant enforcement)")
+	defaultTenant := flag.String("default-tenant", "", "\"rate:burst\" bucket for unknown X-Tenant values (empty keeps unknown tenants 403 when -tenants is set)")
+	tenantCache := flag.Int("tenant-cache", 0, "dynamic tenant bucket cap for -default-tenant (0 = default 1024)")
+	supervisorInterval := flag.Duration("supervisor-interval", 0, "shard health sampling period (0 = default 250ms, negative disables supervision)")
+	ejectAfter := flag.Int("eject-after", 0, "consecutive unhealthy samples before a shard is ejected and rebuilt (0 = default 4)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "re-run a request on a second healthy shard after this long unanswered (0 disables hedging)")
+	hedgeBudget := flag.Int("hedge-budget", 0, "max concurrent hedged requests (0 = one per shard)")
 	flag.Parse()
 
-	if err := run(*addr, *shards, *workers, *laneWidth, *queueDepth, *maxBatch, *shedHW, *drainTimeout, *tenants); err != nil {
+	tenantMap, err := parseTenants(*tenants)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fourq-serve:", err)
 		os.Exit(1)
 	}
+	opts := serve.Options{
+		Shards: *shards,
+		Engine: engine.Options{
+			Workers:    *workers,
+			LaneWidth:  *laneWidth,
+			QueueDepth: *queueDepth,
+		},
+		Tenants:            tenantMap,
+		MaxBatch:           *maxBatch,
+		ShedHighWater:      *shedHW,
+		TenantCacheSize:    *tenantCache,
+		SupervisorInterval: *supervisorInterval,
+		EjectAfter:         *ejectAfter,
+		HedgeDelay:         *hedgeDelay,
+		HedgeBudget:        *hedgeBudget,
+	}
+	if *defaultTenant != "" {
+		lim, err := parseLimit(*defaultTenant)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fourq-serve: default-tenant:", err)
+			os.Exit(1)
+		}
+		opts.DefaultTenant = &lim
+	}
+
+	if err := run(*addr, opts, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "fourq-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLimit parses "rate:burst".
+func parseLimit(s string) (serve.TenantLimit, error) {
+	rateStr, burstStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return serve.TenantLimit{}, fmt.Errorf("%q is not rate:burst", s)
+	}
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil {
+		return serve.TenantLimit{}, fmt.Errorf("%q: bad rate: %v", s, err)
+	}
+	burst, err := strconv.Atoi(burstStr)
+	if err != nil {
+		return serve.TenantLimit{}, fmt.Errorf("%q: bad burst: %v", s, err)
+	}
+	return serve.TenantLimit{Rate: rate, Burst: burst}, nil
 }
 
 // parseTenants parses "name=rate:burst,..." into the serve option map.
@@ -59,43 +122,21 @@ func parseTenants(s string) (map[string]serve.TenantLimit, error) {
 	}
 	out := map[string]serve.TenantLimit{}
 	for _, ent := range strings.Split(s, ",") {
-		name, lim, ok := strings.Cut(strings.TrimSpace(ent), "=")
+		name, limStr, ok := strings.Cut(strings.TrimSpace(ent), "=")
 		if !ok || name == "" {
 			return nil, fmt.Errorf("tenants: %q is not name=rate:burst", ent)
 		}
-		rateStr, burstStr, ok := strings.Cut(lim, ":")
-		if !ok {
-			return nil, fmt.Errorf("tenants: %q is not name=rate:burst", ent)
-		}
-		rate, err := strconv.ParseFloat(rateStr, 64)
+		lim, err := parseLimit(limStr)
 		if err != nil {
-			return nil, fmt.Errorf("tenants: %q: bad rate: %v", ent, err)
+			return nil, fmt.Errorf("tenants: %v", err)
 		}
-		burst, err := strconv.Atoi(burstStr)
-		if err != nil {
-			return nil, fmt.Errorf("tenants: %q: bad burst: %v", ent, err)
-		}
-		out[name] = serve.TenantLimit{Rate: rate, Burst: burst}
+		out[name] = lim
 	}
 	return out, nil
 }
 
-func run(addr string, shards, workers, laneWidth, queueDepth, maxBatch int, shedHW float64, drainTimeout time.Duration, tenantSpec string) error {
-	tenants, err := parseTenants(tenantSpec)
-	if err != nil {
-		return err
-	}
-	s, err := serve.New(serve.Options{
-		Shards: shards,
-		Engine: engine.Options{
-			Workers:    workers,
-			LaneWidth:  laneWidth,
-			QueueDepth: queueDepth,
-		},
-		Tenants:       tenants,
-		MaxBatch:      maxBatch,
-		ShedHighWater: shedHW,
-	})
+func run(addr string, opts serve.Options, drainTimeout time.Duration) error {
+	s, err := serve.New(opts)
 	if err != nil {
 		return err
 	}
@@ -104,7 +145,7 @@ func run(addr string, shards, workers, laneWidth, queueDepth, maxBatch int, shed
 		return err
 	}
 	fmt.Printf("fourq-serve: listening on http://%s (%d shards, lane width %d)\n",
-		l.Addr(), s.Shards(), laneWidth)
+		l.Addr(), s.Shards(), opts.Engine.LaneWidth)
 	fmt.Printf("fourq-serve: API under /v1/, health at /healthz, metrics at /metrics\n")
 
 	sigs := make(chan os.Signal, 2)

@@ -151,6 +151,16 @@ type Options struct {
 	// DefaultFlightSize recorder; either way it is reachable via
 	// Engine.Flight.
 	FlightRecorder *telemetry.FlightRecorder
+	// ExecHook, when non-nil, is called by a worker after it has claimed
+	// work and immediately before executing it (once per claimed job on
+	// the single-job path, once per lockstep batch on the lane path).
+	// It is the deterministic chaos hook for modeling a stalled shard: a
+	// hook that blocks stalls this engine's workers with work claimed,
+	// which backs the queue up without dropping anything — exactly the
+	// failure mode a supervising dispatcher has to detect from outside
+	// (see internal/chaos). The hook runs on the worker goroutine; it
+	// must eventually return or Close will wait forever.
+	ExecHook func(worker int)
 }
 
 // Backend identifies which datapath produced a Result.
@@ -231,6 +241,15 @@ type Engine struct {
 	// cancellation. It is the cheap shard-load signal a dispatcher reads
 	// on every request, so it lives outside the mutex-guarded queue.
 	load atomic.Int64
+
+	// Health-surface counters. These deliberately shadow the registry
+	// counters: metrics namespaces are reused when a supervisor rebuilds
+	// a shard engine (cumulative exposition), while these atomics are
+	// per-engine-instance, so a replacement engine starts its health
+	// history clean.
+	quarCount atomic.Int64
+	valFails  atomic.Int64
+	doneCount atomic.Int64
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -456,6 +475,56 @@ func (e *Engine) Load() int64 { return e.load.Load() }
 // shed load before Submit starts returning ErrQueueFull.
 func (e *Engine) QueueCap() int { return e.opts.QueueDepth }
 
+// Health is a point-in-time snapshot of the engine's degradation state,
+// the introspection surface a supervising dispatcher scores shards
+// with. Every field is cheap to sample (atomics plus one short
+// queue-lock hold) and scoped to this engine instance: a rebuilt
+// replacement engine reports a clean history even though its metrics
+// namespace (cumulative by design) is inherited.
+type Health struct {
+	// Workers is the pool size; Quarantined of them have been benched
+	// permanently onto the software backend.
+	Workers     int
+	Quarantined int
+	// BreakerOpen reports that the pool-wide circuit breaker is holding
+	// the whole engine off the RTL path.
+	BreakerOpen bool
+	// ValidationFailures and Completed are lifetime totals for this
+	// instance; a supervisor turns consecutive samples into a recent
+	// failure rate.
+	ValidationFailures int64
+	Completed          int64
+	// QueueDepth / QueueCap describe the bounded queue right now, and
+	// OldestQueueAge is how long the head-of-line request has been
+	// waiting unclaimed — the signal that distinguishes a stalled shard
+	// (workers wedged, age grows without bound) from a merely busy one.
+	QueueDepth     int
+	QueueCap       int
+	OldestQueueAge time.Duration
+	// Load is accepted-but-unresolved work (queued plus in-flight).
+	Load int64
+}
+
+// Health samples the engine's degradation state.
+func (e *Engine) Health() Health {
+	h := Health{
+		Workers:            e.opts.Workers,
+		Quarantined:        int(e.quarCount.Load()),
+		BreakerOpen:        e.brk.isOpen(),
+		ValidationFailures: e.valFails.Load(),
+		Completed:          e.doneCount.Load(),
+		QueueCap:           e.opts.QueueDepth,
+		Load:               e.load.Load(),
+	}
+	e.mu.Lock()
+	h.QueueDepth = len(e.queue)
+	if h.QueueDepth > 0 {
+		h.OldestQueueAge = time.Since(e.queue[0].enq)
+	}
+	e.mu.Unlock()
+	return h
+}
+
 // Processor returns the shared processor instance the engine runs on.
 func (e *Engine) Processor() *core.Processor { return e.proc }
 
@@ -629,6 +698,9 @@ func (e *Engine) worker(w *workerState) {
 		}
 		e.claimJob(j)
 		e.inFlight.Add(1)
+		if e.opts.ExecHook != nil {
+			e.opts.ExecHook(w.id)
+		}
 		e.deliver(j, e.execute(w, j))
 	}
 }
@@ -643,6 +715,7 @@ func (e *Engine) deliver(j *job, r Result) {
 		e.failed.Inc()
 	}
 	e.completed.Inc()
+	e.doneCount.Add(1)
 	e.spanDeliver(j, r)
 	e.fr.Record("deliver", -1, j.id, r.Attempts, r.Backend.String())
 	j.done <- r
@@ -659,6 +732,9 @@ func (e *Engine) workerLanes(w *workerState) {
 			return
 		}
 		e.inFlight.Add(float64(len(jobs)))
+		if e.opts.ExecHook != nil {
+			e.opts.ExecHook(w.id)
+		}
 		e.executeLanes(w, jobs)
 	}
 }
@@ -791,6 +867,7 @@ func (e *Engine) executeLanes(w *workerState, jobs []*job) {
 		// A detected fault in this lane only: same accounting as the
 		// single-job ladder's failed attempt, then that ladder continues.
 		e.valFailed.Inc()
+		e.valFails.Add(1)
 		e.fr.Record("lane_error", w.id, j.id, 1, w.lerrs[i].Error())
 		e.fr.Anomaly("lane_error")
 		e.brk.record(true, e.clock.Now())
@@ -818,6 +895,7 @@ func (e *Engine) execute(w *workerState, j *job) Result {
 func (e *Engine) noteQuarantine(w *workerState) {
 	w.quarantined = true
 	e.quarantined.Inc()
+	e.quarCount.Add(1)
 	e.active.Add(-1)
 	w.stateGauge.Set(1)
 	e.fr.Record("worker_quarantined", w.id, 0, 0, "")
@@ -869,6 +947,7 @@ func (e *Engine) executeFrom(w *workerState, j *job, prior int) Result {
 			// lands before the breaker sees the outcome, so a trip's
 			// anomaly dump always contains the attempt that caused it.
 			e.valFailed.Inc()
+			e.valFails.Add(1)
 			e.fr.Record("validation_failed", w.id, j.id, r.Attempts, err.Error())
 			e.fr.Anomaly("validation_failed")
 			e.brk.record(true, e.clock.Now())

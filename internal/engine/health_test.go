@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/rtl"
+	"repro/internal/scalar"
+	"repro/internal/telemetry"
+)
+
+// TestHealthSnapshot drives the engine through its degradation ladder
+// and asserts the Health() introspection surface tracks it: a clean
+// engine reports full health, a persistently faulty one reports the
+// validation failures, the quarantine, and the open breaker a
+// supervisor needs to score it.
+func TestHealthSnapshot(t *testing.T) {
+	p := testProcessor(t)
+
+	clean := NewWithProcessor(p, Options{Workers: 1})
+	h := clean.Health()
+	if h.Workers != 1 || h.Quarantined != 0 || h.BreakerOpen ||
+		h.ValidationFailures != 0 || h.QueueDepth != 0 || h.OldestQueueAge != 0 {
+		t.Fatalf("fresh engine health = %+v, want pristine", h)
+	}
+	if _, err := clean.Submit(context.Background(), Request{K: scalar.FromUint64(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if h := clean.Health(); h.Completed != 1 || h.ValidationFailures != 0 {
+		t.Fatalf("after one clean request: health = %+v", h)
+	}
+	clean.Close()
+
+	reg := telemetry.NewRegistry()
+	sick := NewWithProcessor(p, Options{
+		Workers:          1,
+		Registry:         reg,
+		Clock:            newFakeClock(),
+		MaxAttempts:      1,
+		QuarantineAfter:  2,
+		BreakerWindow:    2,
+		BreakerThreshold: 1.0,
+		Injector: func(int) rtl.Injector {
+			return fault.NewInjector([]fault.Fault{stuckMulFault()}, reg)
+		},
+	})
+	defer sick.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := sick.Submit(context.Background(), Request{K: scalar.FromUint64(uint64(i) + 3)}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	h = sick.Health()
+	if h.ValidationFailures != 2 {
+		t.Errorf("ValidationFailures = %d, want 2 (then the worker was benched)", h.ValidationFailures)
+	}
+	if h.Quarantined != 1 {
+		t.Errorf("Quarantined = %d, want 1", h.Quarantined)
+	}
+	if !h.BreakerOpen {
+		t.Error("BreakerOpen = false after a full window of faults")
+	}
+	if h.Completed != 3 {
+		t.Errorf("Completed = %d, want 3 (fallback still answers)", h.Completed)
+	}
+}
+
+// TestHealthQueueAgeAndExecHook pins the stalled-shard signal: with the
+// single worker wedged inside ExecHook, queued requests age without
+// bound and Health reports it; releasing the hook drains everything
+// exactly once.
+func TestHealthQueueAgeAndExecHook(t *testing.T) {
+	hold := make(chan struct{})
+	entered := make(chan int, 8)
+	e := NewWithProcessor(testProcessor(t), Options{
+		Workers:    1,
+		QueueDepth: 8,
+		ExecHook: func(w int) {
+			entered <- w
+			<-hold
+		},
+	})
+	defer e.Close()
+
+	var wg sync.WaitGroup
+	results := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := e.Submit(context.Background(), Request{K: scalar.FromUint64(uint64(i) + 1)})
+			results <- err
+		}(i)
+	}
+	// The worker claims one job and wedges; the remaining two sit queued.
+	<-entered
+	deadline := time.Now().Add(10 * time.Second)
+	for e.Health().QueueDepth != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	h := e.Health()
+	if h.QueueDepth != 2 {
+		t.Fatalf("QueueDepth = %d with a wedged worker, want 2", h.QueueDepth)
+	}
+	if h.OldestQueueAge <= 0 {
+		t.Fatalf("OldestQueueAge = %v, want > 0 while stalled", h.OldestQueueAge)
+	}
+	if h.Load != 3 {
+		t.Fatalf("Load = %d, want 3 (1 claimed + 2 queued)", h.Load)
+	}
+	age1 := h.OldestQueueAge
+	time.Sleep(5 * time.Millisecond)
+	if age2 := e.Health().OldestQueueAge; age2 <= age1 {
+		t.Fatalf("queue age did not grow while stalled: %v then %v", age1, age2)
+	}
+
+	close(hold)
+	wg.Wait()
+	close(results)
+	for err := range results {
+		if err != nil {
+			t.Fatalf("stalled request failed after release: %v", err)
+		}
+	}
+	if h := e.Health(); h.QueueDepth != 0 || h.Load != 0 || h.Completed != 3 {
+		t.Fatalf("post-release health = %+v, want drained", h)
+	}
+}

@@ -1,0 +1,56 @@
+package fault
+
+import (
+	"sync/atomic"
+
+	"repro/internal/fp2"
+	"repro/internal/isa"
+	"repro/internal/rtl"
+)
+
+// Gate wraps an rtl.Injector behind an atomic arm switch so a chaos
+// campaign can open and close a fault window on a live engine without
+// rebuilding it: while disarmed every hook is a transparent pass-
+// through, while armed the inner injector sees every call. The switch
+// is shared — arming one *atomic.Bool arms every Gate built over it,
+// which is how a campaign poisons all of one shard's workers at once.
+type Gate struct {
+	inner rtl.Injector
+	armed *atomic.Bool
+}
+
+// NewGate wraps inner behind the shared armed switch.
+func NewGate(inner rtl.Injector, armed *atomic.Bool) *Gate {
+	return &Gate{inner: inner, armed: armed}
+}
+
+// BeginCycle implements rtl.Injector.
+func (g *Gate) BeginCycle(cycle int, rf rtl.RegFile) {
+	if g.armed.Load() {
+		g.inner.BeginCycle(cycle, rf)
+	}
+}
+
+// Fetch implements rtl.Injector.
+func (g *Gate) Fetch(cycle int, ins isa.Instr) (isa.Instr, bool) {
+	if g.armed.Load() {
+		return g.inner.Fetch(cycle, ins)
+	}
+	return ins, true
+}
+
+// Forward implements rtl.Injector.
+func (g *Gate) Forward(cycle int, unit uint8, v fp2.Element) fp2.Element {
+	if g.armed.Load() {
+		return g.inner.Forward(cycle, unit, v)
+	}
+	return v
+}
+
+// Retire implements rtl.Injector.
+func (g *Gate) Retire(cycle int, unit uint8, dst uint16, v fp2.Element) fp2.Element {
+	if g.armed.Load() {
+		return g.inner.Retire(cycle, unit, dst, v)
+	}
+	return v
+}

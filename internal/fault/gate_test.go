@@ -1,0 +1,48 @@
+package fault
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/fp2"
+	"repro/internal/isa"
+)
+
+// TestGateArmsAndDisarms pins the pass-through contract: a disarmed
+// Gate never consults its inner injector and alters nothing; arming the
+// shared switch routes every hook through.
+func TestGateArmsAndDisarms(t *testing.T) {
+	inner := NewInjector([]Fault{
+		{Site: SitePipeMul, Kind: KindStuckAt1, Bit: 0},
+	}, nil)
+	var armed atomic.Bool
+	g := NewGate(inner, &armed)
+
+	v := fp2.Element{} // real-lane bit 0 clear: the stuck-at-1 flips it
+	if got := g.Retire(0, isa.UnitMul, 0, v); got != v {
+		t.Fatalf("disarmed Retire mutated the value: %+v", got)
+	}
+	ins := isa.Instr{Unit: isa.UnitMul}
+	if got, ok := g.Fetch(0, ins); !ok || got != ins {
+		t.Fatalf("disarmed Fetch altered the slot: %+v ok=%v", got, ok)
+	}
+	if got := g.Forward(0, isa.UnitMul, v); got != v {
+		t.Fatalf("disarmed Forward mutated the value: %+v", got)
+	}
+	if inner.Fired() != 0 {
+		t.Fatalf("inner fired %d times while disarmed", inner.Fired())
+	}
+
+	armed.Store(true)
+	if got := g.Retire(0, isa.UnitMul, 0, v); got == v {
+		t.Fatal("armed Retire did not apply the stuck-at fault")
+	}
+	if inner.Fired() != 1 {
+		t.Fatalf("inner fired %d times after one armed retire, want 1", inner.Fired())
+	}
+
+	armed.Store(false)
+	if got := g.Retire(0, isa.UnitMul, 0, v); got != v {
+		t.Fatal("re-disarmed Retire still applying faults")
+	}
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// postCtx is ts.post with a caller-controlled context and tolerance for
+// transport errors — the cancellation tests abandon requests on
+// purpose.
+func (ts *testSrv) postCtx(t *testing.T, ctx context.Context, path string, body any) error {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.base+path, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := ts.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// TestClientCancelFreesAdmission pins the disconnect contract at the
+// pre-dispatch stage: a client that goes away while its request is
+// admitted (pinned at the hold gate) frees its admission weight
+// immediately instead of holding shard capacity until the gate opens.
+func TestClientCancelFreesAdmission(t *testing.T) {
+	ts := startServer(t, Options{Shards: 1, Engine: engine.Options{Workers: 1}})
+	gate := make(chan struct{})
+	defer close(gate)
+	ts.s.setHoldGate(gate)
+
+	f := newFixture(t, 1)
+	sb := f.scalars[0].Bytes()
+	req := ScalarMultRequest{Scalar: hex.EncodeToString(sb[:])}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- ts.postCtx(t, ctx, "/v1/scalarmult", req) }()
+	waitFor(t, "request to pin at the gate", func() bool { return ts.s.Inflight() == 1 })
+
+	cancel()
+	waitFor(t, "canceled request to free its weight", func() bool { return ts.s.Inflight() == 0 })
+	ts.s.mu.Lock()
+	w := ts.s.shards[0].weight
+	ts.s.mu.Unlock()
+	if w != 0 {
+		t.Fatalf("shard weight = %d after cancel, want 0", w)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("abandoned request returned a response")
+	}
+	snap := ts.s.Metrics().Snapshot()
+	if snap.Counters["serve.canceled"] == 0 {
+		t.Error("serve.canceled not incremented")
+	}
+	if snap.Counters["serve.ok"] != 0 {
+		t.Errorf("serve.ok = %d for an abandoned request", snap.Counters["serve.ok"])
+	}
+}
+
+// TestClientCancelMidEngine pins the contract deeper in: with the
+// shard's only worker wedged (ExecHook) and a second request queued
+// behind it, the queued client's disconnect cancels its engine job and
+// frees its admission weight while the shard is still stalled — and
+// the wedged request is unaffected, answering exactly once when the
+// stall clears.
+func TestClientCancelMidEngine(t *testing.T) {
+	hold := make(chan struct{})
+	entered := make(chan int, 4)
+	ts := startServer(t, Options{
+		Shards: 1,
+		Engine: engine.Options{
+			Workers:    1,
+			QueueDepth: 8,
+			ExecHook: func(w int) {
+				entered <- w
+				<-hold
+			},
+		},
+	})
+	f := newFixture(t, 1)
+	sb := f.scalars[0].Bytes()
+	req := ScalarMultRequest{Scalar: hex.EncodeToString(sb[:])}
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	wedged := make(chan result, 1)
+	go func() {
+		status, body := ts.post(t, "/v1/scalarmult", "", req)
+		wedged <- result{status, body}
+	}()
+	<-entered // the worker has claimed the first request and is stalled
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- ts.postCtx(t, ctx, "/v1/scalarmult", req) }()
+	waitFor(t, "second request to queue behind the stall", func() bool { return ts.s.Inflight() == 2 })
+
+	cancel()
+	waitFor(t, "queued request to free its weight during the stall", func() bool {
+		return ts.s.Inflight() == 1
+	})
+	if err := <-errCh; err == nil {
+		t.Fatal("abandoned queued request returned a response")
+	}
+
+	close(hold)
+	r := <-wedged
+	if r.status != http.StatusOK {
+		t.Fatalf("wedged request: status %d: %s", r.status, r.body)
+	}
+	var resp ScalarMultResponse
+	if err := json.Unmarshal(r.body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Point != f.points[0] {
+		t.Fatalf("wedged request mis-answered: %s", resp.Point)
+	}
+	waitFor(t, "all weight released", func() bool { return ts.s.Inflight() == 0 })
+	snap := ts.s.Metrics().Snapshot()
+	if n := snap.Counters["serve.ok"]; n != 1 {
+		t.Errorf("serve.ok = %d, want exactly 1", n)
+	}
+	if n := snap.Counters["serve.engine_rejected"]; n != 0 {
+		t.Errorf("serve.engine_rejected = %d, want 0", n)
+	}
+}
+
+// TestDrainDuringBreakerTrip is the drain-vs-degradation race pin
+// (race-enabled, fake clock): requests released into a poisoned
+// single-shard server after StartDrain trip the pool breaker mid-drain,
+// and every admitted request is still answered exactly once with the
+// correct point — AwaitDrain completes on the idle path, never the
+// deadline.
+func TestDrainDuringBreakerTrip(t *testing.T) {
+	clk := newFakeClock()
+	var poison atomic.Bool
+	poison.Store(true)
+	ts := startServer(t, Options{
+		Shards: 1,
+		Clock:  clk,
+		Engine: engine.Options{
+			Workers:          2,
+			MaxAttempts:      1,
+			QuarantineAfter:  100, // keep workers attempting; the breaker is the actor
+			BreakerWindow:    4,
+			BreakerThreshold: 1.0,
+		},
+		ShardEngine: poisonShardZero(&poison),
+	})
+	gate := make(chan struct{})
+	ts.s.setHoldGate(gate)
+
+	f := newFixture(t, 1)
+	sb := f.scalars[0].Bytes()
+	req := ScalarMultRequest{Scalar: hex.EncodeToString(sb[:])}
+
+	const inFlight = 6
+	type result struct {
+		status int
+		body   []byte
+	}
+	results := make(chan result, inFlight)
+	for i := 0; i < inFlight; i++ {
+		go func() {
+			status, body := ts.post(t, "/v1/scalarmult", "", req)
+			results <- result{status, body}
+		}()
+	}
+	waitFor(t, "requests to pin at the gate", func() bool { return ts.s.Inflight() == inFlight })
+
+	ts.s.StartDrain()
+	close(gate) // all six dispatch concurrently; the first window of failures trips the breaker
+	if err := ts.s.AwaitDrain(30 * time.Second); err != nil {
+		t.Fatalf("AwaitDrain: %v (fake clock never advanced — must exit on idle)", err)
+	}
+	for i := 0; i < inFlight; i++ {
+		r := <-results
+		if r.status != http.StatusOK {
+			t.Fatalf("drained request %d: status %d: %s", i, r.status, r.body)
+		}
+		var resp ScalarMultResponse
+		if err := json.Unmarshal(r.body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Point != f.points[0] {
+			t.Fatalf("drained request %d mis-answered: %s", i, resp.Point)
+		}
+	}
+	if !ts.s.shards[0].engine().Health().BreakerOpen {
+		t.Error("breaker did not trip during the drain (scenario not exercised)")
+	}
+	snap := ts.s.Metrics().Snapshot()
+	if n := snap.Counters["serve.ok"]; n != inFlight {
+		t.Errorf("serve.ok = %d, want %d (exactly-once)", n, inFlight)
+	}
+	if n := snap.Counters["serve.engine_rejected"]; n != 0 {
+		t.Errorf("serve.engine_rejected = %d, want 0", n)
+	}
+}

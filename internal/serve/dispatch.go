@@ -1,0 +1,73 @@
+package serve
+
+import "context"
+
+// dispatch runs an admitted op against its primary shard, optionally
+// hedging it onto a second shard when the primary has not answered
+// within HedgeDelay. Ownership of the admission charge transfers here:
+// each runner releases its own shard's weight when its run returns, so
+// the shed accounting stays accurate even when dispatch returns a
+// hedge win while the primary is still occupying its engine.
+//
+// Every API operation is deterministic (same request, same answer), so
+// a hedge can only change latency, never the response — and exactly
+// one result is returned regardless: the loser's context is canceled
+// and its result drains into a buffered channel.
+func (s *Server) dispatch(ctx context.Context, primary *shard, o op) (any, *shard, error) {
+	if s.opts.HedgeDelay <= 0 {
+		resp, err := o.run(ctx, primary)
+		s.release(primary, o.weight)
+		return resp, primary, err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		resp   any
+		err    error
+		sh     *shard
+		hedged bool
+	}
+	results := make(chan result, 2)
+	go func() {
+		resp, err := o.run(ctx, primary)
+		s.release(primary, o.weight)
+		results <- result{resp, err, primary, false}
+	}()
+
+	hedged := false
+	var r result
+	select {
+	case r = <-results:
+	case <-s.clock.After(s.opts.HedgeDelay):
+		if hsh := s.admitHedge(primary, o.weight); hsh != nil {
+			hedged = true
+			s.hedgeLaunch.Inc()
+			go func() {
+				resp, err := o.run(ctx, hsh)
+				s.releaseHedge(hsh, o.weight)
+				results <- result{resp, err, hsh, true}
+			}()
+		} else {
+			// No budget or no healthy shard with spare capacity: hedging
+			// never steals capacity from first-try traffic.
+			s.hedgeSkipped.Inc()
+		}
+		r = <-results
+	}
+	if hedged {
+		if r.hedged {
+			s.hedgeWins.Inc()
+		} else {
+			s.hedgeLosses.Inc()
+		}
+		// If the first finisher failed, the slower attempt may still
+		// succeed — prefer an answer over an error.
+		if r.err != nil {
+			if r2 := <-results; r2.err == nil {
+				r = r2
+			}
+		}
+	}
+	return r.resp, r.sh, r.err
+}

@@ -220,7 +220,9 @@ func TestDrainTimeout(t *testing.T) {
 	ts.s.StartDrain()
 	drainErr := make(chan error, 1)
 	go func() { drainErr <- ts.s.AwaitDrain(5 * time.Second) }()
-	waitFor(t, "AwaitDrain to arm its deadline", func() bool { return clk.pendingTimers() > 0 })
+	// The shard supervisor keeps one timer pending on this clock; the
+	// second one is AwaitDrain's deadline.
+	waitFor(t, "AwaitDrain to arm its deadline", func() bool { return clk.pendingTimers() >= 2 })
 
 	clk.Advance(5 * time.Second)
 	select {

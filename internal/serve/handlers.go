@@ -208,19 +208,31 @@ func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request, parse func(bo
 		writeError(w, http.StatusServiceUnavailable, "overloaded, retry later")
 		return
 	}
-	defer s.release(sh, o.weight)
 	s.mu.Lock()
 	gate := s.holdGate
 	s.mu.Unlock()
 	if gate != nil {
-		<-gate
+		// The gate is a test hook, but the cancellation path through it is
+		// production semantics: a client that disconnects while admitted
+		// frees its weight immediately instead of holding capacity.
+		select {
+		case <-gate:
+		case <-r.Context().Done():
+			s.release(sh, o.weight)
+			s.canceledC.Inc()
+			writeError(w, http.StatusServiceUnavailable, "request canceled")
+			return
+		}
 	}
-	resp, err := o.run(r.Context(), sh)
+	// dispatch owns the admission charge from here: the charge is
+	// released when each runner's engine submission returns (promptly on
+	// client disconnect — the request context cancels the engine job).
+	resp, winner, err := s.dispatch(r.Context(), sh, o)
 	if err != nil {
 		s.writeDispatchError(w, err)
 		return
 	}
-	sh.served.Inc()
+	winner.served.Inc()
 	s.okC.Inc()
 	s.latency.Observe(time.Since(t0).Seconds())
 	writeJSON(w, http.StatusOK, resp)
@@ -241,6 +253,7 @@ func (s *Server) writeDispatchError(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The client left; the write races the closed connection and is
 		// best-effort.
+		s.canceledC.Inc()
 		writeError(w, http.StatusServiceUnavailable, "request canceled")
 	default:
 		s.backendErr.Inc()
@@ -271,12 +284,21 @@ func (s *Server) routes(mux *http.ServeMux) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining, inflight := s.draining, s.inflight
+	scores := make([]float64, len(s.shards))
+	for i, sh := range s.shards {
+		if sh.ejected {
+			scores[i] = -1 // out of rotation (being rebuilt)
+		} else {
+			scores[i] = sh.score
+		}
+	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"draining": draining,
-		"shards":   len(s.shards),
-		"inflight": inflight,
+		"status":       "ok",
+		"draining":     draining,
+		"shards":       len(s.shards),
+		"inflight":     inflight,
+		"shard_health": scores,
 	})
 }
 
@@ -298,7 +320,7 @@ func (s *Server) parseScalarMult(body []byte) (op, error) {
 		base = p.Affine()
 	}
 	return op{weight: weightScalarMult, run: func(ctx context.Context, sh *shard) (any, error) {
-		res, err := sh.eng.Submit(ctx, engine.Request{K: k, Base: base})
+		res, err := sh.engine().Submit(ctx, engine.Request{K: k, Base: base})
 		if err != nil {
 			return nil, err
 		}
@@ -332,7 +354,7 @@ func (s *Server) parseSign(body []byte) (op, error) {
 		return op{}, badInputf("seed: %v", err)
 	}
 	return op{weight: weightSign, run: func(ctx context.Context, sh *shard) (any, error) {
-		sig, err := key.SignWith(ctx, sh.eng, msg)
+		sig, err := key.SignWith(ctx, sh.engine(), msg)
 		if err != nil {
 			return nil, err
 		}
@@ -379,7 +401,7 @@ func (s *Server) parseVerify(body []byte) (op, error) {
 		return op{}, err
 	}
 	return op{weight: weightVerify, run: func(ctx context.Context, sh *shard) (any, error) {
-		valid, err := schnorrq.VerifyWith(ctx, sh.eng, pub, msg, sig)
+		valid, err := schnorrq.VerifyWith(ctx, sh.engine(), pub, msg, sig)
 		if err != nil {
 			return nil, err
 		}
@@ -408,7 +430,7 @@ func (s *Server) parseBatchVerify(body []byte) (op, error) {
 	}
 	n := len(items)
 	return op{weight: weightBatch(n), run: func(ctx context.Context, sh *shard) (any, error) {
-		valid, err := schnorrq.BatchVerifyWith(ctx, rand.Reader, sh.eng, items)
+		valid, err := schnorrq.BatchVerifyWith(ctx, rand.Reader, sh.engine(), items)
 		if err != nil {
 			return nil, err
 		}

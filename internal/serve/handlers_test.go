@@ -46,7 +46,7 @@ func TestHandlersRejectMalformedInput(t *testing.T) {
 	defer s.Close()
 	h := s.Handler()
 
-	f64 := strings.Repeat("ff", 32) // 32 bytes of 0xFF: bad scalar (>= N) and bad point (y >= p)
+	f64 := strings.Repeat("ff", 32)               // 32 bytes of 0xFF: bad scalar (>= N) and bad point (y >= p)
 	goodScalar := "01" + strings.Repeat("00", 31) // the scalar 1, little-endian
 	goodSeed := strings.Repeat("02", schnorrq.SeedSize)
 	// A structurally valid verify item so batch tests can isolate one

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// TestHedgedDispatch drives dispatch with a synthetic op on a fake
+// clock: the primary stalls, the hedge timer fires, the duplicate runs
+// on the other shard and wins, and every charge — primary weight,
+// hedge weight, hedge budget, inflight — drains back to zero with the
+// win metered.
+func TestHedgedDispatch(t *testing.T) {
+	const hedgeDelay = 50 * time.Millisecond
+	clk := newFakeClock()
+	s, err := New(Options{
+		Shards:             2,
+		Engine:             engine.Options{Workers: 1},
+		Clock:              clk,
+		SupervisorInterval: -1,
+		HedgeDelay:         hedgeDelay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	type dres struct {
+		resp any
+		sh   *shard
+		err  error
+	}
+
+	t.Run("hedge wins on a stalled primary", func(t *testing.T) {
+		primary, err := s.admit(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		primaryDone := make(chan struct{})
+		o := op{weight: 1, run: func(ctx context.Context, sh *shard) (any, error) {
+			if sh == primary {
+				// Stall until the hedge win cancels us.
+				<-ctx.Done()
+				close(primaryDone)
+				return nil, ctx.Err()
+			}
+			return "hedged", nil
+		}}
+		done := make(chan dres, 1)
+		go func() {
+			resp, sh, err := s.dispatch(context.Background(), primary, o)
+			done <- dres{resp, sh, err}
+		}()
+		waitFor(t, "hedge timer to arm", func() bool { return clk.pendingTimers() >= 1 })
+		clk.Advance(hedgeDelay)
+		r := <-done
+		if r.err != nil {
+			t.Fatalf("dispatch: %v", r.err)
+		}
+		if r.resp != "hedged" || r.sh.id != 1 {
+			t.Fatalf("dispatch = (%v, shard %d), want hedge win on shard 1", r.resp, r.sh.id)
+		}
+		<-primaryDone
+		waitFor(t, "all charges released", func() bool {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.shards[0].weight == 0 && s.shards[1].weight == 0 &&
+				s.hedgeInflight == 0 && s.inflight == 0
+		})
+		snap := s.Metrics().Snapshot()
+		if snap.Counters["serve.hedge_launched"] != 1 || snap.Counters["serve.hedge_wins"] != 1 ||
+			snap.Counters["serve.hedge_losses"] != 0 {
+			t.Fatalf("hedge counters = launched %d wins %d losses %d, want 1/1/0",
+				snap.Counters["serve.hedge_launched"], snap.Counters["serve.hedge_wins"],
+				snap.Counters["serve.hedge_losses"])
+		}
+	})
+
+	t.Run("hedge skipped without a healthy spare shard", func(t *testing.T) {
+		s.mu.Lock()
+		s.shards[1].score = 0.1
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			s.shards[1].score = 1.0
+			s.mu.Unlock()
+		}()
+		primary, err := s.admit(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if primary.id != 0 {
+			t.Fatalf("admitted to shard %d, want healthy shard 0", primary.id)
+		}
+		gate := make(chan struct{})
+		o := op{weight: 1, run: func(ctx context.Context, sh *shard) (any, error) {
+			<-gate
+			return "primary", nil
+		}}
+		done := make(chan dres, 1)
+		go func() {
+			resp, sh, err := s.dispatch(context.Background(), primary, o)
+			done <- dres{resp, sh, err}
+		}()
+		waitFor(t, "hedge timer to arm", func() bool { return clk.pendingTimers() >= 1 })
+		clk.Advance(hedgeDelay)
+		waitFor(t, "hedge to be skipped", func() bool {
+			return s.Metrics().Snapshot().Counters["serve.hedge_skipped"] == 1
+		})
+		close(gate)
+		r := <-done
+		if r.err != nil || r.resp != "primary" || r.sh.id != 0 {
+			t.Fatalf("dispatch = (%v, shard %d, %v), want primary answer", r.resp, r.sh.id, r.err)
+		}
+		waitFor(t, "charge released", func() bool {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.shards[0].weight == 0 && s.inflight == 0
+		})
+		snap := s.Metrics().Snapshot()
+		if snap.Counters["serve.hedge_launched"] != 1 {
+			t.Fatalf("hedge_launched = %d, want still 1 (no new hedge)", snap.Counters["serve.hedge_launched"])
+		}
+	})
+}

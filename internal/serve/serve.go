@@ -41,6 +41,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -109,9 +110,70 @@ type Options struct {
 	// at which admission sheds new work with 503. Defaults to 0.8; the
 	// effective per-shard weight limit is always at least 1.
 	ShedHighWater float64
-	// Clock drives token-bucket refill and the drain deadline; tests
-	// inject a fake. Defaults to real time.
+	// Clock drives token-bucket refill, the drain deadline, the shard
+	// supervisor's sampling, and the hedge timer; tests inject a fake.
+	// Defaults to real time.
 	Clock Clock
+
+	// DefaultTenant, when non-nil, turns unknown X-Tenant values into
+	// dynamically created token buckets with this limit instead of 403 —
+	// open tenancy with per-client fairness. The dynamic bucket map is
+	// bounded (TenantCacheSize, LRU + idle expiry), so high-cardinality
+	// or spoofed tenant headers cannot grow memory without bound.
+	DefaultTenant *TenantLimit
+	// TenantCacheSize caps the dynamic tenant-bucket map when
+	// DefaultTenant is set. Defaults to 1024; the least recently seen
+	// tenant is evicted on overflow (its next request starts a fresh
+	// bucket at full burst — the cost of eviction is leniency, never
+	// lockout).
+	TenantCacheSize int
+	// TenantIdleTTL expires dynamic buckets idle this long (swept
+	// lazily). Defaults to 5 minutes.
+	TenantIdleTTL time.Duration
+
+	// HealthThreshold is the score in [0,1] below which a shard is
+	// considered unhealthy: dispatch skips it while any healthy shard
+	// remains (falling back to degraded least-loaded routing — never a
+	// 500 — when all are sick). Defaults to 0.25.
+	HealthThreshold float64
+	// SupervisorInterval is the health-sampling period of the shard
+	// supervisor (driven by Clock). Defaults to 250ms; negative disables
+	// supervision entirely (health scores then stay at 1.0).
+	SupervisorInterval time.Duration
+	// EjectAfter is how many consecutive unhealthy samples eject a
+	// shard: the supervisor stops dispatch to it, drains its in-flight
+	// weight, closes its engine, and rebuilds a replacement against the
+	// shared cached processor. Defaults to 4; the last non-ejected shard
+	// is never ejected.
+	EjectAfter int
+	// EjectDrainTimeout bounds how long an ejected shard may take to
+	// drain its charged weight before the rebuild proceeds anyway (the
+	// old engine is then closed asynchronously so wedged workers cannot
+	// block the supervisor). Defaults to 2s.
+	EjectDrainTimeout time.Duration
+	// QueueAgeBound is the head-of-line queue age at which a shard
+	// starts losing health score (the stalled-shard signal). Defaults to
+	// 250ms.
+	QueueAgeBound time.Duration
+
+	// HedgeDelay, when positive, enables hedged dispatch: a request
+	// still unanswered after this long is speculatively re-run on a
+	// different healthy shard with spare capacity, first result wins.
+	// Every operation is deterministic, so the hedge can never change an
+	// answer — it only buys latency when the primary shard stalls.
+	// Exactly one response is written per request regardless. 0 disables
+	// hedging.
+	HedgeDelay time.Duration
+	// HedgeBudget caps concurrent hedges (spare-capacity-only hedging is
+	// enforced independently at admission). Defaults to Shards.
+	HedgeBudget int
+
+	// ShardEngine, when non-nil, transforms shard i's engine options
+	// just before the engine is built — at New and again on every
+	// supervisor rebuild. It is the hook fault campaigns use to poison
+	// or stall a single shard (arm an Injector or ExecHook on shard 0
+	// only); see internal/chaos.
+	ShardEngine func(shard int, opts engine.Options) engine.Options
 }
 
 // Server is the sharded signing/verification service. Create with New,
@@ -119,6 +181,7 @@ type Options struct {
 // for concurrent use.
 type Server struct {
 	opts   Options
+	proc   *core.Processor
 	reg    *telemetry.Registry
 	fr     *telemetry.FlightRecorder
 	clock  Clock
@@ -126,28 +189,43 @@ type Server struct {
 	mux    *http.ServeMux
 	hs     *http.Server
 
-	mu        sync.Mutex
-	inflight  int
-	draining  bool
-	idleCh    chan struct{} // created by StartDrain, closed when inflight hits 0
-	listeners []net.Listener
-	closeOnce sync.Once
+	mu            sync.Mutex
+	inflight      int
+	hedgeInflight int
+	draining      bool
+	idleCh        chan struct{} // created by StartDrain, closed when inflight hits 0
+	listeners     []net.Listener
+	closeOnce     sync.Once
+
+	stopOnce sync.Once
+	stopCh   chan struct{} // closed by shutdown; stops the supervisor
+	superWG  sync.WaitGroup
 
 	tenants map[string]*bucket
+	dyn     *tenantCache // bounded dynamic buckets (Options.DefaultTenant)
 
-	requests    *telemetry.Counter
-	okC         *telemetry.Counter
-	badRequest  *telemetry.Counter
-	notFound    *telemetry.Counter
-	unknownTen  *telemetry.Counter
-	rateLimited *telemetry.Counter
-	shed        *telemetry.Counter
-	drainRef    *telemetry.Counter
-	engineFull  *telemetry.Counter
-	backendErr  *telemetry.Counter
-	inflightG   *telemetry.Gauge
-	drainingG   *telemetry.Gauge
-	latency     *telemetry.Histogram
+	requests     *telemetry.Counter
+	okC          *telemetry.Counter
+	badRequest   *telemetry.Counter
+	notFound     *telemetry.Counter
+	unknownTen   *telemetry.Counter
+	rateLimited  *telemetry.Counter
+	shed         *telemetry.Counter
+	drainRef     *telemetry.Counter
+	engineFull   *telemetry.Counter
+	backendErr   *telemetry.Counter
+	canceledC    *telemetry.Counter
+	degradedC    *telemetry.Counter
+	shardEjected *telemetry.Counter
+	shardRebuilt *telemetry.Counter
+	hedgeLaunch  *telemetry.Counter
+	hedgeWins    *telemetry.Counter
+	hedgeLosses  *telemetry.Counter
+	hedgeSkipped *telemetry.Counter
+	inflightG    *telemetry.Gauge
+	drainingG    *telemetry.Gauge
+	hedgeG       *telemetry.Gauge
+	latency      *telemetry.Histogram
 
 	// holdGate, when non-nil, blocks every admitted request between
 	// admission and dispatch until the channel closes — a test hook for
@@ -163,19 +241,39 @@ func (s *Server) setHoldGate(ch chan struct{}) {
 	s.mu.Unlock()
 }
 
-// shard is one engine instance plus the dispatcher's load accounting.
+// shard is one engine instance plus the dispatcher's load accounting
+// and the supervisor's health bookkeeping. The engine pointer is
+// atomic because the supervisor swaps it on rebuild while request
+// goroutines are dispatching.
 type shard struct {
 	id  int
-	eng *engine.Engine
+	eng atomic.Pointer[engine.Engine]
 	// weight is the admitted-but-unanswered engine occupancy charged to
 	// this shard (guarded by Server.mu, alongside the admission
-	// decision it feeds).
+	// decision it feeds). It survives a rebuild: stragglers still
+	// holding the old engine release against the same accounting.
 	weight int
 	limit  int // shed threshold: ShedHighWater * engine queue capacity
 
-	served  *telemetry.Counter
-	weightG *telemetry.Gauge
+	// score is the latest health score in [0,1] (guarded by Server.mu;
+	// written by the supervisor, read by admission). ejected marks a
+	// shard the supervisor has pulled from rotation.
+	score   float64
+	ejected bool
+
+	// Supervisor-goroutine-only state: consecutive unhealthy samples
+	// and the previous health sample the failure rate is derived from.
+	sick       int
+	lastHealth engine.Health
+
+	served   *telemetry.Counter
+	weightG  *telemetry.Gauge
+	healthG  *telemetry.Gauge
+	ejectedG *telemetry.Gauge
 }
+
+// engine returns the shard's current engine instance.
+func (sh *shard) engine() *engine.Engine { return sh.eng.Load() }
 
 // New builds the shard set (sharing one cached processor) and the HTTP
 // mux. The server is live immediately; callers mount Handler on a
@@ -195,6 +293,30 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.Clock == nil {
 		opts.Clock = realClock{}
+	}
+	if opts.TenantCacheSize <= 0 {
+		opts.TenantCacheSize = 1024
+	}
+	if opts.TenantIdleTTL <= 0 {
+		opts.TenantIdleTTL = 5 * time.Minute
+	}
+	if opts.HealthThreshold <= 0 || opts.HealthThreshold > 1 {
+		opts.HealthThreshold = 0.25
+	}
+	if opts.SupervisorInterval == 0 {
+		opts.SupervisorInterval = 250 * time.Millisecond
+	}
+	if opts.EjectAfter <= 0 {
+		opts.EjectAfter = 4
+	}
+	if opts.EjectDrainTimeout <= 0 {
+		opts.EjectDrainTimeout = 2 * time.Second
+	}
+	if opts.QueueAgeBound <= 0 {
+		opts.QueueAgeBound = 250 * time.Millisecond
+	}
+	if opts.HedgeBudget <= 0 {
+		opts.HedgeBudget = opts.Shards
 	}
 	if opts.Engine.QueueDepth <= 0 {
 		// Mirror the engine's default (4 workers' worth of queue), but
@@ -223,22 +345,33 @@ func New(opts Options) (*Server, error) {
 	}
 	reg := opts.Registry
 	s := &Server{
-		opts:        opts,
-		reg:         reg,
-		fr:          opts.FlightRecorder,
-		clock:       opts.Clock,
-		requests:    reg.Counter("serve.requests"),
-		okC:         reg.Counter("serve.ok"),
-		badRequest:  reg.Counter("serve.bad_request"),
-		notFound:    reg.Counter("serve.not_found"),
-		unknownTen:  reg.Counter("serve.unknown_tenant"),
-		rateLimited: reg.Counter("serve.rate_limited"),
-		shed:        reg.Counter("serve.shed"),
-		drainRef:    reg.Counter("serve.drain_refused"),
-		engineFull:  reg.Counter("serve.engine_rejected"),
-		backendErr:  reg.Counter("serve.backend_error"),
-		inflightG:   reg.Gauge("serve.inflight"),
-		drainingG:   reg.Gauge("serve.draining"),
+		opts:         opts,
+		proc:         proc,
+		reg:          reg,
+		fr:           opts.FlightRecorder,
+		clock:        opts.Clock,
+		stopCh:       make(chan struct{}),
+		requests:     reg.Counter("serve.requests"),
+		okC:          reg.Counter("serve.ok"),
+		badRequest:   reg.Counter("serve.bad_request"),
+		notFound:     reg.Counter("serve.not_found"),
+		unknownTen:   reg.Counter("serve.unknown_tenant"),
+		rateLimited:  reg.Counter("serve.rate_limited"),
+		shed:         reg.Counter("serve.shed"),
+		drainRef:     reg.Counter("serve.drain_refused"),
+		engineFull:   reg.Counter("serve.engine_rejected"),
+		backendErr:   reg.Counter("serve.backend_error"),
+		canceledC:    reg.Counter("serve.canceled"),
+		degradedC:    reg.Counter("serve.degraded_dispatch"),
+		shardEjected: reg.Counter("serve.shard_ejected"),
+		shardRebuilt: reg.Counter("serve.shard_rebuilt"),
+		hedgeLaunch:  reg.Counter("serve.hedge_launched"),
+		hedgeWins:    reg.Counter("serve.hedge_wins"),
+		hedgeLosses:  reg.Counter("serve.hedge_losses"),
+		hedgeSkipped: reg.Counter("serve.hedge_skipped"),
+		inflightG:    reg.Gauge("serve.inflight"),
+		drainingG:    reg.Gauge("serve.draining"),
+		hedgeG:       reg.Gauge("serve.hedge_inflight"),
 		latency: reg.Histogram("serve.latency_seconds",
 			0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1),
 	}
@@ -246,22 +379,26 @@ func New(opts Options) (*Server, error) {
 	s.fr.SetMeta("serve_shards", opts.Shards)
 	s.fr.SetMeta("serve_shed_high_water", opts.ShedHighWater)
 	for i := 0; i < opts.Shards; i++ {
-		eopts := opts.Engine
-		eopts.Registry = reg
-		eopts.FlightRecorder = s.fr
-		eopts.MetricsNamespace = fmt.Sprintf("engine.shard%d", i)
-		eng := engine.NewWithProcessor(proc, eopts)
+		eng := s.buildShardEngine(i)
 		limit := int(opts.ShedHighWater * float64(eng.QueueCap()))
 		if limit < 1 {
 			limit = 1
 		}
-		s.shards = append(s.shards, &shard{
-			id:      i,
-			eng:     eng,
-			limit:   limit,
-			served:  reg.Counter(fmt.Sprintf("serve.shard_%d_requests", i)),
-			weightG: reg.Gauge(fmt.Sprintf("serve.shard_%d_weight", i)),
-		})
+		sh := &shard{
+			id:       i,
+			limit:    limit,
+			score:    1.0,
+			served:   reg.Counter(fmt.Sprintf("serve.shard_%d_requests", i)),
+			weightG:  reg.Gauge(fmt.Sprintf("serve.shard_%d_weight", i)),
+			healthG:  reg.Gauge(fmt.Sprintf("serve.shard_%d_health", i)),
+			ejectedG: reg.Gauge(fmt.Sprintf("serve.shard_%d_ejected", i)),
+		}
+		sh.eng.Store(eng)
+		sh.healthG.Set(1)
+		s.shards = append(s.shards, sh)
+	}
+	if opts.DefaultTenant != nil {
+		s.dyn = newTenantCache(*opts.DefaultTenant, opts.TenantCacheSize, opts.TenantIdleTTL, reg)
 	}
 	if len(opts.Tenants) > 0 {
 		s.tenants = make(map[string]*bucket, len(opts.Tenants))
@@ -277,7 +414,23 @@ func New(opts Options) (*Server, error) {
 	s.mux = telemetry.NewDebugMux(reg, s.fr)
 	s.routes(s.mux)
 	s.hs = &http.Server{Handler: s.mux}
+	s.startSupervisor()
 	return s, nil
+}
+
+// buildShardEngine constructs shard id's engine against the shared
+// cached processor: the per-shard namespace/registry/flight wiring,
+// then the ShardEngine hook (the chaos poisoning point). Used at New
+// and again on every supervisor rebuild.
+func (s *Server) buildShardEngine(id int) *engine.Engine {
+	eopts := s.opts.Engine
+	eopts.Registry = s.reg
+	eopts.FlightRecorder = s.fr
+	eopts.MetricsNamespace = fmt.Sprintf("engine.shard%d", id)
+	if s.opts.ShardEngine != nil {
+		eopts = s.opts.ShardEngine(id, eopts)
+	}
+	return engine.NewWithProcessor(s.proc, eopts)
 }
 
 // Handler returns the full mux: the /v1 API, /healthz, and the debug
@@ -325,31 +478,100 @@ func (s *Server) Serve(l net.Listener) error {
 	return err
 }
 
-// admit charges weight to the least-loaded shard, or refuses: ErrDraining
-// after StartDrain, engine.ErrQueueFull when even the least-loaded shard
-// is at its shed limit. The admission decision and the charge are one
-// critical section, so concurrent requests cannot over-admit past the
-// high-water mark.
+// pickShardLocked chooses the dispatch target under s.mu: the least
+// loaded healthy shard, falling back to the least loaded non-ejected
+// shard when every shard is below the health threshold (degraded
+// routing — a sick shard that still answers beats a 500). Ejected
+// shards are never picked: their engine is being torn down.
+func (s *Server) pickShardLocked() (best *shard, degraded bool) {
+	for _, sh := range s.shards {
+		if sh.ejected || sh.score < s.opts.HealthThreshold {
+			continue
+		}
+		if best == nil || sh.weight < best.weight {
+			best = sh
+		}
+	}
+	if best != nil {
+		return best, false
+	}
+	for _, sh := range s.shards {
+		if sh.ejected {
+			continue
+		}
+		if best == nil || sh.weight < best.weight {
+			best = sh
+		}
+	}
+	return best, best != nil
+}
+
+// admit charges weight to the chosen shard, or refuses: ErrDraining
+// after StartDrain, engine.ErrQueueFull when the chosen shard is at its
+// shed limit. The admission decision and the charge are one critical
+// section, so concurrent requests cannot over-admit past the high-water
+// mark.
 func (s *Server) admit(weight int) (*shard, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return nil, ErrDraining
 	}
-	best := s.shards[0]
-	for _, sh := range s.shards[1:] {
-		if sh.weight < best.weight {
-			best = sh
-		}
-	}
-	if best.weight+weight > best.limit {
+	best, degraded := s.pickShardLocked()
+	if best == nil || best.weight+weight > best.limit {
 		return nil, engine.ErrQueueFull
+	}
+	if degraded {
+		s.degradedC.Inc()
 	}
 	best.weight += weight
 	best.weightG.Set(float64(best.weight))
 	s.inflight++
 	s.inflightG.Set(float64(s.inflight))
 	return best, nil
+}
+
+// admitHedge charges a speculative duplicate of an in-flight request to
+// a different healthy shard, spare capacity and hedge budget allowing.
+// A hedge is never admitted degraded and never counts toward
+// s.inflight (drain waits on primaries; the hedge is released when its
+// runner returns). Returns nil when no hedge should launch.
+func (s *Server) admitHedge(primary *shard, weight int) *shard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.hedgeInflight >= s.opts.HedgeBudget {
+		return nil
+	}
+	var best *shard
+	for _, sh := range s.shards {
+		if sh == primary || sh.ejected || sh.score < s.opts.HealthThreshold {
+			continue
+		}
+		if sh.weight+weight > sh.limit {
+			continue
+		}
+		if best == nil || sh.weight < best.weight {
+			best = sh
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	best.weight += weight
+	best.weightG.Set(float64(best.weight))
+	s.hedgeInflight++
+	s.hedgeG.Set(float64(s.hedgeInflight))
+	return best
+}
+
+// releaseHedge returns a hedge's charge.
+func (s *Server) releaseHedge(sh *shard, weight int) {
+	s.mu.Lock()
+	sh.weight -= weight
+	sh.weightG.Set(float64(sh.weight))
+	s.hedgeInflight--
+	s.hedgeG.Set(float64(s.hedgeInflight))
+	s.mu.Unlock()
 }
 
 // release returns a request's charge. When the last in-flight request
@@ -432,11 +654,15 @@ func (s *Server) Close() {
 	s.shutdown()
 }
 
-// shutdown closes shards then listeners, exactly once.
+// shutdown stops the supervisor, closes shards then listeners, exactly
+// once. The supervisor is joined before the engines close so a rebuild
+// cannot race engine teardown.
 func (s *Server) shutdown() {
 	s.closeOnce.Do(func() {
+		s.stopOnce.Do(func() { close(s.stopCh) })
+		s.superWG.Wait()
 		for _, sh := range s.shards {
-			sh.eng.Close()
+			sh.engine().Close()
 		}
 		s.mu.Lock()
 		ls := s.listeners

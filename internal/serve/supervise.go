@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// The shard supervisor is the serving layer's failure-domain manager.
+// On every SupervisorInterval tick (driven by the injectable Clock) it
+// samples each shard engine's Health and folds it into a score in
+// [0,1]; admission reads the scores and routes around unhealthy shards
+// while any healthy one remains, degrading to least-loaded-of-the-sick
+// (never a 500) when all are below threshold. A shard that stays
+// unhealthy for EjectAfter consecutive samples is ejected: pulled from
+// rotation, drained of its charged weight (bounded by
+// EjectDrainTimeout), its engine closed, and a replacement engine built
+// against the shared cached processor and swapped in atomically. Every
+// transition is metered (serve.shard_ejected/rebuilt, per-shard health
+// gauges) and dumped to the flight recorder so a post-mortem has the
+// events leading up to the ejection.
+
+// healthScore folds one engine Health sample into [0,1]. An open
+// breaker is definitive (0). Otherwise the score starts at 1 and loses:
+// the quarantined-worker fraction; half the windowed validation-failure
+// rate (failures over completions since the previous sample, so old
+// incidents age out); and up to the full head-of-line queue-age
+// fraction against ageBound — the stalled-shard signal, strong enough
+// to take a wedged shard to 0 on its own.
+func healthScore(h, prev engine.Health, ageBound time.Duration) float64 {
+	if h.BreakerOpen {
+		return 0
+	}
+	score := 1.0
+	if h.Workers > 0 {
+		score -= float64(h.Quarantined) / float64(h.Workers)
+	}
+	df := h.ValidationFailures - prev.ValidationFailures
+	if dc := h.Completed - prev.Completed; dc > 0 {
+		rate := float64(df) / float64(dc)
+		if rate > 1 {
+			rate = 1
+		}
+		score -= 0.5 * rate
+	} else if df > 0 {
+		score -= 0.5
+	}
+	if h.OldestQueueAge > 0 && ageBound > 0 {
+		pen := float64(h.OldestQueueAge) / float64(ageBound)
+		if pen > 1 {
+			pen = 1
+		}
+		score -= pen
+	}
+	if score < 0 {
+		return 0
+	}
+	return score
+}
+
+// startSupervisor launches the supervision loop unless disabled
+// (SupervisorInterval < 0). The loop exits on stopCh; shutdown joins it
+// before closing the shard engines.
+func (s *Server) startSupervisor() {
+	if s.opts.SupervisorInterval < 0 {
+		return
+	}
+	s.superWG.Add(1)
+	go func() {
+		defer s.superWG.Done()
+		for {
+			select {
+			case <-s.stopCh:
+				return
+			case <-s.clock.After(s.opts.SupervisorInterval):
+				s.superviseOnce()
+			}
+		}
+	}()
+}
+
+// superviseOnce is one sampling pass: score every shard, track
+// consecutive unhealthy samples, and eject-and-rebuild any shard sick
+// for EjectAfter samples in a row — as long as another non-ejected
+// shard remains to carry traffic.
+func (s *Server) superviseOnce() {
+	for _, sh := range s.shards {
+		h := sh.engine().Health()
+		score := healthScore(h, sh.lastHealth, s.opts.QueueAgeBound)
+		sh.lastHealth = h
+		s.mu.Lock()
+		sh.score = score
+		s.mu.Unlock()
+		sh.healthG.Set(score)
+		if score < s.opts.HealthThreshold {
+			sh.sick++
+			s.fr.Record("shard_unhealthy", -1, uint64(sh.id), sh.sick,
+				fmt.Sprintf("score=%.2f breaker=%v quarantined=%d age=%v",
+					score, h.BreakerOpen, h.Quarantined, h.OldestQueueAge))
+		} else {
+			sh.sick = 0
+		}
+		if sh.sick >= s.opts.EjectAfter && s.otherShardsAvailable(sh) {
+			s.ejectAndRebuild(sh)
+		}
+	}
+}
+
+// otherShardsAvailable reports whether any shard other than sh is in
+// rotation — the guard that keeps the last shard from being ejected.
+func (s *Server) otherShardsAvailable(sh *shard) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, other := range s.shards {
+		if other != sh && !other.ejected {
+			return true
+		}
+	}
+	return false
+}
+
+// ejectAndRebuild pulls sh from rotation, waits (bounded) for its
+// charged weight to drain, closes the old engine, and swaps in a fresh
+// engine built against the shared cached processor. If the drain times
+// out the rebuild proceeds anyway and the old engine is closed in a
+// detached goroutine — a wedged worker must not block the supervisor;
+// stragglers still holding the old engine get answered by it (or a
+// clean ErrClosed) and release against the shard's weight accounting,
+// which survives the swap.
+func (s *Server) ejectAndRebuild(sh *shard) {
+	old := sh.engine()
+	s.mu.Lock()
+	sh.ejected = true
+	sh.score = 0
+	s.mu.Unlock()
+	sh.ejectedG.Set(1)
+	sh.healthG.Set(0)
+	s.shardEjected.Inc()
+	s.fr.Record("shard_ejected", -1, uint64(sh.id), sh.sick, "")
+	s.fr.Anomaly(fmt.Sprintf("shard %d ejected after %d consecutive unhealthy samples", sh.id, sh.sick))
+
+	// Drain the shard's charged weight on the clock. The fast path —
+	// nothing charged — takes no timer at all, so fake-clock tests can
+	// eject without advancing time.
+	poll := s.opts.EjectDrainTimeout / 8
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	var deadline <-chan time.Time
+	timedOut := false
+	for {
+		s.mu.Lock()
+		w := sh.weight
+		s.mu.Unlock()
+		if w == 0 || timedOut {
+			break
+		}
+		if deadline == nil {
+			deadline = s.clock.After(s.opts.EjectDrainTimeout)
+		}
+		select {
+		case <-s.stopCh:
+			// Server shutting down mid-eject: leave the shard ejected,
+			// shutdown() closes the engine.
+			return
+		case <-deadline:
+			timedOut = true
+		case <-s.clock.After(poll):
+		}
+	}
+
+	// Close the old engine without blocking the supervisor on wedged
+	// workers; Close flushes whatever was already admitted to it.
+	go old.Close()
+
+	sh.eng.Store(s.buildShardEngine(sh.id))
+	sh.sick = 0
+	sh.lastHealth = engine.Health{}
+	s.mu.Lock()
+	sh.ejected = false
+	sh.score = 1.0
+	s.mu.Unlock()
+	sh.ejectedG.Set(0)
+	sh.healthG.Set(1)
+	s.shardRebuilt.Inc()
+	s.fr.Record("shard_rebuilt", -1, uint64(sh.id), 0, fmt.Sprintf("drain_timed_out=%v", timedOut))
+}

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/rtl"
+)
+
+// poisonShardZero is the ShardEngine hook the supervision tests use: a
+// persistent stuck-at defect in shard 0's multiplier while armed, so
+// every RTL run on that shard fails validation and the engine walks its
+// full degradation ladder (retry → quarantine → breaker → fallback).
+// Disarming lets the supervisor's rebuild produce a healthy engine.
+func poisonShardZero(armed *atomic.Bool) func(int, engine.Options) engine.Options {
+	return func(id int, o engine.Options) engine.Options {
+		if id == 0 && armed.Load() {
+			o.Injector = func(int) rtl.Injector {
+				return fault.NewInjector([]fault.Fault{
+					{Site: fault.SitePipeMul, Kind: fault.KindStuckAt1, Bit: 0},
+				}, nil)
+			}
+		}
+		return o
+	}
+}
+
+// TestHealthScore pins the scoring function's shape at its decision
+// points: pristine is 1, an open breaker is definitive 0, quarantine
+// and validation failures each cost their fraction, and a head-of-line
+// queue older than the bound zeroes the score on its own.
+func TestHealthScore(t *testing.T) {
+	bound := 100 * time.Millisecond
+	if got := healthScore(engine.Health{Workers: 4}, engine.Health{}, bound); got != 1 {
+		t.Errorf("pristine score = %v, want 1", got)
+	}
+	if got := healthScore(engine.Health{Workers: 4, BreakerOpen: true}, engine.Health{}, bound); got != 0 {
+		t.Errorf("open-breaker score = %v, want 0", got)
+	}
+	if got := healthScore(engine.Health{Workers: 4, Quarantined: 2}, engine.Health{}, bound); got != 0.5 {
+		t.Errorf("half-quarantined score = %v, want 0.5", got)
+	}
+	// 10 completions, 10 failures since the previous sample: full
+	// validation-failure rate costs 0.5.
+	h := engine.Health{Workers: 4, ValidationFailures: 12, Completed: 30}
+	prev := engine.Health{ValidationFailures: 2, Completed: 20}
+	if got := healthScore(h, prev, bound); got != 0.5 {
+		t.Errorf("all-failing-window score = %v, want 0.5", got)
+	}
+	// The same cumulative totals with no new failures this window are
+	// healthy: old incidents age out.
+	prev2 := engine.Health{ValidationFailures: 12, Completed: 20}
+	if got := healthScore(h, prev2, bound); got != 1 {
+		t.Errorf("aged-out-failures score = %v, want 1", got)
+	}
+	if got := healthScore(engine.Health{Workers: 4, OldestQueueAge: bound}, engine.Health{}, bound); got != 0 {
+		t.Errorf("stalled-queue score = %v, want 0", got)
+	}
+	if got := healthScore(engine.Health{Workers: 4, OldestQueueAge: bound / 2}, engine.Health{}, bound); got != 0.5 {
+		t.Errorf("half-aged-queue score = %v, want 0.5", got)
+	}
+}
+
+// TestDispatchSkipsUnhealthyShard pins the routing policy: admission
+// skips shards below the health threshold while a healthy one remains,
+// degrades (metered) to least-loaded-of-the-sick when none does, and
+// never picks an ejected shard.
+func TestDispatchSkipsUnhealthyShard(t *testing.T) {
+	s, err := New(Options{
+		Shards:             2,
+		Engine:             engine.Options{Workers: 1},
+		SupervisorInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.mu.Lock()
+	s.shards[0].score = 0.1
+	s.mu.Unlock()
+	sh, err := s.admit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.id != 1 {
+		t.Fatalf("admit picked unhealthy shard %d, want 1", sh.id)
+	}
+	s.release(sh, 1)
+	if n := s.Metrics().Snapshot().Counters["serve.degraded_dispatch"]; n != 0 {
+		t.Fatalf("degraded_dispatch = %d with a healthy shard available", n)
+	}
+
+	// All sick: degraded routing still answers (least loaded wins).
+	s.mu.Lock()
+	s.shards[1].score = 0.05
+	s.mu.Unlock()
+	sh, err = s.admit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.id != 0 {
+		t.Fatalf("degraded admit picked shard %d, want least-loaded 0", sh.id)
+	}
+	if n := s.Metrics().Snapshot().Counters["serve.degraded_dispatch"]; n != 1 {
+		t.Fatalf("degraded_dispatch = %d, want 1", n)
+	}
+	s.release(sh, 1)
+
+	// An ejected shard is out of rotation even for degraded routing.
+	s.mu.Lock()
+	s.shards[0].ejected = true
+	s.mu.Unlock()
+	sh, err = s.admit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.id != 1 {
+		t.Fatalf("admit picked ejected shard %d, want 1", sh.id)
+	}
+	s.release(sh, 1)
+}
+
+// TestSupervisorEjectsAndRebuildsSickShard is the failure-domain
+// end-to-end on a fake clock: a persistently faulty shard keeps
+// answering through its fallback, the supervisor scores it to zero on
+// its open breaker, ejects it after EjectAfter consecutive sick
+// samples, rebuilds a fresh engine against the shared processor, and
+// the rebuilt shard serves correct answers again — with every
+// transition metered and zero requests lost to the engine queue.
+func TestSupervisorEjectsAndRebuildsSickShard(t *testing.T) {
+	clk := newFakeClock()
+	var poison atomic.Bool
+	poison.Store(true)
+	ts := startServer(t, Options{
+		Shards:     2,
+		Clock:      clk,
+		EjectAfter: 2,
+		Engine: engine.Options{
+			Workers:          1,
+			MaxAttempts:      1,
+			QuarantineAfter:  2,
+			BreakerWindow:    2,
+			BreakerThreshold: 1.0,
+		},
+		ShardEngine: poisonShardZero(&poison),
+	})
+	f := newFixture(t, 1)
+	sb := f.scalars[0].Bytes()
+	req := ScalarMultRequest{Scalar: hex.EncodeToString(sb[:])}
+
+	// Sequential requests all land on shard 0 (least-loaded tie goes to
+	// the first shard) and walk it through quarantine into an open
+	// breaker. The fallback answers every one correctly.
+	for i := 0; i < 3; i++ {
+		status, body := ts.post(t, "/v1/scalarmult", "", req)
+		if status != http.StatusOK {
+			t.Fatalf("poisoned request %d: status %d: %s", i, status, body)
+		}
+		var resp ScalarMultResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Point != f.points[0] {
+			t.Fatalf("poisoned request %d mis-answered: %s", i, resp.Point)
+		}
+	}
+	if !ts.s.shards[0].engine().Health().BreakerOpen {
+		t.Fatal("shard 0 breaker not open after poisoned requests")
+	}
+
+	// Sample 1: the supervisor scores the open breaker to zero.
+	clk.Advance(ts.s.opts.SupervisorInterval)
+	waitFor(t, "shard 0 scored unhealthy", func() bool {
+		return ts.s.Metrics().Snapshot().Gauges["serve.shard_0_health"] == 0
+	})
+	waitFor(t, "supervisor to re-arm", func() bool { return clk.pendingTimers() >= 1 })
+
+	// Sample 2 reaches EjectAfter: eject, rebuild (now unpoisoned).
+	poison.Store(false)
+	clk.Advance(ts.s.opts.SupervisorInterval)
+	waitFor(t, "shard 0 ejected and rebuilt", func() bool {
+		snap := ts.s.Metrics().Snapshot()
+		return snap.Counters["serve.shard_ejected"] == 1 && snap.Counters["serve.shard_rebuilt"] == 1
+	})
+	snap := ts.s.Metrics().Snapshot()
+	if snap.Gauges["serve.shard_0_health"] != 1 {
+		t.Errorf("rebuilt shard health = %v, want 1", snap.Gauges["serve.shard_0_health"])
+	}
+	if snap.Gauges["serve.shard_0_ejected"] != 0 {
+		t.Errorf("shard_0_ejected gauge = %v after rebuild, want 0", snap.Gauges["serve.shard_0_ejected"])
+	}
+
+	// The rebuilt shard is back in rotation and answers on the RTL path.
+	status, body := ts.post(t, "/v1/scalarmult", "", req)
+	if status != http.StatusOK {
+		t.Fatalf("post-rebuild request: status %d: %s", status, body)
+	}
+	var resp ScalarMultResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Point != f.points[0] {
+		t.Fatalf("post-rebuild mis-answered: %s", resp.Point)
+	}
+	if resp.Shard != 0 {
+		t.Fatalf("post-rebuild served by shard %d, want rebuilt shard 0", resp.Shard)
+	}
+
+	if n := snap.Counters["serve.engine_rejected"]; n != 0 {
+		t.Errorf("serve.engine_rejected = %d, want 0", n)
+	}
+
+	// Drain still completes cleanly after an eject/rebuild cycle (idle
+	// path: the fake clock is not advanced further).
+	if err := ts.s.Drain(30 * time.Second); err != nil {
+		t.Fatalf("Drain after rebuild: %v", err)
+	}
+}

@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"container/list"
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // headerTenant names the request header carrying the tenant identity
@@ -47,28 +50,124 @@ func (b *bucket) allow(now time.Time) bool {
 	return true
 }
 
-// checkTenant applies tenant admission. With no tenants configured it
-// admits everything. Otherwise the X-Tenant header must name a
-// configured tenant (403) with tokens left in its bucket (429). The
+// tenantCache is the bounded store of dynamically created token
+// buckets behind Options.DefaultTenant. Two bounds keep it from
+// growing without limit under high-cardinality or spoofed X-Tenant
+// headers: a hard LRU capacity (least recently seen tenant evicted on
+// overflow) and an idle TTL (buckets idle past the TTL are swept
+// lazily on the miss path). Eviction errs toward leniency — an evicted
+// tenant's next request starts a fresh bucket at full burst — never
+// toward locking a legitimate tenant out. Dynamic tenants get
+// aggregate metrics only (serve.dynamic_tenants, serve.tenant_evicted);
+// per-tenant counters stay reserved for the configured tenant universe,
+// so request data can never grow the metrics registry either.
+type tenantCache struct {
+	mu    sync.Mutex
+	lim   TenantLimit
+	cap   int
+	ttl   time.Duration
+	m     map[string]*list.Element
+	order *list.List // front = most recently seen
+
+	sizeG   *telemetry.Gauge
+	evicted *telemetry.Counter
+}
+
+type tenantEntry struct {
+	name string
+	b    *bucket
+	seen time.Time
+}
+
+func newTenantCache(lim TenantLimit, capacity int, ttl time.Duration, reg *telemetry.Registry) *tenantCache {
+	return &tenantCache{
+		lim:     lim,
+		cap:     capacity,
+		ttl:     ttl,
+		m:       make(map[string]*list.Element, capacity),
+		order:   list.New(),
+		sizeG:   reg.Gauge("serve.dynamic_tenants"),
+		evicted: reg.Counter("serve.tenant_evicted"),
+	}
+}
+
+// allow takes one token from name's bucket, creating it (and evicting
+// as needed) on first sight.
+func (c *tenantCache) allow(name string, now time.Time) bool {
+	c.mu.Lock()
+	if el, ok := c.m[name]; ok {
+		e := el.Value.(*tenantEntry)
+		e.seen = now
+		c.order.MoveToFront(el)
+		b := e.b
+		c.mu.Unlock()
+		return b.allow(now)
+	}
+	// Miss path: sweep idle buckets from the cold end, then enforce the
+	// hard capacity before inserting.
+	for el := c.order.Back(); el != nil; el = c.order.Back() {
+		e := el.Value.(*tenantEntry)
+		if now.Sub(e.seen) < c.ttl {
+			break
+		}
+		c.removeLocked(el, e)
+	}
+	for len(c.m) >= c.cap {
+		el := c.order.Back()
+		c.removeLocked(el, el.Value.(*tenantEntry))
+	}
+	b := newBucket(c.lim, now)
+	c.m[name] = c.order.PushFront(&tenantEntry{name: name, b: b, seen: now})
+	c.sizeG.Set(float64(len(c.m)))
+	c.mu.Unlock()
+	return b.allow(now)
+}
+
+func (c *tenantCache) removeLocked(el *list.Element, e *tenantEntry) {
+	c.order.Remove(el)
+	delete(c.m, e.name)
+	c.evicted.Inc()
+	c.sizeG.Set(float64(len(c.m)))
+}
+
+// size reports the current dynamic-bucket count (tests).
+func (c *tenantCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// checkTenant applies tenant admission. With neither configured
+// tenants nor a DefaultTenant it admits everything. A configured
+// tenant uses its static bucket; with DefaultTenant set, unknown
+// tenants get dynamic (bounded-cache) buckets instead of 403. The
 // error responses are written here; the bool reports admission.
 func (s *Server) checkTenant(w http.ResponseWriter, r *http.Request) bool {
-	if s.tenants == nil {
+	if s.tenants == nil && s.dyn == nil {
 		return true
 	}
 	name := r.Header.Get(headerTenant)
-	b, ok := s.tenants[name]
-	if !ok {
-		s.unknownTen.Inc()
-		writeError(w, http.StatusForbidden, "unknown tenant")
-		return false
+	if b, ok := s.tenants[name]; ok {
+		if !b.allow(s.clock.Now()) {
+			s.rateLimited.Inc()
+			s.reg.Counter("serve.tenant_" + name + "_throttled").Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "tenant rate limit exceeded")
+			return false
+		}
+		s.reg.Counter("serve.tenant_" + name + "_requests").Inc()
+		return true
 	}
-	if !b.allow(s.clock.Now()) {
-		s.rateLimited.Inc()
-		s.reg.Counter("serve.tenant_" + name + "_throttled").Inc()
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "tenant rate limit exceeded")
-		return false
+	if s.dyn != nil {
+		if !s.dyn.allow(name, s.clock.Now()) {
+			s.rateLimited.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "tenant rate limit exceeded")
+			return false
+		}
+		return true
 	}
-	s.reg.Counter("serve.tenant_" + name + "_requests").Inc()
-	return true
+	s.unknownTen.Inc()
+	writeError(w, http.StatusForbidden, "unknown tenant")
+	return false
 }

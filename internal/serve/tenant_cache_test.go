@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// TestDynamicTenantBound is the regression test for the bounded
+// dynamic-tenant map: high-cardinality (spoofed) X-Tenant headers are
+// admitted through per-tenant buckets, but the map never exceeds its
+// LRU capacity, idle buckets are swept after the TTL, and the same
+// tenant is still burst-throttled like a configured one.
+func TestDynamicTenantBound(t *testing.T) {
+	clk := newFakeClock()
+	ts := startServer(t, Options{
+		Shards:          1,
+		Engine:          engine.Options{Workers: 1},
+		Clock:           clk,
+		DefaultTenant:   &TenantLimit{Rate: 1000, Burst: 2},
+		TenantCacheSize: 8,
+		TenantIdleTTL:   time.Second,
+	})
+	f := newFixture(t, 1)
+	sb := f.scalars[0].Bytes()
+	req := ScalarMultRequest{Scalar: hex.EncodeToString(sb[:])}
+
+	// 20 distinct spoofed tenants: all admitted, map capped at 8.
+	for i := 0; i < 20; i++ {
+		status, body := ts.post(t, "/v1/scalarmult", fmt.Sprintf("spoof-%d", i), req)
+		if status != http.StatusOK {
+			t.Fatalf("spoofed tenant %d: status %d: %s", i, status, body)
+		}
+	}
+	if n := ts.s.dyn.size(); n > 8 {
+		t.Fatalf("dynamic tenant map grew to %d, cap is 8", n)
+	}
+	snap := ts.s.Metrics().Snapshot()
+	if n := snap.Counters["serve.tenant_evicted"]; n != 12 {
+		t.Errorf("serve.tenant_evicted = %d, want 12", n)
+	}
+	if g := snap.Gauges["serve.dynamic_tenants"]; g != 8 {
+		t.Errorf("serve.dynamic_tenants = %v, want 8", g)
+	}
+
+	// A single dynamic tenant still hits its own burst limit: the fake
+	// clock never advances, so no tokens refill.
+	for i := 0; i < 2; i++ {
+		if status, body := ts.post(t, "/v1/scalarmult", "victim", req); status != http.StatusOK {
+			t.Fatalf("victim request %d: status %d: %s", i, status, body)
+		}
+	}
+	if status, _ := ts.post(t, "/v1/scalarmult", "victim", req); status != http.StatusTooManyRequests {
+		t.Fatalf("victim request past burst: status %d, want 429", status)
+	}
+
+	// Idle TTL: after the clock moves past the TTL, the next miss sweeps
+	// every stale bucket.
+	clk.Advance(2 * time.Second)
+	if status, _ := ts.post(t, "/v1/scalarmult", "fresh", req); status != http.StatusOK {
+		t.Fatalf("fresh tenant after idle sweep refused: %d", status)
+	}
+	if n := ts.s.dyn.size(); n != 1 {
+		t.Errorf("dynamic tenant map = %d after idle sweep, want 1", n)
+	}
+}
+
+// TestStaticAndDefaultTenants pins the combined mode: configured
+// tenants keep their static buckets and per-tenant metrics, unknown
+// tenants fall through to dynamic buckets instead of 403.
+func TestStaticAndDefaultTenants(t *testing.T) {
+	ts := startServer(t, Options{
+		Shards:        1,
+		Engine:        engine.Options{Workers: 1},
+		Tenants:       map[string]TenantLimit{"alice": {Rate: 1000, Burst: 4}},
+		DefaultTenant: &TenantLimit{Rate: 1000, Burst: 4},
+	})
+	f := newFixture(t, 1)
+	sb := f.scalars[0].Bytes()
+	req := ScalarMultRequest{Scalar: hex.EncodeToString(sb[:])}
+
+	if status, body := ts.post(t, "/v1/scalarmult", "alice", req); status != http.StatusOK {
+		t.Fatalf("configured tenant: status %d: %s", status, body)
+	}
+	if status, body := ts.post(t, "/v1/scalarmult", "mallory", req); status != http.StatusOK {
+		t.Fatalf("unknown tenant with DefaultTenant: status %d, want 200: %s", status, body)
+	}
+	snap := ts.s.Metrics().Snapshot()
+	if n := snap.Counters["serve.tenant_alice_requests"]; n != 1 {
+		t.Errorf("serve.tenant_alice_requests = %d, want 1", n)
+	}
+	if n := snap.Counters["serve.unknown_tenant"]; n != 0 {
+		t.Errorf("serve.unknown_tenant = %d, want 0", n)
+	}
+	if n := ts.s.dyn.size(); n != 1 {
+		t.Errorf("dynamic tenants = %d, want 1 (mallory)", n)
+	}
+}

@@ -20,6 +20,11 @@
 // offered total, and a run where nothing succeeded is rejected — a
 // goodput figure with no successful requests behind it is not a
 // measurement.
+// When the chaos experiment is present (fourq-chaos -json) the
+// campaign must have injected faults, every scenario must carry its
+// replay seed with reconciled tallies, and the recorded invariants
+// (exactly-once, zero mis-answers, shed-before-backpressure, recovery
+// at or above the 90% floor) must hold with an empty violation list.
 //
 // With -baseline it additionally runs in compare mode: the SM/s metrics
 // shared by the report and the baseline (the throughput experiment's
@@ -178,7 +183,13 @@ func check(data []byte) error {
 			return err
 		}
 	}
-	if st == nil && !hasThroughput && !hasFaults && !hasBatch && !hasServe {
+	chx, hasChaos := r.Experiments["chaos"]
+	if hasChaos {
+		if err := checkChaos(chx); err != nil {
+			return err
+		}
+	}
+	if st == nil && !hasThroughput && !hasFaults && !hasBatch && !hasServe && !hasChaos {
 		return fmt.Errorf("no experiment carries rtl_stats (run -exp latency or -exp profile)")
 	}
 	if st != nil {
@@ -528,6 +539,126 @@ func checkFaults(raw json.RawMessage) error {
 		return fmt.Errorf("faults: by_site totals (%d/%d/%d/%d) disagree with the campaign totals (%d/%d/%d/%d)",
 			siteTrials, siteDetected, siteSilent, siteMasked,
 			fa.Campaign.Trials, fa.Detected, fa.Silent, fa.Masked)
+	}
+	return nil
+}
+
+type chaosExp struct {
+	Seed      *int64 `json:"seed"`
+	Requests  int    `json:"requests_per_phase"`
+	Scenarios []struct {
+		Name           string         `json:"name"`
+		Seed           *int64         `json:"seed"`
+		FaultsInjected int64          `json:"faults_injected"`
+		Requests       map[string]int `json:"requests"`
+		MisAnswered    int            `json:"mis_answered"`
+		Lost           int            `json:"lost"`
+		Duplicates     int64          `json:"duplicates"`
+		EngineRejected int64          `json:"engine_rejected"`
+		RecoveryRatio  *float64       `json:"recovery_ratio"`
+		Violations     []string       `json:"violations"`
+	} `json:"scenarios"`
+	FaultsInjected   int64    `json:"faults_injected"`
+	MisAnswered      int      `json:"mis_answered"`
+	Lost             int      `json:"lost"`
+	Duplicates       int64    `json:"duplicates"`
+	EngineRejected   int64    `json:"engine_rejected"`
+	MinRecoveryRatio *float64 `json:"min_recovery_ratio"`
+	Violations       []string `json:"violations"`
+}
+
+// minRecoveryRatio is the lowest post-fault/pre-fault goodput a chaos
+// scenario may record and still pass — the same floor internal/chaos
+// enforces at run time.
+const minRecoveryRatio = 0.9
+
+// checkChaos validates the failure-campaign report (fourq-chaos -json):
+// a campaign that injected no faults tested nothing and is rejected
+// outright, every scenario must carry its replay seed and reconciled
+// request tallies, and the recorded invariants must actually hold —
+// zero lost/duplicated/mis-answered requests, zero engine-level
+// rejections, recovery ratios at or above the floor, and an empty
+// violation list. A "passing" chaos report whose own numbers breach an
+// invariant is a recording bug, not evidence of robustness.
+func checkChaos(raw json.RawMessage) error {
+	var ch chaosExp
+	if err := json.Unmarshal(raw, &ch); err != nil {
+		return fmt.Errorf("chaos: parse: %w", err)
+	}
+	if ch.Seed == nil {
+		return fmt.Errorf("chaos: campaign seed missing (unreproducible)")
+	}
+	if ch.Requests <= 0 {
+		return fmt.Errorf("chaos: requests_per_phase = %d, want > 0", ch.Requests)
+	}
+	if len(ch.Scenarios) == 0 {
+		return fmt.Errorf("chaos: no scenarios recorded")
+	}
+	if ch.FaultsInjected == 0 {
+		return fmt.Errorf("chaos: campaign injected zero faults — nothing was tested")
+	}
+	if len(ch.Violations) > 0 {
+		return fmt.Errorf("chaos: report records %d invariant violation(s): %s",
+			len(ch.Violations), strings.Join(ch.Violations, "; "))
+	}
+	var faults int64
+	ratios := 0
+	for _, sc := range ch.Scenarios {
+		if sc.Name == "" {
+			return fmt.Errorf("chaos: scenario with no name")
+		}
+		if sc.Seed == nil {
+			return fmt.Errorf("chaos: scenario %s missing its replay seed", sc.Name)
+		}
+		if sc.FaultsInjected == 0 {
+			return fmt.Errorf("chaos: scenario %s injected zero faults", sc.Name)
+		}
+		total := sc.Requests["total"]
+		if total <= 0 {
+			return fmt.Errorf("chaos: scenario %s issued no requests", sc.Name)
+		}
+		if sc.Requests["ok"] <= 0 {
+			return fmt.Errorf("chaos: scenario %s answered no request successfully", sc.Name)
+		}
+		sum := sc.Requests["ok"] + sc.Requests["shed"] + sc.Requests["rate_limited"] +
+			sc.Requests["canceled"] + sc.Requests["drained"] + sc.Requests["failed"]
+		if sum != total {
+			return fmt.Errorf("chaos: scenario %s tallies sum to %d, want total = %d", sc.Name, sum, total)
+		}
+		if sc.Lost != 0 || sc.Duplicates != 0 {
+			return fmt.Errorf("chaos: scenario %s lost=%d duplicates=%d, want 0/0 (exactly-once broken)",
+				sc.Name, sc.Lost, sc.Duplicates)
+		}
+		if sc.MisAnswered != 0 {
+			return fmt.Errorf("chaos: scenario %s mis_answered = %d, want 0", sc.Name, sc.MisAnswered)
+		}
+		if sc.EngineRejected != 0 {
+			return fmt.Errorf("chaos: scenario %s engine_rejected = %d, want 0 (shed must precede backpressure)",
+				sc.Name, sc.EngineRejected)
+		}
+		if len(sc.Violations) > 0 {
+			return fmt.Errorf("chaos: scenario %s records violations: %s", sc.Name, strings.Join(sc.Violations, "; "))
+		}
+		if sc.RecoveryRatio != nil {
+			ratios++
+			if *sc.RecoveryRatio < minRecoveryRatio {
+				return fmt.Errorf("chaos: scenario %s recovery_ratio = %.2f, below the %.2f floor",
+					sc.Name, *sc.RecoveryRatio, minRecoveryRatio)
+			}
+		}
+		faults += sc.FaultsInjected
+	}
+	if faults != ch.FaultsInjected {
+		return fmt.Errorf("chaos: per-scenario faults sum to %d, campaign total says %d", faults, ch.FaultsInjected)
+	}
+	if ratios == 0 {
+		return fmt.Errorf("chaos: no scenario measured a recovery ratio")
+	}
+	if ch.MinRecoveryRatio == nil {
+		return fmt.Errorf("chaos: min_recovery_ratio missing")
+	}
+	if *ch.MinRecoveryRatio < minRecoveryRatio {
+		return fmt.Errorf("chaos: min_recovery_ratio = %.2f, below the %.2f floor", *ch.MinRecoveryRatio, minRecoveryRatio)
 	}
 	return nil
 }

@@ -370,3 +370,142 @@ func TestCheckRejects(t *testing.T) {
 		})
 	}
 }
+
+const goodChaos = `{
+  "schema": "fourq-bench/v1",
+  "experiments": {
+    "chaos": {
+      "seed": 1,
+      "requests_per_phase": 60,
+      "scenarios": [
+        {
+          "name": "faulty-shard",
+          "seed": -5569162553654349038,
+          "faults_injected": 3906,
+          "phases": {},
+          "requests": {"total": 546, "ok": 546, "shed": 0, "rate_limited": 0, "canceled": 0, "drained": 0, "failed": 0},
+          "mis_answered": 0,
+          "lost": 0,
+          "duplicates": 0,
+          "engine_rejected": 0,
+          "shards_ejected": 1,
+          "shards_rebuilt": 1,
+          "hedge_wins": 0,
+          "recovery_ms": 12.5,
+          "recovery_ratio": 1.06,
+          "violations": []
+        },
+        {
+          "name": "saturation",
+          "seed": 77,
+          "faults_injected": 1,
+          "phases": {},
+          "requests": {"total": 540, "ok": 363, "shed": 177, "rate_limited": 0, "canceled": 0, "drained": 0, "failed": 0},
+          "mis_answered": 0,
+          "lost": 0,
+          "duplicates": 0,
+          "engine_rejected": 0,
+          "shards_ejected": 0,
+          "shards_rebuilt": 0,
+          "hedge_wins": 0,
+          "recovery_ratio": 1.11,
+          "violations": []
+        }
+      ],
+      "faults_injected": 3907,
+      "mis_answered": 0,
+      "lost": 0,
+      "duplicates": 0,
+      "engine_rejected": 0,
+      "min_recovery_ratio": 1.06,
+      "violations": []
+    }
+  }
+}`
+
+func TestCheckChaosGood(t *testing.T) {
+	if err := check([]byte(goodChaos)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckChaosRejects: the chaos campaign's non-negotiables — a
+// campaign that injected nothing, tallies that do not reconcile with
+// the per-scenario totals, any breach of the exactly-once or
+// shed-before-backpressure invariants, or a recovery ratio under the
+// floor must all fail validation.
+func TestCheckChaosRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"zero faults campaign", strings.Replace(strings.Replace(strings.Replace(goodChaos,
+			`"faults_injected": 3907`, `"faults_injected": 0`, 1),
+			`"faults_injected": 3906`, `"faults_injected": 0`, 1),
+			`"faults_injected": 1`, `"faults_injected": 0`, 1), "zero faults"},
+		{"zero faults scenario", strings.Replace(goodChaos,
+			`"faults_injected": 1`, `"faults_injected": 0`, 1), "injected zero faults"},
+		{"missing campaign seed", strings.Replace(goodChaos,
+			`"seed": 1,`, ``, 1), "seed missing"},
+		{"missing scenario seed", strings.Replace(goodChaos,
+			`"seed": 77,`, ``, 1), "replay seed"},
+		{"unreconciled tallies", strings.Replace(goodChaos,
+			`"shed": 177`, `"shed": 100`, 1), "tallies"},
+		{"lost requests", strings.Replace(goodChaos,
+			`"lost": 0,
+          "duplicates": 0,
+          "engine_rejected": 0,
+          "shards_ejected": 1`,
+			`"lost": 3,
+          "duplicates": 0,
+          "engine_rejected": 0,
+          "shards_ejected": 1`, 1), "exactly-once"},
+		{"duplicated answers", strings.Replace(goodChaos,
+			`"duplicates": 0,
+          "engine_rejected": 0,
+          "shards_ejected": 0`,
+			`"duplicates": 2,
+          "engine_rejected": 0,
+          "shards_ejected": 0`, 1), "exactly-once"},
+		{"mis-answered", strings.Replace(goodChaos,
+			`"mis_answered": 0,
+          "lost": 0,
+          "duplicates": 0,
+          "engine_rejected": 0,
+          "shards_ejected": 1`,
+			`"mis_answered": 1,
+          "lost": 0,
+          "duplicates": 0,
+          "engine_rejected": 0,
+          "shards_ejected": 1`, 1), "mis_answered"},
+		{"engine rejected", strings.Replace(goodChaos,
+			`"engine_rejected": 0,
+          "shards_ejected": 0`,
+			`"engine_rejected": 4,
+          "shards_ejected": 0`, 1), "shed must precede backpressure"},
+		{"recovery under floor", strings.Replace(goodChaos,
+			`"recovery_ratio": 1.11`, `"recovery_ratio": 0.62`, 1), "below the 0.90 floor"},
+		{"violations recorded", strings.Replace(goodChaos,
+			`"min_recovery_ratio": 1.06,
+      "violations": []`,
+			`"min_recovery_ratio": 1.06,
+      "violations": ["saturation: burst was never shed"]`, 1), "violation"},
+		{"fault sum mismatch", strings.Replace(goodChaos,
+			`"faults_injected": 3907`, `"faults_injected": 9999`, 1), "campaign total"},
+		{"no scenarios", strings.Replace(goodChaos,
+			`"scenarios": [`, `"scenarios_off": [`, 1), "no scenarios"},
+		{"no recovery ratio anywhere", strings.Replace(strings.Replace(goodChaos,
+			`"recovery_ratio": 1.06,`, ``, 1),
+			`"recovery_ratio": 1.11,`, ``, 1), "recovery ratio"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := check([]byte(c.doc))
+			if err == nil {
+				t.Fatalf("check accepted %s", c.name)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
