@@ -18,11 +18,15 @@
 # poisoned shard, a stalled shard, clock skew, saturation, drain racing
 # a fault — against a real in-process server, gated against the
 # committed BENCH_chaos.json),
+# a scheduler smoke (race-enabled portfolio/tabu tests plus a
+# short-budget pinned-seed portfolio solve that must be deterministic,
+# hazard-proven, and beat the committed single-solver makespan),
 # and finally the perf-regression gate: a fresh
-# latency+throughput+batch run compared against the committed
-# BENCH_rtl.json baseline (refresh it with `make bench-record` after a
-# deliberate perf change; TOLERANCE sets the allowed fractional SM/s
-# drop).
+# latency+throughput+batch+sched run on the portfolio schedule compared
+# against the committed BENCH_rtl.json baseline (refresh it with
+# `make bench-record` after a deliberate perf change; TOLERANCE sets
+# the allowed fractional SM/s drop, and the allowed upward drift of the
+# portfolio makespan).
 
 GO ?= go
 BENCH_JSON ?= /tmp/bench.json
@@ -40,7 +44,7 @@ CHAOS_JSON ?= /tmp/chaos.json
 CHAOS_BASELINE ?= BENCH_chaos.json
 CHAOS_SEED ?= 1
 
-.PHONY: all build test vet race race-robust fuzz-smoke ci smoke lane-smoke obs-smoke serve-smoke serve-record chaos-smoke chaos-record bench-record bench-compare clean
+.PHONY: all build test vet race race-robust fuzz-smoke ci smoke lane-smoke obs-smoke serve-smoke serve-record chaos-smoke chaos-record sched-smoke bench-record bench-compare clean
 
 all: build
 
@@ -131,22 +135,37 @@ chaos-record: build
 serve-record: build
 	SERVE_BENCH_OUT=$(SERVE_BASELINE) SERVE_BASELINE=$(SERVE_BASELINE) sh ./scripts/serve_smoke.sh
 
+# Scheduler smoke: the race-enabled portfolio/tabu solver tests, then a
+# short-budget pinned-seed portfolio solve of the real trace that must
+# reproduce itself bit for bit, survive the RTL hazard prover at the
+# cycle count it claimed, and beat the committed baseline's
+# single-solver makespan (the full-budget head-to-head is gated by
+# bench-compare).
+sched-smoke: build
+	$(GO) test -race -count=1 -run 'Portfolio|Tabu|MetricsProgress' ./internal/jobshop ./internal/sched
+	$(GO) run ./scripts/schedsmoke -baseline $(BENCH_BASELINE)
+
 # Record the committed performance baseline: one report carrying the
 # latency experiment (with host single-thread compiled vs interpreted
-# SM/s), the batch-engine throughput sweep, and the lockstep lane-width
-# sweep, validated before it lands in the tree.
+# SM/s), the batch-engine throughput sweep, the lockstep lane-width
+# sweep, and the scheduler head-to-head (with the deterministic
+# portfolio schedule hash), validated before it lands in the tree. The
+# measured experiments run on the portfolio schedule — the SM/s
+# baselines describe the solver the binaries actually ship.
 bench-record: build
-	$(GO) run ./cmd/fourq-bench -exp latency,throughput,batch -json $(BENCH_BASELINE)
+	$(GO) run ./cmd/fourq-bench -exp latency,throughput,batch,sched -sched portfolio -json $(BENCH_BASELINE)
 	$(GO) run ./scripts/benchcheck $(BENCH_BASELINE)
 
 # Perf-regression gate: a fresh run of the same experiments must stay
 # within TOLERANCE of every SM/s metric in the committed baseline
-# (including the lockstep peak lane rate).
+# (including the lockstep peak lane rate), and the portfolio makespan
+# must not drift up past the committed cycle count by more than
+# TOLERANCE either.
 bench-compare: build
-	$(GO) run ./cmd/fourq-bench -exp latency,throughput,batch -json $(COMPARE_JSON)
+	$(GO) run ./cmd/fourq-bench -exp latency,throughput,batch,sched -sched portfolio -json $(COMPARE_JSON)
 	$(GO) run ./scripts/benchcheck -baseline $(BENCH_BASELINE) -tolerance $(TOLERANCE) $(COMPARE_JSON)
 
-ci: vet build race race-robust fuzz-smoke smoke lane-smoke obs-smoke serve-smoke chaos-smoke bench-compare
+ci: vet build race race-robust fuzz-smoke smoke lane-smoke obs-smoke serve-smoke chaos-smoke sched-smoke bench-compare
 
 clean:
 	$(GO) clean ./...

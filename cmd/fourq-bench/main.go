@@ -56,9 +56,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: profile|table1|latency|throughput|batch|fig4|table2|fig3|ablation|pareto|faults|all")
+	exp := flag.String("exp", "all", "comma-separated experiments: profile|table1|latency|throughput|batch|sched|fig4|table2|fig3|ablation|pareto|faults|all")
 	full := flag.Bool("full", false, "include full-trace scheduler ablation (slow)")
 	lanes := flag.String("lanes", "1,2,4,8", "ascending lockstep lane widths swept by -exp batch")
+	schedSolver := flag.String("sched", "single", "schedule solver for the benchmarked processor: single (fast list scheduler) or portfolio (parallel tabu + LNS search; slower build, shorter schedule)")
 	jsonPath := flag.String("json", "", "write executed experiments' results as structured JSON to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event timeline of one scalar multiplication to this file")
 	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar, /metrics and /debug on this address (e.g. localhost:6060)")
@@ -72,19 +73,46 @@ func main() {
 		telemetry.ServeDebug(*debugAddr, telemetry.NewRegistry(), telemetry.NewFlightRecorder(0))
 	}
 
-	if err := run(*exp, *full, *lanes, *jsonPath, *tracePath); err != nil {
+	if err := run(*exp, *full, *lanes, *schedSolver, *jsonPath, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "fourq-bench:", err)
 		os.Exit(1)
 	}
 }
 
+// benchSchedSeed and benchPortfolioKnobs pin the bench's portfolio
+// solves to the shared production defaults (internal/sched), so the
+// committed BENCH_rtl.json baseline, the -sched portfolio processor
+// builds, and fourq-serve -sched portfolio all race the exact same
+// deterministic configuration.
+const benchSchedSeed = sched.DefaultPortfolioSeed
+
+func benchPortfolioKnobs() sched.PortfolioKnobs {
+	return sched.DefaultPortfolioKnobs()
+}
+
 // bench carries the shared state of one invocation: the lazily built
 // processor and the accumulating JSON report.
 type bench struct {
-	full  bool
-	lanes []int // lockstep widths swept by -exp batch
-	proc  *core.Processor
-	rep   *report
+	full      bool
+	lanes     []int  // lockstep widths swept by -exp batch
+	schedName string // -sched: "single" or "portfolio"
+	proc      *core.Processor
+	rep       *report
+}
+
+// config is the processor configuration of this invocation — every
+// experiment that builds or caches a processor must go through it so
+// the -sched selection applies uniformly.
+func (b *bench) config() core.Config {
+	cfg := core.Config{}
+	if b.schedName == "portfolio" {
+		cfg.Sched = sched.Options{
+			Method:    sched.MethodPortfolio,
+			Seed:      benchSchedSeed,
+			Portfolio: benchPortfolioKnobs(),
+		}
+	}
+	return cfg
 }
 
 // processor builds the full trace->schedule->emit pipeline on first use
@@ -93,8 +121,8 @@ func (b *bench) processor() (*core.Processor, error) {
 	if b.proc != nil {
 		return b.proc, nil
 	}
-	fmt.Println("building processor (trace -> schedule -> program)...")
-	p, err := core.New(core.Config{})
+	fmt.Printf("building processor (trace -> schedule -> program, solver=%s)...\n", b.schedName)
+	p, err := core.New(b.config())
 	if err != nil {
 		return nil, err
 	}
@@ -114,18 +142,22 @@ type step struct {
 	f    func() error
 }
 
-func run(exp string, full bool, lanes, jsonPath, tracePath string) error {
+func run(exp string, full bool, lanes, schedSolver, jsonPath, tracePath string) error {
 	widths, err := parseLanes(lanes)
 	if err != nil {
 		return fmt.Errorf("-lanes: %w", err)
 	}
-	b := &bench{full: full, lanes: widths, rep: newReport()}
+	if schedSolver != "single" && schedSolver != "portfolio" {
+		return fmt.Errorf("-sched: unknown solver %q (valid: single, portfolio)", schedSolver)
+	}
+	b := &bench{full: full, lanes: widths, schedName: schedSolver, rep: newReport()}
 	steps := []step{
 		{"profile", b.profile},
 		{"table1", b.table1},
 		{"latency", b.latency},
 		{"throughput", b.throughput},
 		{"batch", b.batch},
+		{"sched", b.sched},
 		{"fig4", b.fig4},
 		{"table2", b.table2},
 		{"fig3", b.fig3},

@@ -7,7 +7,6 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/scalar"
 )
@@ -27,14 +26,20 @@ type throughputPoint struct {
 
 // throughputResult is the -exp throughput entry of the JSON report.
 type throughputResult struct {
-	NumCPU       int               `json:"num_cpu"`
-	SMsPerPoint  int               `json:"sms_per_point"`
-	Points       []throughputPoint `json:"points"`
-	MaxSpeedup   float64           `json:"max_speedup"`
-	BuildShared  bool              `json:"build_shared"`
-	QueueDepth   int               `json:"queue_depth"`
-	VerifiedAll  bool              `json:"verified_all"`
-	EngineCached int               `json:"engine_cache_size"`
+	NumCPU      int               `json:"num_cpu"`
+	SMsPerPoint int               `json:"sms_per_point"`
+	Points      []throughputPoint `json:"points"`
+	MaxSpeedup  float64           `json:"max_speedup"`
+	BuildShared bool              `json:"build_shared"`
+	QueueDepth  int               `json:"queue_depth"`
+	VerifiedAll bool              `json:"verified_all"`
+	// ScheduleCycles and Solver record the schedule every measured SM
+	// executed (the functional program's cycle count) and which solver
+	// produced it — the provenance linking a throughput number to the
+	// scheduling layer that earned it.
+	ScheduleCycles int    `json:"schedule_cycles"`
+	Solver         string `json:"solver"`
+	EngineCached   int    `json:"engine_cache_size"`
 }
 
 // throughput measures the batch engine's scalar-multiplication rate
@@ -58,8 +63,10 @@ func (b *bench) throughput() error {
 	sort.Ints(counts)
 
 	// One shared processor for every engine below: the first engine.New
-	// pays the trace->schedule->emit build, the rest hit the cache.
-	proc, err := engine.CachedProcessor(core.Config{})
+	// pays the trace->schedule->emit build, the rest hit the cache. The
+	// -sched selection flows through b.config() so the measured SM/s run
+	// the solver under test.
+	proc, err := engine.CachedProcessor(b.config())
 	if err != nil {
 		return err
 	}
@@ -80,13 +87,16 @@ func (b *bench) throughput() error {
 	}
 
 	res := throughputResult{
-		NumCPU:      cpus,
-		SMsPerPoint: smsPerPoint,
-		BuildShared: true,
-		QueueDepth:  2 * smsPerPoint,
-		VerifiedAll: true,
+		NumCPU:         cpus,
+		SMsPerPoint:    smsPerPoint,
+		BuildShared:    true,
+		QueueDepth:     2 * smsPerPoint,
+		VerifiedAll:    true,
+		ScheduleCycles: proc.CyclesFunctional(),
+		Solver:         proc.ScheduleResult().Solver,
 	}
 	ctx := context.Background()
+	fmt.Printf("schedule: %d cycles/SM (solver %s)\n", res.ScheduleCycles, res.Solver)
 	fmt.Printf("%-8s %-8s %-10s %-10s %-9s %s\n", "workers", "SMs", "wall[ms]", "SM/s", "speedup", "oracle")
 	for _, w := range counts {
 		e := engine.NewWithProcessor(proc, engine.Options{

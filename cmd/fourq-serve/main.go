@@ -21,6 +21,12 @@
 // values through dynamically created buckets in a bounded LRU map
 // (-tenant-cache) instead of 403.
 //
+// -sched portfolio builds the shared processor with the deterministic
+// solver portfolio (see docs/PERF.md): a ~20s one-time startup cost
+// that shortens every scalar multiplication's critical path by ~5%.
+// The build's solver progress lands on /metrics as sched.best_makespan
+// and sched.solver_improvements.
+//
 // Failure-domain controls (see docs/FAULTS.md): the shard supervisor
 // samples per-shard health every -supervisor-interval and ejects+
 // rebuilds a shard after -eject-after consecutive unhealthy samples;
@@ -41,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/sched"
 	"repro/internal/serve"
 )
 
@@ -60,6 +67,7 @@ func main() {
 	ejectAfter := flag.Int("eject-after", 0, "consecutive unhealthy samples before a shard is ejected and rebuilt (0 = default 4)")
 	hedgeDelay := flag.Duration("hedge-delay", 0, "re-run a request on a second healthy shard after this long unanswered (0 disables hedging)")
 	hedgeBudget := flag.Int("hedge-budget", 0, "max concurrent hedged requests (0 = one per shard)")
+	schedSolver := flag.String("sched", "single", "schedule solver for the shared processor build: single (fast list pass) or portfolio (deterministic multi-solver race, ~20s startup, shorter per-SM critical path)")
 	flag.Parse()
 
 	tenantMap, err := parseTenants(*tenants)
@@ -90,6 +98,18 @@ func main() {
 			os.Exit(1)
 		}
 		opts.DefaultTenant = &lim
+	}
+	switch *schedSolver {
+	case "single":
+	case "portfolio":
+		opts.Config.Sched = sched.Options{
+			Method:    sched.MethodPortfolio,
+			Seed:      sched.DefaultPortfolioSeed,
+			Portfolio: sched.DefaultPortfolioKnobs(),
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "fourq-serve: -sched %q: want single or portfolio\n", *schedSolver)
+		os.Exit(1)
 	}
 
 	if err := run(*addr, opts, *drainTimeout); err != nil {
@@ -144,8 +164,8 @@ func run(addr string, opts serve.Options, drainTimeout time.Duration) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("fourq-serve: listening on http://%s (%d shards, lane width %d)\n",
-		l.Addr(), s.Shards(), opts.Engine.LaneWidth)
+	fmt.Printf("fourq-serve: listening on http://%s (%d shards, lane width %d, %s schedule)\n",
+		l.Addr(), s.Shards(), opts.Engine.LaneWidth, opts.Config.Sched.Method)
 	fmt.Printf("fourq-serve: API under /v1/, health at /healthz, metrics at /metrics\n")
 
 	sigs := make(chan os.Signal, 2)

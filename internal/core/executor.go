@@ -99,6 +99,10 @@ type ConfigKey struct {
 	BnBBudget   int64
 	BlockSize   int
 	SchedSeed   int64
+	// Portfolio is comparable by construction (plain integer knobs); it
+	// only differentiates keys when Method is MethodPortfolio, but
+	// including it unconditionally is harmless (zero elsewhere).
+	Portfolio   sched.PortfolioKnobs
 	Elide       bool
 	TraceScalar scalar.Scalar
 }
@@ -122,6 +126,7 @@ func (c Config) CacheKey() ConfigKey {
 		BnBBudget:   c.Sched.BnBBudget,
 		BlockSize:   c.Sched.BlockSize,
 		SchedSeed:   c.Sched.Seed,
+		Portfolio:   c.Sched.Portfolio,
 		Elide:       c.Sched.ElideWritebacks,
 		TraceScalar: ts,
 	}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/scalar"
+	"repro/internal/sched"
+)
+
+// TestPortfolioProcessorBitTrue is the end-to-end soundness property of
+// the portfolio scheduler: a processor built from portfolio schedules
+// must pass the RTL hazard compilation inside New, clear Verify's
+// functional differential, and produce byte-identical scalar-mult
+// outputs to the single-solver (list) processor — a reordered schedule
+// may change the cycle count but never the arithmetic.
+func TestPortfolioProcessorBitTrue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a second full processor")
+	}
+	pp, err := New(Config{Sched: sched.Options{
+		Method: sched.MethodPortfolio,
+		Seed:   7,
+		Portfolio: sched.PortfolioKnobs{
+			TabuWorkers: 2,
+			LNSWorkers:  1,
+			Rounds:      1,
+			TabuIters:   25,
+			Window:      24,
+			BnBNodes:    20_000,
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := getProcessor(t)
+	if pp.CyclesFunctional() > pl.CyclesFunctional() {
+		t.Errorf("portfolio schedule (%d cycles) worse than list (%d)",
+			pp.CyclesFunctional(), pl.CyclesFunctional())
+	}
+	if r := pp.ScheduleResult(); r.Solver != "portfolio" || r.ScheduleHash == 0 {
+		t.Fatalf("schedule provenance: %+v", r)
+	}
+	if err := pp.Verify(2, 424242); err != nil {
+		t.Fatal(err)
+	}
+	ks := []scalar.Scalar{
+		{1}, {2},
+		{0xDEADBEEF, 0xFEEDFACE, 0x12345678, 0x0BADF00D},
+		{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)},
+	}
+	for _, k := range ks {
+		got, _, err := pp.ScalarMult(k)
+		if err != nil {
+			t.Fatalf("portfolio RTL run k=%v: %v", k, err)
+		}
+		want, _, err := pl.ScalarMult(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.X.Equal(want.X) || !got.Y.Equal(want.Y) {
+			t.Errorf("k=%v: portfolio (%v,%v) != list (%v,%v)", k, got.X, got.Y, want.X, want.Y)
+		}
+	}
+}

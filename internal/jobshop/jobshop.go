@@ -209,7 +209,23 @@ func (inst *Instance) earliestStarts(order []int) []int {
 // ListSchedule builds a feasible schedule greedily: at each time step,
 // among the precedence-ready tasks, the highest-priority task is issued
 // on each free machine. Ties break by task index for determinism.
+//
+// The implementation is event-driven (O((n+E) log n) instead of the
+// time-stepped O(makespan * n) reference scan) so local-search solvers
+// can afford thousands of evaluations on full scalar-multiplication
+// traces; listScheduleRef keeps the original scan and the equivalence
+// test in jobshop_test.go pins the two bit-identical.
 func ListSchedule(inst *Instance, prio []int) (Schedule, error) {
+	ev, err := newEvaluator(inst)
+	if err != nil {
+		return Schedule{}, err
+	}
+	return ev.scheduleCopy(prio)
+}
+
+// listScheduleRef is the original time-stepped list scheduler, kept as
+// the semantic reference for the event-driven implementation.
+func listScheduleRef(inst *Instance, prio []int) (Schedule, error) {
 	n := len(inst.Tasks)
 	if len(prio) != n {
 		return Schedule{}, fmt.Errorf("jobshop: priority vector length %d != %d tasks", len(prio), n)

@@ -1,0 +1,168 @@
+package jobshop
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomLagInstance is randomInstance widened to the corners the
+// event-driven scheduler must agree with the reference on: zero-lag
+// edges, multi-cycle occupancies, and spread-out release dates.
+func randomLagInstance(rng *rand.Rand, n, machines int) *Instance {
+	inst := &Instance{Machines: machines}
+	for i := 0; i < n; i++ {
+		inst.Tasks = append(inst.Tasks, Task{
+			Machine: rng.Intn(machines),
+			Dur:     rng.Intn(4), // 0 means 1
+			Tail:    1 + rng.Intn(4),
+			Release: rng.Intn(6),
+		})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(n) < 2 {
+				inst.Precs = append(inst.Precs, Prec{Before: i, After: j, Lag: rng.Intn(4)})
+			}
+		}
+	}
+	return inst
+}
+
+// TestListScheduleMatchesReference pins the event-driven ListSchedule
+// bit-identical to the time-stepped reference scan across random
+// instances and random (including negative) priority vectors. This
+// equivalence is what lets the local-search solvers trust the fast
+// evaluator.
+func TestListScheduleMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 300; trial++ {
+		inst := randomLagInstance(rng, 2+rng.Intn(40), 1+rng.Intn(3))
+		n := len(inst.Tasks)
+		prio := make([]int, n)
+		switch trial % 3 {
+		case 0:
+			p, err := CriticalPathPriorities(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prio = p
+		case 1:
+			for i := range prio {
+				prio[i] = rng.Intn(2*n+1) - n
+			}
+		case 2: // heavy ties
+			for i := range prio {
+				prio[i] = rng.Intn(3)
+			}
+		}
+		want, err := listScheduleRef(inst, prio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ListSchedule(inst, prio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Makespan != want.Makespan {
+			t.Fatalf("trial %d: makespan %d, reference %d", trial, got.Makespan, want.Makespan)
+		}
+		for i := range want.Start {
+			if got.Start[i] != want.Start[i] {
+				t.Fatalf("trial %d: task %d starts at %d, reference %d", trial, i, got.Start[i], want.Start[i])
+			}
+		}
+		if err := Validate(inst, got); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestEvaluatorReuse verifies the scratch reset: one evaluator run many
+// times over different priority vectors must match fresh evaluations.
+func TestEvaluatorReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	inst := randomLagInstance(rng, 60, 2)
+	ev, err := newEvaluator(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(inst.Tasks)
+	prios := make([][]int, 8)
+	for k := range prios {
+		prios[k] = make([]int, n)
+		for i := range prios[k] {
+			prios[k][i] = rng.Intn(2*n+1) - n
+		}
+	}
+	// Interleave: shared evaluator forward, then backward, vs fresh.
+	want := make([]Schedule, len(prios))
+	for k, p := range prios {
+		s, err := ListSchedule(inst, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[k] = s
+	}
+	for pass := 0; pass < 2; pass++ {
+		for k := range prios {
+			idx := k
+			if pass == 1 {
+				idx = len(prios) - 1 - k
+			}
+			s, err := ev.scheduleCopy(prios[idx])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Makespan != want[idx].Makespan {
+				t.Fatalf("reuse pass %d prio %d: makespan %d, want %d", pass, idx, s.Makespan, want[idx].Makespan)
+			}
+			for i := range s.Start {
+				if s.Start[i] != want[idx].Start[i] {
+					t.Fatalf("reuse pass %d prio %d: task %d start %d, want %d", pass, idx, i, s.Start[i], want[idx].Start[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluatorRejectsBadInstances(t *testing.T) {
+	cyclic := &Instance{
+		Tasks:    []Task{{Machine: 0, Tail: 1}, {Machine: 0, Tail: 1}},
+		Precs:    []Prec{{Before: 0, After: 1, Lag: 1}, {Before: 1, After: 0, Lag: 1}},
+		Machines: 1,
+	}
+	if _, err := newEvaluator(cyclic); err == nil {
+		t.Error("cycle not rejected")
+	}
+	badMachine := &Instance{Tasks: []Task{{Machine: 3, Tail: 1}}, Machines: 1}
+	if _, err := newEvaluator(badMachine); err == nil {
+		t.Error("out-of-range machine not rejected")
+	}
+	ev, err := newEvaluator(&Instance{Tasks: []Task{{Machine: 0, Tail: 1}}, Machines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ev.run([]int{1, 2}); err == nil {
+		t.Error("wrong priority length not rejected")
+	}
+}
+
+func BenchmarkEvaluatorRun1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	inst := randomInstance(rng, 1000, 2)
+	ev, err := newEvaluator(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prio, err := CriticalPathPriorities(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ev.run(prio); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package jobshop
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Portfolio solver: the full-trace counterpart of the exact B&B. A
+// scalar-multiplication trace has thousands of tasks — far past exact
+// search — so the portfolio races two complementary attacks on the
+// incumbent schedule:
+//
+//   - N tabu workers, each a diversified seeded restart of the shared
+//     tabuSearch core starting from the incumbent's priority vector;
+//   - M large-neighborhood-search (LNS) workers that carve a window of
+//     consecutive tasks (in incumbent start order) out of the schedule,
+//     re-solve the window exactly with the existing branch-and-bound as
+//     an ordering oracle, splice the improved order back into a global
+//     priority vector, and re-list-schedule the whole trace.
+//
+// Rounds are barrier-synchronized: within a round every worker starts
+// from the same incumbent and owns its RNG and evaluator outright, so
+// results are independent of goroutine interleaving; the merge picks
+// the best worker deterministically (lowest makespan, ties to the
+// lowest worker index). Same instance + same PortfolioOptions (seed,
+// rounds, budgets) therefore yields the same schedule bit for bit —
+// the property CI pins via Schedule.Hash. The optional TimeBudget is
+// the one escape hatch and is checked only at round barriers; setting
+// it trades that determinism for a wall-clock cap.
+
+// PortfolioOptions configures Portfolio. Zero values select defaults.
+type PortfolioOptions struct {
+	// TabuWorkers is the number of parallel diversified tabu searches
+	// per round (default 3).
+	TabuWorkers int
+	// LNSWorkers is the number of parallel window re-solvers per round
+	// (default 2).
+	LNSWorkers int
+	// Rounds is the number of barrier-synchronized improvement rounds
+	// (default 6). The budget knob: determinism holds for a fixed value.
+	Rounds int
+	// TabuIters is the tabu iteration count per worker per round
+	// (default 120).
+	TabuIters int
+	// Neighborhood and Tenure are passed to the tabu core (defaults 12
+	// and 8, applied there).
+	Neighborhood int
+	Tenure       int
+	// Window is the LNS window size in tasks (default 40).
+	Window int
+	// BnBNodes is the branch-and-bound node budget per window re-solve
+	// (default 200k). Exhaustion is benign: the oracle then returns the
+	// heuristic order and the round simply does not improve.
+	BnBNodes int64
+	// Seed is the root seed; every (round, worker) RNG derives from it.
+	Seed int64
+	// TimeBudget, when positive, stops the portfolio at the first round
+	// barrier past the budget. It does NOT abort a round in flight, and
+	// it breaks run-to-run determinism (a slow machine runs fewer
+	// rounds); leave it zero when reproducibility matters.
+	TimeBudget time.Duration
+	// Progress receives the incumbent trajectory: the initial
+	// incumbent, every accepted improvement (Iteration = round), a
+	// heartbeat per round, and a final ProgressDone.
+	Progress ProgressFunc
+}
+
+func (o PortfolioOptions) withDefaults() PortfolioOptions {
+	if o.TabuWorkers <= 0 {
+		o.TabuWorkers = 3
+	}
+	if o.LNSWorkers < 0 {
+		o.LNSWorkers = 0
+	} else if o.LNSWorkers == 0 {
+		o.LNSWorkers = 2
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 6
+	}
+	if o.TabuIters <= 0 {
+		o.TabuIters = 120
+	}
+	if o.Window <= 0 {
+		o.Window = 40
+	}
+	if o.BnBNodes <= 0 {
+		o.BnBNodes = 200_000
+	}
+	return o
+}
+
+// PortfolioResult is the outcome of Portfolio.
+type PortfolioResult struct {
+	Schedule Schedule
+	// Prio is the priority vector whose list schedule is Schedule
+	// (useful for warm-starting further search).
+	Prio []int
+	// Improvements counts accepted incumbent improvements.
+	Improvements int
+	// TabuWins / LNSWins attribute the improvements to the worker kind.
+	TabuWins, LNSWins int
+	// RoundsRun is the number of rounds actually executed (fewer than
+	// requested if the lower bound was hit or the TimeBudget expired).
+	RoundsRun int
+	// LowerBound is the proven makespan lower bound of the instance.
+	LowerBound int
+	// Optimal is true when the schedule matches the lower bound.
+	Optimal bool
+}
+
+// Hash returns a stable FNV-1a fingerprint of the schedule (makespan
+// plus every start time). Used by CI to pin portfolio determinism.
+func (s Schedule) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(uint64(int64(s.Makespan)))
+	for _, st := range s.Start {
+		mix(uint64(int64(st)))
+	}
+	return h
+}
+
+// workerSeed derives the RNG seed of one (round, worker) cell from the
+// root seed via a splitmix64 step, so diversification does not depend
+// on worker count or round order.
+func workerSeed(seed int64, round, worker int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(uint32(round)*1024+uint32(worker)+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Portfolio runs the portfolio solver on inst. See the package comment
+// above for the algorithm and the determinism contract.
+func Portfolio(inst *Instance, opts PortfolioOptions) (PortfolioResult, error) {
+	o := opts.withDefaults()
+	fn := o.Progress
+	lb, err := LowerBound(inst)
+	if err != nil {
+		return PortfolioResult{}, err
+	}
+	base, err := CriticalPathPriorities(inst)
+	if err != nil {
+		return PortfolioResult{}, err
+	}
+	n := len(inst.Tasks)
+	if n == 0 {
+		s, err := SolveList(inst)
+		if err != nil {
+			return PortfolioResult{}, err
+		}
+		fn.emit(Progress{Kind: ProgressDone, Makespan: s.Makespan, Bound: lb, Optimal: true})
+		return PortfolioResult{Schedule: s, Prio: base, LowerBound: lb, Optimal: true}, nil
+	}
+
+	evMain, err := newEvaluator(inst)
+	if err != nil {
+		return PortfolioResult{}, err
+	}
+	// Stretch the critical-path priorities by prioScale so the local
+	// search has sub-class resolution; the list schedule is unchanged
+	// (scaling preserves the priority order).
+	incPrio := make([]int, n)
+	for i, p := range base {
+		incPrio[i] = p * prioScale
+	}
+	inc, err := evMain.scheduleCopy(incPrio)
+	if err != nil {
+		return PortfolioResult{}, err
+	}
+	fn.emit(Progress{Kind: ProgressIncumbent, Makespan: inc.Makespan, Bound: lb})
+
+	nw := o.TabuWorkers + o.LNSWorkers
+	evs := make([]*evaluator, nw)
+	for i := range evs {
+		if evs[i], err = newEvaluator(inst); err != nil {
+			return PortfolioResult{}, err
+		}
+	}
+
+	var deadline time.Time
+	if o.TimeBudget > 0 {
+		deadline = time.Now().Add(o.TimeBudget)
+	}
+
+	res := PortfolioResult{LowerBound: lb}
+	type outcome struct {
+		prio  []int
+		sched Schedule
+		ok    bool
+		err   error
+	}
+	for r := 0; r < o.Rounds; r++ {
+		if inc.Makespan <= lb {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		res.RoundsRun++
+		out := make([]outcome, nw)
+		var wg sync.WaitGroup
+		for wi := 0; wi < nw; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(workerSeed(o.Seed, r, wi)))
+				if wi < o.TabuWorkers {
+					prio, sched, err := tabuWorker(evs[wi], incPrio, rng, wi, o)
+					out[wi] = outcome{prio, sched, err == nil, err}
+				} else {
+					prio, sched, ok, err := lnsWorker(evs[wi], inst, inc, incPrio, rng, o)
+					out[wi] = outcome{prio, sched, ok && err == nil, err}
+				}
+			}(wi)
+		}
+		wg.Wait()
+		// Deterministic merge: best makespan, ties to the lowest index.
+		bestIdx := -1
+		for i, oc := range out {
+			if oc.err != nil {
+				return PortfolioResult{}, fmt.Errorf("jobshop: portfolio worker %d round %d: %w", i, r, oc.err)
+			}
+			if !oc.ok {
+				continue
+			}
+			if oc.sched.Makespan < inc.Makespan &&
+				(bestIdx == -1 || oc.sched.Makespan < out[bestIdx].sched.Makespan) {
+				bestIdx = i
+			}
+		}
+		if bestIdx >= 0 {
+			inc = out[bestIdx].sched
+			incPrio = out[bestIdx].prio
+			res.Improvements++
+			if bestIdx < o.TabuWorkers {
+				res.TabuWins++
+			} else {
+				res.LNSWins++
+			}
+			fn.emit(Progress{Kind: ProgressIncumbent, Makespan: inc.Makespan, Bound: lb, Iteration: r + 1})
+		}
+		fn.emit(Progress{Kind: ProgressIteration, Makespan: inc.Makespan, Bound: lb, Iteration: r + 1})
+	}
+	res.Schedule = inc
+	res.Prio = incPrio
+	res.Optimal = inc.Makespan <= lb
+	fn.emit(Progress{Kind: ProgressDone, Makespan: inc.Makespan, Bound: lb, Iteration: res.RoundsRun, Optimal: res.Optimal})
+	return res, nil
+}
+
+// prioScale stretches the base priority scale so that small tabu
+// deltas and diversification jitters reorder near-ties instead of
+// jumping whole priority classes.
+const prioScale = 4
+
+// tabuWorker runs one diversified tabu restart from the incumbent
+// priority vector. Worker 0 intensifies (starts exactly at the
+// incumbent); higher indices first pick the best of a few jittered
+// re-constructions of the incumbent (a GRASP step — jitter growing
+// with the worker index), so restarts explore different basins.
+func tabuWorker(ev *evaluator, incPrio []int, rng *rand.Rand, wi int, o PortfolioOptions) ([]int, Schedule, error) {
+	cur := append([]int(nil), incPrio...)
+	if wi > 0 {
+		const grasps = 4
+		jit := 2 * wi
+		cand := make([]int, len(incPrio))
+		bestSpan := int(^uint(0) >> 1)
+		for g := 0; g < grasps; g++ {
+			for i := range cand {
+				cand[i] = incPrio[i] + rng.Intn(2*jit+1) - jit
+			}
+			_, span, err := ev.run(cand)
+			if err != nil {
+				return nil, Schedule{}, err
+			}
+			if span < bestSpan {
+				bestSpan = span
+				copy(cur, cand)
+			}
+		}
+	}
+	return tabuSearch(ev, cur, rng, o.TabuIters, o.Neighborhood, o.Tenure, nil)
+}
+
+// lnsWorker carves a window of consecutive tasks (in incumbent start
+// order) out of the schedule, re-solves the window exactly with the
+// branch-and-bound as an ordering oracle (frozen outside-window
+// predecessors become release dates; successor deadlines are dropped —
+// soundness comes from re-evaluating globally, not from the window
+// model), splices the oracle's order back into the incumbent priority
+// vector, and list-schedules the whole instance. The splice permutes
+// only the window tasks' own priority values (largest value to the
+// task the oracle starts first): everything the local search has
+// learned about the rest of the trace stays intact. The repaired
+// schedule competes at the merge like any other: acceptance is by
+// actual global makespan, so an unhelpful window (ok=false or no
+// improvement) is simply discarded.
+func lnsWorker(ev *evaluator, inst *Instance, inc Schedule, incPrio []int, rng *rand.Rand, o PortfolioOptions) ([]int, Schedule, bool, error) {
+	n := len(inst.Tasks)
+	w := o.Window
+	if w > n {
+		w = n
+	}
+	if w < 2 {
+		return nil, Schedule{}, false, nil
+	}
+	// Tasks in incumbent start order (ties by id): the sequence the
+	// window is cut from and the backbone of the rebuilt priorities.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if inc.Start[order[a]] != inc.Start[order[b]] {
+			return inc.Start[order[a]] < inc.Start[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	ws := 0
+	if n > w {
+		ws = rng.Intn(n - w + 1)
+	}
+	window := order[ws : ws+w]
+	loc := make([]int, n)
+	for i := range loc {
+		loc[i] = -1
+	}
+	for li, id := range window {
+		loc[id] = li
+	}
+	// Sub-instance in window-relative time: frozen outside-window
+	// predecessors turn into release dates, internal precedences carry
+	// over, everything else (machines, durs, tails) is unchanged.
+	basetime := inc.Start[window[0]]
+	sub := Instance{Machines: inst.Machines, Tasks: make([]Task, w)}
+	for li, id := range window {
+		t := inst.Tasks[id]
+		rel := t.Release - basetime
+		if rel < 0 {
+			rel = 0
+		}
+		sub.Tasks[li] = Task{Machine: t.Machine, Dur: t.Dur, Tail: t.Tail, Release: rel}
+	}
+	for _, p := range inst.Precs {
+		lb, la := loc[p.Before], loc[p.After]
+		switch {
+		case lb >= 0 && la >= 0:
+			sub.Precs = append(sub.Precs, Prec{Before: lb, After: la, Lag: p.Lag})
+		case lb < 0 && la >= 0:
+			if rel := inc.Start[p.Before] + p.Lag - basetime; rel > sub.Tasks[la].Release {
+				sub.Tasks[la].Release = rel
+			}
+		}
+	}
+	oracle, err := BranchAndBound(&sub, o.BnBNodes)
+	if err != nil {
+		return nil, Schedule{}, false, err
+	}
+	// Window order by oracle start (ties by local index), spliced back
+	// into the global sequence at the window's positions.
+	perm := make([]int, w)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		if oracle.Schedule.Start[perm[a]] != oracle.Schedule.Start[perm[b]] {
+			return oracle.Schedule.Start[perm[a]] < oracle.Schedule.Start[perm[b]]
+		}
+		return perm[a] < perm[b]
+	})
+	// Permute the window tasks' existing priority values: the task the
+	// oracle starts first receives the largest of the values the window
+	// currently holds, and so on. Non-window priorities are untouched.
+	prio := append([]int(nil), incPrio...)
+	vals := make([]int, w)
+	for k, id := range window {
+		vals[k] = incPrio[id]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(vals)))
+	for k, p := range perm {
+		prio[window[p]] = vals[k]
+	}
+	sched, err := ev.scheduleCopy(prio)
+	if err != nil {
+		return nil, Schedule{}, false, err
+	}
+	return prio, sched, true, nil
+}

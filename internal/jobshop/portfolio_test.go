@@ -1,0 +1,262 @@
+package jobshop
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// testPortfolioOpts is a small, fast configuration exercising both
+// worker kinds across a few rounds.
+func testPortfolioOpts(seed int64) PortfolioOptions {
+	return PortfolioOptions{
+		TabuWorkers: 2,
+		LNSWorkers:  2,
+		Rounds:      3,
+		TabuIters:   40,
+		Window:      12,
+		BnBNodes:    5_000,
+		Seed:        seed,
+	}
+}
+
+// TestPortfolioDeterministic pins the determinism contract: same
+// instance + same options (seed, rounds, budgets; no TimeBudget) must
+// yield the same schedule bit for bit, regardless of goroutine
+// interleaving. This is the property CI's sched-smoke re-checks on the
+// real trace via Schedule.Hash.
+func TestPortfolioDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		inst := randomLagInstance(rng, 80+trial*20, 2)
+		opts := testPortfolioOpts(int64(100 + trial))
+		a, err := Portfolio(inst, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Portfolio(inst, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Schedule.Hash() != b.Schedule.Hash() {
+			t.Fatalf("trial %d: hashes differ: %016x vs %016x", trial, a.Schedule.Hash(), b.Schedule.Hash())
+		}
+		if a.Schedule.Makespan != b.Schedule.Makespan {
+			t.Fatalf("trial %d: makespans differ: %d vs %d", trial, a.Schedule.Makespan, b.Schedule.Makespan)
+		}
+		for i := range a.Schedule.Start {
+			if a.Schedule.Start[i] != b.Schedule.Start[i] {
+				t.Fatalf("trial %d: task %d start %d vs %d", trial, i, a.Schedule.Start[i], b.Schedule.Start[i])
+			}
+		}
+		if a.Improvements != b.Improvements || a.TabuWins != b.TabuWins || a.LNSWins != b.LNSWins {
+			t.Fatalf("trial %d: provenance differs: %+v vs %+v", trial, a, b)
+		}
+	}
+}
+
+// TestPortfolioValidAndNotWorse checks that every portfolio schedule
+// satisfies the instance (precedences, machine capacity) and never
+// regresses the list-scheduling incumbent it starts from.
+func TestPortfolioValidAndNotWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 6; trial++ {
+		inst := randomLagInstance(rng, 60+trial*30, 2)
+		list, err := SolveList(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Portfolio(inst, testPortfolioOpts(int64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(inst, res.Schedule); err != nil {
+			t.Fatalf("trial %d: invalid schedule: %v", trial, err)
+		}
+		if res.Schedule.Makespan > list.Makespan {
+			t.Fatalf("trial %d: portfolio %d worse than list %d", trial, res.Schedule.Makespan, list.Makespan)
+		}
+		if res.Schedule.Makespan < res.LowerBound {
+			t.Fatalf("trial %d: makespan %d below lower bound %d", trial, res.Schedule.Makespan, res.LowerBound)
+		}
+		if res.Optimal != (res.Schedule.Makespan == res.LowerBound) {
+			t.Fatalf("trial %d: optimal flag %v inconsistent (makespan %d, lb %d)",
+				trial, res.Optimal, res.Schedule.Makespan, res.LowerBound)
+		}
+	}
+}
+
+// TestPortfolioLNSOnlySchedulesValid pushes all the weight onto the LNS
+// workers (one token tabu intensifier, several window re-solvers) so
+// the splice path — carve window, exact re-solve, priority-value
+// permutation, global re-evaluation — is exercised and its accepted
+// schedules are validated against the original instance.
+func TestPortfolioLNSOnlySchedulesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 4; trial++ {
+		inst := randomLagInstance(rng, 90, 2)
+		res, err := Portfolio(inst, PortfolioOptions{
+			TabuWorkers: 1,
+			LNSWorkers:  4,
+			Rounds:      4,
+			TabuIters:   1,
+			Window:      15,
+			BnBNodes:    20_000,
+			Seed:        int64(trial),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(inst, res.Schedule); err != nil {
+			t.Fatalf("trial %d: invalid schedule: %v", trial, err)
+		}
+	}
+}
+
+// TestPortfolioEmptyInstance covers the n==0 fast path.
+func TestPortfolioEmptyInstance(t *testing.T) {
+	res, err := Portfolio(&Instance{Machines: 2}, testPortfolioOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Makespan != 0 || !res.Optimal {
+		t.Fatalf("empty instance: %+v", res)
+	}
+}
+
+// TestPortfolioStopsAtLowerBound: an instance the list heuristic
+// already solves optimally must come back Optimal with zero rounds
+// spent searching.
+func TestPortfolioStopsAtLowerBound(t *testing.T) {
+	// A pure chain: list scheduling is trivially optimal.
+	inst := &Instance{Machines: 1}
+	for i := 0; i < 6; i++ {
+		inst.Tasks = append(inst.Tasks, Task{Machine: 0, Tail: 1})
+		if i > 0 {
+			inst.Precs = append(inst.Precs, Prec{Before: i - 1, After: i, Lag: 1})
+		}
+	}
+	res, err := Portfolio(inst, testPortfolioOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatalf("chain not optimal: %+v", res)
+	}
+	if res.RoundsRun != 0 {
+		t.Fatalf("spent %d rounds on an already-optimal incumbent", res.RoundsRun)
+	}
+}
+
+// TestPortfolioProgressEvents checks the observer trajectory: an
+// initial incumbent, monotonically improving incumbents, a heartbeat
+// per round, and a final Done carrying the result.
+func TestPortfolioProgressEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	inst := randomLagInstance(rng, 100, 2)
+	var events []Progress
+	opts := testPortfolioOpts(7)
+	opts.Progress = func(p Progress) { events = append(events, p) }
+	res, err := Portfolio(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	if events[0].Kind != ProgressIncumbent {
+		t.Fatalf("first event %+v, want initial incumbent", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Kind != ProgressDone || last.Makespan != res.Schedule.Makespan {
+		t.Fatalf("last event %+v, want Done with makespan %d", last, res.Schedule.Makespan)
+	}
+	prev := -1
+	incumbents := 0
+	for _, e := range events {
+		if e.Kind != ProgressIncumbent {
+			continue
+		}
+		incumbents++
+		if prev >= 0 && e.Makespan >= prev {
+			t.Fatalf("incumbent not improving: %d after %d", e.Makespan, prev)
+		}
+		prev = e.Makespan
+	}
+	if incumbents != 1+res.Improvements {
+		t.Fatalf("%d incumbent events, want initial + %d improvements", incumbents, res.Improvements)
+	}
+}
+
+// TestWorkerSeedDecorrelated: the per-(round, worker) seeds must be
+// pairwise distinct over a realistic grid — identical seeds would make
+// "diversified" restarts search the same trajectory.
+func TestWorkerSeedDecorrelated(t *testing.T) {
+	seen := map[int64][2]int{}
+	for r := 0; r < 32; r++ {
+		for w := 0; w < 16; w++ {
+			s := workerSeed(42, r, w)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%d,%d) and (%d,%d) -> %d", prev[0], prev[1], r, w, s)
+			}
+			seen[s] = [2]int{r, w}
+		}
+	}
+}
+
+// TestScheduleHashDiscriminates: the CI fingerprint must move when the
+// schedule moves.
+func TestScheduleHashDiscriminates(t *testing.T) {
+	a := Schedule{Start: []int{0, 1, 2}, Makespan: 3}
+	b := Schedule{Start: []int{0, 2, 1}, Makespan: 3}
+	c := Schedule{Start: []int{0, 1, 2}, Makespan: 4}
+	if a.Hash() == b.Hash() || a.Hash() == c.Hash() {
+		t.Fatalf("hash collisions: %016x %016x %016x", a.Hash(), b.Hash(), c.Hash())
+	}
+	if a.Hash() != (Schedule{Start: []int{0, 1, 2}, Makespan: 3}).Hash() {
+		t.Fatal("hash not stable")
+	}
+}
+
+// TestTabuConcurrentSolvesRaceFree is the concurrency audit promised in
+// the Tabu doc comment: many simultaneous solves over ONE shared
+// Instance, each with its own seed, must be race-free (the -race CI lane
+// runs this package) and bit-identical to a sequential solve with the
+// same seed — i.e. all mutable solver state really is per-call.
+func TestTabuConcurrentSolvesRaceFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	inst := randomLagInstance(rng, 120, 2)
+	const workers = 8
+	want := make([]Schedule, workers)
+	for i := range want {
+		s, err := Tabu(inst, int64(i), 60, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = s
+	}
+	got := make([]Schedule, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = Tabu(inst, int64(i), 60, 0, 0)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got[i].Makespan != want[i].Makespan {
+			t.Fatalf("worker %d: concurrent makespan %d != sequential %d", i, got[i].Makespan, want[i].Makespan)
+		}
+		for j := range want[i].Start {
+			if got[i].Start[j] != want[i].Start[j] {
+				t.Fatalf("worker %d: task %d start %d != %d", i, j, got[i].Start[j], want[i].Start[j])
+			}
+		}
+	}
+}

@@ -10,6 +10,14 @@ import (
 // when stuck), and marks the moved task tabu for a fixed tenure. An
 // aspiration rule overrides the tabu when a move beats the incumbent.
 // Deterministic for a fixed seed.
+//
+// Concurrency audit (the portfolio runs many of these in parallel on
+// one Instance): every piece of mutable state — the *rand.Rand, the
+// current/best priority vectors, the tabu tenure table, and the list
+// scheduling evaluator with its scratch buffers — is created per call
+// and never escapes; the shared *Instance is only ever read. Concurrent
+// Tabu/TabuObserved calls on one instance are therefore race-free,
+// which TestTabuConcurrentSolvesRaceFree pins under -race.
 func Tabu(inst *Instance, seed int64, iters, neighborhood, tenure int) (Schedule, error) {
 	return TabuObserved(inst, seed, iters, neighborhood, tenure, nil)
 }
@@ -23,71 +31,110 @@ const tabuHeartbeat = 100
 // iteration it occurred at, periodic iteration heartbeats, and a final
 // ProgressDone.
 func TabuObserved(inst *Instance, seed int64, iters, neighborhood, tenure int, fn ProgressFunc) (Schedule, error) {
+	base, err := CriticalPathPriorities(inst)
+	if err != nil {
+		return Schedule{}, err
+	}
+	if len(inst.Tasks) == 0 {
+		return SolveList(inst)
+	}
+	ev, err := newEvaluator(inst)
+	if err != nil {
+		return Schedule{}, err
+	}
+	// Local RNG: never the shared global source, so concurrent solves
+	// stay deterministic per seed and race-free.
+	rng := rand.New(rand.NewSource(seed))
+	cur := append([]int(nil), base...)
+	_, best, err := tabuSearch(ev, cur, rng, iters, neighborhood, tenure, fn)
+	if err != nil {
+		return Schedule{}, err
+	}
+	fn.emit(Progress{Kind: ProgressDone, Makespan: best.Makespan, Iteration: iters})
+	return best, nil
+}
+
+// tabuSearch is the core loop shared by TabuObserved and the portfolio
+// tabu workers. It refines cur in place using the caller's evaluator
+// and RNG (both owned exclusively by this call) and returns the best
+// priority vector found together with its schedule. fn (when non-nil)
+// receives the initial incumbent, improvements, and heartbeats; the
+// final ProgressDone is the caller's to emit.
+func tabuSearch(ev *evaluator, cur []int, rng *rand.Rand, iters, neighborhood, tenure int, fn ProgressFunc) ([]int, Schedule, error) {
 	if neighborhood <= 0 {
 		neighborhood = 12
 	}
 	if tenure <= 0 {
 		tenure = 8
 	}
-	base, err := CriticalPathPriorities(inst)
+	n := ev.n
+	best, err := ev.scheduleCopy(cur)
 	if err != nil {
-		return Schedule{}, err
+		return nil, Schedule{}, err
 	}
-	n := len(inst.Tasks)
-	if n == 0 {
-		return SolveList(inst)
-	}
-	cur := append([]int(nil), base...)
-	best, err := ListSchedule(inst, cur)
-	if err != nil {
-		return Schedule{}, err
-	}
-	curSpan := best.Makespan
+	bestPrio := append([]int(nil), cur...)
 	fn.emit(Progress{Kind: ProgressIncumbent, Makespan: best.Makespan})
 	tabuUntil := make([]int, n)
-	rng := rand.New(rand.NewSource(seed))
-	span := len(base) + 1
 
 	for it := 0; it < iters; it++ {
 		if it > 0 && it%tabuHeartbeat == 0 {
 			fn.emit(Progress{Kind: ProgressIteration, Makespan: best.Makespan, Iteration: it})
 		}
-		type move struct {
-			task, delta, makespan int
-			sched                 Schedule
-		}
+		type move struct{ task, delta, makespan int }
 		bestMove := move{task: -1}
 		for j := 0; j < neighborhood; j++ {
 			task := rng.Intn(n)
-			delta := rng.Intn(2*span+1) - span
-			if delta == 0 {
-				delta = 1
+			// Mostly fine-grained nudges (a few ranks), with an
+			// occasional large kick to escape basins: on full traces
+			// small deltas dominate the yield per evaluation — a random
+			// ±n jump almost always wrecks the schedule.
+			width := tabuMoveSpan
+			if rng.Intn(8) == 0 {
+				width = tabuKickSpan
 			}
-			cand := append([]int(nil), cur...)
-			cand[task] += delta
-			s, err := ListSchedule(inst, cand)
+			delta := 1 + rng.Intn(width)
+			if rng.Intn(2) == 0 {
+				delta = -delta
+			}
+			// Evaluate the single-task perturbation in place (the
+			// evaluator never retains prio) and revert.
+			cur[task] += delta
+			_, makespan, err := ev.run(cur)
+			cur[task] -= delta
 			if err != nil {
-				return Schedule{}, err
+				return nil, Schedule{}, err
 			}
-			aspires := s.Makespan < best.Makespan
+			aspires := makespan < best.Makespan
 			if tabuUntil[task] > it && !aspires {
 				continue
 			}
-			if bestMove.task == -1 || s.Makespan < bestMove.makespan {
-				bestMove = move{task, delta, s.Makespan, s}
+			if bestMove.task == -1 || makespan < bestMove.makespan {
+				bestMove = move{task, delta, makespan}
 			}
 		}
 		if bestMove.task == -1 {
 			continue // whole neighborhood tabu; retry with fresh samples
 		}
 		cur[bestMove.task] += bestMove.delta
-		curSpan = bestMove.makespan
 		tabuUntil[bestMove.task] = it + tenure
-		if curSpan < best.Makespan {
-			best = bestMove.sched
+		if bestMove.makespan < best.Makespan {
+			// Re-evaluate the accepted move to materialize its schedule
+			// (the neighborhood scan only kept makespans).
+			starts, got, err := ev.run(cur)
+			if err != nil {
+				return nil, Schedule{}, err
+			}
+			best = Schedule{Start: append([]int(nil), starts...), Makespan: got}
+			copy(bestPrio, cur)
 			fn.emit(Progress{Kind: ProgressIncumbent, Makespan: best.Makespan, Iteration: it})
 		}
 	}
-	fn.emit(Progress{Kind: ProgressDone, Makespan: best.Makespan, Iteration: iters})
-	return best, nil
+	return bestPrio, best, nil
 }
+
+const (
+	// tabuMoveSpan bounds the usual priority nudge of a tabu move;
+	// tabuKickSpan the occasional (1 in 8) basin-escaping kick.
+	tabuMoveSpan = 16
+	tabuKickSpan = 256
+)

@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"repro/internal/jobshop"
+	"repro/internal/telemetry"
+)
+
+// MetricsProgress bridges solver progress events onto a telemetry
+// registry, exposing the search trajectory on /metrics:
+//
+//	sched.best_makespan       gauge    current incumbent makespan
+//	sched.solver_improvements counter  accepted incumbent improvements
+//
+// Only strict improvements bump the counter — the initial incumbent a
+// solver announces when it starts sets the gauge but does not count.
+// A ProgressDone resets the improvement tracking so the next solve on
+// the same registry (a processor schedules the functional and the
+// endomorphism traces back to back) starts a fresh trajectory while the
+// counter keeps accumulating across solves, as counters must.
+//
+// next, when non-nil, receives every event after the metrics update, so
+// the bridge composes with an existing observer. The returned function
+// is not safe for concurrent use; solvers call Progress synchronously
+// from one goroutine, which is the contract Options.Progress documents.
+func MetricsProgress(reg *telemetry.Registry, next jobshop.ProgressFunc) jobshop.ProgressFunc {
+	best := reg.Gauge("sched.best_makespan")
+	improvements := reg.Counter("sched.solver_improvements")
+	last := -1
+	return func(p jobshop.Progress) {
+		switch p.Kind {
+		case jobshop.ProgressIncumbent:
+			best.Set(float64(p.Makespan))
+			if last >= 0 && p.Makespan < last {
+				improvements.Inc()
+			}
+			if last < 0 || p.Makespan < last {
+				last = p.Makespan
+			}
+		case jobshop.ProgressDone:
+			best.Set(float64(p.Makespan))
+			last = -1
+		}
+		if next != nil {
+			next(p)
+		}
+	}
+}

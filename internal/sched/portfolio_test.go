@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/jobshop"
+	"repro/internal/rtl"
+	"repro/internal/telemetry"
+)
+
+// smallPortfolio is a fast configuration for block-sized test graphs.
+func smallPortfolio() Options {
+	return Options{
+		Method: MethodPortfolio,
+		Seed:   99,
+		Portfolio: PortfolioKnobs{
+			TabuWorkers: 2,
+			LNSWorkers:  1,
+			Rounds:      2,
+			TabuIters:   50,
+			Window:      12,
+			BnBNodes:    10_000,
+		},
+	}
+}
+
+// TestSchedulePortfolioDeterministicAndCompiles is the end-to-end
+// property check on the portfolio path: the emitted program must clear
+// the RTL hazard prover (rtl.Compile re-derives and re-verifies every
+// forwarding and port decision independently of the scheduler), the
+// schedule must never regress the list incumbent, and two runs with
+// identical options must produce the same ScheduleHash — the contract
+// make sched-smoke pins on the full trace.
+func TestSchedulePortfolioDeterministicAndCompiles(t *testing.T) {
+	g := dblAddGraph(t, 6)
+	res := DefaultResources()
+	list, err := Schedule(g, res, Options{Method: MethodList})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Schedule(g, res, smallPortfolio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(g, res, smallPortfolio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ScheduleHash != b.ScheduleHash {
+		t.Fatalf("portfolio not deterministic: %016x vs %016x", a.ScheduleHash, b.ScheduleHash)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("portfolio makespans differ: %d vs %d", a.Makespan, b.Makespan)
+	}
+	if a.Makespan > list.Makespan {
+		t.Fatalf("portfolio (%d) worse than list (%d)", a.Makespan, list.Makespan)
+	}
+	for _, r := range []*Result{list, a} {
+		cp, err := rtl.Compile(r.Program)
+		if err != nil {
+			t.Fatalf("%s program failed hazard compilation: %v", r.Solver, err)
+		}
+		if st := cp.Stats(); st.Cycles != r.Makespan {
+			t.Fatalf("%s: compiled cycles %d != makespan %d", r.Solver, st.Cycles, r.Makespan)
+		}
+	}
+	if a.Solver != "portfolio" || list.Solver != "list" {
+		t.Fatalf("solver provenance: %q / %q", a.Solver, list.Solver)
+	}
+}
+
+// TestMetricsProgress exercises the telemetry bridge: the gauge tracks
+// the incumbent, only strict improvements bump the counter, Done resets
+// the trajectory for the next solve, and the chained observer still
+// sees every event.
+func TestMetricsProgress(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var seen []jobshop.Progress
+	fn := MetricsProgress(reg, func(p jobshop.Progress) { seen = append(seen, p) })
+
+	events := []jobshop.Progress{
+		{Kind: jobshop.ProgressIncumbent, Makespan: 100}, // initial: no improvement
+		{Kind: jobshop.ProgressIteration, Makespan: 100},
+		{Kind: jobshop.ProgressIncumbent, Makespan: 90}, // improvement 1
+		{Kind: jobshop.ProgressIncumbent, Makespan: 85}, // improvement 2
+		{Kind: jobshop.ProgressDone, Makespan: 85},      // reset
+		{Kind: jobshop.ProgressIncumbent, Makespan: 40}, // next solve's initial
+		{Kind: jobshop.ProgressIncumbent, Makespan: 38}, // improvement 3
+		{Kind: jobshop.ProgressDone, Makespan: 38},
+	}
+	for _, e := range events {
+		fn(e)
+	}
+	if got := reg.Gauge("sched.best_makespan").Value(); got != 38 {
+		t.Fatalf("best_makespan gauge = %v, want 38", got)
+	}
+	if got := reg.Counter("sched.solver_improvements").Value(); got != 3 {
+		t.Fatalf("solver_improvements = %d, want 3", got)
+	}
+	if len(seen) != len(events) {
+		t.Fatalf("chained observer saw %d of %d events", len(seen), len(events))
+	}
+}
+
+// TestMetricsProgressOnRealSolve wires the bridge into an actual
+// portfolio solve and checks the final gauge equals the result.
+func TestMetricsProgressOnRealSolve(t *testing.T) {
+	g := dblAddGraph(t, 7)
+	reg := telemetry.NewRegistry()
+	opts := smallPortfolio()
+	opts.Progress = MetricsProgress(reg, nil)
+	r, err := Schedule(g, DefaultResources(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("sched.best_makespan").Value(); got != float64(r.Makespan) {
+		t.Fatalf("gauge %v != makespan %d", got, r.Makespan)
+	}
+	if got := reg.Counter("sched.solver_improvements").Value(); got != int64(r.Improvements) {
+		t.Fatalf("counter %d != improvements %d", got, r.Improvements)
+	}
+}

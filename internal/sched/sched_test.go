@@ -100,8 +100,9 @@ func TestScheduleMethodsOnDblAdd(t *testing.T) {
 func TestScheduleProgramsValidate(t *testing.T) {
 	g := dblAddGraph(t, 3)
 	res := DefaultResources()
-	for _, m := range []Method{MethodList, MethodBnB, MethodAnneal, MethodBlocked} {
-		r, err := Schedule(g, res, Options{Method: m, BnBBudget: 500_000, AnnealIters: 200})
+	for _, m := range []Method{MethodList, MethodBnB, MethodAnneal, MethodBlocked, MethodPortfolio} {
+		r, err := Schedule(g, res, Options{Method: m, BnBBudget: 500_000, AnnealIters: 200,
+			Portfolio: PortfolioKnobs{Rounds: 2, TabuIters: 40, BnBNodes: 10_000}})
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -113,6 +114,12 @@ func TestScheduleProgramsValidate(t *testing.T) {
 		}
 		if _, err := r.Program.ROMImage(); err != nil {
 			t.Fatalf("%v: ROM emission: %v", m, err)
+		}
+		if r.Solver != m.String() {
+			t.Fatalf("%v: solver provenance %q", m, r.Solver)
+		}
+		if r.ScheduleHash == 0 {
+			t.Fatalf("%v: no schedule hash", m)
 		}
 	}
 }

@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
 
@@ -338,6 +339,14 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.FlightRecorder == nil {
 		opts.FlightRecorder = telemetry.NewFlightRecorder(0)
+	}
+	// The processor build reports solver progress through the server's
+	// registry (sched.best_makespan / sched.solver_improvements on
+	// /metrics) unless the caller installed its own observer. A cache
+	// hit in CachedProcessor skips the build and emits nothing — the
+	// gauges then describe whichever build populated the cache.
+	if opts.Config.Sched.Progress == nil {
+		opts.Config.Sched.Progress = sched.MetricsProgress(opts.Registry, nil)
 	}
 	proc, err := engine.CachedProcessor(opts.Config)
 	if err != nil {

@@ -125,7 +125,19 @@ type throughputExp struct {
 		Speedup  float64 `json:"speedup"`
 		OracleOK bool    `json:"oracle_ok"`
 	} `json:"points"`
-	VerifiedAll bool `json:"verified_all"`
+	VerifiedAll    bool   `json:"verified_all"`
+	ScheduleCycles int    `json:"schedule_cycles"`
+	Solver         string `json:"solver"`
+}
+
+// schedExp mirrors the -exp sched report entry (scheduler head-to-head).
+type schedExp struct {
+	TraceOps      int             `json:"trace_ops"`
+	LowerBound    int             `json:"lower_bound"`
+	Single        *schedSolverRow `json:"single"`
+	Portfolio     *schedSolverRow `json:"portfolio"`
+	ScheduleHash  string          `json:"schedule_hash"`
+	Deterministic bool            `json:"deterministic"`
 }
 
 func check(data []byte) error {
@@ -189,7 +201,13 @@ func check(data []byte) error {
 			return err
 		}
 	}
-	if st == nil && !hasThroughput && !hasFaults && !hasBatch && !hasServe && !hasChaos {
+	sc, hasSched := r.Experiments["sched"]
+	if hasSched {
+		if err := checkSched(sc); err != nil {
+			return err
+		}
+	}
+	if st == nil && !hasThroughput && !hasFaults && !hasBatch && !hasServe && !hasChaos && !hasSched {
 		return fmt.Errorf("no experiment carries rtl_stats (run -exp latency or -exp profile)")
 	}
 	if st != nil {
@@ -229,6 +247,12 @@ func checkThroughput(raw json.RawMessage) error {
 	}
 	if !tp.VerifiedAll {
 		return fmt.Errorf("throughput: verified_all = false")
+	}
+	if tp.ScheduleCycles <= 0 {
+		return fmt.Errorf("throughput: schedule_cycles = %d, want > 0 (what schedule did the SMs run?)", tp.ScheduleCycles)
+	}
+	if tp.Solver == "" {
+		return fmt.Errorf("throughput: solver missing (scheduling provenance is part of the result)")
 	}
 	for i, p := range tp.Points {
 		if p.Workers < 1 {
@@ -374,6 +398,77 @@ func checkServe(raw json.RawMessage) error {
 	return nil
 }
 
+// checkSched validates the scheduler head-to-head experiment: both
+// solver rows must be present with RTL-proven utilization evidence, the
+// portfolio must not be worse than the single-pass list schedule it
+// races (a "portfolio" that loses to its own warm start is a bug, not a
+// result), the makespans must respect the machine-load lower bound, and
+// the determinism cross-check must have passed — a schedule whose hash
+// cannot be reproduced from its seed is not a committable baseline.
+func checkSched(raw json.RawMessage) error {
+	var sc schedExp
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		return fmt.Errorf("sched: parse: %w", err)
+	}
+	if sc.TraceOps <= 0 {
+		return fmt.Errorf("sched: trace_ops = %d, want > 0", sc.TraceOps)
+	}
+	if sc.Single == nil || sc.Portfolio == nil {
+		return fmt.Errorf("sched: both single and portfolio rows are required (the experiment is the head-to-head)")
+	}
+	rows := []struct {
+		name string
+		row  *schedSolverRow
+	}{{"single", sc.Single}, {"portfolio", sc.Portfolio}}
+	for _, r := range rows {
+		if r.row.Makespan <= 0 {
+			return fmt.Errorf("sched: %s.makespan = %d, want > 0", r.name, r.row.Makespan)
+		}
+		if r.row.MulUtilization == nil {
+			return fmt.Errorf("sched: %s.mul_utilization missing (utilization is the evidence)", r.name)
+		}
+		if u := *r.row.MulUtilization; u <= 0 || u > 1 {
+			return fmt.Errorf("sched: %s.mul_utilization = %v, want in (0, 1]", r.name, u)
+		}
+		if r.row.AddUtilization == nil {
+			return fmt.Errorf("sched: %s.add_utilization missing", r.name)
+		}
+		if u := *r.row.AddUtilization; u <= 0 || u > 1 {
+			return fmt.Errorf("sched: %s.add_utilization = %v, want in (0, 1]", r.name, u)
+		}
+		if r.row.StallCycles == nil {
+			return fmt.Errorf("sched: %s.stall_cycles missing", r.name)
+		}
+		if *r.row.StallCycles < 0 {
+			return fmt.Errorf("sched: %s.stall_cycles = %d, want >= 0", r.name, *r.row.StallCycles)
+		}
+	}
+	if sc.Portfolio.Makespan > sc.Single.Makespan {
+		return fmt.Errorf("sched: portfolio makespan %d exceeds single-solver makespan %d (the portfolio must never lose to its own warm start)",
+			sc.Portfolio.Makespan, sc.Single.Makespan)
+	}
+	if sc.LowerBound <= 0 || sc.LowerBound > sc.Portfolio.Makespan {
+		return fmt.Errorf("sched: lower_bound = %d, want in (0, %d] (a schedule below the machine-load bound is impossible)",
+			sc.LowerBound, sc.Portfolio.Makespan)
+	}
+	if sc.ScheduleHash == "" {
+		return fmt.Errorf("sched: schedule_hash missing (the reproducibility handle is part of the result)")
+	}
+	if !sc.Deterministic {
+		return fmt.Errorf("sched: deterministic = false — the rerun did not reproduce the schedule")
+	}
+	return nil
+}
+
+// schedSolverRow mirrors one solver row of the sched experiment for
+// checkSched's pointer-based presence checks.
+type schedSolverRow struct {
+	Makespan       int      `json:"makespan"`
+	MulUtilization *float64 `json:"mul_utilization"`
+	AddUtilization *float64 `json:"add_utilization"`
+	StallCycles    *int     `json:"stall_cycles"`
+}
+
 // smRates extracts the comparable throughput metrics from a report,
 // keyed by a human-readable metric name: the throughput experiment's
 // peak SM/s over the worker sweep, and the latency experiment's
@@ -434,10 +529,34 @@ func smRates(data []byte) (map[string]float64, error) {
 	return rates, nil
 }
 
+// schedMakespan pulls the portfolio makespan out of a report's sched
+// experiment, when present. Unlike the SM/s rates this metric is
+// lower-is-better, so compare handles it separately.
+func schedMakespan(data []byte) (int, bool, error) {
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return 0, false, fmt.Errorf("parse: %w", err)
+	}
+	raw, ok := r.Experiments["sched"]
+	if !ok {
+		return 0, false, nil
+	}
+	var sc schedExp
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		return 0, false, fmt.Errorf("sched: parse: %w", err)
+	}
+	if sc.Portfolio == nil || sc.Portfolio.Makespan <= 0 {
+		return 0, false, nil
+	}
+	return sc.Portfolio.Makespan, true, nil
+}
+
 // compare is the perf-regression gate: every SM/s metric present in
 // both the baseline and the current report must be at least
-// baseline*(1-tol). Two reports with no metric in common are an error —
-// a gate that compares nothing must not pass silently.
+// baseline*(1-tol), and the sched experiment's portfolio makespan (a
+// lower-is-better cycle count) must not exceed baseline*(1+tol). Two
+// reports with no metric in common are an error — a gate that compares
+// nothing must not pass silently.
 func compare(base, cur []byte, tol float64) error {
 	baseRates, err := smRates(base)
 	if err != nil {
@@ -465,6 +584,23 @@ func compare(base, cur []byte, tol float64) error {
 				name, c, floor, b, 100*tol)
 		}
 		fmt.Printf("benchcheck: %s %.1f vs baseline %.1f (%+.1f%%)\n", name, c, b, 100*(c/b-1))
+	}
+	baseMk, baseHas, err := schedMakespan(base)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	curMk, curHas, err := schedMakespan(cur)
+	if err != nil {
+		return err
+	}
+	if baseHas && curHas {
+		compared++
+		if ceil := float64(baseMk) * (1 + tol); float64(curMk) > ceil {
+			return fmt.Errorf("regression: sched portfolio makespan = %d cycles, above %.0f (baseline %d + %.0f%% tolerance)",
+				curMk, ceil, baseMk, 100*tol)
+		}
+		fmt.Printf("benchcheck: sched portfolio makespan %d vs baseline %d cycles (%+.1f%%)\n",
+			curMk, baseMk, 100*(float64(curMk)/float64(baseMk)-1))
 	}
 	if compared == 0 {
 		return fmt.Errorf("no SM/s metric shared by the report and the baseline (need throughput points or latency single_thread)")

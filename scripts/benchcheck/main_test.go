@@ -37,7 +37,9 @@ const goodThroughput = `{
         {"workers": 1, "sms": 24, "sm_per_sec": 410.2, "speedup": 1, "oracle_ok": true},
         {"workers": 4, "sms": 24, "sm_per_sec": 433.8, "speedup": 1.06, "oracle_ok": true}
       ],
-      "verified_all": true
+      "verified_all": true,
+      "schedule_cycles": 3756,
+      "solver": "portfolio"
     }
   }
 }`
@@ -221,7 +223,9 @@ const baselineReport = `{
         {"workers": 1, "sms": 24, "sm_per_sec": 410.2, "speedup": 1, "oracle_ok": true},
         {"workers": 4, "sms": 24, "sm_per_sec": 433.8, "speedup": 1.06, "oracle_ok": true}
       ],
-      "verified_all": true
+      "verified_all": true,
+      "schedule_cycles": 3940,
+      "solver": "list"
     }
   }
 }`
@@ -321,6 +325,10 @@ func TestCheckRejects(t *testing.T) {
 		{"throughput sms mismatch", strings.Replace(goodThroughput, `"workers": 4, "sms": 24`, `"workers": 4, "sms": 12`, 1), "sms"},
 		{"throughput oracle fail", strings.Replace(goodThroughput, `"speedup": 1.06, "oracle_ok": true`, `"speedup": 1.06, "oracle_ok": false`, 1), "oracle_ok"},
 		{"throughput unverified", strings.Replace(goodThroughput, `"verified_all": true`, `"verified_all": false`, 1), "verified_all"},
+		{"throughput no schedule cycles", strings.Replace(goodThroughput,
+			`"schedule_cycles": 3756,`, `"schedule_cycles": 0,`, 1), "schedule_cycles"},
+		{"throughput no solver", strings.Replace(goodThroughput,
+			`"solver": "portfolio"`, `"solver": ""`, 1), "solver"},
 		{"wrong schema", `{"schema":"v0","experiments":{}}`, "schema"},
 		{"no experiments", `{"schema":"fourq-bench/v1","experiments":{}}`, "no experiments"},
 		{"no rtl stats", `{"schema":"fourq-bench/v1","experiments":{"table1":{"makespan":23}}}`, "rtl_stats"},
@@ -368,6 +376,102 @@ func TestCheckRejects(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, c.wantErr)
 			}
 		})
+	}
+}
+
+// goodSched mirrors a real -exp sched run: the list scheduler's 3940
+// cycles against the portfolio's 3756, both RTL-proven, with the
+// determinism cross-check recorded.
+const goodSched = `{
+  "schema": "fourq-bench/v1",
+  "experiments": {
+    "sched": {
+      "trace_ops": 4663,
+      "lower_bound": 3010,
+      "single": {"solver": "list", "makespan": 3940, "mul_utilization": 0.657, "add_utilization": 0.526, "stall_cycles": 291, "solve_seconds": 0.01},
+      "portfolio": {"solver": "portfolio", "makespan": 3756, "mul_utilization": 0.689, "add_utilization": 0.552, "stall_cycles": 351, "solve_seconds": 15.0},
+      "improvement_pct": 4.67,
+      "improvements": 6,
+      "rounds": 6,
+      "seed": 1,
+      "schedule_hash": "039059a484ff3833",
+      "deterministic": true
+    }
+  }
+}`
+
+func TestCheckSchedGood(t *testing.T) {
+	if err := check([]byte(goodSched)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckSchedRejects: the sched experiment's non-negotiables — a
+// portfolio that loses to its own warm start, a makespan below the
+// machine-load lower bound, missing utilization evidence, or a failed
+// determinism cross-check must all fail validation.
+func TestCheckSchedRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"portfolio worse than single", strings.Replace(goodSched,
+			`"makespan": 3756`, `"makespan": 4100`, 1), "warm start"},
+		{"missing single row", strings.Replace(goodSched,
+			`"single": {"solver": "list", "makespan": 3940, "mul_utilization": 0.657, "add_utilization": 0.526, "stall_cycles": 291, "solve_seconds": 0.01},`,
+			``, 1), "both single and portfolio"},
+		{"zero makespan", strings.Replace(goodSched,
+			`"makespan": 3756`, `"makespan": 0`, 1), "makespan"},
+		{"missing mul utilization", strings.Replace(goodSched,
+			`"mul_utilization": 0.689, `, ``, 1), "mul_utilization"},
+		{"mul utilization out of range", strings.Replace(goodSched,
+			`"mul_utilization": 0.689`, `"mul_utilization": 1.4`, 1), "mul_utilization"},
+		{"missing add utilization", strings.Replace(goodSched,
+			`"add_utilization": 0.552, `, ``, 1), "add_utilization"},
+		{"missing stall cycles", strings.Replace(goodSched,
+			`"stall_cycles": 351, `, ``, 1), "stall_cycles"},
+		{"lower bound missing", strings.Replace(goodSched,
+			`"lower_bound": 3010,`, `"lower_bound": 0,`, 1), "lower_bound"},
+		{"lower bound above makespan", strings.Replace(goodSched,
+			`"lower_bound": 3010,`, `"lower_bound": 3800,`, 1), "lower_bound"},
+		{"missing hash", strings.Replace(goodSched,
+			`"schedule_hash": "039059a484ff3833",`, ``, 1), "schedule_hash"},
+		{"not deterministic", strings.Replace(goodSched,
+			`"deterministic": true`, `"deterministic": false`, 1), "deterministic"},
+		{"no trace ops", strings.Replace(goodSched,
+			`"trace_ops": 4663,`, `"trace_ops": 0,`, 1), "trace_ops"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := check([]byte(c.doc))
+			if err == nil {
+				t.Fatalf("check accepted %s", c.name)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestCompareSchedMetric: the portfolio makespan participates in compare
+// mode with the opposite sign to the SM/s rates — cycles going UP beyond
+// tolerance is the regression, and a shorter schedule always passes.
+func TestCompareSchedMetric(t *testing.T) {
+	if err := compare([]byte(goodSched), []byte(goodSched), 0.10); err != nil {
+		t.Fatalf("identical sched reports must compare cleanly: %v", err)
+	}
+	shorter := strings.Replace(goodSched, `"makespan": 3756`, `"makespan": 3700`, 1)
+	if err := compare([]byte(goodSched), []byte(shorter), 0.10); err != nil {
+		t.Fatalf("a shorter schedule must pass the gate: %v", err)
+	}
+	longer := strings.Replace(goodSched, `"makespan": 3756`, `"makespan": 4300`, 1)
+	longer = strings.Replace(longer, `"makespan": 3940`, `"makespan": 4400`, 1)
+	err := compare([]byte(goodSched), []byte(longer), 0.10)
+	if err == nil {
+		t.Fatal("14% makespan regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "portfolio makespan") {
+		t.Fatalf("error %q does not name the makespan metric", err)
 	}
 }
 
