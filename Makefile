@@ -21,8 +21,11 @@
 # a scheduler smoke (race-enabled portfolio/tabu tests plus a
 # short-budget pinned-seed portfolio solve that must be deterministic,
 # hazard-proven, and beat the committed single-solver makespan),
+# a fixed-base smoke (race-enabled comb/class-routing tests across the
+# stack plus a real -exp fixedbase run whose comb schedule must beat
+# the variable-base one),
 # and finally the perf-regression gate: a fresh
-# latency+throughput+batch+sched run on the portfolio schedule compared
+# latency+throughput+batch+sched+fixedbase run on the portfolio schedule compared
 # against the committed BENCH_rtl.json baseline (refresh it with
 # `make bench-record` after a deliberate perf change; TOLERANCE sets
 # the allowed fractional SM/s drop, and the allowed upward drift of the
@@ -30,6 +33,7 @@
 
 GO ?= go
 BENCH_JSON ?= /tmp/bench.json
+FIXEDBASE_JSON ?= /tmp/fixedbase.json
 THROUGHPUT_JSON ?= /tmp/throughput.json
 BATCH_JSON ?= /tmp/batch.json
 FAULTS_JSON ?= /tmp/faults.json
@@ -44,7 +48,7 @@ CHAOS_JSON ?= /tmp/chaos.json
 CHAOS_BASELINE ?= BENCH_chaos.json
 CHAOS_SEED ?= 1
 
-.PHONY: all build test vet race race-robust fuzz-smoke ci smoke lane-smoke obs-smoke serve-smoke serve-record chaos-smoke chaos-record sched-smoke bench-record bench-compare clean
+.PHONY: all build test vet race race-robust fuzz-smoke ci smoke lane-smoke obs-smoke serve-smoke serve-record chaos-smoke chaos-record sched-smoke fixedbase-smoke bench-record bench-compare clean
 
 all: build
 
@@ -145,6 +149,17 @@ sched-smoke: build
 	$(GO) test -race -count=1 -run 'Portfolio|Tabu|MetricsProgress' ./internal/jobshop ./internal/sched
 	$(GO) run ./scripts/schedsmoke -baseline $(BENCH_BASELINE)
 
+# Fixed-base smoke: the race-enabled comb tests across every layer
+# (recoding, ROM-operand RTL, the third core microprogram, the engine's
+# class-homogeneous coalescing, fixed-base-routed signing), then the
+# real -exp fixedbase experiment — portfolio-solved, determinism-
+# checked, differentially validated against the library's precomputed
+# table, and required by benchcheck to beat the variable-base schedule.
+fixedbase-smoke: build
+	$(GO) test -race -count=1 -run 'FixedBase|Class|Recode' ./internal/scalar ./internal/curve ./internal/trace ./internal/rtl ./internal/core ./internal/engine ./internal/schnorrq ./internal/serve
+	$(GO) run ./cmd/fourq-bench -exp fixedbase -json $(FIXEDBASE_JSON)
+	$(GO) run ./scripts/benchcheck $(FIXEDBASE_JSON)
+
 # Record the committed performance baseline: one report carrying the
 # latency experiment (with host single-thread compiled vs interpreted
 # SM/s), the batch-engine throughput sweep, the lockstep lane-width
@@ -153,7 +168,7 @@ sched-smoke: build
 # measured experiments run on the portfolio schedule — the SM/s
 # baselines describe the solver the binaries actually ship.
 bench-record: build
-	$(GO) run ./cmd/fourq-bench -exp latency,throughput,batch,sched -sched portfolio -json $(BENCH_BASELINE)
+	$(GO) run ./cmd/fourq-bench -exp latency,throughput,batch,sched,fixedbase -sched portfolio -json $(BENCH_BASELINE)
 	$(GO) run ./scripts/benchcheck $(BENCH_BASELINE)
 
 # Perf-regression gate: a fresh run of the same experiments must stay
@@ -162,11 +177,11 @@ bench-record: build
 # must not drift up past the committed cycle count by more than
 # TOLERANCE either.
 bench-compare: build
-	$(GO) run ./cmd/fourq-bench -exp latency,throughput,batch,sched -sched portfolio -json $(COMPARE_JSON)
+	$(GO) run ./cmd/fourq-bench -exp latency,throughput,batch,sched,fixedbase -sched portfolio -json $(COMPARE_JSON)
 	$(GO) run ./scripts/benchcheck -baseline $(BENCH_BASELINE) -tolerance $(TOLERANCE) $(COMPARE_JSON)
 
-ci: vet build race race-robust fuzz-smoke smoke lane-smoke obs-smoke serve-smoke chaos-smoke sched-smoke bench-compare
+ci: vet build race race-robust fuzz-smoke smoke lane-smoke obs-smoke serve-smoke chaos-smoke sched-smoke fixedbase-smoke bench-compare
 
 clean:
 	$(GO) clean ./...
-	rm -f $(BENCH_JSON) $(THROUGHPUT_JSON) $(BATCH_JSON) $(FAULTS_JSON) $(COMPARE_JSON) $(OBS_METRICS) $(CHAOS_JSON)
+	rm -f $(BENCH_JSON) $(THROUGHPUT_JSON) $(BATCH_JSON) $(FAULTS_JSON) $(COMPARE_JSON) $(OBS_METRICS) $(CHAOS_JSON) $(FIXEDBASE_JSON)

@@ -56,7 +56,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: profile|table1|latency|throughput|batch|sched|fig4|table2|fig3|ablation|pareto|faults|all")
+	exp := flag.String("exp", "all", "comma-separated experiments: profile|table1|latency|throughput|batch|sched|fixedbase|fig4|table2|fig3|ablation|pareto|faults|all")
 	full := flag.Bool("full", false, "include full-trace scheduler ablation (slow)")
 	lanes := flag.String("lanes", "1,2,4,8", "ascending lockstep lane widths swept by -exp batch")
 	schedSolver := flag.String("sched", "single", "schedule solver for the benchmarked processor: single (fast list scheduler) or portfolio (parallel tabu + LNS search; slower build, shorter schedule)")
@@ -158,6 +158,7 @@ func run(exp string, full bool, lanes, schedSolver, jsonPath, tracePath string) 
 		{"throughput", b.throughput},
 		{"batch", b.batch},
 		{"sched", b.sched},
+		{"fixedbase", b.fixedbase},
 		{"fig4", b.fig4},
 		{"table2", b.table2},
 		{"fig3", b.fig3},

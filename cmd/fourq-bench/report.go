@@ -56,6 +56,7 @@ type rtlStats struct {
 	RegWrites         int            `json:"reg_writes"`
 	ElidedWrites      int            `json:"elided_writes"`
 	ForwardedReads    int            `json:"forwarded_reads"`
+	ROMReads          int            `json:"rom_reads"`
 	MulUtilization    float64        `json:"mul_utilization"`
 	AddUtilization    float64        `json:"add_utilization"`
 	StallCycles       int            `json:"stall_cycles"`

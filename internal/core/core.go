@@ -42,6 +42,12 @@ type Config struct {
 	// equivalent schedule (the program is scalar-independent). A fixed
 	// default keeps builds deterministic.
 	TraceScalar scalar.Scalar
+	// FixedBase additionally builds the fixed-base comb microprogram for
+	// [k]G (the signing workload): the comb's window tables are baked in
+	// as constants and ROM, trading control-ROM area for a far shorter
+	// schedule than the generic variable-base program. Executors fall
+	// back to the variable-base program when it is disabled.
+	FixedBase bool
 	// Telemetry, when non-nil, receives wall-clock timing spans for each
 	// phase of the build pipeline (functional and endo-workload
 	// trace recording and scheduling) on trace track 0, viewable in
@@ -61,14 +67,19 @@ type Processor struct {
 	// paper-comparable cycle count.
 	endoProg   *isa.Program
 	endoResult *sched.Result
-	stats      trace.Stats
-	sections   []SectionSpan
+	// Fixed-base comb program for [k]G (nil unless Config.FixedBase):
+	// window tables in constants + ROM, no external inputs.
+	fbProg   *isa.Program
+	fbResult *sched.Result
+	stats    trace.Stats
+	sections []SectionSpan
 	// Compiled execution plans (rtl.Compile output) for both programs,
 	// built once at New: the paper's chip fixes its ROM/FSM controller at
 	// tape-out, and the model mirrors that by discharging validation,
 	// hazard analysis and statistics ahead of every run.
 	funcCompiled *rtl.CompiledProgram
 	endoCompiled *rtl.CompiledProgram
+	fbCompiled   *rtl.CompiledProgram
 	// Pre-resolved input/output registers ({P.x, P.y} -> {x, y} for the
 	// functional program, P0..P3 coordinates for the endo workload), so
 	// runs bind operands without building maps.
@@ -76,10 +87,12 @@ type Processor struct {
 	funcOut [2]uint16
 	endoIn  [8]uint16
 	endoOut [2]uint16
+	fbOut   [2]uint16
 	// Machine pools for the Processor-level convenience entry points;
 	// per-worker Executors own a dedicated machine instead.
 	funcPool sync.Pool
 	endoPool sync.Pool
+	fbPool   sync.Pool
 }
 
 // SectionSpan reports where a trace section landed in the schedule.
@@ -161,6 +174,24 @@ func New(cfg Config) (*Processor, error) {
 	}
 	p.endoProg, p.endoResult = er.Program, er
 
+	if cfg.FixedBase {
+		var fbTr *trace.ScalarMultTrace
+		if err := phase("trace/fixedbase", nil, func() (err error) {
+			fbTr, err = trace.BuildFixedBaseScalarMult(cfg.TraceScalar, g)
+			return err
+		}); err != nil {
+			return nil, fmt.Errorf("core: fixed-base trace: %w", err)
+		}
+		var fbr *sched.Result
+		if err := phase("schedule/fixedbase", map[string]any{"ops": len(fbTr.Graph.Ops)}, func() (err error) {
+			fbr, err = sched.Schedule(fbTr.Graph, cfg.Resources, cfg.Sched)
+			return err
+		}); err != nil {
+			return nil, fmt.Errorf("core: fixed-base schedule: %w", err)
+		}
+		p.fbProg, p.fbResult = fbr.Program, fbr
+	}
+
 	// Ahead-of-time compilation of both microprograms: one-time
 	// validation + static hazard analysis + precomputed statistics.
 	if err := phase("compile/functional", map[string]any{"instrs": len(p.funcProg.Instrs)}, func() (err error) {
@@ -175,6 +206,14 @@ func New(cfg Config) (*Processor, error) {
 	}); err != nil {
 		return nil, fmt.Errorf("core: endo compile: %w", err)
 	}
+	if p.fbProg != nil {
+		if err := phase("compile/fixedbase", map[string]any{"instrs": len(p.fbProg.Instrs)}, func() (err error) {
+			p.fbCompiled, err = rtl.Compile(p.fbProg)
+			return err
+		}); err != nil {
+			return nil, fmt.Errorf("core: fixed-base compile: %w", err)
+		}
+	}
 	if err := resolveRegs(p.funcCompiled, []string{"P.x", "P.y"}, p.funcIn[:], []string{"x", "y"}, p.funcOut[:]); err != nil {
 		return nil, err
 	}
@@ -184,6 +223,12 @@ func New(cfg Config) (*Processor, error) {
 	}
 	if err := resolveRegs(p.endoCompiled, endoNames, p.endoIn[:], []string{"x", "y"}, p.endoOut[:]); err != nil {
 		return nil, err
+	}
+	if p.fbCompiled != nil {
+		if err := resolveRegs(p.fbCompiled, nil, nil, []string{"x", "y"}, p.fbOut[:]); err != nil {
+			return nil, err
+		}
+		p.fbPool.New = func() any { return p.fbCompiled.NewMachine() }
 	}
 	p.funcPool.New = func() any { return p.funcCompiled.NewMachine() }
 	p.endoPool.New = func() any { return p.endoCompiled.NewMachine() }
@@ -261,6 +306,31 @@ func (p *Processor) EndoProgram() *isa.Program { return p.endoProg }
 // ScheduleResult returns the functional scheduling result.
 func (p *Processor) ScheduleResult() *sched.Result { return p.funcResult }
 
+// HasFixedBase reports whether the fixed-base comb program was built
+// (Config.FixedBase).
+func (p *Processor) HasFixedBase() bool { return p.fbCompiled != nil }
+
+// CyclesFixedBase is the cycle count of the fixed-base comb program, or
+// 0 when it was not built.
+func (p *Processor) CyclesFixedBase() int {
+	if p.fbProg == nil {
+		return 0
+	}
+	return p.fbProg.Makespan
+}
+
+// FixedBaseProgram returns the fixed-base comb microprogram (nil unless
+// Config.FixedBase).
+func (p *Processor) FixedBaseProgram() *isa.Program { return p.fbProg }
+
+// FixedBaseScheduleResult returns the fixed-base scheduling result (nil
+// unless Config.FixedBase).
+func (p *Processor) FixedBaseScheduleResult() *sched.Result { return p.fbResult }
+
+// FixedBaseCompiled returns the compiled fixed-base execution plan (nil
+// unless Config.FixedBase).
+func (p *Processor) FixedBaseCompiled() *rtl.CompiledProgram { return p.fbCompiled }
+
 // TraceStats returns the op-mix statistics of the functional trace.
 func (p *Processor) TraceStats() trace.Stats { return p.stats }
 
@@ -299,6 +369,23 @@ func (p *Processor) ScalarMultPointInjected(k scalar.Scalar, base curve.Affine, 
 		return curve.Affine{}, st, err
 	}
 	return curve.Affine{X: m.Reg(p.funcOut[0]), Y: m.Reg(p.funcOut[1])}, st, nil
+}
+
+// ScalarMultFixedBase executes [k]G on the fixed-base comb program
+// (Config.FixedBase must be set — see HasFixedBase). The program has no
+// external inputs: only the recoded scalar flows in.
+func (p *Processor) ScalarMultFixedBase(k scalar.Scalar) (curve.Affine, rtl.Stats, error) {
+	if p.fbCompiled == nil {
+		return curve.Affine{}, rtl.Stats{}, fmt.Errorf("core: fixed-base program not built (Config.FixedBase)")
+	}
+	rec, corrected := scalar.RecodeFixedBase(k)
+	m := p.fbPool.Get().(*rtl.Machine)
+	defer p.fbPool.Put(m)
+	st, err := m.Run(rtl.RunInput{Rec: rec, Corrected: corrected})
+	if err != nil {
+		return curve.Affine{}, st, err
+	}
+	return curve.Affine{X: m.Reg(p.fbOut[0]), Y: m.Reg(p.fbOut[1])}, st, nil
 }
 
 // ScalarMultInterpreted executes [k]G on the reference cycle-by-cycle

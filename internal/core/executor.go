@@ -105,6 +105,9 @@ type ConfigKey struct {
 	Portfolio   sched.PortfolioKnobs
 	Elide       bool
 	TraceScalar scalar.Scalar
+	// FixedBase distinguishes processors that additionally carry the
+	// fixed-base comb program.
+	FixedBase bool
 }
 
 // CacheKey derives the comparable cache identity of c, normalizing the
@@ -129,6 +132,7 @@ func (c Config) CacheKey() ConfigKey {
 		Portfolio:   c.Sched.Portfolio,
 		Elide:       c.Sched.ElideWritebacks,
 		TraceScalar: ts,
+		FixedBase:   c.FixedBase,
 	}
 }
 
@@ -148,8 +152,13 @@ type Executor struct {
 	inj    rtl.Injector
 	runs   int
 	cycles int64
+	// fbm is the lazily-built machine for the fixed-base comb program
+	// (only when the processor carries one).
+	fbm *rtl.Machine
 	// ls is the lazily-grown lockstep lane state (ScalarMultLanes).
 	ls *laneState
+	// fbls is the lockstep lane state of the fixed-base program.
+	fbls *laneState
 }
 
 // NewExecutor returns an independent executor over p with its own
@@ -216,6 +225,52 @@ func (e *Executor) ScalarMultValidated(k scalar.Scalar, base curve.Affine, v Val
 	}
 	if v == ValidateOracle {
 		want := curve.ScalarMult(k, curve.FromAffine(base)).Affine()
+		if !out.X.Equal(want.X) || !out.Y.Equal(want.Y) {
+			return out, st, fmt.Errorf("%w (k=%v)", ErrOracleMismatch, k)
+		}
+	}
+	return out, st, nil
+}
+
+// HasFixedBase reports whether this executor's processor carries the
+// fixed-base comb program (so ScalarMultFixedBase rides it instead of
+// falling back to the variable-base program).
+func (e *Executor) HasFixedBase() bool { return e.p.fbCompiled != nil }
+
+// ScalarMultFixedBase executes [k]G on the fixed-base comb program,
+// reusing this executor's dedicated fixed-base machine. When the
+// processor was built without Config.FixedBase it degrades gracefully
+// to the variable-base program — same result, longer schedule.
+func (e *Executor) ScalarMultFixedBase(k scalar.Scalar) (curve.Affine, rtl.Stats, error) {
+	if e.p.fbCompiled == nil {
+		return e.ScalarMult(k)
+	}
+	if e.fbm == nil {
+		e.fbm = e.p.fbCompiled.NewMachine()
+	}
+	rec, corrected := scalar.RecodeFixedBase(k)
+	st, err := e.fbm.Run(rtl.RunInput{Rec: rec, Corrected: corrected, Injector: e.inj})
+	if err != nil {
+		return curve.Affine{}, st, err
+	}
+	e.runs++
+	e.cycles += int64(st.Cycles)
+	return curve.Affine{X: e.fbm.Reg(e.p.fbOut[0]), Y: e.fbm.Reg(e.p.fbOut[1])}, st, nil
+}
+
+// ScalarMultFixedBaseValidated is ScalarMultFixedBase plus the selected
+// end-of-SM result checks, mirroring ScalarMultValidated (the oracle is
+// the functional library's [k]G).
+func (e *Executor) ScalarMultFixedBaseValidated(k scalar.Scalar, v Validate) (curve.Affine, rtl.Stats, error) {
+	out, st, err := e.ScalarMultFixedBase(k)
+	if err != nil || v == ValidateNone {
+		return out, st, err
+	}
+	if err := ValidateAffine(out); err != nil {
+		return out, st, fmt.Errorf("%w (k=%v)", err, k)
+	}
+	if v == ValidateOracle {
+		want := curve.ScalarMult(k, curve.Generator()).Affine()
 		if !out.X.Equal(want.X) || !out.Y.Equal(want.Y) {
 			return out, st, fmt.Errorf("%w (k=%v)", ErrOracleMismatch, k)
 		}

@@ -97,6 +97,90 @@ func (e *Executor) ScalarMultLanes(ks []scalar.Scalar, bases []curve.Affine, out
 	return st, nil
 }
 
+// fbLanes returns the executor's fixed-base lockstep state, growing it
+// to hold at least n lanes (the fixed-base program has no external
+// inputs, so the lanes carry only the recoded scalars).
+func (e *Executor) fbLanes(n int) *laneState {
+	ls := e.fbls
+	if ls == nil {
+		ls = &laneState{}
+		e.fbls = ls
+	}
+	if ls.lm == nil || ls.lm.Width() < n {
+		ls.lm = e.p.fbCompiled.NewLaneMachine(n)
+		ls.ins = make([]rtl.RunInput, n)
+	}
+	return ls
+}
+
+// ScalarMultFixedBaseLanes executes [ks[l]]G for every lane l in one
+// lockstep pass of the fixed-base comb schedule, with the same per-lane
+// error contract as ScalarMultLanes. Without the fixed-base program (or
+// with an injector attached) each lane runs through the single-lane
+// fixed-base path instead.
+func (e *Executor) ScalarMultFixedBaseLanes(ks []scalar.Scalar, outs []curve.Affine, errs []error) (rtl.Stats, error) {
+	n := len(ks)
+	if n == 0 {
+		return rtl.Stats{}, fmt.Errorf("core: lane run with no scalars")
+	}
+	if len(outs) != n || len(errs) != n {
+		return rtl.Stats{}, fmt.Errorf("core: lane slice lengths diverge: %d scalars, %d outs, %d errs",
+			n, len(outs), len(errs))
+	}
+	if e.p.fbCompiled == nil || e.inj != nil {
+		var st rtl.Stats
+		for l := 0; l < n; l++ {
+			outs[l], st, errs[l] = e.ScalarMultFixedBase(ks[l])
+		}
+		return st, nil
+	}
+	ls := e.fbLanes(n)
+	for l := 0; l < n; l++ {
+		ls.ins[l].Rec, ls.ins[l].Corrected = scalar.RecodeFixedBase(ks[l])
+	}
+	st, err := ls.lm.RunLanes(ls.ins[:n], errs)
+	if err != nil {
+		return st, err
+	}
+	for l := 0; l < n; l++ {
+		if errs[l] != nil {
+			continue
+		}
+		outs[l] = curve.Affine{
+			X: ls.lm.Reg(l, e.p.fbOut[0]),
+			Y: ls.lm.Reg(l, e.p.fbOut[1]),
+		}
+		e.runs++
+		e.cycles += int64(st.Cycles)
+	}
+	return st, nil
+}
+
+// ScalarMultFixedBaseLanesValidated is ScalarMultFixedBaseLanes plus
+// the per-lane end-of-SM result checks (oracle: the library's [k]G).
+func (e *Executor) ScalarMultFixedBaseLanesValidated(ks []scalar.Scalar, outs []curve.Affine, errs []error, v Validate) (rtl.Stats, error) {
+	st, err := e.ScalarMultFixedBaseLanes(ks, outs, errs)
+	if err != nil || v == ValidateNone {
+		return st, err
+	}
+	for l := range ks {
+		if errs[l] != nil {
+			continue
+		}
+		if verr := ValidateAffine(outs[l]); verr != nil {
+			errs[l] = fmt.Errorf("%w (k=%v)", verr, ks[l])
+			continue
+		}
+		if v == ValidateOracle {
+			want := curve.ScalarMult(ks[l], curve.Generator()).Affine()
+			if !outs[l].X.Equal(want.X) || !outs[l].Y.Equal(want.Y) {
+				errs[l] = fmt.Errorf("%w (k=%v)", ErrOracleMismatch, ks[l])
+			}
+		}
+	}
+	return st, nil
+}
+
 // ScalarMultLanesValidated is ScalarMultLanes plus the per-lane
 // end-of-SM result checks of ScalarMultValidated: a lane that ran but
 // produced a bad point gets its errs[l] set to the same wrapped

@@ -46,9 +46,41 @@ func NewFixedBaseTable(p Point) *FixedBaseTable {
 	return t
 }
 
-// ScalarMult computes [k]P using the precomputed table: one cached
-// addition per non-zero window digit, no doublings.
+// ScalarMult computes [k]P using the precomputed table in constant
+// time: exactly one cached addition per window, no doublings. Every
+// window performs a masked scan of all 15 entries (selecting the
+// cached identity for a zero digit, which the complete addition
+// formula absorbs), so neither the memory addresses touched nor the
+// operation sequence depend on k.
 func (t *FixedBaseTable) ScalarMult(k scalar.Scalar) Point {
+	acc := Identity()
+	for i := 0; i < fixedBaseWindows; i++ {
+		d := k[i/16] >> (uint(i%16) * 4) & 0xF
+		acc = AddCached(acc, lookupFixedBaseCT(&t.win[i], d))
+	}
+	return acc
+}
+
+// lookupFixedBaseCT selects win[d-1] for d in [1,15], or the cached
+// identity for d == 0, scanning the whole window under masks so no
+// secret-dependent address is formed (same discipline as lookupCT in
+// ct.go, widened to the comb table's 15 entries plus the implicit
+// zero entry).
+func lookupFixedBaseCT(win *[15]Cached, d uint64) Cached {
+	out := IdentityCached()
+	for j := 1; j <= 15; j++ {
+		// flag = 1 iff j == d, computed without branching.
+		x := d ^ uint64(j)
+		flag := uint64(1) ^ ((x | -x) >> 63)
+		out = cselectCached(flag, win[j-1], out)
+	}
+	return out
+}
+
+// scalarMultVartime is the pre-hardening variable-time walk (branch on
+// zero digits, index by digit value), kept as the differential
+// reference for the constant-time path.
+func (t *FixedBaseTable) scalarMultVartime(k scalar.Scalar) Point {
 	acc := Identity()
 	for i := 0; i < fixedBaseWindows; i++ {
 		d := k[i/16] >> (uint(i%16) * 4) & 0xF
@@ -57,4 +89,28 @@ func (t *FixedBaseTable) ScalarMult(k scalar.Scalar) Point {
 		}
 	}
 	return acc
+}
+
+// FixedBaseOddMultiples returns, for each of n signed radix-16 comb
+// windows, the eight cached odd multiples [(2u+1)·16^w]P consumed by
+// the fixed-base microprogram's signed-digit recoding
+// (scalar.RecodeFixedBase): window 0 feeds the datapath's register-file
+// table (its first entry, [1]P, doubles as the parity-correction
+// operand), windows 1..n-1 become operand ROM.
+func FixedBaseOddMultiples(p Point, n int) [][8]Cached {
+	out := make([][8]Cached, n)
+	base := p
+	for w := 0; w < n; w++ {
+		acc := base
+		step := Double(base).ToCached()
+		out[w][0] = acc.ToCached()
+		for u := 1; u < 8; u++ {
+			acc = AddCached(acc, step)
+			out[w][u] = acc.ToCached()
+		}
+		if w+1 < n {
+			base = Double(Double(Double(Double(base))))
+		}
+	}
+	return out
 }

@@ -72,3 +72,67 @@ func BenchmarkNewFixedBaseTable(b *testing.B) {
 }
 
 var tableSink *FixedBaseTable
+
+// TestFixedBaseCTMatchesVartime pins the constant-time window walk
+// against the variable-time reference over random scalars and the
+// zero-digit edge cases the vartime path branches on.
+func TestFixedBaseCTMatchesVartime(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(79))
+	for i := 0; i < 32; i++ {
+		k := randScalar(rng)
+		if !genTable.ScalarMult(k).Equal(genTable.scalarMultVartime(k)) {
+			t.Fatalf("CT and vartime fixed-base SM disagree for k=%v", k)
+		}
+	}
+	// Scalars built from zero digits everywhere a window can hold one:
+	// the vartime path skips those additions entirely, the CT path adds
+	// the cached identity — results must still agree.
+	for _, k := range []scalar.Scalar{
+		{},                      // every digit zero
+		{0x10},                  // one non-zero window surrounded by zeros
+		{0, 0x0F00000000000000}, // isolated digit, high limb
+		{1, 0, 0, 0x1000000000000000},
+		scalar.FromBig(scalar.Order()),
+	} {
+		if !genTable.ScalarMult(k).Equal(genTable.scalarMultVartime(k)) {
+			t.Fatalf("CT and vartime fixed-base SM disagree for sparse k=%v", k)
+		}
+	}
+}
+
+// TestFixedBaseOddMultiples checks every ROM/table entry the
+// fixed-base microprogram consumes: window w, entry u must be
+// [(2u+1)*16^w]P.
+func TestFixedBaseOddMultiples(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(80))
+	p := randPoint(rng)
+	const n = 5
+	wins := FixedBaseOddMultiples(p, n)
+	if len(wins) != n {
+		t.Fatalf("got %d windows, want %d", len(wins), n)
+	}
+	for w := 0; w < n; w++ {
+		for u := 0; u < 8; u++ {
+			var mul scalar.Scalar
+			// (2u+1) * 16^w fits easily in the low limbs for small w.
+			mul[0] = uint64(2*u + 1)
+			for s := 0; s < w; s++ {
+				mul[1] = mul[1]<<4 | mul[0]>>60
+				mul[0] <<= 4
+			}
+			want := ScalarMultBinary(mul, p).ToCached()
+			got := wins[w][u]
+			// Cached forms are projective; compare the underlying points.
+			if !decached(got).Equal(decached(want)) {
+				t.Fatalf("window %d entry %d is not [(2u+1)*16^w]P", w, u)
+			}
+		}
+	}
+}
+
+// decached recovers an extended point from a cached one (test helper;
+// cached coordinates are X+Y, Y-X, 2Z, 2dT).
+func decached(c Cached) Point {
+	half := AddCached(Identity(), c) // O + c = the point c caches
+	return half
+}

@@ -16,20 +16,28 @@ func MultiScalarMult(ks []scalar.Scalar, ps []Point) Point {
 		return Identity()
 	}
 	cached := make([]Cached, len(ps))
+	lens := make([]int, len(ks))
+	bits := 0
 	for i, p := range ps {
 		cached[i] = p.ToCached()
 	}
-	bits := 0
-	for _, k := range ks {
-		if b := k.BitLen(); b > bits {
-			bits = b
+	// Hoist each scalar's bit length once: the inner loop then skips
+	// scalars whose bits are exhausted at the current position instead of
+	// re-deriving Bit(i) == 0 for every (point, bit) pair over the full
+	// 256-bit range. For mixed-length batches (random-linear-combination
+	// batch verification uses 128-bit combiners next to 246-bit scalars)
+	// this halves the inner-loop work.
+	for j, k := range ks {
+		lens[j] = k.BitLen()
+		if lens[j] > bits {
+			bits = lens[j]
 		}
 	}
 	acc := Identity()
 	for i := bits - 1; i >= 0; i-- {
 		acc = Double(acc)
 		for j, k := range ks {
-			if k.Bit(i) == 1 {
+			if i < lens[j] && k.Bit(i) == 1 {
 				acc = AddCached(acc, cached[j])
 			}
 		}

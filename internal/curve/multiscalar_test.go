@@ -73,3 +73,62 @@ func BenchmarkMultiScalarMult8(b *testing.B) {
 		ptSink = MultiScalarMult(ks, ps)
 	}
 }
+
+// multiScalarMultNaiveBits is the pre-optimization inner loop (probe
+// every scalar at every bit position over the full shared range),
+// kept as the differential pin for the hoisted-bit-limit fast path.
+func multiScalarMultNaiveBits(ks []scalar.Scalar, ps []Point) Point {
+	if len(ks) == 0 {
+		return Identity()
+	}
+	cached := make([]Cached, len(ps))
+	for i, p := range ps {
+		cached[i] = p.ToCached()
+	}
+	bits := 0
+	for _, k := range ks {
+		if b := k.BitLen(); b > bits {
+			bits = b
+		}
+	}
+	acc := Identity()
+	for i := bits - 1; i >= 0; i-- {
+		acc = Double(acc)
+		for j, k := range ks {
+			if k.Bit(i) == 1 {
+				acc = AddCached(acc, cached[j])
+			}
+		}
+	}
+	return acc
+}
+
+// TestMultiScalarMultShortScalars pins the exhausted-scalar skip
+// against the reference loop on batches mixing full-length, short,
+// single-bit and zero scalars — the shapes batch verification feeds it.
+func TestMultiScalarMultShortScalars(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(93))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		ks := make([]scalar.Scalar, n)
+		ps := make([]Point, n)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				ks[i] = randScalar(rng) // full length
+			case 1:
+				ks[i] = scalar.Scalar{rng.Uint64(), rng.Uint64()} // ~128-bit combiner
+			case 2:
+				ks[i] = scalar.Scalar{uint64(rng.Intn(16))} // tiny (possibly zero)
+			case 3:
+				ks[i] = scalar.Scalar{} // zero: skipped at every bit
+			}
+			ps[i] = randPoint(rng)
+		}
+		got := MultiScalarMult(ks, ps)
+		want := multiScalarMultNaiveBits(ks, ps)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: hoisted-bit-limit result differs from reference", trial)
+		}
+	}
+}

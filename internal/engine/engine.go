@@ -183,11 +183,41 @@ func (b Backend) String() string {
 	return "rtl"
 }
 
+// Class routes a request to its cheapest microprogram. The two classes
+// never share a lockstep lane batch: coalescing keeps lanes
+// program-homogeneous (every lane of a batch walks the same schedule),
+// cutting a batch short at a class boundary rather than mixing.
+type Class uint8
+
+const (
+	// ClassVariableBase: the generic variable-base program, any base
+	// point ([k]P). The zero value, so untagged requests keep today's
+	// behavior.
+	ClassVariableBase Class = iota
+	// ClassFixedBase: the fixed-base comb program for [k]G — the signing
+	// workload's commitment multiplication. Requests of this class
+	// ignore Base (the comb's tables are baked in for the generator).
+	// On a processor built without core.Config.FixedBase the executor
+	// degrades gracefully to the variable-base program.
+	ClassFixedBase
+)
+
+// String names the class as used in logs and reports.
+func (c Class) String() string {
+	if c == ClassFixedBase {
+		return "fixedbase"
+	}
+	return "variablebase"
+}
+
 // Request is one scalar multiplication [K]Base. The zero-value Base
-// (which is not a curve point) selects the generator.
+// (which is not a curve point) selects the generator. Class selects the
+// microprogram: ClassFixedBase rides the comb program and computes
+// [K]G regardless of Base.
 type Request struct {
-	K    scalar.Scalar
-	Base curve.Affine
+	K     scalar.Scalar
+	Base  curve.Affine
+	Class Class
 }
 
 // Result carries the affine product and the datapath statistics of the
@@ -270,6 +300,9 @@ type Engine struct {
 	laneRuns    *telemetry.Counter
 	laneLanes   *telemetry.Counter
 	flushHits   *telemetry.Counter
+	classBreaks *telemetry.Counter
+	fbDone      *telemetry.Counter
+	vbDone      *telemetry.Counter
 	depth       *telemetry.Gauge
 	inFlight    *telemetry.Gauge
 	laneFill    *telemetry.Gauge
@@ -384,6 +417,9 @@ func NewWithProcessor(p *core.Processor, opts Options) *Engine {
 		laneRuns:    reg.Counter(ns + ".lane_runs"),
 		laneLanes:   reg.Counter(ns + ".lane_lanes"),
 		flushHits:   reg.Counter(ns + ".flush_deadline_hits"),
+		classBreaks: reg.Counter(ns + ".lane_class_breaks"),
+		fbDone:      reg.Counter(ns + ".completed_fixedbase"),
+		vbDone:      reg.Counter(ns + ".completed_variablebase"),
 		depth:       reg.Gauge(ns + ".queue_depth"),
 		inFlight:    reg.Gauge(ns + ".in_flight"),
 		laneFill:    reg.Gauge(ns + ".lane_fill_ratio"),
@@ -594,6 +630,16 @@ func (e *Engine) ScalarMultAffine(ctx context.Context, k scalar.Scalar, base cur
 	return r.Point, err
 }
 
+// ScalarMultFixedBase submits [k]G as a fixed-base-class request, riding
+// the comb microprogram when the processor carries it. It is the
+// schnorrq.FixedBaseScalarMulter backend: signing's commitment
+// multiplication takes its cheapest schedule while verification stays
+// on the variable-base program.
+func (e *Engine) ScalarMultFixedBase(ctx context.Context, k scalar.Scalar) (curve.Affine, error) {
+	r, err := e.Submit(ctx, Request{K: k, Class: ClassFixedBase})
+	return r.Point, err
+}
+
 // Close stops accepting submissions, lets the workers drain the queue,
 // and waits for them to exit. It is idempotent and safe to race with
 // itself and with in-flight Submit/SubmitBatch calls: a submission
@@ -715,6 +761,13 @@ func (e *Engine) deliver(j *job, r Result) {
 		e.failed.Inc()
 	}
 	e.completed.Inc()
+	// Per-program provenance: which microprogram class served the
+	// request (the serving layer's routing is visible here end-to-end).
+	if j.req.Class == ClassFixedBase {
+		e.fbDone.Inc()
+	} else {
+		e.vbDone.Inc()
+	}
 	e.doneCount.Add(1)
 	e.spanDeliver(j, r)
 	e.fr.Record("deliver", -1, j.id, r.Attempts, r.Backend.String())
@@ -757,9 +810,15 @@ func (e *Engine) collect(w *workerState) []*job {
 		e.mu.Unlock()
 		return nil
 	}
-	e.popClaim(w, lw)
+	mixed := e.popClaim(w, lw)
 	closed := e.closed
 	e.mu.Unlock()
+	if mixed {
+		// The queue head belongs to the other program class; FIFO means
+		// no lane-mate can overtake it, so dispatch what we hold.
+		e.classBreaks.Inc()
+		return w.jobs
+	}
 	if len(w.jobs) >= lw || closed || e.opts.FlushDeadline < 0 {
 		if len(w.jobs) == 0 {
 			// Everything popped had been canceled; go back to blocking.
@@ -775,9 +834,13 @@ func (e *Engine) collect(w *workerState) []*job {
 	for len(w.jobs) < lw {
 		e.clock.Sleep(slice)
 		e.mu.Lock()
-		e.popClaim(w, lw)
+		mixed = e.popClaim(w, lw)
 		closed = e.closed
 		e.mu.Unlock()
+		if mixed {
+			e.classBreaks.Inc()
+			return w.jobs
+		}
 		if closed || !e.clock.Now().Before(deadline) {
 			break
 		}
@@ -795,10 +858,20 @@ func (e *Engine) collect(w *workerState) []*job {
 
 // popClaim moves queued jobs into w.jobs (up to max), claiming each;
 // jobs canceled while queued are dropped — the canceler accounted for
-// them. Caller holds e.mu.
-func (e *Engine) popClaim(w *workerState, max int) {
+// them. Claiming stops at a class boundary: a held batch only takes
+// head-of-queue jobs of its own class, so lockstep lanes stay
+// program-homogeneous without reordering the FIFO. It returns true when
+// the head was left behind for that reason — no lane-mate can arrive
+// ahead of it, so the caller should dispatch rather than keep waiting.
+// Caller holds e.mu.
+func (e *Engine) popClaim(w *workerState, max int) bool {
+	mixed := false
 	for len(w.jobs) < max && len(e.queue) > 0 {
 		j := e.queue[0]
+		if len(w.jobs) > 0 && j.req.Class != w.jobs[0].req.Class {
+			mixed = true
+			break
+		}
 		e.queue = e.queue[1:]
 		if j.state.CompareAndSwap(jobPending, jobClaimed) {
 			e.claimJob(j)
@@ -806,6 +879,7 @@ func (e *Engine) popClaim(w *workerState, max int) {
 		}
 	}
 	e.depth.Set(float64(len(e.queue)))
+	return mixed
 }
 
 // executeLanes runs one claimed batch. The fast path is a single
@@ -831,18 +905,30 @@ func (e *Engine) executeLanes(w *workerState, jobs []*job) {
 		}
 		return
 	}
+	// popClaim keeps batches class-homogeneous, so the first job's class
+	// is the batch's class and one lockstep pass serves every lane.
+	fixed := jobs[0].req.Class == ClassFixedBase
 	w.ks, w.bases = w.ks[:0], w.bases[:0]
 	for _, j := range jobs {
+		w.ks = append(w.ks, j.req.K)
+		if fixed {
+			continue // the comb program's base is baked in
+		}
 		base := j.req.Base
 		if base == (curve.Affine{}) {
 			base = curve.GeneratorAffine()
 		}
-		w.ks = append(w.ks, j.req.K)
 		w.bases = append(w.bases, base)
 	}
 	startUS := e.spanNowUS(jobs)
 	t0 := time.Now()
-	st, err := w.ex.ScalarMultLanesValidated(w.ks, w.bases, w.outs[:n], w.lerrs[:n], e.validate)
+	var st rtl.Stats
+	var err error
+	if fixed {
+		st, err = w.ex.ScalarMultFixedBaseLanesValidated(w.ks, w.outs[:n], w.lerrs[:n], e.validate)
+	} else {
+		st, err = w.ex.ScalarMultLanesValidated(w.ks, w.bases, w.outs[:n], w.lerrs[:n], e.validate)
+	}
 	e.execH.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		// Whole-batch refusal (cannot happen with well-formed scratch
@@ -909,6 +995,7 @@ func (e *Engine) noteQuarantine(w *workerState) {
 // backoff a single-path run would have slept after that failed attempt.
 func (e *Engine) executeFrom(w *workerState, j *job, prior int) Result {
 	req := j.req
+	fixed := req.Class == ClassFixedBase
 	base := req.Base
 	if base == (curve.Affine{}) {
 		base = curve.GeneratorAffine()
@@ -930,7 +1017,16 @@ func (e *Engine) executeFrom(w *workerState, j *job, prior int) Result {
 				startUS = e.trace.NowUS()
 			}
 			t0 := time.Now()
-			pt, st, err := w.ex.ScalarMultValidated(req.K, base, e.validate)
+			var (
+				pt  curve.Affine
+				st  rtl.Stats
+				err error
+			)
+			if fixed {
+				pt, st, err = w.ex.ScalarMultFixedBaseValidated(req.K, e.validate)
+			} else {
+				pt, st, err = w.ex.ScalarMultValidated(req.K, base, e.validate)
+			}
 			e.execH.Observe(time.Since(t0).Seconds())
 			r.Attempts++
 			e.spanExecute(j, w.id, r.Attempts, BackendRTL, startUS, err == nil)
@@ -972,7 +1068,11 @@ func (e *Engine) executeFrom(w *workerState, j *job, prior int) Result {
 		startUS = e.trace.NowUS()
 	}
 	t0 := time.Now()
-	r.Point = curve.ScalarMult(req.K, curve.FromAffine(base)).Affine()
+	if fixed {
+		r.Point = curve.ScalarMult(req.K, curve.Generator()).Affine()
+	} else {
+		r.Point = curve.ScalarMult(req.K, curve.FromAffine(base)).Affine()
+	}
 	e.execH.Observe(time.Since(t0).Seconds())
 	r.Backend = BackendSoftware
 	e.spanExecute(j, w.id, r.Attempts, BackendSoftware, startUS, true)

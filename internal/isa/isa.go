@@ -39,6 +39,12 @@ const (
 	// (table entry 0, swapped) when the correction flag is set, else the
 	// cached-identity constant register.
 	OpCorr
+	// OpROM reads the fixed-base window ROM: coordinate Coord of entry
+	// v_Digit of window Digit (1-based; window 0 lives in the register
+	// -file table region and uses OpTable), with the same X+Y / Y-X swap
+	// as OpTable when the digit sign is negative. The ROM has its own
+	// read port, so an OpROM operand consumes no register-file port.
+	OpROM
 )
 
 func (k OperandKind) String() string {
@@ -55,6 +61,8 @@ func (k OperandKind) String() string {
 		return "tbl"
 	case OpCorr:
 		return "corr"
+	case OpROM:
+		return "rom"
 	}
 	return "?"
 }
@@ -63,8 +71,8 @@ func (k OperandKind) String() string {
 type Operand struct {
 	Kind  OperandKind
 	Reg   uint16 // register address (OpReg)
-	Coord uint8  // table coordinate 0..3 (OpTable/OpCorr)
-	Digit uint8  // recoded digit position 0..64 (OpTable)
+	Coord uint8  // table coordinate 0..3 (OpTable/OpCorr/OpROM)
+	Digit uint8  // recoded digit position 0..64 (OpTable); ROM window 1..62 (OpROM)
 }
 
 // CmdMode selects how the adder's command bits are produced.
@@ -133,6 +141,13 @@ type Program struct {
 	CorrIdentRegs [4]uint16
 	// OutputRegs maps output names to registers.
 	OutputRegs map[string]uint16
+	// ROMWindows is the fixed-base operand ROM consumed by OpROM reads:
+	// ROMWindows[w-1][u][c] holds coordinate c (fp2 limbs laid out as in
+	// ConstLoad) of entry u of window w. Empty for programs without ROM
+	// operands. The data lives beside the control-word ROM (ROMImage)
+	// and is addressed by (window, runtime digit index, coordinate), so
+	// it never occupies register-file space.
+	ROMWindows [][8][4][4]uint64
 }
 
 // Validate performs structural checks: register addresses in range, at
@@ -179,6 +194,14 @@ func (p *Program) Validate() error {
 			}
 			if op.Kind == OpTable && op.Digit > 64 {
 				return fmt.Errorf("isa: instr %d table digit %d", i, op.Digit)
+			}
+			if op.Kind == OpROM {
+				if op.Coord > 3 {
+					return fmt.Errorf("isa: instr %d ROM coord %d", i, op.Coord)
+				}
+				if op.Digit < 1 || int(op.Digit) > len(p.ROMWindows) {
+					return fmt.Errorf("isa: instr %d ROM window %d outside [1,%d]", i, op.Digit, len(p.ROMWindows))
+				}
 			}
 		}
 		lat := p.AddLatency

@@ -48,6 +48,11 @@ type CompiledProgram struct {
 	// could not be statically proven initialized, so the fast path must
 	// maintain written bits to serve its residual checks.
 	trackWritten bool
+	// rom is the flattened fixed-base window ROM: coordinate c of entry u
+	// of window w lives at (w-1)*32 + u*4 + c, pre-converted from limbs.
+	// OpROM operands resolve against it through their own read port, so
+	// ROM reads never count toward register-file port pressure.
+	rom          []fp2.Element
 	stats        Stats
 	opcodeCounts [numOpcodes]int
 }
@@ -66,15 +71,16 @@ type inputSlot struct {
 // kinds the register candidates are resolved at compile time: tblPos/
 // tblNeg for OpTable (indexed by the recoded digit's table index, sign
 // picking the X+Y / Y-X swap), corrReg/identReg for OpCorr's two
-// branches. check marks the rare operand whose selected register must
-// still be confirmed initialized at runtime.
+// branches; OpROM reuses tblPos/tblNeg as flat indices into cp.rom.
+// check marks the rare operand whose selected register must still be
+// confirmed initialized at runtime.
 type cOperand struct {
-	kind   isa.OperandKind
-	check  bool
-	reg    uint16 // OpReg
-	digit  uint8  // OpTable
-	tblPos [8]uint16
-	tblNeg [8]uint16
+	kind     isa.OperandKind
+	check    bool
+	reg      uint16 // OpReg
+	digit    uint8  // OpTable index digit / OpROM window
+	tblPos   [8]uint16
+	tblNeg   [8]uint16
 	corrReg  uint16 // OpCorr, correction flag set
 	identReg uint16 // OpCorr, correction flag clear
 }
@@ -132,6 +138,17 @@ func Compile(p *isa.Program) (*CompiledProgram, error) {
 	for name, reg := range p.InputRegs {
 		cp.inputs = append(cp.inputs, inputSlot{name: name, reg: reg})
 		cp.initWritten[reg] = true
+	}
+	if len(p.ROMWindows) > 0 {
+		cp.rom = make([]fp2.Element, len(p.ROMWindows)*32)
+		for w := range p.ROMWindows {
+			for u := 0; u < 8; u++ {
+				for c := 0; c < 4; c++ {
+					l := p.ROMWindows[w][u][c]
+					cp.rom[w*32+u*4+c] = fp2.New(fp.SetLimbs(l[0], l[1]), fp.SetLimbs(l[2], l[3]))
+				}
+			}
+		}
 	}
 
 	// Static walk of the schedule: an abstract run of the interpreter's
@@ -297,6 +314,25 @@ func (cp *CompiledProgram) compileOperand(op isa.Operand, cycle int, cc *cCycle,
 			}
 		}
 		return c, 1, nil
+	case isa.OpROM:
+		// Validate checked the window and coordinate ranges; the digit
+		// positions driving the runtime index must also exist.
+		if op.Digit >= scalar.Digits {
+			return cOperand{}, 0, fmt.Errorf("%w: ROM window %d exceeds digit positions", ErrHazard, op.Digit)
+		}
+		// Pre-resolve the flat ROM addresses for the 16 possible
+		// (index, sign) selections. ROM contents are always present, so no
+		// written check; the ROM's own read port keeps the register-file
+		// read count at zero.
+		c := cOperand{kind: isa.OpROM, digit: op.Digit}
+		base := (int(op.Digit) - 1) * 32
+		swapped := swap01(op.Coord)
+		for idx := 0; idx < 8; idx++ {
+			c.tblPos[idx] = uint16(base + idx*4 + int(op.Coord))
+			c.tblNeg[idx] = uint16(base + idx*4 + int(swapped))
+		}
+		cp.stats.ROMReads++
+		return c, 0, nil
 	case isa.OpCorr:
 		if op.Coord > 3 {
 			return cOperand{}, 0, fmt.Errorf("%w: corr coord %d", ErrHazard, op.Coord)

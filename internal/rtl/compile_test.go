@@ -167,7 +167,7 @@ func (p *pokeInjector) BeginCycle(cycle int, rf RegFile) {
 		rf.Poke(p.reg, fp2.New(fp.SetLimbs(lo^1, hi), v.B))
 	}
 }
-func (p *pokeInjector) Fetch(_ int, ins isa.Instr) (isa.Instr, bool)     { return ins, true }
+func (p *pokeInjector) Fetch(_ int, ins isa.Instr) (isa.Instr, bool)      { return ins, true }
 func (p *pokeInjector) Forward(_ int, _ uint8, v fp2.Element) fp2.Element { return v }
 func (p *pokeInjector) Retire(_ int, _ uint8, _ uint16, v fp2.Element) fp2.Element {
 	return v

@@ -281,6 +281,18 @@ func (lm *LaneMachine) operandRow(o *cOperand, op *cOp, mulFwd, addFwd, buf []fp
 			buf[l] = lm.laneRead(r, l, op, o.check)
 		}
 		return buf[:n]
+	case isa.OpROM:
+		// Per-lane ROM gather: each lane's recoded digit selects its own
+		// flat ROM address; contents are constants, so no residual check.
+		for l := 0; l < n; l++ {
+			rec := &lm.ins[l].Rec
+			r := o.tblPos[rec.Index[o.digit]]
+			if rec.Sign[o.digit] < 0 {
+				r = o.tblNeg[rec.Index[o.digit]]
+			}
+			buf[l] = lm.cp.rom[r]
+		}
+		return buf[:n]
 	case isa.OpCorr:
 		for l := 0; l < n; l++ {
 			r := o.identReg

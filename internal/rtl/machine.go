@@ -201,6 +201,12 @@ func (m *Machine) operand(o *cOperand, op *cOp, rec *scalar.Recoded, corrected b
 			}
 		}
 		return m.regs[r], nil
+	case isa.OpROM:
+		r := o.tblPos[rec.Index[o.digit]]
+		if rec.Sign[o.digit] < 0 {
+			r = o.tblNeg[rec.Index[o.digit]]
+		}
+		return m.cp.rom[r], nil
 	case isa.OpCorr:
 		r := o.identReg
 		if corrected {

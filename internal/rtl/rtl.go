@@ -120,6 +120,9 @@ type Stats struct {
 	RegWrites      int
 	ElidedWrites   int
 	ForwardedReads int
+	// ROMReads counts operands served by the fixed-base window ROM's
+	// dedicated read port (OpROM); they consume no register-file ports.
+	ROMReads int
 	// MulUtilization is MulIssues / Cycles.
 	MulUtilization float64
 	// AddUtilization is AddIssues / Cycles.
@@ -550,6 +553,29 @@ func (m *machine) resolve(cycle int, ins isa.Instr, op isa.Operand, mulOut, addO
 		}
 		v, err := readReg(m.prog.TableRegs[idx][coord])
 		return v, 1, err
+	case isa.OpROM:
+		if op.Digit >= scalar.Digits {
+			return fp2.Element{}, 0, fmt.Errorf("%w: ROM window %d exceeds digit positions", ErrHazard, op.Digit)
+		}
+		if op.Digit < 1 || int(op.Digit) > len(m.prog.ROMWindows) {
+			return fp2.Element{}, 0, fmt.Errorf("%w: ROM window %d outside [1,%d]", ErrHazard, op.Digit, len(m.prog.ROMWindows))
+		}
+		sign := m.in.Rec.Sign[op.Digit]
+		idx := m.in.Rec.Index[op.Digit]
+		coord := op.Coord
+		if sign < 0 {
+			switch coord {
+			case 0:
+				coord = 1
+			case 1:
+				coord = 0
+			}
+		}
+		// The ROM has its own read port: no register-file port consumed,
+		// no written bit to check.
+		m.stats.ROMReads++
+		l := m.prog.ROMWindows[op.Digit-1][idx][coord]
+		return fp2.New(fp.SetLimbs(l[0], l[1]), fp.SetLimbs(l[2], l[3])), 0, nil
 	case isa.OpCorr:
 		if m.in.Corrected {
 			coord := op.Coord

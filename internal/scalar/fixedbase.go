@@ -1,0 +1,77 @@
+package scalar
+
+import "math/bits"
+
+// Fixed-base comb recoding. The fixed-base microprogram computes [k]G
+// as a straight chain of FixedBaseDigits cached additions over
+// precomputed windows — no doublings at all — so the scalar must be
+// expressed in a form with no zero digits (a zero digit would need a
+// branch, and the datapath's schedule is static). That form is signed
+// odd radix-16:
+//
+//	k' = Σ_{i=0}^{FixedBaseDigits-1} d_i · 16^i,  d_i ∈ {±1, ±3, ..., ±15}
+//
+// where k' is k reduced mod N and forced odd. Odd digits mean only the
+// 8 magnitudes per window need precomputing, and the sign rides the
+// existing sign-swapped table pre-decode (X+Y ↔ Y−X, negate 2dT)
+// unchanged.
+//
+// FixedBaseDigits is 63 because N < 2^246: the digit recurrence
+// v_{i+1} = (v_i − d_i)/16 keeps v odd and shrinks it by 4 bits per
+// step, so after 62 steps v has provably collapsed to exactly 1 — the
+// top digit is always +1 and the chain length is constant for every
+// scalar.
+const FixedBaseDigits = 63
+
+// RecodeFixedBase reduces k mod N, forces it odd (reporting the
+// correction in the second return, wired to the microprogram's
+// correction add exactly like Decompose's Corrected flag: the program
+// then subtracts [1]G), and recodes it into FixedBaseDigits signed odd
+// radix-16 digits packed the way the datapath's table operands consume
+// them: Sign[i] = ±1 and Index[i] = (|d_i|−1)/2 ∈ [0,7]. Positions
+// FixedBaseDigits and above stay zero; the fixed-base program never
+// reads them. Since G has order N, [k']G with the correction applied
+// equals [k]G for any 256-bit k.
+func RecodeFixedBase(k Scalar) (Recoded, bool) {
+	v := ModN(k)
+	corrected := false
+	if v[0]&1 == 0 {
+		// v is even so the +1 stays within the low limb; v+1 ≤ N < 2^246.
+		v[0]++
+		corrected = true
+	}
+	var rec Recoded
+	for i := 0; i < FixedBaseDigits-1; i++ {
+		d := int64(v[0]&31) - 16 // odd, in [−15, 15], since v is odd
+		if d >= 0 {
+			// v mod 32 ≥ 17 here, so v > d and the subtraction never
+			// underflows.
+			var b uint64
+			v[0], b = bits.Sub64(v[0], uint64(d), 0)
+			v[1], b = bits.Sub64(v[1], 0, b)
+			v[2], b = bits.Sub64(v[2], 0, b)
+			v[3], _ = bits.Sub64(v[3], 0, b)
+			rec.Sign[i] = 1
+			rec.Index[i] = uint8((d - 1) / 2)
+		} else {
+			var c uint64
+			v[0], c = bits.Add64(v[0], uint64(-d), 0)
+			v[1], c = bits.Add64(v[1], 0, c)
+			v[2], c = bits.Add64(v[2], 0, c)
+			v[3], _ = bits.Add64(v[3], 0, c)
+			rec.Sign[i] = -1
+			rec.Index[i] = uint8((-d - 1) / 2)
+		}
+		// v ≡ 16 mod 32 now: shift the consumed digit out, staying odd.
+		v[0] = v[0]>>4 | v[1]<<60
+		v[1] = v[1]>>4 | v[2]<<60
+		v[2] = v[2]>>4 | v[3]<<60
+		v[3] >>= 4
+	}
+	if v != (Scalar{1, 0, 0, 0}) {
+		panic("scalar: fixed-base recoding invariant broken (top digit != 1)")
+	}
+	rec.Sign[FixedBaseDigits-1] = 1
+	rec.Index[FixedBaseDigits-1] = 0
+	return rec, corrected
+}

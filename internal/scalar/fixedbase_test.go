@@ -1,0 +1,88 @@
+package scalar
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// fixedBaseValue reconstructs Σ d_i·16^i from a recoding.
+func fixedBaseValue(rec Recoded) *big.Int {
+	v := new(big.Int)
+	base := big.NewInt(1)
+	sixteen := big.NewInt(16)
+	for i := 0; i < FixedBaseDigits; i++ {
+		d := int64(2*rec.Index[i] + 1)
+		if rec.Sign[i] < 0 {
+			d = -d
+		}
+		term := new(big.Int).Mul(base, big.NewInt(d))
+		v.Add(v, term)
+		base = new(big.Int).Mul(base, sixteen)
+	}
+	return v
+}
+
+func checkFixedBaseRecoding(t *testing.T, k Scalar) {
+	t.Helper()
+	rec, corrected := RecodeFixedBase(k)
+	// Digit shape: every position in range, odd magnitude, sign ±1; the
+	// top digit is always +1; unused positions stay zero.
+	for i := 0; i < FixedBaseDigits; i++ {
+		if rec.Sign[i] != 1 && rec.Sign[i] != -1 {
+			t.Fatalf("digit %d: sign %d", i, rec.Sign[i])
+		}
+		if rec.Index[i] > 7 {
+			t.Fatalf("digit %d: index %d out of range", i, rec.Index[i])
+		}
+	}
+	if rec.Sign[FixedBaseDigits-1] != 1 || rec.Index[FixedBaseDigits-1] != 0 {
+		t.Fatalf("top digit not +1: sign=%d index=%d",
+			rec.Sign[FixedBaseDigits-1], rec.Index[FixedBaseDigits-1])
+	}
+	for i := FixedBaseDigits; i < Digits; i++ {
+		if rec.Sign[i] != 0 || rec.Index[i] != 0 {
+			t.Fatalf("position %d not zero: sign=%d index=%d", i, rec.Sign[i], rec.Index[i])
+		}
+	}
+	// Reconstruction: the digits must encode ModN(k), plus one when the
+	// correction flag says the recoder forced parity.
+	want := new(big.Int).Mod(k.Big(), Order())
+	if corrected {
+		want.Add(want, big.NewInt(1))
+	}
+	if corrected != (new(big.Int).Mod(k.Big(), Order()).Bit(0) == 0) {
+		t.Fatalf("corrected=%v disagrees with parity of k mod N", corrected)
+	}
+	if got := fixedBaseValue(rec); got.Cmp(want) != 0 {
+		t.Fatalf("reconstruction mismatch for k=%v:\n got %v\nwant %v", k, got, want)
+	}
+}
+
+func TestRecodeFixedBaseEdges(t *testing.T) {
+	nMinus1 := FromBig(new(big.Int).Sub(Order(), big.NewInt(1)))
+	n := FromBig(Order())
+	all1s := Scalar{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+	for _, k := range []Scalar{
+		{},            // 0 mod N: corrected to 1, all low digits collapse
+		{1, 0, 0, 0},  // already odd minimal
+		{2, 0, 0, 0},  // even, corrected
+		{16, 0, 0, 0}, // single-window carry
+		nMinus1,       // largest residue
+		n,             // ≡ 0 mod N
+		all1s,         // full 256-bit input, reduced first
+	} {
+		checkFixedBaseRecoding(t, k)
+	}
+}
+
+func TestRecodeFixedBaseRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		var k Scalar
+		for j := range k {
+			k[j] = rng.Uint64()
+		}
+		checkFixedBaseRecoding(t, k)
+	}
+}

@@ -36,9 +36,10 @@ func emitProgram(g *trace.Graph, res Resources, starts []int, makespan int) (*is
 				if starts[op.ID] > lastUse[operand] {
 					lastUse[operand] = starts[op.ID]
 				}
-			case trace.SrcTable, trace.SrcCorr:
-				// runtime reads touch the pinned table region; nothing to
-				// extend here (the slots are pinned below).
+			case trace.SrcTable, trace.SrcCorr, trace.SrcROM:
+				// runtime reads touch the pinned table region or the
+				// operand ROM; nothing to extend here (table slots are
+				// pinned below, ROM never occupies registers).
 			}
 		}
 	}
@@ -158,6 +159,8 @@ func emitProgram(g *trace.Graph, res Resources, starts []int, makespan int) (*is
 			return isa.Operand{Kind: isa.OpTable, Coord: uint8(v.Coord), Digit: uint8(v.Digit)}, nil
 		case trace.SrcCorr:
 			return isa.Operand{Kind: isa.OpCorr, Coord: uint8(v.Coord)}, nil
+		case trace.SrcROM:
+			return isa.Operand{Kind: isa.OpROM, Coord: uint8(v.Coord), Digit: uint8(v.Digit)}, nil
 		case trace.SrcConst, trace.SrcInput:
 			return isa.Operand{Kind: isa.OpReg, Reg: uint16(regOf[operand])}, nil
 		case trace.SrcOp:
@@ -270,6 +273,20 @@ func emitProgram(g *trace.Graph, res Resources, starts []int, makespan int) (*is
 		for c, name := range ident {
 			if id, ok := constByName[name]; ok {
 				prog.CorrIdentRegs[c] = uint16(regOf[id])
+			}
+		}
+	}
+	if len(g.ROM) > 0 {
+		prog.ROMWindows = make([][8][4][4]uint64, len(g.ROM))
+		for w := range g.ROM {
+			for u := 0; u < 8; u++ {
+				for c := 0; c < 4; c++ {
+					e := g.ROM[w][u][trace.TableCoord(c)]
+					var limbs [4]uint64
+					limbs[0], limbs[1] = e.A.Limbs()
+					limbs[2], limbs[3] = e.B.Limbs()
+					prog.ROMWindows[w][u][c] = limbs
+				}
 			}
 		}
 	}

@@ -17,15 +17,33 @@ type ScalarMulter interface {
 	ScalarMultAffine(ctx context.Context, k scalar.Scalar, base curve.Affine) (curve.Affine, error)
 }
 
+// FixedBaseScalarMulter is the optional fast path of a ScalarMulter: a
+// backend that can compute generator multiplications [k]G on a cheaper
+// dedicated schedule (internal/engine routes them to the fixed-base
+// comb microprogram). SignWith type-asserts for it, so the commitment
+// multiplication — the only curve operation in signing — automatically
+// rides the cheap schedule when the backend offers one; verification's
+// [h]A is genuinely variable-base and stays on ScalarMultAffine.
+type FixedBaseScalarMulter interface {
+	ScalarMultFixedBase(ctx context.Context, k scalar.Scalar) (curve.Affine, error)
+}
+
 // SignWith produces the same deterministic signature as Sign, computing
-// the commitment R = [r]G on the backend.
+// the commitment R = [r]G on the backend (on its fixed-base path when
+// it implements FixedBaseScalarMulter).
 func (k *PrivateKey) SignWith(ctx context.Context, sm ScalarMulter, msg []byte) ([SignatureSize]byte, error) {
 	var sig [SignatureSize]byte
 	r := hashToScalar(k.prefix[:], msg)
 	if r.IsZero() {
 		r = scalar.FromUint64(1) // mirror Sign's degenerate-nonce fallback
 	}
-	Ra, err := sm.ScalarMultAffine(ctx, r, curve.GeneratorAffine())
+	var Ra curve.Affine
+	var err error
+	if fb, ok := sm.(FixedBaseScalarMulter); ok {
+		Ra, err = fb.ScalarMultFixedBase(ctx, r)
+	} else {
+		Ra, err = sm.ScalarMultAffine(ctx, r, curve.GeneratorAffine())
+	}
 	if err != nil {
 		return sig, err
 	}

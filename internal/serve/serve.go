@@ -340,6 +340,13 @@ func New(opts Options) (*Server, error) {
 	if opts.FlightRecorder == nil {
 		opts.FlightRecorder = telemetry.NewFlightRecorder(0)
 	}
+	// The front door hosts signing, so the shared processor always
+	// carries the fixed-base comb program alongside the variable-base
+	// one: SignWith routes each commitment multiplication [r]G through
+	// engine.ScalarMultFixedBase (schnorrq.FixedBaseScalarMulter), and
+	// the engines keep lane batches homogeneous per program. Verify
+	// traffic stays on the variable-base program.
+	opts.Config.FixedBase = true
 	// The processor build reports solver progress through the server's
 	// registry (sched.best_makespan / sched.solver_improvements on
 	// /metrics) unless the caller installed its own observer. A cache

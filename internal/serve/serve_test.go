@@ -450,3 +450,51 @@ func TestDebugSurfaceMounted(t *testing.T) {
 		t.Fatalf("/debug/flightrecorder: %v", err)
 	}
 }
+
+// TestServeSignRidesFixedBase pins the request-class routing through the
+// whole stack: the server's processor carries the comb program, a
+// /v1/sign commitment lands on it (per-shard engine counter
+// completed_fixedbase), and /v1/verify traffic stays variable-base.
+func TestServeSignRidesFixedBase(t *testing.T) {
+	ts := startServer(t, Options{
+		Shards: 1,
+		Engine: engine.Options{Workers: 1},
+	})
+	f := newFixture(t, 1)
+
+	status, body := ts.post(t, "/v1/sign", "",
+		SignRequest{Seed: f.seedHex, Msg: hex.EncodeToString(f.msgs[0])})
+	if status != http.StatusOK {
+		t.Fatalf("sign: status %d: %s", status, body)
+	}
+	var sr SignResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Sig != hex.EncodeToString(f.sigs[0]) {
+		t.Fatal("served signature differs from the software signature")
+	}
+	snap := ts.s.Metrics().Snapshot()
+	if got := snap.Counters["engine.shard0.completed_fixedbase"]; got != 1 {
+		t.Fatalf("completed_fixedbase = %d after one sign, want 1", got)
+	}
+
+	status, body = ts.post(t, "/v1/verify", "", f.verifyReq(0))
+	if status != http.StatusOK {
+		t.Fatalf("verify: status %d: %s", status, body)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if !vr.Valid {
+		t.Fatal("verify rejected a valid signature")
+	}
+	snap = ts.s.Metrics().Snapshot()
+	if got := snap.Counters["engine.shard0.completed_fixedbase"]; got != 1 {
+		t.Fatalf("verify moved completed_fixedbase to %d; it must stay variable-base", got)
+	}
+	if got := snap.Counters["engine.shard0.completed_variablebase"]; got != 2 {
+		t.Fatalf("completed_variablebase = %d after one verify, want 2", got)
+	}
+}

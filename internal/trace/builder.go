@@ -191,6 +191,55 @@ func (b *Builder) TableRead(coord TableCoord, digit int) Val {
 	return Val{id: id, v: conc}
 }
 
+// RegisterROM installs the fixed-base window constants consumed by
+// ROMRead: windows[w-1][u][c] is coordinate c of entry u of window w
+// (window 0 is register-file territory — see RegisterTable). Must be
+// called before ROMRead.
+func (b *Builder) RegisterROM(windows [][8][4]fp2.Element) {
+	b.g.ROM = make([][8][numCoords]fp2.Element, len(windows))
+	for w := range windows {
+		for u := 0; u < 8; u++ {
+			for c := 0; c < 4; c++ {
+				b.g.ROM[w][u][TableCoord(c)] = windows[w][u][c]
+			}
+		}
+	}
+}
+
+// ROMRead records a runtime-indexed ROM operand: coordinate coord of
+// entry v_window of ROM window `window` (which is also the recoded
+// digit position driving the index and sign), with the same X+Y / Y-X
+// sign swap as TableRead. ROM contents are constants, so the read has
+// no producer dependencies and burns no register-file port.
+func (b *Builder) ROMRead(coord TableCoord, window int) Val {
+	if window < 1 || window > len(b.g.ROM) {
+		panic(fmt.Sprintf("trace: ROM window %d outside [1,%d]", window, len(b.g.ROM)))
+	}
+	if window >= scalar.Digits {
+		panic(fmt.Sprintf("trace: ROM window %d exceeds digit positions", window))
+	}
+	idx := 0
+	sign := int8(1)
+	if b.hasRec {
+		idx = int(b.rec.Index[window])
+		sign = b.rec.Sign[window]
+	}
+	effective := coord
+	if sign < 0 {
+		switch coord {
+		case CoordXplusY:
+			effective = CoordYminusX
+		case CoordYminusX:
+			effective = CoordXplusY
+		}
+	}
+	conc := b.g.ROM[window-1][idx][effective]
+	id := len(b.g.Values)
+	b.g.Values = append(b.g.Values, Value{ID: id, Kind: SrcROM, Op: -1, Coord: coord, Digit: window})
+	b.g.Concrete = append(b.g.Concrete, conc)
+	return Val{id: id, v: conc}
+}
+
 // CorrRead records the correction operand for coordinate coord: the
 // corresponding coordinate of -P (table slot 0, swapped) when the
 // decomposition was parity-corrected, else the cached identity constant.

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/scalar"
+)
+
+func TestBuildFixedBaseMatchesLibrary(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(62))
+	g := curve.GeneratorAffine()
+	tab := curve.NewFixedBaseTable(curve.Generator())
+	for trial := 0; trial < 3; trial++ {
+		k := randScalar(rng)
+		tr, err := BuildFixedBaseScalarMult(k, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two oracles: the generic variable-base library walk and the
+		// comb table the microprogram is meant to replace.
+		want := curve.ScalarMult(k, curve.Generator()).Affine()
+		comb := tab.ScalarMult(k).Affine()
+		if want != comb {
+			t.Fatalf("trial %d: library oracles disagree", trial)
+		}
+		gotX := tr.Graph.Concrete[tr.XOut]
+		gotY := tr.Graph.Concrete[tr.YOut]
+		if !gotX.Equal(want.X) || !gotY.Equal(want.Y) {
+			t.Fatalf("trial %d: fixed-base trace disagrees with curve.FixedBaseTable", trial)
+		}
+	}
+}
+
+func TestBuildFixedBaseEdgeScalars(t *testing.T) {
+	g := curve.GeneratorAffine()
+	for _, k := range []scalar.Scalar{
+		{},   // ≡ 0 mod N: corrected, result is the identity
+		{1},  // minimal odd
+		{42}, // even: correction path
+		scalar.FromBig(scalar.Order()),
+		{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)},
+	} {
+		tr, err := BuildFixedBaseScalarMult(k, g)
+		if err != nil {
+			t.Fatalf("k=%v: %v", k, err)
+		}
+		want := curve.ScalarMult(k, curve.Generator()).Affine()
+		if !tr.Graph.Concrete[tr.XOut].Equal(want.X) || !tr.Graph.Concrete[tr.YOut].Equal(want.Y) {
+			t.Fatalf("k=%v: fixed-base trace disagrees with library", k)
+		}
+	}
+}
+
+func TestBuildFixedBaseShape(t *testing.T) {
+	tr, err := BuildFixedBaseScalarMult(scalar.Scalar{3}, curve.GeneratorAffine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tr.Graph
+	// No external inputs: the program is fully self-contained.
+	if len(g.Inputs) != 0 {
+		t.Fatalf("fixed-base trace has %d inputs, want 0", len(g.Inputs))
+	}
+	// ROM registered for every window above 0.
+	if len(g.ROM) != scalar.FixedBaseDigits-1 {
+		t.Fatalf("ROM windows = %d, want %d", len(g.ROM), scalar.FixedBaseDigits-1)
+	}
+	// ROM reads have no scheduling dependencies (pure constants).
+	romReads := 0
+	for _, v := range g.Values {
+		if v.Kind == SrcROM {
+			romReads++
+			if deps := g.OperandDeps(v.ID); len(deps) != 0 {
+				t.Fatalf("SrcROM value %d has producer deps %v", v.ID, deps)
+			}
+		}
+	}
+	// 4 coordinates per ROM addition, FixedBaseDigits-1 of them.
+	if want := 4 * (scalar.FixedBaseDigits - 1); romReads != want {
+		t.Fatalf("rom reads = %d, want %d", romReads, want)
+	}
+	// The comb trades the doubling chain away: far fewer multiplier ops
+	// than the variable-base trace's ~2589.
+	if muls := g.NumMuls(); muls > 1200 {
+		t.Fatalf("fixed-base trace has %d muls; comb should be far below the variable-base count", muls)
+	}
+}

@@ -70,6 +70,13 @@ const (
 	// table slot 0 with swap) when the decomposition was corrected, the
 	// cached identity constant otherwise.
 	SrcCorr
+	// SrcROM: a runtime-indexed read of the fixed-base window ROM;
+	// Coord selects the coordinate, Digit the window (equal to the
+	// recoded digit position driving the entry index; window 0 lives in
+	// the register-file table region as SrcTable). ROM contents are
+	// program constants, so a SrcROM value has no producer dependencies
+	// and consumes no register-file read port.
+	SrcROM
 )
 
 // TableCoord names the four cached coordinates stored per table entry.
@@ -130,6 +137,10 @@ type Graph struct {
 	// table entry T[u]. Zero-valued until the table is registered.
 	TableSlots [8][numCoords]int
 	hasTable   bool
+	// ROM holds the fixed-base window constants read by SrcROM values:
+	// ROM[w-1][u][c] is coordinate c of entry u of window w. Empty for
+	// traces without ROM reads.
+	ROM [][8][numCoords]fp2.Element
 	// Inputs and Outputs name the external interface.
 	Inputs  map[string]int
 	Outputs map[string]int
@@ -179,7 +190,7 @@ func (g *Graph) OperandDeps(valueID int) []int {
 	switch v.Kind {
 	case SrcOp:
 		return []int{v.Op}
-	case SrcInput, SrcConst:
+	case SrcInput, SrcConst, SrcROM:
 		return nil
 	case SrcTable, SrcCorr:
 		var deps []int
@@ -248,6 +259,9 @@ func (g *Graph) CheckConsistency() error {
 		}
 		if v.Kind == SrcTable && (v.Digit < 0 || v.Digit > 64) {
 			return fmt.Errorf("trace: table read digit %d out of range", v.Digit)
+		}
+		if v.Kind == SrcROM && (v.Digit < 1 || v.Digit > len(g.ROM)) {
+			return fmt.Errorf("trace: ROM read window %d outside [1,%d]", v.Digit, len(g.ROM))
 		}
 	}
 	return nil

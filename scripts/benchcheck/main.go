@@ -207,7 +207,13 @@ func check(data []byte) error {
 			return err
 		}
 	}
-	if st == nil && !hasThroughput && !hasFaults && !hasBatch && !hasServe && !hasChaos && !hasSched {
+	fb, hasFixedBase := r.Experiments["fixedbase"]
+	if hasFixedBase {
+		if err := checkFixedBase(fb); err != nil {
+			return err
+		}
+	}
+	if st == nil && !hasThroughput && !hasFaults && !hasBatch && !hasServe && !hasChaos && !hasSched && !hasFixedBase {
 		return fmt.Errorf("no experiment carries rtl_stats (run -exp latency or -exp profile)")
 	}
 	if st != nil {
@@ -469,6 +475,112 @@ type schedSolverRow struct {
 	StallCycles    *int     `json:"stall_cycles"`
 }
 
+// fixedBaseExp mirrors the -exp fixedbase report entry (the fixed-base
+// comb program next to the variable-base schedule signing would
+// otherwise ride).
+type fixedBaseExp struct {
+	TraceOps             int             `json:"trace_ops"`
+	ROMWindows           int             `json:"rom_windows"`
+	ROMReads             int             `json:"rom_reads"`
+	LowerBound           int             `json:"lower_bound"`
+	Single               *schedSolverRow `json:"single"`
+	Portfolio            *schedSolverRow `json:"portfolio"`
+	VariableBaseMakespan int             `json:"variable_base_makespan"`
+	Ratio                *float64        `json:"ratio"`
+	Seed                 *int64          `json:"seed"`
+	ScheduleHash         string          `json:"schedule_hash"`
+	Deterministic        bool            `json:"deterministic"`
+	Validated            int             `json:"validated"`
+}
+
+// checkFixedBase validates the fixed-base comb experiment: the comb's
+// ROM evidence must be present (a comb with no ROM reads rode the wrong
+// program), both solver rows need RTL-proven utilization, the comb
+// makespan must actually beat the variable-base schedule it displaces
+// (otherwise the request-class routing is pure overhead), the
+// differential validation must have run, and — like sched — the
+// schedule must carry its seed + hash provenance with the determinism
+// cross-check passed.
+func checkFixedBase(raw json.RawMessage) error {
+	var fb fixedBaseExp
+	if err := json.Unmarshal(raw, &fb); err != nil {
+		return fmt.Errorf("fixedbase: parse: %w", err)
+	}
+	if fb.TraceOps <= 0 {
+		return fmt.Errorf("fixedbase: trace_ops = %d, want > 0", fb.TraceOps)
+	}
+	if fb.ROMWindows <= 0 {
+		return fmt.Errorf("fixedbase: rom_windows = %d, want > 0 (the precomputed table is the experiment)", fb.ROMWindows)
+	}
+	if fb.ROMReads <= 0 {
+		return fmt.Errorf("fixedbase: rom_reads = %d, want > 0 (a comb with no ROM reads rode the wrong program)", fb.ROMReads)
+	}
+	if fb.Single == nil || fb.Portfolio == nil {
+		return fmt.Errorf("fixedbase: both single and portfolio rows are required")
+	}
+	rows := []struct {
+		name string
+		row  *schedSolverRow
+	}{{"single", fb.Single}, {"portfolio", fb.Portfolio}}
+	for _, r := range rows {
+		if r.row.Makespan <= 0 {
+			return fmt.Errorf("fixedbase: %s.makespan = %d, want > 0", r.name, r.row.Makespan)
+		}
+		if r.row.MulUtilization == nil {
+			return fmt.Errorf("fixedbase: %s.mul_utilization missing (utilization is the evidence)", r.name)
+		}
+		if u := *r.row.MulUtilization; u <= 0 || u > 1 {
+			return fmt.Errorf("fixedbase: %s.mul_utilization = %v, want in (0, 1]", r.name, u)
+		}
+		if r.row.AddUtilization == nil {
+			return fmt.Errorf("fixedbase: %s.add_utilization missing", r.name)
+		}
+		if u := *r.row.AddUtilization; u <= 0 || u > 1 {
+			return fmt.Errorf("fixedbase: %s.add_utilization = %v, want in (0, 1]", r.name, u)
+		}
+		if r.row.StallCycles == nil {
+			return fmt.Errorf("fixedbase: %s.stall_cycles missing", r.name)
+		}
+		if *r.row.StallCycles < 0 {
+			return fmt.Errorf("fixedbase: %s.stall_cycles = %d, want >= 0", r.name, *r.row.StallCycles)
+		}
+	}
+	if fb.Portfolio.Makespan > fb.Single.Makespan {
+		return fmt.Errorf("fixedbase: portfolio makespan %d exceeds single-solver makespan %d",
+			fb.Portfolio.Makespan, fb.Single.Makespan)
+	}
+	if fb.LowerBound <= 0 || fb.LowerBound > fb.Portfolio.Makespan {
+		return fmt.Errorf("fixedbase: lower_bound = %d, want in (0, %d]", fb.LowerBound, fb.Portfolio.Makespan)
+	}
+	if fb.VariableBaseMakespan <= 0 {
+		return fmt.Errorf("fixedbase: variable_base_makespan = %d, want > 0 (the comparison is the point)", fb.VariableBaseMakespan)
+	}
+	if fb.Portfolio.Makespan >= fb.VariableBaseMakespan {
+		return fmt.Errorf("fixedbase: comb makespan %d does not beat the variable-base schedule %d — the request-class routing is pure overhead",
+			fb.Portfolio.Makespan, fb.VariableBaseMakespan)
+	}
+	if fb.Ratio == nil {
+		return fmt.Errorf("fixedbase: ratio missing")
+	}
+	want := float64(fb.Portfolio.Makespan) / float64(fb.VariableBaseMakespan)
+	if d := *fb.Ratio - want; d > 1e-9 || d < -1e-9 {
+		return fmt.Errorf("fixedbase: ratio = %v, but makespans give %v", *fb.Ratio, want)
+	}
+	if fb.Seed == nil {
+		return fmt.Errorf("fixedbase: seed missing (scheduling provenance is part of the result)")
+	}
+	if fb.ScheduleHash == "" {
+		return fmt.Errorf("fixedbase: schedule_hash missing (the reproducibility handle is part of the result)")
+	}
+	if !fb.Deterministic {
+		return fmt.Errorf("fixedbase: deterministic = false — the rerun did not reproduce the schedule")
+	}
+	if fb.Validated <= 0 {
+		return fmt.Errorf("fixedbase: validated = %d, want > 0 (no differential evidence against the library table)", fb.Validated)
+	}
+	return nil
+}
+
 // smRates extracts the comparable throughput metrics from a report,
 // keyed by a human-readable metric name: the throughput experiment's
 // peak SM/s over the worker sweep, and the latency experiment's
@@ -551,12 +663,34 @@ func schedMakespan(data []byte) (int, bool, error) {
 	return sc.Portfolio.Makespan, true, nil
 }
 
+// fixedBaseMakespan pulls the comb's portfolio makespan out of a
+// report's fixedbase experiment, when present (lower-is-better, like
+// the sched makespan).
+func fixedBaseMakespan(data []byte) (int, bool, error) {
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return 0, false, fmt.Errorf("parse: %w", err)
+	}
+	raw, ok := r.Experiments["fixedbase"]
+	if !ok {
+		return 0, false, nil
+	}
+	var fb fixedBaseExp
+	if err := json.Unmarshal(raw, &fb); err != nil {
+		return 0, false, fmt.Errorf("fixedbase: parse: %w", err)
+	}
+	if fb.Portfolio == nil || fb.Portfolio.Makespan <= 0 {
+		return 0, false, nil
+	}
+	return fb.Portfolio.Makespan, true, nil
+}
+
 // compare is the perf-regression gate: every SM/s metric present in
 // both the baseline and the current report must be at least
-// baseline*(1-tol), and the sched experiment's portfolio makespan (a
-// lower-is-better cycle count) must not exceed baseline*(1+tol). Two
-// reports with no metric in common are an error — a gate that compares
-// nothing must not pass silently.
+// baseline*(1-tol), and the sched and fixedbase experiments' portfolio
+// makespans (lower-is-better cycle counts) must not exceed
+// baseline*(1+tol). Two reports with no metric in common are an error —
+// a gate that compares nothing must not pass silently.
 func compare(base, cur []byte, tol float64) error {
 	baseRates, err := smRates(base)
 	if err != nil {
@@ -601,6 +735,23 @@ func compare(base, cur []byte, tol float64) error {
 		}
 		fmt.Printf("benchcheck: sched portfolio makespan %d vs baseline %d cycles (%+.1f%%)\n",
 			curMk, baseMk, 100*(float64(curMk)/float64(baseMk)-1))
+	}
+	baseFB, baseFBHas, err := fixedBaseMakespan(base)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	curFB, curFBHas, err := fixedBaseMakespan(cur)
+	if err != nil {
+		return err
+	}
+	if baseFBHas && curFBHas {
+		compared++
+		if ceil := float64(baseFB) * (1 + tol); float64(curFB) > ceil {
+			return fmt.Errorf("regression: fixedbase comb makespan = %d cycles, above %.0f (baseline %d + %.0f%% tolerance)",
+				curFB, ceil, baseFB, 100*tol)
+		}
+		fmt.Printf("benchcheck: fixedbase comb makespan %d vs baseline %d cycles (%+.1f%%)\n",
+			curFB, baseFB, 100*(float64(curFB)/float64(baseFB)-1))
 	}
 	if compared == 0 {
 		return fmt.Errorf("no SM/s metric shared by the report and the baseline (need throughput points or latency single_thread)")
